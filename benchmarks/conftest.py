@@ -1,0 +1,100 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Every file in ``benchmarks/`` regenerates one paper table/figure (or an
+ablation) and times its core computation with pytest-benchmark.  Since
+figure runs are expensive, the seeded-population results are built once
+per session and shared (Figure 5 reuses the Figure 4 run exactly as the
+paper derives it from the same data).
+
+Rendered reproduction data is written to ``benchmarks/output/*.txt`` so
+the regenerated "figures" survive pytest's stdout capture; pass ``-s``
+to also see them inline.
+
+Scaling: checkpoint generation counts are scaled-down versions of the
+paper's (DESIGN.md substitution table); set ``REPRO_SCALE=1`` and
+remove the explicit checkpoints below for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.datasets import dataset1, dataset2, dataset3
+from repro.experiments.figures import figure3, figure4, figure6
+
+#: Where rendered reproduction artifacts are written.
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Master seed for all benchmark runs.
+BENCH_SEED = 2013
+
+#: Scaled checkpoint schedules (paper: see PAPER_CHECKPOINTS).
+FIG3_CHECKPOINTS = (2, 20, 60, 200)
+FIG4_CHECKPOINTS = (2, 12, 40, 120)
+FIG6_CHECKPOINTS = (1, 5, 20, 60)
+
+FIG3_POP = 100
+FIG4_POP = 60
+FIG6_POP = 40
+
+
+def write_output(name: str, text: str) -> Path:
+    """Persist a rendered reproduction block and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written: {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def ds1():
+    """Data set 1 (real data, 250 tasks / 15 min)."""
+    return dataset1(seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def ds2():
+    """Data set 2 (synthetic system, 1000 tasks / 15 min)."""
+    return dataset2(seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def ds3():
+    """Data set 3 (synthetic system, 4000 tasks / 1 hour)."""
+    return dataset3(seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def fig3_result(ds1):
+    """The Figure 3 seeded-population run (shared)."""
+    return figure3(
+        checkpoints=FIG3_CHECKPOINTS,
+        population_size=FIG3_POP,
+        base_seed=BENCH_SEED,
+        dataset=ds1,
+    )
+
+
+@pytest.fixture(scope="session")
+def fig4_result(ds2):
+    """The Figure 4 seeded-population run (shared with Figure 5)."""
+    return figure4(
+        checkpoints=FIG4_CHECKPOINTS,
+        population_size=FIG4_POP,
+        base_seed=BENCH_SEED,
+        dataset=ds2,
+    )
+
+
+@pytest.fixture(scope="session")
+def fig6_result(ds3):
+    """The Figure 6 seeded-population run."""
+    return figure6(
+        checkpoints=FIG6_CHECKPOINTS,
+        population_size=FIG6_POP,
+        base_seed=BENCH_SEED,
+        dataset=ds3,
+    )

@@ -1,0 +1,45 @@
+"""Shared paper-shape assertions for the figure benches.
+
+The predicates themselves live in the library
+(:mod:`repro.experiments.claims` — usable on any run, not just the
+bench defaults); this module adapts them into pytest-style assertions
+with the claim's diagnostic detail as the failure message.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.claims import verify_paper_claims
+from repro.experiments.figures import FigureResult
+
+
+def _check(fig: FigureResult, claim: str, **kwargs) -> None:
+    results = {r.claim: r for r in verify_paper_claims(fig, **kwargs)}
+    result = results[claim]
+    assert result.passed, f"{result.claim}: {result.detail}"
+
+
+def assert_fronts_improve_over_checkpoints(fig: FigureResult) -> None:
+    """Hypervolume is non-decreasing along each population's checkpoints."""
+    _check(fig, "fronts-improve")
+
+
+def assert_min_energy_population_owns_low_energy_end(fig: FigureResult) -> None:
+    """No population reaches lower energy than the min-energy-seeded one."""
+    _check(fig, "min-energy-owns-low-end")
+
+
+def assert_min_min_beats_random_on_utility_early(fig: FigureResult) -> None:
+    """Min-min's best utility exceeds random's at the first checkpoint."""
+    _check(fig, "min-min-best-utility-early")
+
+
+def assert_seeded_dominate_random_early(fig: FigureResult,
+                                        min_fraction: float = 0.5) -> None:
+    """The combined seeded front dominates most of the random front early."""
+    _check(fig, "seeded-dominate-random-early",
+           dominate_fraction=min_fraction)
+
+
+def assert_efficient_region_with_diminishing_returns(fig: FigureResult) -> None:
+    """Every final front has an interior max-U/E region."""
+    _check(fig, "efficient-region-exists")

@@ -1,0 +1,71 @@
+"""Ablation A8: run-to-run variability via attainment surfaces.
+
+The paper draws one NSGA-II run per population; this bench quantifies
+how much a single run can mislead: R repetitions of the random
+population on data set 1, summarized as best / median / worst
+empirical attainment surfaces and hypervolume spread.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.datasets import DatasetBundle
+from repro.experiments.repetitions import run_repetitions
+
+from conftest import BENCH_SEED, write_output
+
+REPETITIONS = 5
+GENERATIONS = 50
+POP = 30
+
+
+def test_attainment_spread(benchmark, ds1):
+    result = benchmark.pedantic(
+        lambda: run_repetitions(
+            ds1,
+            repetitions=REPETITIONS,
+            generations=GENERATIONS,
+            population_size=POP,
+            seed_label="random",
+            base_seed=BENCH_SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for name in ("best", "median", "worst"):
+        surface = result.attainment[name]
+        e_lo, e_hi = surface.energy_range
+        u_lo, u_hi = surface.utility_range
+        rows.append(
+            [
+                name,
+                surface.size,
+                f"{e_lo / 1e6:.3f}-{e_hi / 1e6:.3f}",
+                f"{u_lo:.1f}-{u_hi:.1f}",
+            ]
+        )
+    hv = result.hypervolume
+    rows.append(
+        ["hypervolume", "-", f"mean {hv.mean:.4g} +- {hv.std:.2g}",
+         f"range {hv.minimum:.4g}..{hv.maximum:.4g}"]
+    )
+    write_output(
+        "ablation_a8_attainment.txt",
+        format_table(
+            ["surface", "points", "energy MJ", "utility"],
+            rows,
+            title=f"A8: attainment over {REPETITIONS} repetitions "
+            f"(random population, dataset1, {GENERATIONS} gens)",
+        ),
+    )
+
+    # Structural checks: best never dominated by median, median never
+    # by worst.
+    best, median, worst = (
+        result.attainment["best"],
+        result.attainment["median"],
+        result.attainment["worst"],
+    )
+    assert best.fraction_dominated_by(median) == 0.0
+    assert median.fraction_dominated_by(worst) == 0.0
+    assert hv.minimum <= hv.mean <= hv.maximum

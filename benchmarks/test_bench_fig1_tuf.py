@@ -1,0 +1,48 @@
+"""Figure 1 reproduction: the sample task time-utility function.
+
+Asserts the paper's two spot reads (complete at 20 -> 12 utility;
+complete at 47 -> 7 utility) and benchmarks batched TUF evaluation —
+the inner loop of every chromosome evaluation.
+"""
+
+import numpy as np
+
+from repro.utility.tuf import TimeUtilityFunction
+from repro.utility.presets import default_catalog
+from repro.utility.vectorized import TUFTable
+
+from conftest import write_output
+
+
+def test_figure1_spot_values(benchmark):
+    tuf = TimeUtilityFunction.figure1_example()
+    times = np.linspace(0.0, 80.0, 161)
+
+    values = benchmark(tuf, times)
+
+    assert tuf(20.0) == 12.0
+    assert tuf(47.0) == 7.0
+    assert np.all(np.diff(values) <= 1e-9)  # monotonically decreasing
+
+    rows = "\n".join(
+        f"  t={t:5.1f}  utility={v:6.2f}" for t, v in zip(times[::20], values[::20])
+    )
+    write_output(
+        "figure1.txt",
+        "figure1: task time-utility function (paper spot checks: "
+        f"U(20)={tuf(20.0):.0f}, U(47)={tuf(47.0):.0f})\n" + rows,
+    )
+
+
+def test_tuf_table_batch_throughput(benchmark):
+    """Batched evaluation across the whole preset catalogue."""
+    cat = default_catalog(900.0)
+    table = TUFTable.from_functions(list(cat.functions))
+    rng = np.random.default_rng(0)
+    types = rng.integers(0, table.num_types, size=100_000)
+    elapsed = rng.uniform(0.0, 2000.0, size=100_000)
+
+    values = benchmark(table.evaluate, types, elapsed)
+
+    assert values.shape == (100_000,)
+    assert np.all(values >= 0.0)

@@ -1,0 +1,70 @@
+"""Figure 4 reproduction: Pareto fronts on data set 2 (1000 tasks).
+
+The synthetic 30-machine / 30-task-type system, 1000 tasks over 15
+minutes, checkpoints scaled from the paper's 1e3 / 1e4 / 1e5 / 1e6
+iterations.
+"""
+
+from repro.sim.evaluator import ScheduleEvaluator
+
+from conftest import BENCH_SEED, FIG4_POP, write_output
+from shape_checks import (
+    assert_efficient_region_with_diminishing_returns,
+    assert_fronts_improve_over_checkpoints,
+    assert_min_energy_population_owns_low_energy_end,
+    assert_min_min_beats_random_on_utility_early,
+)
+
+
+def test_figure4_batch_evaluation_cost(benchmark, ds2):
+    """Batch evaluation of a full population at figure-4 scale
+    (the per-generation hot path: 60 chromosomes x 1000 tasks)."""
+    import numpy as np
+
+    from repro.core.operators import FeasibleMachines
+    from repro.core.population import Population
+
+    evaluator = ScheduleEvaluator(ds2.system, ds2.trace, check_feasibility=False)
+    feas = FeasibleMachines.from_system_trace(ds2.system, ds2.trace)
+    pop = Population.random(feas, FIG4_POP, np.random.default_rng(BENCH_SEED))
+
+    benchmark(evaluator.evaluate_batch, pop.assignments, pop.orders)
+
+
+def test_figure4_reproduction(benchmark, fig4_result):
+    fig = fig4_result
+    text = benchmark.pedantic(
+        lambda: fig.render(plot=True), rounds=1, iterations=1
+    )
+
+    assert_fronts_improve_over_checkpoints(fig)
+    assert_min_energy_population_owns_low_energy_end(fig)
+    assert_min_min_beats_random_on_utility_early(fig)
+    assert_efficient_region_with_diminishing_returns(fig)
+
+    # Paper: "the 'min energy' population typically finds solutions
+    # that perform better with respect to energy consumption, while
+    # the 'min-min completion time' population typically finds
+    # solutions that perform better with respect to utility earned."
+    early = fig.checkpoints[0]
+    e_front = fig.result.front("min-energy", early)
+    m_front = fig.result.front("min-min-completion-time", early)
+    assert e_front.energy_range[0] < m_front.energy_range[0]
+    assert m_front.utility_range[1] > e_front.utility_range[1]
+
+    write_output("figure4.txt", text)
+
+
+def test_figure4_seed_objectives(benchmark, fig4_result):
+    """The recorded heuristic seed objectives match their roles:
+    min-energy has the least energy, min-min the most utility."""
+    seeds = fig4_result.result.seed_objectives
+
+    def extract():
+        return {k: v for k, v in seeds.items()}
+
+    values = benchmark(extract)
+    energies = {k: v[0] for k, v in values.items()}
+    utilities = {k: v[1] for k, v in values.items()}
+    assert min(energies, key=energies.get) == "min-energy"
+    assert utilities["min-min-completion-time"] >= utilities["min-energy"]

@@ -1,0 +1,55 @@
+"""Figure 5 reproduction: locating the max utility-per-energy region.
+
+Exactly as in the paper, the analysis runs on the final Pareto front of
+the max-utility-per-energy-seeded population from the Figure 4
+experiment: subplot A is the front, subplot B the U/E-vs-utility curve,
+subplot C the U/E-vs-energy curve; the peaks of B and C mark the
+region's utility and energy coordinates.
+"""
+
+import numpy as np
+
+from repro.analysis.efficiency import max_utility_per_energy_region
+from repro.experiments.figures import figure5
+
+from conftest import write_output
+
+
+def test_figure5_region_location(benchmark, fig4_result):
+    fig5 = benchmark.pedantic(
+        lambda: figure5(figure4_result=fig4_result), rounds=1, iterations=1
+    )
+    front = fig5.front
+    region = fig5.region
+
+    # The peak of subplot B (U/E vs utility) and subplot C (U/E vs
+    # energy) is the same front point by construction of the method.
+    b = fig5.curve_vs_utility
+    c = fig5.curve_vs_energy
+    assert b[region.peak_index, 1] == region.peak_ratio
+    assert c[region.peak_index, 0] == region.peak_energy
+    assert b[region.peak_index, 0] == region.peak_utility
+
+    # Translating the two peak coordinates back onto the front recovers
+    # a front point (the paper's solid/dashed guide-line construction).
+    i = np.flatnonzero(front.energies == region.peak_energy)
+    assert front.utilities[i[0]] == region.peak_utility
+
+    # The region is a contiguous stretch of the front containing the peak.
+    assert region.region_indices[0] <= region.peak_index <= region.region_indices[-1]
+    np.testing.assert_array_equal(
+        np.diff(region.region_indices), 1
+    ) if region.region_size > 1 else None
+
+    write_output("figure5.txt", fig5.render())
+
+
+def test_figure5_curve_peak_consistency(benchmark, fig4_result):
+    """argmax over both marginal curves agrees (one shared peak)."""
+    front = fig4_result.result.front("max-utility-per-energy")
+
+    region = benchmark(max_utility_per_energy_region, front)
+
+    ratios = front.utilities / front.energies
+    assert region.peak_index == int(np.argmax(ratios))
+    assert region.peak_ratio == ratios.max()

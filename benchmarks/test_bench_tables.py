@@ -1,0 +1,55 @@
+"""Tables I, II, III reproduction (paper Section III-D1 / V-A).
+
+The tables are static definitions; the benchmark times their rendering
+(trivially fast) while the assertions pin the reproduced content to the
+paper's rows.
+"""
+
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    table1,
+    table2,
+    table3,
+)
+
+from conftest import write_output
+
+
+def test_table1_machines(benchmark):
+    text = benchmark(render_table1)
+    machines = table1()
+    assert len(machines) == 9
+    # Spot rows from the paper's Table I.
+    assert machines[0] == "AMD A8-3870K"
+    assert machines[-1] == "Intel Core i7 3770K @ 4.3 GHz"
+    assert "Intel Core i5 2500K" in machines
+    write_output("table1.txt", text)
+
+
+def test_table2_programs(benchmark):
+    text = benchmark(render_table2)
+    programs = table2()
+    assert programs == (
+        "C-Ray",
+        "7-Zip Compression",
+        "Warsow",
+        "Unigine Heaven",
+        "Timed Linux Kernel Compilation",
+    )
+    write_output("table2.txt", text)
+
+
+def test_table3_breakup(benchmark):
+    text = benchmark(render_table3)
+    counts = dict(table3())
+    # Paper Table III rows.
+    assert counts["Special-purpose machine A"] == 1
+    assert counts["AMD A8-3870K"] == 2
+    assert counts["Intel Core i3 2120"] == 3
+    assert counts["Intel Core i7 3960X"] == 4
+    assert counts["Intel Core i7 3770K"] == 5
+    assert sum(counts.values()) == 30
+    assert len(counts) == 13
+    write_output("table3.txt", text)

@@ -1,0 +1,133 @@
+"""repro — analysis framework for utility/energy trade-offs in
+heterogeneous computing.
+
+A from-scratch reproduction of Friese et al., *"An Analysis Framework
+for Investigating the Trade-offs Between System Performance and Energy
+Consumption in a Heterogeneous Computing Environment"* (IPDPSW 2013):
+heterogeneous system model with ETC/EPC matrices, time-utility
+functions, heterogeneity-preserving synthetic data generation
+(Gram-Charlier), a vectorized schedule simulator, an adapted NSGA-II
+with the paper's chromosome/operators, the four seeding heuristics,
+Pareto-front analysis (including the max utility-per-energy region
+method of Figure 5), and drivers reproducing every table and figure.
+
+Quickstart::
+
+    from repro import dataset1, figure3
+
+    bundle = dataset1(seed=7)          # real 5x9 data, 250-task trace
+    result = figure3(dataset=bundle)   # 5 seeded NSGA-II populations
+    print(result.render())
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from repro.analysis import (
+    EfficiencyRegion,
+    ParetoFront,
+    hypervolume,
+    max_utility_per_energy_region,
+)
+from repro.core import (
+    NSGA2,
+    NSGA2Config,
+    OperatorConfig,
+    ParetoArchive,
+    dominates,
+    fast_nondominated_sort,
+)
+from repro.data import (
+    GramCharlierPDF,
+    HeterogeneityStats,
+    expand_matrix_pair,
+    historical_epc,
+    historical_etc,
+    historical_system,
+    mvsk,
+)
+from repro.errors import ReproError
+from repro.experiments import (
+    dataset1,
+    dataset2,
+    dataset3,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    run_seeded_populations,
+    table1,
+    table2,
+    table3,
+)
+from repro.heuristics import (
+    SEEDING_HEURISTICS,
+    MaxUtility,
+    MaxUtilityPerEnergy,
+    MinEnergy,
+    MinMinCompletionTime,
+)
+from repro.model import SystemModel
+from repro.sim import (
+    EvaluationResult,
+    ResourceAllocation,
+    ScheduleEvaluator,
+    simulate_reference,
+)
+from repro.utility import TimeUtilityFunction, UtilityClass
+from repro.workload import Trace, WorkloadGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # model & data
+    "SystemModel",
+    "historical_system",
+    "historical_etc",
+    "historical_epc",
+    "HeterogeneityStats",
+    "mvsk",
+    "GramCharlierPDF",
+    "expand_matrix_pair",
+    # utility & workload
+    "TimeUtilityFunction",
+    "UtilityClass",
+    "Trace",
+    "WorkloadGenerator",
+    # simulation
+    "ResourceAllocation",
+    "ScheduleEvaluator",
+    "EvaluationResult",
+    "simulate_reference",
+    # optimization
+    "NSGA2",
+    "NSGA2Config",
+    "OperatorConfig",
+    "ParetoArchive",
+    "dominates",
+    "fast_nondominated_sort",
+    # heuristics
+    "SEEDING_HEURISTICS",
+    "MinEnergy",
+    "MaxUtility",
+    "MaxUtilityPerEnergy",
+    "MinMinCompletionTime",
+    # analysis
+    "ParetoFront",
+    "EfficiencyRegion",
+    "max_utility_per_energy_region",
+    "hypervolume",
+    # experiments
+    "dataset1",
+    "dataset2",
+    "dataset3",
+    "run_seeded_populations",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "table1",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,57 @@
+"""Pareto-front analysis (paper Section VI, Figures 3-6).
+
+* :mod:`repro.analysis.pareto_front` — immutable front container,
+  merging, and cross-front dominance comparisons (the Fig. 6 claim
+  "seeded populations find solutions that dominate those found by the
+  random population" is computed here).
+* :mod:`repro.analysis.efficiency` — the Figure 5 method for locating
+  the maximum utility-per-energy region of a front.
+* :mod:`repro.analysis.indicators` — hypervolume, spacing, spread,
+  additive epsilon, IGD.
+* :mod:`repro.analysis.convergence` — indicator series across
+  checkpoint generations.
+* :mod:`repro.analysis.report` — ASCII tables and scatter plots used
+  by the CLI, examples, and benchmark output.
+"""
+
+from repro.analysis.attainment import attainment_summary, attainment_surface
+from repro.analysis.compare import compare_runs, render_comparison
+from repro.analysis.efficiency import EfficiencyRegion, max_utility_per_energy_region
+from repro.analysis.export import (
+    figure_to_csv,
+    figure_to_svg,
+    front_to_csv,
+    render_svg_scatter,
+)
+from repro.analysis.convergence import convergence_series, dominance_fraction
+from repro.analysis.indicators import (
+    additive_epsilon,
+    hypervolume,
+    igd,
+    spacing,
+    spread,
+)
+from repro.analysis.pareto_front import ParetoFront
+from repro.analysis.summary import experiment_report
+
+__all__ = [
+    "ParetoFront",
+    "EfficiencyRegion",
+    "max_utility_per_energy_region",
+    "hypervolume",
+    "spacing",
+    "spread",
+    "additive_epsilon",
+    "igd",
+    "convergence_series",
+    "dominance_fraction",
+    "attainment_surface",
+    "attainment_summary",
+    "front_to_csv",
+    "figure_to_csv",
+    "render_svg_scatter",
+    "figure_to_svg",
+    "experiment_report",
+    "compare_runs",
+    "render_comparison",
+]

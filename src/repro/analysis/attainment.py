@@ -1,0 +1,109 @@
+"""Empirical attainment functions for repeated stochastic runs.
+
+A single NSGA-II run's front is a random variable; the paper draws one
+run per population, but statistically sound comparisons aggregate
+repetitions.  The **k-of-R empirical attainment surface** (Fonseca &
+Fleming) is the boundary of the region attained (weakly dominated) by
+at least *k* of *R* runs:
+
+* k = 1 — the *best* surface (union of all fronts, filtered);
+* k = R — the *worst* surface (points every run attains);
+* k = ⌈R/2⌉ — the *median* surface, the robust "typical outcome".
+
+For two objectives the surface has a closed construction: for every
+candidate utility level ``u`` (the union of all runs' utility
+coordinates), each run attains ``u`` at its minimum energy among points
+with utility ≥ u; the k-th smallest of those energies is the surface's
+energy at ``u``.  The resulting point set is then Pareto-filtered.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.pareto_front import ParetoFront
+from repro.errors import AnalysisError
+from repro.types import FloatArray
+
+__all__ = ["attainment_surface", "attainment_summary"]
+
+
+def _min_energy_at_or_above(front: FloatArray, utilities: FloatArray) -> FloatArray:
+    """For each utility level, a run's min energy achieving >= that level.
+
+    *front* is ``(F, 2)`` sorted by energy ascending (so utility
+    ascending along a valid front).  Returns ``inf`` where the run
+    never reaches the level.
+    """
+    pts = np.asarray(front, dtype=np.float64)
+    order = np.argsort(pts[:, 0], kind="stable")
+    pts = pts[order]
+    # Suffix maximum of utility: best utility reachable at >= this index.
+    # Along a Pareto front utility rises with energy, so min energy for
+    # utility >= u is the first point whose utility >= u.
+    util_sorted = pts[:, 1]
+    # For robustness against non-front inputs, enforce the running max.
+    running = np.maximum.accumulate(util_sorted)
+    idx = np.searchsorted(running, utilities, side="left")
+    energies = np.full(utilities.shape, np.inf)
+    ok = idx < pts.shape[0]
+    energies[ok] = pts[idx[ok], 0]
+    return energies
+
+
+def attainment_surface(
+    fronts: Sequence[FloatArray], k: int, label: str | None = None
+) -> ParetoFront:
+    """The k-of-R empirical attainment surface of *fronts*.
+
+    Parameters
+    ----------
+    fronts:
+        R arrays of ``(F_r, 2)`` (energy, utility) points — one per
+        repetition (need not be mutually nondominated).
+    k:
+        Attainment count, ``1 <= k <= R``.
+    label:
+        Name for the returned front (default ``"k/R-attainment"``).
+    """
+    R = len(fronts)
+    if R == 0:
+        raise AnalysisError("at least one front is required")
+    if not (1 <= k <= R):
+        raise AnalysisError(f"k must be in [1, {R}]; got {k}")
+    arrays = [np.asarray(f, dtype=np.float64) for f in fronts]
+    for i, arr in enumerate(arrays):
+        if arr.ndim != 2 or arr.shape[1] != 2 or arr.shape[0] == 0:
+            raise AnalysisError(f"front {i} must be non-empty (F, 2)")
+
+    levels = np.unique(np.concatenate([arr[:, 1] for arr in arrays]))
+    per_run = np.stack(
+        [_min_energy_at_or_above(arr, levels) for arr in arrays]
+    )  # (R, L)
+    kth = np.sort(per_run, axis=0)[k - 1]  # k-th smallest energy per level
+    finite = np.isfinite(kth)
+    if not finite.any():
+        raise AnalysisError(
+            f"no utility level is attained by {k} of {R} runs"
+        )
+    points = np.column_stack([kth[finite], levels[finite]])
+    return ParetoFront.from_points(
+        points, label=label or f"{k}/{R}-attainment"
+    )
+
+
+def attainment_summary(
+    fronts: Sequence[FloatArray],
+) -> dict[str, ParetoFront]:
+    """Best / median / worst attainment surfaces of *fronts*."""
+    R = len(fronts)
+    if R == 0:
+        raise AnalysisError("at least one front is required")
+    median_k = (R + 1) // 2
+    return {
+        "best": attainment_surface(fronts, 1, label="best"),
+        "median": attainment_surface(fronts, median_k, label="median"),
+        "worst": attainment_surface(fronts, R, label="worst"),
+    }

@@ -1,0 +1,99 @@
+"""Convergence analysis across checkpoint generations.
+
+Turns the :class:`~repro.core.nsga2.RunHistory` snapshots of one or
+more seeded populations into indicator time series — how each
+population's front grows toward the combined best-known front as
+generations accumulate (the across-subplot story of Figures 3, 4, 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.indicators import hypervolume, igd
+from repro.analysis.pareto_front import ParetoFront
+from repro.core.nsga2 import RunHistory
+from repro.errors import AnalysisError
+from repro.types import FloatArray
+
+__all__ = ["ConvergencePoint", "convergence_series", "dominance_fraction", "reference_front"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConvergencePoint:
+    """Indicator values of one population at one checkpoint."""
+
+    label: str
+    generation: int
+    front_size: int
+    hypervolume: float
+    igd_to_reference: float
+    min_energy: float
+    max_utility: float
+
+
+def reference_front(histories: Sequence[RunHistory]) -> ParetoFront:
+    """Nondominated union of every snapshot front of every history.
+
+    The best-known front — the convergence target all populations are
+    measured against.
+    """
+    if not histories:
+        raise AnalysisError("at least one run history is required")
+    all_points = np.vstack(
+        [snap.front_points for h in histories for snap in h.snapshots]
+    )
+    return ParetoFront.from_points(all_points, label="reference")
+
+
+def convergence_series(
+    histories: Sequence[RunHistory],
+    reference: ParetoFront | None = None,
+) -> list[ConvergencePoint]:
+    """Indicator series for every (history, checkpoint) pair.
+
+    The hypervolume reference point is the worst (energy, utility)
+    corner over all snapshots, inflated 1% so boundary points count.
+    """
+    if not histories:
+        raise AnalysisError("at least one run history is required")
+    ref_front = reference if reference is not None else reference_front(histories)
+    all_points = np.vstack(
+        [snap.front_points for h in histories for snap in h.snapshots]
+    )
+    ref_point = (
+        float(all_points[:, 0].max() * 1.01),
+        float(all_points[:, 1].min() * 0.99),
+    )
+    series: list[ConvergencePoint] = []
+    for history in histories:
+        for snap in history.snapshots:
+            series.append(
+                ConvergencePoint(
+                    label=history.label,
+                    generation=snap.generation,
+                    front_size=snap.front_size,
+                    hypervolume=hypervolume(snap.front_points, ref_point),
+                    igd_to_reference=igd(snap.front_points, ref_front.points),
+                    min_energy=float(snap.front_points[:, 0].min()),
+                    max_utility=float(snap.front_points[:, 1].max()),
+                )
+            )
+    return series
+
+
+def dominance_fraction(
+    target: FloatArray, by: FloatArray
+) -> float:
+    """Fraction of *target* points dominated by some point of *by*.
+
+    Convenience wrapper over
+    :meth:`~repro.analysis.pareto_front.ParetoFront.fraction_dominated_by`
+    for raw snapshot arrays (the Fig. 6 seeded-vs-random comparison).
+    """
+    target_front = ParetoFront.from_points(np.asarray(target, dtype=np.float64))
+    by_front = ParetoFront.from_points(np.asarray(by, dtype=np.float64))
+    return target_front.fraction_dominated_by(by_front)

@@ -1,0 +1,153 @@
+"""Maximum utility-per-energy region (paper Figure 5).
+
+The paper locates the front region "where the system is operating as
+efficiently as possible": plot utility-per-energy against utility
+(subplot B) and against energy (subplot C); the peaks of both curves
+identify the utility and energy values of the most efficient
+solutions, which translate back onto the Pareto front (subplot A).
+
+:func:`max_utility_per_energy_region` computes the peak and the
+surrounding region (points whose U/E is within a tolerance of the
+peak), plus the two marginal curves for plotting/reporting.  It also
+reports the diminishing-returns structure the paper describes: to the
+left of the region small energy increments buy large utility; to the
+right large energy increments buy little utility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.pareto_front import ParetoFront
+from repro.errors import AnalysisError
+from repro.types import FloatArray
+
+__all__ = ["EfficiencyRegion", "max_utility_per_energy_region", "marginal_utility_per_energy", "knee_point"]
+
+
+@dataclass(frozen=True)
+class EfficiencyRegion:
+    """The most-efficient region of a Pareto front.
+
+    Attributes
+    ----------
+    peak_index:
+        Index (into the front's sorted points) of the max-U/E point.
+    peak_energy, peak_utility:
+        Coordinates of that point — the solid/dashed guide lines of
+        Figure 5 B and C.
+    peak_ratio:
+        Its utility-per-energy value.
+    region_indices:
+        Indices of the contiguous region whose ratio is within
+        ``tolerance`` of the peak — the circled region of Figures 3-6.
+    ratios:
+        ``(F,)`` utility-per-energy of every front point (the y-values
+        of Figure 5's B and C subplots).
+    """
+
+    peak_index: int
+    peak_energy: float
+    peak_utility: float
+    peak_ratio: float
+    region_indices: np.ndarray
+    ratios: FloatArray
+
+    @property
+    def region_size(self) -> int:
+        """Number of points in the efficient region."""
+        return int(self.region_indices.shape[0])
+
+
+def max_utility_per_energy_region(
+    front: ParetoFront, tolerance: float = 0.05
+) -> EfficiencyRegion:
+    """Locate the maximum utility-per-energy region of *front*.
+
+    Parameters
+    ----------
+    front:
+        A Pareto front with strictly positive energies.
+    tolerance:
+        Points whose U/E is within ``(1 − tolerance) × peak`` belong to
+        the region.
+
+    Returns
+    -------
+    :class:`EfficiencyRegion`
+    """
+    if not (0.0 <= tolerance < 1.0):
+        raise AnalysisError(f"tolerance must be in [0, 1); got {tolerance}")
+    energies = front.energies
+    utilities = front.utilities
+    if np.any(energies <= 0):
+        raise AnalysisError("front energies must be strictly positive")
+    ratios = utilities / energies
+    peak = int(np.argmax(ratios))
+    threshold = ratios[peak] * (1.0 - tolerance)
+    in_region = ratios >= threshold
+    # Keep the contiguous stretch containing the peak (the paper circles
+    # one region; isolated distant points with similar ratio are noise).
+    left = peak
+    while left > 0 and in_region[left - 1]:
+        left -= 1
+    right = peak
+    while right < front.size - 1 and in_region[right + 1]:
+        right += 1
+    return EfficiencyRegion(
+        peak_index=peak,
+        peak_energy=float(energies[peak]),
+        peak_utility=float(utilities[peak]),
+        peak_ratio=float(ratios[peak]),
+        region_indices=np.arange(left, right + 1),
+        ratios=ratios,
+    )
+
+
+def marginal_utility_per_energy(front: ParetoFront) -> FloatArray:
+    """Discrete marginal gain ``ΔU/ΔE`` between adjacent front points.
+
+    Large values left of the efficient region, small values right of it
+    — the paper's "relatively larger amounts of utility for relatively
+    small increases in energy" observation, made quantitative.  Length
+    ``F − 1``; entries are ``inf`` where adjacent energies coincide.
+    """
+    e = front.energies
+    u = front.utilities
+    de = np.diff(e)
+    du = np.diff(u)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        marginal = np.where(de > 0, du / de, np.inf)
+    return marginal
+
+
+def knee_point(front: ParetoFront) -> int:
+    """Index of the front's knee by maximum distance-to-chord.
+
+    A geometry-based complement to the paper's utility-per-energy
+    peak: normalize both axes to [0, 1], draw the chord between the
+    front's two extreme points, and return the point farthest above
+    it.  On strongly convex fronts the knee and the max-U/E point
+    coincide or sit adjacent; on fronts whose minimum energy is far
+    from zero they can differ (U/E rewards absolute ratio, the knee
+    rewards marginal trade-off), which is why both are offered.
+    """
+    pts = front.points
+    n = pts.shape[0]
+    if n == 1:
+        return 0
+    span = pts.max(axis=0) - pts.min(axis=0)
+    span = np.where(span > 0, span, 1.0)
+    norm = (pts - pts.min(axis=0)) / span
+    a, b = norm[0], norm[-1]
+    chord = b - a
+    length = np.linalg.norm(chord)
+    if length == 0:
+        return 0
+    # Signed perpendicular distance of each point from the chord;
+    # positive = above (toward better utility per energy).
+    rel = norm - a
+    cross = chord[0] * rel[:, 1] - chord[1] * rel[:, 0]
+    return int(np.argmax(cross / length))

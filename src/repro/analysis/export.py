@@ -1,0 +1,246 @@
+"""Plot-data export: CSV series and dependency-free SVG scatter plots.
+
+The benchmark harness regenerates the paper's figures as data; this
+module turns that data into artifacts:
+
+* :func:`front_to_csv` / :func:`figure_to_csv` — tidy CSV (one row per
+  point, columns ``population, generation, energy_joules, utility``)
+  for any external plotting tool;
+* :func:`render_svg_scatter` — a self-contained SVG scatter plot
+  (axes, ticks, legend, per-series markers) written with the standard
+  library only, so fronts can be *looked at* without matplotlib;
+* :func:`figure_to_svg` — one SVG per checkpoint subplot of a
+  :class:`~repro.experiments.figures.FigureResult`, mirroring the
+  paper's 4-subplot figures.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.pareto_front import ParetoFront
+from repro.errors import AnalysisError
+from repro.types import FloatArray
+
+__all__ = [
+    "front_to_csv",
+    "figure_to_csv",
+    "render_svg_scatter",
+    "figure_to_svg",
+]
+
+#: Marker colors per series slot (paper-style distinct markers).
+_COLORS = (
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f",
+)
+_SHAPES = ("circle", "square", "diamond", "triangle", "star",
+           "circle", "square", "diamond")
+
+
+def front_to_csv(front: ParetoFront, path: Union[str, Path]) -> None:
+    """Write one front as tidy CSV."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["population", "energy_joules", "utility"])
+        for e, u in front.points:
+            writer.writerow([front.label, repr(float(e)), repr(float(u))])
+
+
+def figure_to_csv(figure_result, path: Union[str, Path]) -> None:
+    """Write every (population, checkpoint) front of a figure as tidy CSV."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["population", "generation", "energy_joules", "utility"])
+        for label, history in figure_result.result.histories.items():
+            for snap in history.snapshots:
+                for e, u in snap.front_points:
+                    writer.writerow(
+                        [label, snap.generation, repr(float(e)), repr(float(u))]
+                    )
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round-ish tick positions covering [lo, hi]."""
+    if hi <= lo:
+        return [lo]
+    span = hi - lo
+    raw = span / max(n - 1, 1)
+    magnitude = 10 ** np.floor(np.log10(raw))
+    for mult in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = mult * magnitude
+        if span / step <= n:
+            break
+    start = np.ceil(lo / step) * step
+    return [float(v) for v in np.arange(start, hi + step * 0.5, step)]
+
+
+def _marker_svg(shape: str, x: float, y: float, size: float, color: str) -> str:
+    """One marker as an SVG element."""
+    s = size
+    if shape == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{s:.1f}" fill="{color}"/>'
+    if shape == "square":
+        return (
+            f'<rect x="{x - s:.1f}" y="{y - s:.1f}" width="{2 * s:.1f}" '
+            f'height="{2 * s:.1f}" fill="{color}"/>'
+        )
+    if shape == "diamond":
+        pts = f"{x},{y - 1.4 * s} {x + 1.4 * s},{y} {x},{y + 1.4 * s} {x - 1.4 * s},{y}"
+        return f'<polygon points="{pts}" fill="{color}"/>'
+    if shape == "triangle":
+        pts = f"{x},{y - 1.3 * s} {x + 1.3 * s},{y + 1.3 * s} {x - 1.3 * s},{y + 1.3 * s}"
+        return f'<polygon points="{pts}" fill="{color}"/>'
+    if shape == "star":
+        # Four-point star (two overlapping rotated squares kept simple).
+        pts = (
+            f"{x},{y - 1.6 * s} {x + 0.4 * s},{y - 0.4 * s} {x + 1.6 * s},{y} "
+            f"{x + 0.4 * s},{y + 0.4 * s} {x},{y + 1.6 * s} {x - 0.4 * s},{y + 0.4 * s} "
+            f"{x - 1.6 * s},{y} {x - 0.4 * s},{y - 0.4 * s}"
+        )
+        return f'<polygon points="{pts}" fill="{color}"/>'
+    raise AnalysisError(f"unknown marker shape {shape!r}")
+
+
+def render_svg_scatter(
+    series: Mapping[str, FloatArray],
+    title: str = "",
+    xlabel: str = "energy consumed (MJ)",
+    ylabel: str = "utility earned",
+    width: int = 640,
+    height: int = 440,
+    x_scale: float = 1.0e6,
+) -> str:
+    """Render named (energy, utility) point sets as a standalone SVG.
+
+    Parameters
+    ----------
+    series:
+        Label -> ``(N, 2)`` raw (energy, utility) arrays.
+    x_scale:
+        Divisor applied to x values for display (1e6 = joules -> MJ,
+        matching the paper's axes).
+    """
+    if not series:
+        raise AnalysisError("render_svg_scatter requires at least one series")
+    margin_l, margin_r, margin_t, margin_b = 70, 20, 40, 60
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    if plot_w <= 10 or plot_h <= 10:
+        raise AnalysisError("SVG dimensions too small")
+
+    arrays = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    for k, arr in arrays.items():
+        if arr.ndim != 2 or arr.shape[1] != 2 or arr.shape[0] == 0:
+            raise AnalysisError(f"series {k!r} must be non-empty (N, 2)")
+    all_pts = np.vstack(list(arrays.values()))
+    x_lo, x_hi = all_pts[:, 0].min() / x_scale, all_pts[:, 0].max() / x_scale
+    y_lo, y_hi = all_pts[:, 1].min(), all_pts[:, 1].max()
+    # Pad degenerate ranges.
+    if x_hi <= x_lo:
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+    if y_hi <= y_lo:
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+    x_pad = (x_hi - x_lo) * 0.05
+    y_pad = (y_hi - y_lo) * 0.05
+    x_lo, x_hi = x_lo - x_pad, x_hi + x_pad
+    y_lo, y_hi = y_lo - y_pad, y_hi + y_pad
+
+    def sx(x: float) -> float:
+        return margin_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return margin_t + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="24" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="15">{title}</text>'
+        )
+    # Ticks and grid.
+    for tx in _ticks(x_lo, x_hi):
+        px = sx(tx)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{margin_t}" x2="{px:.1f}" '
+            f'y2="{margin_t + plot_h}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{margin_t + plot_h + 18}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="11">{tx:g}</text>'
+        )
+    for ty in _ticks(y_lo, y_hi):
+        py = sy(ty)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{py:.1f}" x2="{margin_l + plot_w}" '
+            f'y2="{py:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 8}" y="{py + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="11">{ty:g}</text>'
+        )
+    # Axis labels.
+    parts.append(
+        f'<text x="{margin_l + plot_w / 2:.0f}" y="{height - 16}" '
+        f'text-anchor="middle" font-family="sans-serif" '
+        f'font-size="13">{xlabel}</text>'
+    )
+    parts.append(
+        f'<text x="18" y="{margin_t + plot_h / 2:.0f}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="13" '
+        f'transform="rotate(-90 18 {margin_t + plot_h / 2:.0f})">{ylabel}</text>'
+    )
+    # Series markers + legend.
+    legend_y = margin_t + 10
+    for i, (label, arr) in enumerate(arrays.items()):
+        color = _COLORS[i % len(_COLORS)]
+        shape = _SHAPES[i % len(_SHAPES)]
+        for e, u in arr:
+            parts.append(_marker_svg(shape, sx(e / x_scale), sy(u), 3.0, color))
+        lx = margin_l + plot_w - 150
+        parts.append(_marker_svg(shape, lx, legend_y, 3.5, color))
+        parts.append(
+            f'<text x="{lx + 10}" y="{legend_y + 4}" '
+            f'font-family="sans-serif" font-size="11">{label}</text>'
+        )
+        legend_y += 16
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def figure_to_svg(
+    figure_result, directory: Union[str, Path]
+) -> list[Path]:
+    """Write one SVG per checkpoint subplot of a figure result.
+
+    Returns the written paths (``<name>_subplot<i>.svg``).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for i, (gen, paper_gen) in enumerate(
+        zip(figure_result.checkpoints, figure_result.paper_checkpoints)
+    ):
+        fronts = figure_result.subplot(i)
+        svg = render_svg_scatter(
+            {label: front.points for label, front in fronts.items()},
+            title=(
+                f"{figure_result.name}: through {gen} generations "
+                f"(paper: {paper_gen:,})"
+            ),
+        )
+        path = directory / f"{figure_result.name}_subplot{i + 1}.svg"
+        path.write_text(svg)
+        written.append(path)
+    return written

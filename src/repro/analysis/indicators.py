@@ -1,0 +1,149 @@
+"""Multi-objective quality indicators.
+
+Quantitative complements to the paper's visual front comparisons,
+used by the convergence analyses and ablation benchmarks:
+
+* :func:`hypervolume` — area dominated by a front w.r.t. a reference
+  point (exact 2-D sweep); larger = better.
+* :func:`spacing` — Schott's spacing: standard deviation of
+  nearest-neighbour distances; smaller = more even (what crowding
+  distance aims at).
+* :func:`spread` — Deb's Δ: combines extent and evenness.
+* :func:`additive_epsilon` — smallest uniform shift making one front
+  weakly dominate another; smaller = closer.
+* :func:`igd` — inverted generational distance to a reference front.
+
+All functions take raw (energy, utility) points in the paper's space
+(energy minimized, utility maximized) via a
+:class:`~repro.core.objectives.BiObjectiveSpace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.objectives import BiObjectiveSpace, ENERGY_UTILITY
+from repro.errors import AnalysisError
+from repro.types import FloatArray
+
+__all__ = ["hypervolume", "spacing", "spread", "additive_epsilon", "igd"]
+
+
+def _as_points(points: FloatArray, name: str) -> FloatArray:
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise AnalysisError(f"{name} must have shape (N, 2); got {pts.shape}")
+    if pts.shape[0] == 0:
+        raise AnalysisError(f"{name} must be non-empty")
+    return pts
+
+
+def hypervolume(
+    points: FloatArray,
+    reference: tuple[float, float],
+    space: BiObjectiveSpace = ENERGY_UTILITY,
+) -> float:
+    """Exact 2-D hypervolume of *points* w.r.t. *reference*.
+
+    The reference must be weakly worse than every point on both axes
+    (e.g. ``(max energy bound, 0 utility)``); points beyond the
+    reference contribute nothing.
+    """
+    pts = space.to_minimization(_as_points(points, "points"))
+    ref = space.to_minimization(np.asarray(reference, dtype=np.float64)[None, :])[0]
+    # Keep only points strictly better than the reference on both axes.
+    keep = (pts < ref).all(axis=1)
+    if not keep.any():
+        return 0.0
+    pts = pts[keep]
+    # Staircase sweep in minimization space: sort by x (ties: y), keep
+    # only points improving the running-best y (the nondominated
+    # staircase); each step contributes width-to-next-x times
+    # height-to-reference.
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    pts = pts[order]
+    best_y = np.minimum.accumulate(pts[:, 1])
+    prev_best = np.concatenate(([np.inf], best_y[:-1]))
+    stair = pts[pts[:, 1] < prev_best]
+    xs = np.concatenate([stair[:, 0], [ref[0]]])
+    widths = xs[1:] - xs[:-1]
+    heights = ref[1] - stair[:, 1]
+    return float(np.sum(widths * heights))
+
+
+def spacing(points: FloatArray) -> float:
+    """Schott's spacing metric (0 for <= 2 points).
+
+    Uses Manhattan nearest-neighbour distances in normalized objective
+    space; sense-independent.
+    """
+    pts = _as_points(points, "points")
+    n = pts.shape[0]
+    if n <= 2:
+        return 0.0
+    span = pts.max(axis=0) - pts.min(axis=0)
+    span = np.where(span > 0, span, 1.0)
+    norm = pts / span
+    diff = np.abs(norm[:, None, :] - norm[None, :, :]).sum(axis=2)
+    np.fill_diagonal(diff, np.inf)
+    d = diff.min(axis=1)
+    return float(d.std())
+
+
+def spread(points: FloatArray, space: BiObjectiveSpace = ENERGY_UTILITY) -> float:
+    """Deb's Δ spread indicator (lower = more even, well-extended).
+
+    Δ = (Σ|dᵢ − d̄|) / (n·d̄) over consecutive gaps of the
+    energy-sorted front; degenerate fronts (<= 2 points or zero mean
+    gap) return 0.
+    """
+    pts = space.to_minimization(_as_points(points, "points"))
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    pts = pts[order]
+    if pts.shape[0] <= 2:
+        return 0.0
+    gaps = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+    mean = gaps.mean()
+    if mean == 0:
+        return 0.0
+    return float(np.abs(gaps - mean).sum() / (gaps.size * mean))
+
+
+def additive_epsilon(
+    approx: FloatArray,
+    reference: FloatArray,
+    space: BiObjectiveSpace = ENERGY_UTILITY,
+) -> float:
+    """Additive ε-indicator: smallest ε such that shifting *approx* by ε
+    (toward worse) still leaves every reference point weakly dominated.
+
+    0 means *approx* weakly dominates the whole reference front;
+    positive values measure how far it falls short.
+    """
+    a = space.to_minimization(_as_points(approx, "approx"))
+    r = space.to_minimization(_as_points(reference, "reference"))
+    # For each reference point, the best (smallest) max-axis shortfall
+    # over approx points; epsilon is the worst over reference points.
+    shortfall = (a[:, None, :] - r[None, :, :]).max(axis=2)  # (A, R)
+    return float(shortfall.min(axis=0).max())
+
+
+def igd(
+    approx: FloatArray,
+    reference: FloatArray,
+    space: BiObjectiveSpace = ENERGY_UTILITY,
+) -> float:
+    """Inverted generational distance: mean Euclidean distance from each
+    reference point to its nearest approx point (normalized axes).
+
+    Normalization uses the reference front's ranges so energy (~1e6 J)
+    does not drown utility (~1e2).
+    """
+    a = space.to_minimization(_as_points(approx, "approx"))
+    r = space.to_minimization(_as_points(reference, "reference"))
+    span = r.max(axis=0) - r.min(axis=0)
+    span = np.where(span > 0, span, 1.0)
+    a_n = a / span
+    r_n = r / span
+    d = np.sqrt(((r_n[:, None, :] - a_n[None, :, :]) ** 2).sum(axis=2))
+    return float(d.min(axis=1).mean())

@@ -1,0 +1,158 @@
+"""Immutable Pareto-front container and cross-front comparisons.
+
+A :class:`ParetoFront` holds mutually nondominated (energy, utility)
+points sorted by energy.  Along a valid front, utility is strictly
+increasing with energy — the trade-off curve of the paper's figures —
+which :meth:`ParetoFront.__post_init__` enforces, catching any
+dominance bug upstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.dominance import nondominated_mask
+from repro.core.objectives import BiObjectiveSpace, ENERGY_UTILITY
+from repro.errors import AnalysisError
+from repro.types import FloatArray
+
+__all__ = ["ParetoFront"]
+
+
+@dataclass(frozen=True)
+class ParetoFront:
+    """Sorted, validated nondominated point set.
+
+    Attributes
+    ----------
+    points:
+        ``(F, 2)`` (energy, utility) pairs, sorted by energy ascending.
+    label:
+        Report name (e.g. the seeding population that produced it).
+    """
+
+    points: FloatArray
+    label: str = "front"
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise AnalysisError(f"front points must be (F, 2); got {pts.shape}")
+        if pts.shape[0] == 0:
+            raise AnalysisError("a Pareto front must contain at least one point")
+        order = np.lexsort((pts[:, 1], pts[:, 0]))
+        pts = pts[order]
+        # Drop exact duplicates.
+        if pts.shape[0] > 1:
+            keep = np.concatenate(([True], np.any(np.diff(pts, axis=0) != 0, axis=1)))
+            pts = pts[keep]
+        if not nondominated_mask(pts).all():
+            raise AnalysisError(
+                "points are not mutually nondominated; construct with "
+                "ParetoFront.from_points to filter first"
+            )
+        pts = pts.copy()
+        pts.setflags(write=False)
+        object.__setattr__(self, "points", pts)
+
+    @classmethod
+    def from_points(cls, points: FloatArray, label: str = "front") -> "ParetoFront":
+        """Filter *points* to their nondominated subset, then wrap."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise AnalysisError(f"points must be (N, 2); got {pts.shape}")
+        mask = nondominated_mask(pts)
+        return cls(points=pts[mask], label=label)
+
+    # -- basic access ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of points on the front."""
+        return int(self.points.shape[0])
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def energies(self) -> FloatArray:
+        """Energy column (ascending)."""
+        return self.points[:, 0]
+
+    @property
+    def utilities(self) -> FloatArray:
+        """Utility column (ascending along a valid front)."""
+        return self.points[:, 1]
+
+    @property
+    def energy_range(self) -> tuple[float, float]:
+        """(min, max) energy across the front."""
+        return float(self.energies[0]), float(self.energies[-1])
+
+    @property
+    def utility_range(self) -> tuple[float, float]:
+        """(min, max) utility across the front."""
+        return float(self.utilities.min()), float(self.utilities.max())
+
+    # -- composition ----------------------------------------------------------
+
+    def merge(self, other: "ParetoFront", label: str | None = None) -> "ParetoFront":
+        """Nondominated union of two fronts."""
+        combined = np.vstack([self.points, other.points])
+        return ParetoFront.from_points(
+            combined, label=label or f"{self.label}+{other.label}"
+        )
+
+    # -- cross-front dominance --------------------------------------------------
+
+    def fraction_dominated_by(
+        self, other: "ParetoFront", space: BiObjectiveSpace = ENERGY_UTILITY
+    ) -> float:
+        """Fraction of this front's points dominated by some point of *other*.
+
+        This is the two-set coverage measure C(other, self) of Zitzler —
+        the paper's Fig. 6 claim reads "seeded populations are finding
+        solutions that dominate those found by the random population",
+        i.e. high ``random.fraction_dominated_by(seeded)``.
+        """
+        mine = space.to_minimization(self.points)  # (F, 2)
+        theirs = space.to_minimization(other.points)  # (G, 2)
+        le = (theirs[:, None, :] <= mine[None, :, :]).all(axis=2)
+        lt = (theirs[:, None, :] < mine[None, :, :]).any(axis=2)
+        dominated = (le & lt).any(axis=0)
+        return float(dominated.mean())
+
+    def dominates_front(self, other: "ParetoFront") -> bool:
+        """Whether every point of *other* is dominated by this front."""
+        return other.fraction_dominated_by(self) == 1.0
+
+    # -- interpolation ------------------------------------------------------------
+
+    def utility_at_energy(self, energy_budget: float) -> float:
+        """Best achievable utility within an energy budget (step function).
+
+        The administrator question the paper motivates: "the system
+        administrator may not have energy to reach the circled
+        solution" — given a budget, the achievable utility is the best
+        utility among front points with energy <= budget.
+        """
+        mask = self.energies <= energy_budget
+        if not mask.any():
+            raise AnalysisError(
+                f"no front point fits energy budget {energy_budget}; minimum "
+                f"front energy is {float(self.energies[0])}"
+            )
+        return float(self.utilities[mask].max())
+
+    def energy_for_utility(self, utility_target: float) -> float:
+        """Least energy achieving at least *utility_target*."""
+        mask = self.utilities >= utility_target
+        if not mask.any():
+            raise AnalysisError(
+                f"no front point reaches utility {utility_target}; maximum "
+                f"front utility is {float(self.utilities.max())}"
+            )
+        return float(self.energies[mask].min())

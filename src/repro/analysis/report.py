@@ -1,0 +1,126 @@
+"""Plain-text rendering of fronts and experiment results.
+
+The benchmark harness regenerates the paper's figures as *data*; this
+module renders that data for terminals and log files: aligned tables,
+and an ASCII scatter plot that makes the Pareto-front shapes (and the
+circled efficient region) visible without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.efficiency import max_utility_per_energy_region
+from repro.analysis.pareto_front import ParetoFront
+from repro.errors import AnalysisError
+from repro.types import FloatArray
+
+__all__ = ["format_table", "format_front", "ascii_scatter", "format_front_summary"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_front(front: ParetoFront, max_rows: int = 20) -> str:
+    """Table of a front's points (downsampled evenly when long)."""
+    pts = front.points
+    n = pts.shape[0]
+    if n > max_rows:
+        idx = np.unique(np.linspace(0, n - 1, max_rows).astype(int))
+    else:
+        idx = np.arange(n)
+    rows = [
+        [i, f"{pts[i, 0] / 1e6:.4f}", f"{pts[i, 1]:.2f}", f"{pts[i, 1] / pts[i, 0] * 1e6:.3f}"]
+        for i in idx
+    ]
+    return format_table(
+        ["#", "energy (MJ)", "utility", "utility/MJ"],
+        rows,
+        title=f"Pareto front '{front.label}' ({n} points)",
+    )
+
+
+def format_front_summary(fronts: Mapping[str, ParetoFront]) -> str:
+    """One-line-per-front comparison table (the per-subplot caption data)."""
+    rows = []
+    for name, front in fronts.items():
+        region = max_utility_per_energy_region(front)
+        e_lo, e_hi = front.energy_range
+        u_lo, u_hi = front.utility_range
+        rows.append(
+            [
+                name,
+                front.size,
+                f"{e_lo / 1e6:.3f}-{e_hi / 1e6:.3f}",
+                f"{u_lo:.1f}-{u_hi:.1f}",
+                f"{region.peak_energy / 1e6:.3f}",
+                f"{region.peak_utility:.1f}",
+            ]
+        )
+    return format_table(
+        ["population", "front", "energy MJ", "utility", "peak-U/E @ MJ", "@ utility"],
+        rows,
+    )
+
+
+def ascii_scatter(
+    series: Mapping[str, FloatArray],
+    width: int = 72,
+    height: int = 20,
+    xlabel: str = "energy (MJ)",
+    ylabel: str = "utility",
+    x_scale: float = 1e6,
+    markers: str = "o*x+#@%&",
+) -> str:
+    """ASCII scatter plot of several (energy, utility) point sets.
+
+    Each named series gets one marker character (legend appended).
+    Overlapping cells show the later series' marker.
+    """
+    if not series:
+        raise AnalysisError("ascii_scatter requires at least one series")
+    if width < 16 or height < 8:
+        raise AnalysisError("plot must be at least 16x8 characters")
+    all_pts = np.vstack([np.asarray(p, dtype=np.float64) for p in series.values()])
+    x_min, x_max = all_pts[:, 0].min(), all_pts[:, 0].max()
+    y_min, y_max = all_pts[:, 1].min(), all_pts[:, 1].max()
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for k, (name, pts) in enumerate(series.items()):
+        marker = markers[k % len(markers)]
+        legend.append(f"{marker} = {name}")
+        pts = np.asarray(pts, dtype=np.float64)
+        cols = ((pts[:, 0] - x_min) / x_span * (width - 1)).round().astype(int)
+        rows = ((pts[:, 1] - y_min) / y_span * (height - 1)).round().astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+
+    lines = [f"{ylabel} ({y_min:.1f} .. {y_max:.1f})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {xlabel}: {x_min / x_scale:.3f} .. {x_max / x_scale:.3f}   "
+        + "   ".join(legend)
+    )
+    return "\n".join(lines)

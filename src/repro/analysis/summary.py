@@ -1,0 +1,146 @@
+"""Comprehensive text report for a seeded-population experiment.
+
+Combines everything the analysis layer knows into one administrator-
+facing document: per-population front tables, seed objectives, the
+max utility-per-energy and knee operating points, convergence
+indicators across checkpoints, and cross-population dominance — the
+prose the paper's Section VI writes, generated from the data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.convergence import convergence_series
+from repro.analysis.efficiency import knee_point, max_utility_per_energy_region
+from repro.analysis.report import format_table
+from repro.errors import AnalysisError
+
+__all__ = ["experiment_report"]
+
+
+def _fmt_mj(j: float) -> str:
+    return f"{j / 1e6:.4f}"
+
+
+def experiment_report(result, title: Optional[str] = None) -> str:
+    """Render a full report for a
+    :class:`~repro.experiments.runner.SeededPopulationResult`.
+
+    Sections: configuration, seed objectives, final fronts, efficient
+    operating points, convergence, cross-population dominance.
+    """
+    histories = result.histories
+    if not histories:
+        raise AnalysisError("experiment has no populations")
+    blocks: list[str] = []
+    cfg = result.config
+    blocks.append(title or f"Experiment report — {result.dataset_name}")
+    blocks.append(
+        f"populations: {', '.join(histories)} | N={cfg.population_size} | "
+        f"mutation p={cfg.mutation_probability} | checkpoints "
+        f"{list(cfg.checkpoints)} | seed {cfg.base_seed}"
+    )
+
+    # Seed objectives.
+    if result.seed_objectives:
+        rows = [
+            [name, _fmt_mj(e), f"{u:.1f}", f"{u / e * 1e6:.2f}"]
+            for name, (e, u) in sorted(result.seed_objectives.items())
+        ]
+        blocks.append("")
+        blocks.append(
+            format_table(
+                ["heuristic seed", "energy (MJ)", "utility", "utility/MJ"],
+                rows,
+                title="Greedy seed objectives",
+            )
+        )
+
+    # Final fronts + operating points.
+    rows = []
+    for label in histories:
+        front = result.front(label)
+        region = max_utility_per_energy_region(front)
+        knee = knee_point(front)
+        rows.append(
+            [
+                label,
+                front.size,
+                f"{_fmt_mj(front.energy_range[0])}-{_fmt_mj(front.energy_range[1])}",
+                f"{front.utility_range[0]:.1f}-{front.utility_range[1]:.1f}",
+                f"{_fmt_mj(region.peak_energy)} MJ / {region.peak_utility:.1f} U",
+                f"{_fmt_mj(front.points[knee, 0])} MJ / {front.points[knee, 1]:.1f} U",
+            ]
+        )
+    blocks.append("")
+    blocks.append(
+        format_table(
+            ["population", "front", "energy (MJ)", "utility",
+             "max-U/E point", "knee point"],
+            rows,
+            title="Final Pareto fronts and operating points",
+        )
+    )
+
+    # Convergence indicators.
+    series = convergence_series(list(histories.values()))
+    rows = [
+        [
+            p.label,
+            p.generation,
+            p.front_size,
+            f"{p.hypervolume:.4g}",
+            f"{p.igd_to_reference:.4g}",
+            _fmt_mj(p.min_energy),
+            f"{p.max_utility:.1f}",
+        ]
+        for p in series
+    ]
+    blocks.append("")
+    blocks.append(
+        format_table(
+            ["population", "gen", "front", "hypervolume", "IGD->ref",
+             "min E (MJ)", "max U"],
+            rows,
+            title="Convergence across checkpoints",
+        )
+    )
+
+    # Cross-population dominance at the final checkpoint.
+    labels = list(histories)
+    rows = []
+    for a in labels:
+        fa = result.front(a)
+        row = [a]
+        for b in labels:
+            if a == b:
+                row.append("-")
+            else:
+                frac = fa.fraction_dominated_by(result.front(b))
+                row.append(f"{frac * 100:.0f}%")
+        rows.append(row)
+    blocks.append("")
+    blocks.append(
+        format_table(
+            ["% of row's front dominated by ->", *labels],
+            rows,
+            title="Cross-population dominance (final fronts)",
+        )
+    )
+
+    # Combined best-known front.
+    combined = result.combined_front()
+    region = max_utility_per_energy_region(combined)
+    blocks.append("")
+    blocks.append(
+        f"Best-known front: {combined.size} points, "
+        f"{_fmt_mj(combined.energy_range[0])}-"
+        f"{_fmt_mj(combined.energy_range[1])} MJ; most efficient operation "
+        f"at {_fmt_mj(region.peak_energy)} MJ earning "
+        f"{region.peak_utility:.1f} utility "
+        f"({region.peak_ratio * 1e6:.2f} utility/MJ)."
+    )
+    return "\n".join(blocks)

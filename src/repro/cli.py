@@ -1,0 +1,325 @@
+"""``repro-analyze`` — command-line front end.
+
+Subcommands:
+
+* ``tables`` — print Tables I, II, III.
+* ``figure`` — reproduce one of Figures 3/4/5/6 (optionally save JSON
+  results, tidy CSV, and per-subplot SVG plots).
+* ``seeds`` — evaluate the four seeding heuristics on a data set.
+* ``datagen`` — expand the historical matrices and report the
+  heterogeneity preservation (mvsk of real vs synthetic).
+* ``system`` — describe a data set's system and save it as JSON.
+* ``gantt`` — render a heuristic's schedule as a text Gantt chart.
+* ``repetitions`` — run R independent NSGA-II repetitions and report
+  attainment surfaces and hypervolume spread.
+
+Examples::
+
+    repro-analyze tables
+    repro-analyze figure --name figure3 --scale 0.01 --plot
+    repro-analyze seeds --dataset 2
+    repro-analyze datagen --new-task-types 25 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+from repro.analysis.report import format_table
+from repro.data.heterogeneity import mvsk
+from repro.data.historical import HISTORICAL_EPC, HISTORICAL_ETC
+from repro.data.synthetic import expand_matrix_pair
+from repro.experiments.datasets import dataset1, dataset2, dataset3
+from repro.experiments.figures import figure3, figure4, figure5, figure6
+from repro.experiments.io import save_figure_result
+from repro.experiments.tables import render_table1, render_table2, render_table3
+from repro.heuristics import SEEDING_HEURISTICS
+from repro.model.serialization import save_system
+from repro.sim.evaluator import ScheduleEvaluator
+
+__all__ = ["main"]
+
+_DATASETS = {"1": dataset1, "2": dataset2, "3": dataset3}
+_FIGURES = {"figure3": figure3, "figure4": figure4, "figure6": figure6}
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    print(render_table1())
+    print()
+    print(render_table2())
+    print()
+    print(render_table3())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.name == "figure5":
+        fig5 = figure5(scale=args.scale, base_seed=args.seed)
+        print(fig5.render())
+        return 0
+    driver = _FIGURES[args.name]
+    result = driver(scale=args.scale, base_seed=args.seed)
+    print(result.render(plot=args.plot))
+    if args.output:
+        save_figure_result(result, args.output)
+        print(f"\nsaved: {args.output}")
+    if args.csv:
+        from repro.analysis.export import figure_to_csv
+
+        figure_to_csv(result, args.csv)
+        print(f"saved: {args.csv}")
+    if args.svg_dir:
+        from repro.analysis.export import figure_to_svg
+
+        for path in figure_to_svg(result, args.svg_dir):
+            print(f"saved: {path}")
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.heuristics import SEEDING_HEURISTICS as _H
+    from repro.sim.events import simulate_reference
+    from repro.sim.gantt import render_gantt
+
+    bundle = _DATASETS[args.dataset](args.seed)
+    heuristic = _H[args.heuristic]()
+    alloc = heuristic.build(bundle.system, bundle.trace)
+    ref = simulate_reference(bundle.system, bundle.trace, alloc)
+    print(
+        f"{heuristic.name} on {bundle.name}: energy "
+        f"{ref.energy / 1e6:.3f} MJ, utility {ref.utility:.1f}"
+    )
+    print(render_gantt(ref, system=bundle.system, width=args.width,
+                       max_machines=args.max_machines))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.summary import experiment_report
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_seeded_populations
+
+    bundle = _DATASETS[args.dataset](args.seed)
+    config = ExperimentConfig.for_paper_checkpoints(
+        [100, 1000, 10000],
+        scale=args.scale,
+        population_size=args.population,
+        base_seed=args.seed,
+    )
+    result = run_seeded_populations(bundle, config, workers=args.workers)
+    print(experiment_report(result))
+    return 0
+
+
+def _cmd_reproduce_all(args: argparse.Namespace) -> int:
+    from repro.experiments.reproduce import reproduce_all
+
+    reproduce_all(
+        args.output,
+        scale=args.scale,
+        base_seed=args.seed,
+        population_size=args.population,
+    )
+    return 0
+
+
+def _cmd_repetitions(args: argparse.Namespace) -> int:
+    from repro.experiments.repetitions import run_repetitions
+
+    bundle = _DATASETS[args.dataset](args.seed)
+    result = run_repetitions(
+        bundle,
+        repetitions=args.repetitions,
+        generations=args.generations,
+        population_size=args.population,
+        seed_label=args.population_label,
+        base_seed=args.seed,
+    )
+    rows = []
+    for name in ("best", "median", "worst"):
+        surface = result.attainment[name]
+        rows.append(
+            [
+                name,
+                surface.size,
+                f"{surface.energy_range[0] / 1e6:.3f}-"
+                f"{surface.energy_range[1] / 1e6:.3f}",
+                f"{surface.utility_range[0]:.1f}-"
+                f"{surface.utility_range[1]:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["attainment", "points", "energy (MJ)", "utility"],
+            rows,
+            title=f"{args.repetitions} repetitions of the "
+            f"'{args.population_label}' population on {bundle.name}",
+        )
+    )
+    hv = result.hypervolume
+    print(
+        f"hypervolume: mean {hv.mean:.4g} +- {hv.std:.2g} "
+        f"(range {hv.minimum:.4g}..{hv.maximum:.4g})"
+    )
+    return 0
+
+
+def _cmd_seeds(args: argparse.Namespace) -> int:
+    bundle = _DATASETS[args.dataset](args.seed)
+    evaluator = ScheduleEvaluator(bundle.system, bundle.trace)
+    rows = []
+    for name, cls in SEEDING_HEURISTICS.items():
+        energy, utility = evaluator.objectives(cls().build(bundle.system, bundle.trace))
+        rows.append([name, f"{energy / 1e6:.4f}", f"{utility:.2f}",
+                     f"{utility / energy * 1e6:.3f}"])
+    print(
+        format_table(
+            ["heuristic", "energy (MJ)", "utility", "utility/MJ"],
+            rows,
+            title=f"Seeding heuristics on {bundle.name} "
+            f"({bundle.num_tasks} tasks, {bundle.system.num_machines} machines)",
+        )
+    )
+    return 0
+
+
+def _cmd_datagen(args: argparse.Namespace) -> int:
+    etc_exp, epc_exp = expand_matrix_pair(
+        HISTORICAL_ETC, HISTORICAL_EPC, args.new_task_types, seed=args.seed
+    )
+    rows = []
+    for label, exp in (("ETC", etc_exp), ("EPC", epc_exp)):
+        real = exp.row_average_stats
+        synth = mvsk(exp.new_rows().mean(axis=1))
+        rows.append([f"{label} real rows", f"{real.mean:.2f}", f"{real.cov:.3f}",
+                     f"{real.skewness:.3f}", f"{real.kurtosis:.3f}"])
+        rows.append([f"{label} synthetic rows", f"{synth.mean:.2f}", f"{synth.cov:.3f}",
+                     f"{synth.skewness:.3f}", f"{synth.kurtosis:.3f}"])
+    print(
+        format_table(
+            ["collection (row averages)", "mean", "CV", "skewness", "kurtosis"],
+            rows,
+            title=f"Heterogeneity preservation, {args.new_task_types} new task types",
+        )
+    )
+    return 0
+
+
+def _cmd_system(args: argparse.Namespace) -> int:
+    bundle = _DATASETS[args.dataset](args.seed)
+    print(bundle.system.describe())
+    print(f"trace: {bundle.num_tasks} tasks over {bundle.horizon_seconds:.0f} s")
+    if args.output:
+        save_system(bundle.system, args.output)
+        print(f"saved: {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Utility/energy trade-off analysis framework "
+        "(Friese et al., IPDPSW 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I, II, III")
+
+    p_fig = sub.add_parser("figure", help="reproduce a paper figure")
+    p_fig.add_argument(
+        "--name", choices=["figure3", "figure4", "figure5", "figure6"],
+        default="figure3",
+    )
+    p_fig.add_argument("--scale", type=float, default=None,
+                       help="generation scale vs paper (default: REPRO_SCALE or 0.002)")
+    p_fig.add_argument("--seed", type=int, default=2013)
+    p_fig.add_argument("--plot", action="store_true", help="ASCII scatter plots")
+    p_fig.add_argument("--output", default=None, help="save result JSON here")
+    p_fig.add_argument("--csv", default=None, help="save tidy CSV here")
+    p_fig.add_argument("--svg-dir", default=None,
+                       help="write per-subplot SVG plots into this directory")
+
+    p_seeds = sub.add_parser("seeds", help="evaluate the seeding heuristics")
+    p_seeds.add_argument("--dataset", choices=["1", "2", "3"], default="1")
+    p_seeds.add_argument("--seed", type=int, default=2013)
+
+    p_gen = sub.add_parser("datagen", help="synthetic-data heterogeneity check")
+    p_gen.add_argument("--new-task-types", type=int, default=25)
+    p_gen.add_argument("--seed", type=int, default=2013)
+
+    p_sys = sub.add_parser("system", help="describe / export a data set system")
+    p_sys.add_argument("--dataset", choices=["1", "2", "3"], default="1")
+    p_sys.add_argument("--seed", type=int, default=2013)
+    p_sys.add_argument("--output", default=None, help="save system JSON here")
+
+    p_gantt = sub.add_parser("gantt", help="text Gantt chart of a heuristic schedule")
+    p_gantt.add_argument("--dataset", choices=["1", "2", "3"], default="1")
+    p_gantt.add_argument(
+        "--heuristic",
+        choices=sorted(SEEDING_HEURISTICS),
+        default="min-min-completion-time",
+    )
+    p_gantt.add_argument("--seed", type=int, default=2013)
+    p_gantt.add_argument("--width", type=int, default=100)
+    p_gantt.add_argument("--max-machines", type=int, default=None)
+
+    p_report = sub.add_parser(
+        "report", help="full experiment report for one data set"
+    )
+    p_report.add_argument("--dataset", choices=["1", "2", "3"], default="1")
+    p_report.add_argument("--scale", type=float, default=None)
+    p_report.add_argument("--population", type=int, default=60)
+    p_report.add_argument("--workers", type=int, default=0,
+                          help="process-pool size (0 = sequential)")
+    p_report.add_argument("--seed", type=int, default=2013)
+
+    p_all = sub.add_parser(
+        "reproduce-all",
+        help="run every table and figure, writing artifacts to a directory",
+    )
+    p_all.add_argument("--output", default="reproduction")
+    p_all.add_argument("--scale", type=float, default=None,
+                       help="generation scale vs paper (1.0 = paper scale)")
+    p_all.add_argument("--seed", type=int, default=2013)
+    p_all.add_argument("--population", type=int, default=100)
+
+    p_rep = sub.add_parser(
+        "repetitions", help="multi-repetition NSGA-II statistics"
+    )
+    p_rep.add_argument("--dataset", choices=["1", "2", "3"], default="1")
+    p_rep.add_argument("--repetitions", type=int, default=5)
+    p_rep.add_argument("--generations", type=int, default=50)
+    p_rep.add_argument("--population", type=int, default=50)
+    p_rep.add_argument(
+        "--population-label",
+        default="random",
+        choices=["random", *sorted(SEEDING_HEURISTICS)],
+    )
+    p_rep.add_argument("--seed", type=int, default=2013)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "tables": _cmd_tables,
+        "figure": _cmd_figure,
+        "seeds": _cmd_seeds,
+        "datagen": _cmd_datagen,
+        "system": _cmd_system,
+        "gantt": _cmd_gantt,
+        "repetitions": _cmd_repetitions,
+        "reproduce-all": _cmd_reproduce_all,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""All-time external Pareto archive.
+
+NSGA-II's elitism keeps good solutions *probabilistically*; an external
+archive keeps the union of every nondominated point ever seen, which is
+what the convergence analyses report against ("has the population
+reached the best front any run has found?").  The archive stores
+objective points and an opaque payload (e.g. ``(assignment, order)``
+tuples) per point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dominance import nondominated_mask
+from repro.core.objectives import BiObjectiveSpace, ENERGY_UTILITY
+from repro.errors import OptimizationError
+from repro.types import FloatArray
+
+__all__ = ["ParetoArchive"]
+
+
+class ParetoArchive:
+    """Maintains the nondominated set over every update.
+
+    Duplicate objective points are collapsed to the first payload seen
+    (they carry no additional front information).
+    """
+
+    def __init__(self, space: BiObjectiveSpace = ENERGY_UTILITY) -> None:
+        self.space = space
+        self._points = np.empty((0, 2), dtype=np.float64)
+        self._payloads: list[Any] = []
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+    @property
+    def points(self) -> FloatArray:
+        """``(K, 2)`` archived objective points (copy)."""
+        return self._points.copy()
+
+    @property
+    def payloads(self) -> list[Any]:
+        """Payloads aligned with :attr:`points`."""
+        return list(self._payloads)
+
+    def update(
+        self,
+        points: FloatArray,
+        payloads: Optional[Sequence[Any]] = None,
+    ) -> int:
+        """Merge *points* into the archive; returns the new archive size.
+
+        Payloads default to ``None`` per point.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise OptimizationError(f"points must have shape (N, 2); got {pts.shape}")
+        if payloads is None:
+            payloads = [None] * pts.shape[0]
+        if len(payloads) != pts.shape[0]:
+            raise OptimizationError(
+                f"{len(payloads)} payloads for {pts.shape[0]} points"
+            )
+        merged = np.vstack([self._points, pts])
+        merged_payloads = self._payloads + list(payloads)
+        mask = nondominated_mask(merged, self.space)
+        keep = np.flatnonzero(mask)
+        # Collapse duplicate surviving points, first occurrence wins.
+        seen: dict[tuple[float, float], int] = {}
+        unique_rows: list[int] = []
+        for idx in keep:
+            key = (float(merged[idx, 0]), float(merged[idx, 1]))
+            if key not in seen:
+                seen[key] = idx
+                unique_rows.append(idx)
+        self._points = merged[unique_rows]
+        self._payloads = [merged_payloads[i] for i in unique_rows]
+        return len(self)
+
+    def front(self) -> FloatArray:
+        """Archive points sorted by the first axis (ascending)."""
+        order = np.lexsort((self._points[:, 1], self._points[:, 0]))
+        return self._points[order]
+
+    def dominates_point(self, point: Sequence[float]) -> bool:
+        """Whether any archived point dominates *point*."""
+        if len(self) == 0:
+            return False
+        p = np.asarray(point, dtype=np.float64)
+        at_least = self.space.better_or_equal(self._points, p[None, :])
+        strictly = self.space.strictly_better(self._points, p[None, :])
+        return bool(np.any(at_least.all(axis=1) & strictly.any(axis=1)))

@@ -1,0 +1,110 @@
+"""Gene/chromosome encoding (paper Section IV-D).
+
+"Genes represent the basic data structure of the genetic algorithm.
+For our problem, a gene represents a task. Each gene contains: the
+machine the gene will operate on, the arrival time of the task, and
+the global scheduling order of the task."
+
+The engine itself works on packed arrays (one ``(N, T)`` matrix per
+gene field — struct-of-arrays, per the HPC guides); these classes are
+the API-level view used by examples, seed construction, and tests, and
+convert losslessly to/from :class:`~repro.sim.schedule.ResourceAllocation`.
+Arrival times are a property of the *trace*, not of the individual
+chromosome (every chromosome of a run shares them), so they are carried
+by reference here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.sim.schedule import ResourceAllocation
+from repro.types import FloatArray, IntArray
+from repro.workload.trace import Trace
+
+__all__ = ["Gene", "Chromosome"]
+
+
+@dataclass(frozen=True, slots=True)
+class Gene:
+    """One task's allele: machine, arrival time, global scheduling order."""
+
+    task: int
+    machine: int
+    arrival_time: float
+    scheduling_order: int
+
+
+@dataclass(frozen=True)
+class Chromosome:
+    """A complete resource allocation in GA clothing.
+
+    Attributes
+    ----------
+    machine_assignment, scheduling_order:
+        ``(T,)`` arrays; gene *i* corresponds to the *i*-th task of the
+        trace ordered by arrival (the paper's positional convention).
+    trace:
+        The shared workload trace (supplies arrival times).
+    """
+
+    machine_assignment: IntArray
+    scheduling_order: IntArray
+    trace: Trace
+
+    def __post_init__(self) -> None:
+        assignment = np.asarray(self.machine_assignment, dtype=np.int64)
+        order = np.asarray(self.scheduling_order, dtype=np.int64)
+        if assignment.shape != (self.trace.num_tasks,):
+            raise OptimizationError(
+                f"chromosome assignment shape {assignment.shape} does not "
+                f"match trace size {self.trace.num_tasks}"
+            )
+        if order.shape != assignment.shape:
+            raise OptimizationError("order and assignment shapes differ")
+        object.__setattr__(self, "machine_assignment", assignment)
+        object.__setattr__(self, "scheduling_order", order)
+
+    @property
+    def num_genes(self) -> int:
+        """Number of genes (== tasks in the trace)."""
+        return self.trace.num_tasks
+
+    def gene(self, i: int) -> Gene:
+        """The *i*-th gene."""
+        if not (0 <= i < self.num_genes):
+            raise OptimizationError(
+                f"gene index {i} out of range [0, {self.num_genes})"
+            )
+        return Gene(
+            task=i,
+            machine=int(self.machine_assignment[i]),
+            arrival_time=float(self.trace.arrival_times[i]),
+            scheduling_order=int(self.scheduling_order[i]),
+        )
+
+    def __iter__(self) -> Iterator[Gene]:
+        for i in range(self.num_genes):
+            yield self.gene(i)
+
+    def to_allocation(self) -> ResourceAllocation:
+        """The phenotype consumed by the simulator."""
+        return ResourceAllocation(
+            machine_assignment=self.machine_assignment,
+            scheduling_order=self.scheduling_order,
+        )
+
+    @classmethod
+    def from_allocation(
+        cls, allocation: ResourceAllocation, trace: Trace
+    ) -> "Chromosome":
+        """Wrap an allocation produced by a heuristic."""
+        return cls(
+            machine_assignment=allocation.machine_assignment,
+            scheduling_order=allocation.scheduling_order,
+            trace=trace,
+        )

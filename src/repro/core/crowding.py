@@ -1,0 +1,67 @@
+"""Crowding distance (Deb et al. 2002; paper Algorithm 1, step 10).
+
+"Crowding distance is a metric that penalizes chromosomes that are
+densely packed together, and rewards chromosomes that are in remote
+sections of the solution space" — used to truncate the last front that
+fits into the next parent population, producing a more evenly spread
+Pareto front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.types import FloatArray
+
+__all__ = ["crowding_distance", "crowding_truncate"]
+
+
+def crowding_distance(points: FloatArray) -> FloatArray:
+    """Crowding distance of each point within one front.
+
+    Boundary points on each objective get infinite distance; interior
+    points get the sum over objectives of the normalized gap between
+    their neighbours in that objective's sorted order.  Senses do not
+    matter (distances are symmetric under axis negation), so raw
+    objective values can be passed directly.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise OptimizationError(f"points must be 2-D; got shape {pts.shape}")
+    n, m = pts.shape
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    if n <= 2:
+        return np.full(n, np.inf)
+    distance = np.zeros(n, dtype=np.float64)
+    for k in range(m):  # loop over the 2 objectives only
+        order = np.argsort(pts[:, k], kind="stable")
+        vals = pts[order, k]
+        span = vals[-1] - vals[0]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span <= 0:
+            continue  # all equal on this axis: contributes nothing
+        gaps = (vals[2:] - vals[:-2]) / span
+        distance[order[1:-1]] += gaps
+    return distance
+
+
+def crowding_truncate(points: FloatArray, keep: int) -> np.ndarray:
+    """Indices of the *keep* most-spread points of one front.
+
+    Used in Algorithm 1 step 10: "for solutions from the highest rank
+    number used, take a subset based on crowding distance".  Ties are
+    broken by index for determinism.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    if keep < 0:
+        raise OptimizationError(f"keep must be >= 0, got {keep}")
+    if keep >= n:
+        return np.arange(n)
+    dist = crowding_distance(pts)
+    # Descending distance, ties by ascending index (stable sort of -dist).
+    order = np.argsort(-dist, kind="stable")
+    return np.sort(order[:keep])

@@ -1,0 +1,116 @@
+"""Solution dominance (paper Section IV-C, Figure 2).
+
+"For one solution to dominate another, it must be better than the other
+solution in at least one objective, and better than or equal in the
+other objective."  All functions default to the paper's
+energy-minimize/utility-maximize space but accept any
+:class:`~repro.core.objectives.BiObjectiveSpace`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.objectives import BiObjectiveSpace, ENERGY_UTILITY
+from repro.errors import OptimizationError
+from repro.types import BoolArray, FloatArray
+
+__all__ = ["dominates", "dominance_matrix", "nondominated_mask", "pareto_filter"]
+
+
+def dominates(
+    a: Sequence[float],
+    b: Sequence[float],
+    space: BiObjectiveSpace = ENERGY_UTILITY,
+) -> bool:
+    """Whether solution *a* dominates solution *b*.
+
+    With the default space, ``a = (energy_a, utility_a)`` dominates
+    ``b`` iff ``energy_a <= energy_b`` and ``utility_a >= utility_b``
+    with at least one inequality strict (Figure 2's A-dominates-B).
+    """
+    a_arr = np.asarray(a, dtype=np.float64)
+    b_arr = np.asarray(b, dtype=np.float64)
+    if a_arr.shape != (2,) or b_arr.shape != (2,):
+        raise OptimizationError(
+            f"dominates expects two points of shape (2,); got {a_arr.shape} "
+            f"and {b_arr.shape}"
+        )
+    at_least = space.better_or_equal(a_arr, b_arr)
+    strictly = space.strictly_better(a_arr, b_arr)
+    return bool(at_least.all() and strictly.any())
+
+
+def dominance_matrix(
+    points: FloatArray, space: BiObjectiveSpace = ENERGY_UTILITY
+) -> BoolArray:
+    """``D[i, j] = True`` iff point *i* dominates point *j* (O(N²) memory).
+
+    Vectorized with broadcasting; intended for population-size inputs
+    (the NSGA-II meta-population), not for whole archives.
+    """
+    pts = space.to_minimization(points)
+    n = pts.shape[0]
+    le = (pts[:, None, :] <= pts[None, :, :]).all(axis=2)
+    lt = (pts[:, None, :] < pts[None, :, :]).any(axis=2)
+    dom = le & lt
+    np.fill_diagonal(dom, False)
+    return dom
+
+
+def nondominated_mask(
+    points: FloatArray, space: BiObjectiveSpace = ENERGY_UTILITY
+) -> BoolArray:
+    """Boolean mask of points not dominated by any other point.
+
+    Uses an O(N log N) sweep specialized to two objectives: sort by the
+    first minimization axis (ties: second axis), then a prefix-minimum
+    scan of the second axis identifies dominated points.  Duplicate
+    points are all retained (none dominates its copy).
+    """
+    pts = space.to_minimization(points)
+    if pts.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    n = pts.shape[0]
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    sorted_pts = pts[order]
+    mask_sorted = np.ones(n, dtype=bool)
+
+    # A point is dominated iff some point earlier in the sort (<= on
+    # axis 0) has a strictly smaller axis-1 value, or has an equal
+    # axis-1 value with a strictly smaller axis-0 value.
+    best1 = np.minimum.accumulate(sorted_pts[:, 1])
+    prev_best1 = np.concatenate(([np.inf], best1[:-1]))
+    strictly_worse1 = sorted_pts[:, 1] > prev_best1
+    # Equal axis-1 to the running best: dominated only if some earlier
+    # point achieving that best had a strictly smaller axis-0 value.
+    eq_best = sorted_pts[:, 1] == prev_best1
+    # First index achieving each running-best value of axis 1.
+    first_idx_of_best = np.zeros(n, dtype=np.int64)
+    cur_first = 0
+    for i in range(1, n):  # small scalar loop only over N (population size)
+        if best1[i] < best1[i - 1]:
+            cur_first = i
+        first_idx_of_best[i] = cur_first
+    axis0_of_best = sorted_pts[first_idx_of_best, 0]
+    dominated_eq = eq_best & (axis0_of_best < sorted_pts[:, 0])
+    mask_sorted &= ~(strictly_worse1 | dominated_eq)
+
+    mask = np.empty(n, dtype=bool)
+    mask[order] = mask_sorted
+    return mask
+
+
+def pareto_filter(
+    points: FloatArray,
+    space: BiObjectiveSpace = ENERGY_UTILITY,
+    return_indices: bool = False,
+):
+    """The nondominated subset of *points* (optionally with indices)."""
+    pts = np.asarray(points, dtype=np.float64)
+    mask = nondominated_mask(pts, space)
+    if return_indices:
+        return pts[mask], np.flatnonzero(mask)
+    return pts[mask]

@@ -1,0 +1,365 @@
+"""The adapted NSGA-II engine (paper Algorithm 1).
+
+Generational loop:
+
+1. create the initial population of N chromosomes (random, optionally
+   carrying heuristic seeds);
+2. each generation: produce an offspring population of size N via N/2
+   range-swap crossovers, mutate each offspring with a configured
+   probability, evaluate the offspring in one vectorized batch;
+3. combine parents and offspring into a 2N meta-population (elitism);
+4. fast nondominated sort; fill the next parent population front by
+   front; truncate the last partially fitting front by crowding
+   distance;
+5. repeat until the termination criterion (generation count) is met.
+
+The run records :class:`GenerationSnapshot`\\ s of the rank-1 front at
+requested checkpoint generations — the paper's "Pareto fronts through
+various number of iterations" (Figures 3, 4, 6) fall straight out of
+one run per seeded population.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.crowding import crowding_truncate
+from repro.core.dominance import nondominated_mask
+from repro.core.operators import (
+    FeasibleMachines,
+    OperatorConfig,
+    VariationOperators,
+)
+from repro.core.population import Population
+from repro.core.seeding import seeded_initial_population
+from repro.core.sorting import fast_nondominated_sort, fronts_from_ranks
+from repro.errors import OptimizationError
+from repro.rng import SeedLike, ensure_rng
+from repro.sim.evaluator import ScheduleEvaluator
+from repro.sim.schedule import ResourceAllocation
+from repro.types import FloatArray, IntArray
+
+__all__ = ["NSGA2Config", "GenerationSnapshot", "RunHistory", "NSGA2"]
+
+
+@dataclass(frozen=True, slots=True)
+class NSGA2Config:
+    """Engine parameters.
+
+    Attributes
+    ----------
+    population_size:
+        N — parent population size (paper example: 100).
+    operators:
+        Crossover/mutation configuration.
+    store_front_solutions:
+        Keep the chromosomes (not just objective points) of each
+        checkpoint front.  Off by default to bound memory for long
+        runs; the final front's chromosomes are always kept.
+    """
+
+    population_size: int = 100
+    operators: OperatorConfig = field(default_factory=OperatorConfig)
+    store_front_solutions: bool = False
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise OptimizationError(
+                f"population_size must be >= 2, got {self.population_size}"
+            )
+
+
+@dataclass(frozen=True)
+class GenerationSnapshot:
+    """The rank-1 (Pareto) front of the population at one checkpoint.
+
+    Attributes
+    ----------
+    generation:
+        Generation count at the snapshot (0 = initial population).
+    front_points:
+        ``(F, 2)`` (energy, utility) points, sorted by energy.
+    front_assignments, front_orders:
+        ``(F, T)`` chromosome arrays when stored, else ``None``.
+    evaluations:
+        Cumulative chromosome evaluations at the snapshot.
+    """
+
+    generation: int
+    front_points: FloatArray
+    front_assignments: Optional[IntArray]
+    front_orders: Optional[IntArray]
+    evaluations: int
+
+    @property
+    def front_size(self) -> int:
+        """Number of points on the snapshot front."""
+        return int(self.front_points.shape[0])
+
+    def best_utility_point(self) -> tuple[float, float]:
+        """The (energy, utility) point with maximum utility."""
+        i = int(np.argmax(self.front_points[:, 1]))
+        return tuple(self.front_points[i])  # type: ignore[return-value]
+
+    def best_energy_point(self) -> tuple[float, float]:
+        """The (energy, utility) point with minimum energy."""
+        i = int(np.argmin(self.front_points[:, 0]))
+        return tuple(self.front_points[i])  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class RunHistory:
+    """Everything one NSGA-II run produced."""
+
+    label: str
+    snapshots: tuple[GenerationSnapshot, ...]
+    total_generations: int
+    total_evaluations: int
+    wall_seconds: float
+
+    def snapshot_at(self, generation: int) -> GenerationSnapshot:
+        """The snapshot recorded at exactly *generation*."""
+        for snap in self.snapshots:
+            if snap.generation == generation:
+                return snap
+        raise OptimizationError(
+            f"no snapshot at generation {generation}; available: "
+            f"{[s.generation for s in self.snapshots]}"
+        )
+
+    @property
+    def final(self) -> GenerationSnapshot:
+        """The last snapshot (the run's final Pareto front)."""
+        return self.snapshots[-1]
+
+
+class NSGA2:
+    """One NSGA-II optimization bound to an evaluator.
+
+    Parameters
+    ----------
+    evaluator:
+        The (system, trace) schedule evaluator.
+    config:
+        Engine parameters.
+    seeds:
+        Heuristic seed allocations injected into the initial population.
+    rng:
+        Seed or generator driving all stochastic choices of this run.
+    label:
+        Name used in reports (e.g. ``"min-energy seed"``).
+    """
+
+    def __init__(
+        self,
+        evaluator: ScheduleEvaluator,
+        config: NSGA2Config = NSGA2Config(),
+        seeds: Sequence[ResourceAllocation] = (),
+        rng: SeedLike = None,
+        label: str = "nsga2",
+    ) -> None:
+        self.evaluator = evaluator
+        self.config = config
+        self.label = label
+        self._rng = ensure_rng(rng)
+        self.feasible = FeasibleMachines.from_system_trace(
+            evaluator.system, evaluator.trace
+        )
+        self.operators = VariationOperators(self.feasible, config.operators)
+        self.population = seeded_initial_population(
+            self.feasible, config.population_size, list(seeds), self._rng
+        )
+        self.population.evaluate(evaluator)
+        self._evaluations = self.population.size
+        self.generation = 0
+
+    # -- one generation -------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance one generation (Algorithm 1 steps 3-11)."""
+        parents = self.population
+        parent_pairs = None
+        if self.config.operators.parent_selection == "tournament":
+            from repro.core.crowding import crowding_distance
+            from repro.core.operators import binary_tournament_pairs
+
+            objectives = parents.objectives
+            ranks = fast_nondominated_sort(objectives)
+            crowding = np.zeros(parents.size)
+            for front in fronts_from_ranks(ranks):
+                crowding[front] = np.nan_to_num(
+                    crowding_distance(objectives[front]), posinf=np.inf
+                )
+            parent_pairs = binary_tournament_pairs(
+                ranks, crowding, parents.size // 2, self._rng
+            )
+        child_assign, child_order = self.operators.crossover_population(
+            parents.assignments, parents.orders, self._rng,
+            parent_pairs=parent_pairs,
+        )
+        child_assign, child_order = self.operators.mutate_population(
+            child_assign, child_order, self._rng
+        )
+        offspring = Population(assignments=child_assign, orders=child_order)
+        offspring.evaluate(self.evaluator)
+        self._evaluations += offspring.size
+
+        meta = parents.concatenate(offspring)
+        self.population = self._environmental_selection(meta)
+        self.generation += 1
+
+    def _environmental_selection(self, meta: Population) -> Population:
+        """Pick the best N of the 2N meta-population (steps 7-10)."""
+        N = self.config.population_size
+        ranks = fast_nondominated_sort(meta.objectives)
+        selected: list[np.ndarray] = []
+        count = 0
+        for front in fronts_from_ranks(ranks):
+            if count + front.size <= N:
+                selected.append(front)
+                count += front.size
+                if count == N:
+                    break
+            else:
+                keep = N - count
+                subset = crowding_truncate(meta.objectives[front], keep)
+                selected.append(front[subset])
+                count = N
+                break
+        indices = np.concatenate(selected)
+        return meta.select(indices)
+
+    # -- snapshots -------------------------------------------------------------
+
+    def current_front(self) -> tuple[FloatArray, np.ndarray]:
+        """Current rank-1 points (sorted by energy) and their row indices."""
+        objectives = self.population.objectives
+        mask = nondominated_mask(objectives)
+        rows = np.flatnonzero(mask)
+        pts = objectives[rows]
+        order = np.lexsort((pts[:, 1], pts[:, 0]))
+        return pts[order], rows[order]
+
+    def _snapshot(self, store_solutions: bool) -> GenerationSnapshot:
+        pts, rows = self.current_front()
+        assignments = orders = None
+        if store_solutions:
+            assignments = self.population.assignments[rows].copy()
+            orders = self.population.orders[rows].copy()
+        return GenerationSnapshot(
+            generation=self.generation,
+            front_points=pts,
+            front_assignments=assignments,
+            front_orders=orders,
+            evaluations=self._evaluations,
+        )
+
+    # -- full run ---------------------------------------------------------------
+
+    def run(
+        self,
+        generations: int,
+        checkpoints: Optional[Sequence[int]] = None,
+        progress: Optional[Callable[[int, "NSGA2"], None]] = None,
+    ) -> RunHistory:
+        """Run for *generations*, snapshotting at *checkpoints*.
+
+        Parameters
+        ----------
+        generations:
+            Total generations to run ("iterations" in the paper's
+            figures).
+        checkpoints:
+            Sorted generation counts to snapshot; the final generation
+            is always snapshotted (with solutions).  Defaults to just
+            the final generation.
+        progress:
+            Optional callback invoked after every generation.
+        """
+        if generations < 0:
+            raise OptimizationError(f"generations must be >= 0, got {generations}")
+        wanted = sorted(set(checkpoints or [])) if checkpoints else []
+        for c in wanted:
+            if c < 0 or c > generations:
+                raise OptimizationError(
+                    f"checkpoint {c} outside [0, {generations}]"
+                )
+        snapshots: list[GenerationSnapshot] = []
+        t0 = time.perf_counter()
+        if 0 in wanted and generations > 0:
+            snapshots.append(self._snapshot(self.config.store_front_solutions))
+        for _ in range(generations):
+            self.step()
+            if self.generation in wanted and self.generation != generations:
+                snapshots.append(
+                    self._snapshot(self.config.store_front_solutions)
+                )
+            if progress is not None:
+                progress(self.generation, self)
+        # Final snapshot always, always with solutions.
+        snapshots.append(self._snapshot(store_solutions=True))
+        wall = time.perf_counter() - t0
+        return RunHistory(
+            label=self.label,
+            snapshots=tuple(snapshots),
+            total_generations=self.generation,
+            total_evaluations=self._evaluations,
+            wall_seconds=wall,
+        )
+
+    def run_until(
+        self,
+        criterion,
+        snapshot_every: int = 0,
+        max_generations: int = 1_000_000,
+    ) -> RunHistory:
+        """Run until a :class:`~repro.core.termination.TerminationCriterion`
+        fires (Algorithm 1's "while termination criterion is not met").
+
+        Parameters
+        ----------
+        criterion:
+            The stopping rule; consulted after every generation with a
+            :class:`~repro.core.termination.TerminationContext`.
+        snapshot_every:
+            Record a front snapshot every this-many generations
+            (0 = final only).
+        max_generations:
+            Hard safety bound.
+        """
+        from repro.core.termination import TerminationContext
+
+        criterion.reset()
+        snapshots: list[GenerationSnapshot] = []
+        t0 = time.perf_counter()
+        start_generation = self.generation
+        while self.generation - start_generation < max_generations:
+            self.step()
+            completed = self.generation - start_generation
+            if snapshot_every and completed % snapshot_every == 0:
+                snapshots.append(
+                    self._snapshot(self.config.store_front_solutions)
+                )
+            pts, _ = self.current_front()
+            context = TerminationContext(
+                generation=completed,
+                evaluations=self._evaluations,
+                elapsed_seconds=time.perf_counter() - t0,
+                front_points=pts,
+            )
+            if criterion.should_stop(context):
+                break
+        if snapshots and snapshots[-1].generation == self.generation:
+            snapshots.pop()  # replace with a solutions-bearing snapshot
+        snapshots.append(self._snapshot(store_solutions=True))
+        return RunHistory(
+            label=self.label,
+            snapshots=tuple(snapshots),
+            total_generations=self.generation,
+            total_evaluations=self._evaluations,
+            wall_seconds=time.perf_counter() - t0,
+        )

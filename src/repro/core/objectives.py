@@ -1,0 +1,98 @@
+"""Objective-space conventions for the bi-objective problem.
+
+The paper's two objectives pull in opposite directions: **minimize**
+total energy consumed and **maximize** total utility earned.  All core
+algorithms (dominance, sorting, crowding, indicators) operate on raw
+``(energy, utility)`` pairs through :class:`BiObjectiveSpace`, which
+owns the sense of each axis — so no ``-utility`` sign-flipping leaks
+into calling code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.types import FloatArray
+
+__all__ = ["ObjectiveSense", "BiObjectiveSpace", "ENERGY_UTILITY"]
+
+
+class ObjectiveSense(enum.Enum):
+    """Direction of improvement for one objective axis."""
+
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+    @property
+    def sign(self) -> float:
+        """Multiplier mapping the axis onto a minimization axis."""
+        return 1.0 if self is ObjectiveSense.MINIMIZE else -1.0
+
+
+@dataclass(frozen=True, slots=True)
+class BiObjectiveSpace:
+    """A two-axis objective space with per-axis senses and names.
+
+    Attributes
+    ----------
+    senses:
+        Improvement direction of each axis.
+    names:
+        Axis labels for reports.
+    """
+
+    senses: tuple[ObjectiveSense, ObjectiveSense]
+    names: tuple[str, str] = ("f0", "f1")
+
+    def to_minimization(self, points: FloatArray) -> FloatArray:
+        """Map raw points onto all-minimization axes (for generic math).
+
+        Parameters
+        ----------
+        points:
+            ``(N, 2)`` raw objective values.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise OptimizationError(
+                f"points must have shape (N, 2); got {pts.shape}"
+            )
+        signs = np.array([s.sign for s in self.senses])
+        return pts * signs
+
+    def better_or_equal(self, a: FloatArray, b: FloatArray) -> np.ndarray:
+        """Per-axis 'a at least as good as b' (broadcasting ok)."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        signs = np.array([s.sign for s in self.senses])
+        return a * signs <= b * signs
+
+    def strictly_better(self, a: FloatArray, b: FloatArray) -> np.ndarray:
+        """Per-axis 'a strictly better than b' (broadcasting ok)."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        signs = np.array([s.sign for s in self.senses])
+        return a * signs < b * signs
+
+    def ideal_point(self, points: FloatArray) -> FloatArray:
+        """Componentwise best over *points* (in raw units)."""
+        mins = self.to_minimization(points).min(axis=0)
+        signs = np.array([s.sign for s in self.senses])
+        return mins * signs
+
+    def nadir_point(self, points: FloatArray) -> FloatArray:
+        """Componentwise worst over *points* (in raw units)."""
+        maxs = self.to_minimization(points).max(axis=0)
+        signs = np.array([s.sign for s in self.senses])
+        return maxs * signs
+
+
+#: The paper's objective space: (energy minimized, utility maximized).
+ENERGY_UTILITY = BiObjectiveSpace(
+    senses=(ObjectiveSense.MINIMIZE, ObjectiveSense.MAXIMIZE),
+    names=("energy (J)", "utility"),
+)

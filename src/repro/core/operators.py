@@ -1,0 +1,279 @@
+"""Crossover and mutation operators (paper Section IV-D).
+
+* **Crossover** — "select two chromosomes uniformly at random ... the
+  indices of two genes are selected uniformly at random ... swap all
+  the genes between these two indices, from one chromosome to the
+  other.  In this operation, the machines the tasks execute on, and
+  the global scheduling orders of the tasks are all swapped."
+* **Mutation** — "randomly select a chromosome ... select a random
+  gene within that chromosome ... mutate the gene by selecting a
+  random machine that that task can execute on.  Additionally, we
+  select another random gene within the chromosome and then swap the
+  global scheduling order between the two genes."
+
+Because crossover swaps *order values* between chromosomes, order
+vectors may stop being permutations; orders are therefore interpreted
+as priority keys with stable tie-breaks (DESIGN.md).  Setting
+``repair_order=True`` renormalizes every offspring's keys back to a
+permutation (rank transform), an ablation mode.
+
+Feasibility is preserved by construction: crossover swaps machines
+between two chromosomes *at the same gene positions* (same task, so a
+feasible machine stays feasible), and mutation redraws only among the
+task's feasible machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.model.system import SystemModel
+from repro.types import IntArray
+from repro.workload.trace import Trace
+
+__all__ = ["FeasibleMachines", "OperatorConfig", "VariationOperators", "repair_orders"]
+
+
+@dataclass(frozen=True)
+class FeasibleMachines:
+    """Per-task feasible machine sets, padded for vectorized sampling.
+
+    Attributes
+    ----------
+    padded:
+        ``(T, K)`` int array; row *i* holds task *i*'s feasible machine
+        indices in columns ``[0, counts[i])`` (padding repeats the
+        first entry, never sampled).
+    counts:
+        ``(T,)`` number of feasible machines per task.
+    """
+
+    padded: IntArray
+    counts: IntArray
+
+    @classmethod
+    def from_system_trace(cls, system: SystemModel, trace: Trace) -> "FeasibleMachines":
+        """Build the per-task table from the system's feasibility mask."""
+        trace.validate_against(system.num_task_types)
+        mask = system.feasible_task_machine[trace.task_types]  # (T, M)
+        counts = mask.sum(axis=1).astype(np.int64)
+        if np.any(counts == 0):
+            bad = int(np.flatnonzero(counts == 0)[0])
+            raise OptimizationError(
+                f"task {bad} has no feasible machine in the system"
+            )
+        T, M = mask.shape
+        K = int(counts.max())
+        padded = np.zeros((T, K), dtype=np.int64)
+        # Row-wise compaction of True columns: argsort pushes True (1)
+        # first when sorting by ~mask; simpler: use nonzero and split.
+        rows, cols = np.nonzero(mask)
+        # positions within each row: 0..count-1 (rows are sorted).
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        within = np.arange(rows.shape[0]) - starts[rows]
+        padded[rows, within] = cols
+        # Pad with each row's first feasible machine.
+        pad_positions = np.arange(K)[None, :] >= counts[:, None]
+        padded = np.where(pad_positions, padded[:, [0]], padded)
+        padded.setflags(write=False)
+        counts.setflags(write=False)
+        return cls(padded=padded, counts=counts)
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks covered."""
+        return int(self.counts.shape[0])
+
+    def sample(self, tasks: IntArray, rng: np.random.Generator) -> IntArray:
+        """One uniformly random feasible machine for each task in *tasks*."""
+        tasks = np.asarray(tasks, dtype=np.int64)
+        picks = rng.integers(0, self.counts[tasks])
+        return self.padded[tasks, picks]
+
+    def sample_matrix(self, n_rows: int, rng: np.random.Generator) -> IntArray:
+        """``(n_rows, T)`` random feasible assignments (population init)."""
+        T = self.num_tasks
+        picks = rng.integers(0, self.counts[None, :], size=(n_rows, T))
+        return self.padded[np.arange(T)[None, :], picks]
+
+
+def binary_tournament_pairs(
+    ranks: IntArray,
+    crowding: np.ndarray,
+    n_ops: int,
+    rng: np.random.Generator,
+) -> IntArray:
+    """Crowded binary tournament parent pairs (Deb et al. 2002).
+
+    For each parent slot two candidates are drawn uniformly; the one
+    with the better (lower) front rank wins, ties broken by larger
+    crowding distance, then by index for determinism.  Returns
+    ``(n_ops, 2)`` parent indices.
+    """
+    ranks = np.asarray(ranks, dtype=np.int64)
+    crowding = np.asarray(crowding, dtype=np.float64)
+    if ranks.shape != crowding.shape:
+        raise OptimizationError("ranks and crowding shapes differ")
+    n = ranks.shape[0]
+    candidates = rng.integers(0, n, size=(n_ops, 2, 2))
+    a = candidates[..., 0]
+    b = candidates[..., 1]
+    a_wins = (ranks[a] < ranks[b]) | (
+        (ranks[a] == ranks[b]) & (crowding[a] > crowding[b])
+    ) | ((ranks[a] == ranks[b]) & (crowding[a] == crowding[b]) & (a <= b))
+    return np.where(a_wins, a, b)
+
+
+def repair_orders(orders: IntArray) -> IntArray:
+    """Rank-transform each row back to a permutation of ``0..T-1`` (stable)."""
+    orders = np.asarray(orders, dtype=np.int64)
+    perm = np.argsort(orders, axis=1, kind="stable")
+    ranks = np.empty_like(orders)
+    n, T = orders.shape
+    np.put_along_axis(ranks, perm, np.broadcast_to(np.arange(T), (n, T)), axis=1)
+    return ranks
+
+
+@dataclass(frozen=True, slots=True)
+class OperatorConfig:
+    """Variation-operator parameters.
+
+    Attributes
+    ----------
+    mutation_probability:
+        Probability that each offspring chromosome is mutated (paper:
+        "the mutation operation is then performed with a probability
+        (selected by experimentation) on each offspring").
+    mutations_per_offspring:
+        Number of gene mutations applied when an offspring is selected
+        for mutation (paper: 1).
+    repair_order:
+        Renormalize offspring order keys to permutations (ablation).
+    parent_selection:
+        How crossover parents are chosen: ``"uniform"`` — the paper's
+        "select two chromosomes uniformly at random"; ``"tournament"``
+        — Deb's binary crowded tournament (better rank wins; equal
+        ranks: larger crowding distance wins).  Ablation A7 compares
+        them.
+    """
+
+    mutation_probability: float = 0.25
+    mutations_per_offspring: int = 1
+    repair_order: bool = False
+    parent_selection: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.mutation_probability <= 1.0):
+            raise OptimizationError(
+                f"mutation_probability must be in [0, 1]; got "
+                f"{self.mutation_probability}"
+            )
+        if self.mutations_per_offspring < 1:
+            raise OptimizationError(
+                "mutations_per_offspring must be >= 1; got "
+                f"{self.mutations_per_offspring}"
+            )
+        if self.parent_selection not in ("uniform", "tournament"):
+            raise OptimizationError(
+                "parent_selection must be 'uniform' or 'tournament'; got "
+                f"{self.parent_selection!r}"
+            )
+
+
+class VariationOperators:
+    """Applies the paper's crossover and mutation to packed populations."""
+
+    def __init__(self, feasible: FeasibleMachines, config: OperatorConfig) -> None:
+        self.feasible = feasible
+        self.config = config
+
+    # -- crossover ---------------------------------------------------------
+
+    def crossover_population(
+        self,
+        assignments: IntArray,
+        orders: IntArray,
+        rng: np.random.Generator,
+        parent_pairs: IntArray | None = None,
+    ) -> tuple[IntArray, IntArray]:
+        """Produce an offspring population of the parents' size.
+
+        ``N/2`` crossover operations, each on two parents, each
+        producing two children (Algorithm 1, steps 3-4).  Parents
+        default to uniform random draws (the paper's selection); the
+        engine passes *parent_pairs* of shape ``(N//2, 2)`` when
+        tournament selection is configured.
+        """
+        N, T = assignments.shape
+        if N < 2:
+            return assignments.copy(), orders.copy()
+        n_ops = N // 2
+        child_assign = np.empty((2 * n_ops, T), dtype=np.int64)
+        child_order = np.empty((2 * n_ops, T), dtype=np.int64)
+        if parent_pairs is None:
+            parents = rng.integers(0, N, size=(n_ops, 2))
+        else:
+            parents = np.asarray(parent_pairs, dtype=np.int64)
+            if parents.shape != (n_ops, 2):
+                raise OptimizationError(
+                    f"parent_pairs must have shape ({n_ops}, 2); got "
+                    f"{parents.shape}"
+                )
+            if parents.min() < 0 or parents.max() >= N:
+                raise OptimizationError("parent_pairs indices out of range")
+        # Two gene indices per operation; the swapped range is [lo, hi).
+        cuts = rng.integers(0, T + 1, size=(n_ops, 2))
+        lo = np.minimum(cuts[:, 0], cuts[:, 1])
+        hi = np.maximum(cuts[:, 0], cuts[:, 1])
+        for k in range(n_ops):  # loop over pairs; each body is O(T) slicing
+            pa, pb = parents[k]
+            a0, a1 = 2 * k, 2 * k + 1
+            child_assign[a0] = assignments[pa]
+            child_assign[a1] = assignments[pb]
+            child_order[a0] = orders[pa]
+            child_order[a1] = orders[pb]
+            s = slice(lo[k], hi[k])
+            child_assign[a0, s] = assignments[pb, s]
+            child_assign[a1, s] = assignments[pa, s]
+            child_order[a0, s] = orders[pb, s]
+            child_order[a1, s] = orders[pa, s]
+        if 2 * n_ops < N:
+            # Odd population: clone one extra random parent unchanged.
+            extra = int(rng.integers(0, N))
+            child_assign = np.vstack([child_assign, assignments[extra][None, :]])
+            child_order = np.vstack([child_order, orders[extra][None, :]])
+        if self.config.repair_order:
+            child_order = repair_orders(child_order)
+        return child_assign, child_order
+
+    # -- mutation ----------------------------------------------------------
+
+    def mutate_population(
+        self,
+        assignments: IntArray,
+        orders: IntArray,
+        rng: np.random.Generator,
+    ) -> tuple[IntArray, IntArray]:
+        """Mutate each offspring with the configured probability, in place.
+
+        Returns the (possibly same) arrays for chaining.
+        """
+        N, T = assignments.shape
+        selected = np.flatnonzero(rng.random(N) < self.config.mutation_probability)
+        if selected.size == 0:
+            return assignments, orders
+        for _ in range(self.config.mutations_per_offspring):
+            genes = rng.integers(0, T, size=selected.size)
+            new_machines = self.feasible.sample(genes, rng)
+            assignments[selected, genes] = new_machines
+            partners = rng.integers(0, T, size=selected.size)
+            g_vals = orders[selected, genes].copy()
+            p_vals = orders[selected, partners].copy()
+            orders[selected, genes] = p_vals
+            orders[selected, partners] = g_vals
+        if self.config.repair_order:
+            orders[selected] = repair_orders(orders[selected])
+        return assignments, orders

@@ -1,0 +1,190 @@
+"""Termination criteria for the NSGA-II engine.
+
+The paper's Algorithm 1 loops "while termination criterion is not met"
+and its experiments terminate on generation count.  This module
+generalizes that into composable criteria:
+
+* :class:`MaxGenerations` — the paper's criterion.
+* :class:`MaxEvaluations` — budget in chromosome evaluations (the A2
+  ablation's constant-budget comparisons use this).
+* :class:`MaxWallClock` — wall-clock budget in seconds.
+* :class:`HypervolumeStagnation` — stop when the population front's
+  hypervolume has not improved by a relative epsilon for a window of
+  generations (a practical convergence detector for the "fronts start
+  converging" regime of Figures 3/4/6).
+* :class:`AnyOf` — first criterion wins.
+
+All criteria are consulted *after* each generation with a
+:class:`TerminationContext` snapshot, so they never interact with the
+engine's internals.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+from repro.analysis.indicators import hypervolume
+from repro.errors import OptimizationError
+from repro.types import FloatArray
+
+__all__ = [
+    "TerminationContext",
+    "TerminationCriterion",
+    "MaxGenerations",
+    "MaxEvaluations",
+    "MaxWallClock",
+    "HypervolumeStagnation",
+    "AnyOf",
+]
+
+
+@dataclass(frozen=True)
+class TerminationContext:
+    """Engine state offered to criteria after each generation.
+
+    Attributes
+    ----------
+    generation:
+        Generations completed so far.
+    evaluations:
+        Cumulative chromosome evaluations.
+    elapsed_seconds:
+        Wall-clock time since the run started.
+    front_points:
+        Current rank-1 front, ``(F, 2)`` (energy, utility).
+    """
+
+    generation: int
+    evaluations: int
+    elapsed_seconds: float
+    front_points: FloatArray
+
+
+class TerminationCriterion(abc.ABC):
+    """Decides whether an optimization run should stop."""
+
+    @abc.abstractmethod
+    def should_stop(self, context: TerminationContext) -> bool:
+        """``True`` once the run should terminate."""
+
+    def reset(self) -> None:
+        """Clear any internal state before a fresh run (default: none)."""
+
+
+@dataclass
+class MaxGenerations(TerminationCriterion):
+    """Stop after a fixed number of generations (the paper's criterion)."""
+
+    generations: int
+
+    def __post_init__(self) -> None:
+        if self.generations < 0:
+            raise OptimizationError(
+                f"generations must be >= 0, got {self.generations}"
+            )
+
+    def should_stop(self, context: TerminationContext) -> bool:
+        return context.generation >= self.generations
+
+
+@dataclass
+class MaxEvaluations(TerminationCriterion):
+    """Stop once the evaluation budget is exhausted."""
+
+    evaluations: int
+
+    def __post_init__(self) -> None:
+        if self.evaluations <= 0:
+            raise OptimizationError(
+                f"evaluations must be > 0, got {self.evaluations}"
+            )
+
+    def should_stop(self, context: TerminationContext) -> bool:
+        return context.evaluations >= self.evaluations
+
+
+@dataclass
+class MaxWallClock(TerminationCriterion):
+    """Stop after a wall-clock budget (seconds)."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise OptimizationError(f"seconds must be > 0, got {self.seconds}")
+
+    def should_stop(self, context: TerminationContext) -> bool:
+        return context.elapsed_seconds >= self.seconds
+
+
+@dataclass
+class HypervolumeStagnation(TerminationCriterion):
+    """Stop when front hypervolume stalls.
+
+    Attributes
+    ----------
+    window:
+        Number of consecutive non-improving generations tolerated.
+    rel_epsilon:
+        Minimum relative improvement that counts as progress.
+    reference:
+        Fixed hypervolume reference point ``(energy, utility)``.  It
+        must be worse than anything reachable — e.g. (upper energy
+        bound, 0).  A fixed reference keeps the series comparable
+        across generations.
+    min_generations:
+        Never stop before this many generations (lets the GA escape the
+        initial population's plateau).
+    """
+
+    window: int
+    reference: tuple[float, float]
+    rel_epsilon: float = 1e-4
+    min_generations: int = 10
+    _best: float = field(default=0.0, repr=False)
+    _stalled: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise OptimizationError(f"window must be >= 1, got {self.window}")
+        if self.rel_epsilon < 0:
+            raise OptimizationError(
+                f"rel_epsilon must be >= 0, got {self.rel_epsilon}"
+            )
+
+    def reset(self) -> None:
+        self._best = 0.0
+        self._stalled = 0
+
+    def should_stop(self, context: TerminationContext) -> bool:
+        hv = hypervolume(context.front_points, self.reference)
+        if hv > self._best * (1.0 + self.rel_epsilon) or self._best == 0.0:
+            self._best = max(hv, self._best)
+            self._stalled = 0
+        else:
+            self._stalled += 1
+        if context.generation < self.min_generations:
+            return False
+        return self._stalled >= self.window
+
+
+@dataclass
+class AnyOf(TerminationCriterion):
+    """Stop as soon as any child criterion fires."""
+
+    criteria: Sequence[TerminationCriterion]
+
+    def __post_init__(self) -> None:
+        if not self.criteria:
+            raise OptimizationError("AnyOf requires at least one criterion")
+
+    def reset(self) -> None:
+        for criterion in self.criteria:
+            criterion.reset()
+
+    def should_stop(self, context: TerminationContext) -> bool:
+        return any(c.should_stop(context) for c in self.criteria)

@@ -1,0 +1,103 @@
+"""Coefficient-of-variation-based (CVB) ETC generation.
+
+The classic synthetic-ETC method of Ali, Siegel, Maheswaran, Hensgen &
+Ali, *"Representing task and machine heterogeneities for heterogeneous
+computing systems"* (2000) — reference [15] of the paper.  It is not
+the paper's own generation method (that is the Gram-Charlier pipeline
+in :mod:`repro.data.synthetic`) but serves as a well-understood
+baseline: the A4 benchmark contrasts heterogeneity preservation of the
+two generators, and tests use CVB matrices as independent fixtures.
+
+Method (inconsistent-heterogeneity variant):
+
+1. draw a task vector ``q[i] ~ Gamma(α_task, β_task·)`` with
+   ``α_task = 1/V_task²`` and mean ``μ_task`` — one characteristic
+   magnitude per task;
+2. for each row, draw the machine axis
+   ``ETC[i, j] ~ Gamma(α_mach, q[i]/α_mach)`` with
+   ``α_mach = 1/V_mach²`` — mean ``q[i]``, machine CV ``V_mach``.
+
+``V_task`` / ``V_mach`` are the task and machine coefficients of
+variation that directly control the two heterogeneity dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataGenerationError
+from repro.rng import SeedLike, ensure_rng
+from repro.types import FloatArray
+
+__all__ = ["CVBParameters", "generate_cvb_etc"]
+
+
+@dataclass(frozen=True, slots=True)
+class CVBParameters:
+    """Parameters of the CVB generator.
+
+    Attributes
+    ----------
+    mean_task:
+        Mean task magnitude ``μ_task`` (e.g. mean execution time, s).
+    v_task:
+        Task coefficient of variation (> 0): spread *between* tasks.
+    v_machine:
+        Machine coefficient of variation (> 0): spread *across*
+        machines within one task row.
+    """
+
+    mean_task: float
+    v_task: float
+    v_machine: float
+
+    def __post_init__(self) -> None:
+        if self.mean_task <= 0:
+            raise DataGenerationError(f"mean_task must be > 0, got {self.mean_task}")
+        if self.v_task <= 0:
+            raise DataGenerationError(f"v_task must be > 0, got {self.v_task}")
+        if self.v_machine <= 0:
+            raise DataGenerationError(
+                f"v_machine must be > 0, got {self.v_machine}"
+            )
+
+    # Gamma shape/scale for the task-magnitude draw.
+    @property
+    def alpha_task(self) -> float:
+        """Gamma shape for the task axis: ``1/V_task²``."""
+        return 1.0 / (self.v_task**2)
+
+    @property
+    def beta_task(self) -> float:
+        """Gamma scale for the task axis: ``μ_task/α_task``."""
+        return self.mean_task / self.alpha_task
+
+    @property
+    def alpha_machine(self) -> float:
+        """Gamma shape for the machine axis: ``1/V_mach²``."""
+        return 1.0 / (self.v_machine**2)
+
+
+def generate_cvb_etc(
+    num_task_types: int,
+    num_machine_types: int,
+    params: CVBParameters,
+    seed: SeedLike = None,
+) -> FloatArray:
+    """Generate a ``(num_task_types, num_machine_types)`` CVB ETC matrix."""
+    if num_task_types <= 0 or num_machine_types <= 0:
+        raise DataGenerationError(
+            "matrix dimensions must be positive; got "
+            f"({num_task_types}, {num_machine_types})"
+        )
+    rng = ensure_rng(seed)
+    q = rng.gamma(shape=params.alpha_task, scale=params.beta_task,
+                  size=num_task_types)
+    # Guard against pathological underflow for very small CVs.
+    q = np.maximum(q, np.finfo(np.float64).tiny)
+    scale = q[:, None] / params.alpha_machine
+    etc = rng.gamma(shape=params.alpha_machine, scale=scale,
+                    size=(num_task_types, num_machine_types))
+    return np.maximum(etc, np.finfo(np.float64).tiny)

@@ -1,0 +1,195 @@
+"""Heterogeneity measures: mean, CV, skewness, kurtosis ("mvsk").
+
+The paper (Section III-D2) characterizes data-set heterogeneity with
+standard statistical measures — coefficient of variation, skewness, and
+kurtosis — following Al-Qawasmeh et al., *"Statistical measures for
+quantifying task and machine heterogeneities"* (J. Supercomputing 2011).
+Two data sets with similar values of these measures are considered to
+have similar heterogeneity.
+
+Conventions: skewness is the standardized third central moment
+``E[(x−μ)³]/σ³``; kurtosis is the *non-excess* standardized fourth
+moment ``E[(x−μ)⁴]/σ⁴`` (normal = 3), matching the Gram-Charlier
+parameterization in :mod:`repro.data.gram_charlier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DataGenerationError
+from repro.types import FloatArray
+
+__all__ = [
+    "HeterogeneityStats",
+    "mvsk",
+    "task_heterogeneity",
+    "machine_heterogeneity",
+    "compare_stats",
+    "ks_similarity",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class HeterogeneityStats:
+    """The four heterogeneity measures of one sample collection.
+
+    Attributes
+    ----------
+    mean:
+        Sample mean.
+    variance:
+        Population variance (``ddof=0``; moments, not estimators — the
+        Gram-Charlier expansion is parameterized by moments).
+    skewness:
+        Standardized third central moment.
+    kurtosis:
+        Standardized fourth central moment (normal = 3).
+    """
+
+    mean: float
+    variance: float
+    skewness: float
+    kurtosis: float
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return float(np.sqrt(self.variance))
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation ``σ/μ`` (requires nonzero mean)."""
+        if self.mean == 0.0:
+            raise DataGenerationError("coefficient of variation undefined at mean 0")
+        return self.std / abs(self.mean)
+
+    @property
+    def excess_kurtosis(self) -> float:
+        """Kurtosis minus the normal reference value 3."""
+        return self.kurtosis - 3.0
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """``(mean, variance, skewness, kurtosis)``."""
+        return (self.mean, self.variance, self.skewness, self.kurtosis)
+
+
+def mvsk(samples: Sequence[float] | FloatArray) -> HeterogeneityStats:
+    """Compute the mvsk heterogeneity measures of *samples*.
+
+    Degenerate collections (fewer than 2 points, or zero variance) get
+    skewness 0 and kurtosis 3 (the normal reference), so downstream
+    Gram-Charlier construction degrades gracefully to a plain normal.
+    """
+    x = np.asarray(samples, dtype=np.float64).ravel()
+    if x.size == 0:
+        raise DataGenerationError("cannot compute statistics of an empty sample")
+    if not np.all(np.isfinite(x)):
+        raise DataGenerationError("samples must be finite to compute statistics")
+    mean = float(x.mean())
+    var = float(x.var())
+    if x.size < 2 or var <= 0.0:
+        return HeterogeneityStats(mean=mean, variance=max(var, 0.0),
+                                  skewness=0.0, kurtosis=3.0)
+    z = (x - mean) / np.sqrt(var)
+    skew = float(np.mean(z**3))
+    kurt = float(np.mean(z**4))
+    return HeterogeneityStats(mean=mean, variance=var, skewness=skew, kurtosis=kurt)
+
+
+def task_heterogeneity(matrix: FloatArray, feasible: FloatArray | None = None) -> HeterogeneityStats:
+    """Heterogeneity of *tasks*: statistics of the row averages.
+
+    This is the collection the paper samples new "row average task
+    execution times" from.
+    """
+    values = np.asarray(matrix, dtype=np.float64)
+    if feasible is None:
+        feasible = np.isfinite(values)
+    if np.any(~feasible.any(axis=1)):
+        raise DataGenerationError("matrix has rows with no feasible entries")
+    masked = np.where(feasible, values, np.nan)
+    row_means = np.nanmean(masked, axis=1)
+    return mvsk(row_means)
+
+
+def machine_heterogeneity(
+    matrix: FloatArray, machine: int, feasible: FloatArray | None = None
+) -> HeterogeneityStats:
+    """Heterogeneity of one *machine*: statistics of its execution-time ratios.
+
+    The ratio of entry ``(τ, machine)`` to the row average of ``τ`` —
+    the "task type execution time ratio" of Section III-D2.
+    """
+    values = np.asarray(matrix, dtype=np.float64)
+    if feasible is None:
+        feasible = np.isfinite(values)
+    has_any = feasible.any(axis=1)
+    masked = np.where(feasible, values, np.nan)
+    row_means = np.where(has_any, np.nansum(masked, axis=1), np.nan)
+    row_means = row_means / np.where(has_any, feasible.sum(axis=1), 1)
+    col = values[:, machine]
+    ok = feasible[:, machine] & np.isfinite(row_means) & (row_means > 0)
+    if not ok.any():
+        raise DataGenerationError(f"machine {machine} has no feasible entries")
+    return mvsk(col[ok] / row_means[ok])
+
+
+def compare_stats(
+    a: HeterogeneityStats,
+    b: HeterogeneityStats,
+    rel_tol_mean: float = 0.25,
+    rel_tol_cov: float = 0.35,
+    abs_tol_skew: float = 1.0,
+    abs_tol_kurt: float = 2.5,
+) -> bool:
+    """Whether two stat sets are "similar" in the paper's sense.
+
+    Tolerances default to generous bands because the Gram-Charlier
+    clipped-density sampler only approximately reproduces the target
+    moments for strongly non-normal inputs (the same caveat applies to
+    the original method).  Used by tests and the A4 benchmark.
+    """
+    if a.mean == 0 or b.mean == 0:
+        raise DataGenerationError("similarity comparison requires nonzero means")
+    if abs(a.mean - b.mean) / abs(a.mean) > rel_tol_mean:
+        return False
+    if abs(a.cov - b.cov) > rel_tol_cov * max(a.cov, 1e-12):
+        return False
+    if abs(a.skewness - b.skewness) > abs_tol_skew:
+        return False
+    if abs(a.kurtosis - b.kurtosis) > abs_tol_kurt:
+        return False
+    return True
+
+
+def ks_similarity(
+    a: Sequence[float] | FloatArray,
+    b: Sequence[float] | FloatArray,
+    alpha: float = 0.05,
+) -> tuple[bool, float]:
+    """Two-sample Kolmogorov-Smirnov check of distributional similarity.
+
+    A stricter complement to :func:`compare_stats` (which only matches
+    four moments): the KS test compares the entire empirical CDFs.
+    Returns ``(similar, p_value)`` where ``similar`` means the test
+    fails to reject identity at level *alpha*.
+
+    Note the asymmetry of interpretation: the mvsk bands are the
+    paper's own similarity notion (the method *targets* those
+    moments); KS failing to reject is a bonus, and for small samples
+    it is weak evidence either way.
+    """
+    from scipy import stats
+
+    x = np.asarray(a, dtype=np.float64).ravel()
+    y = np.asarray(b, dtype=np.float64).ravel()
+    if x.size == 0 or y.size == 0:
+        raise DataGenerationError("KS comparison requires non-empty samples")
+    if not (0.0 < alpha < 1.0):
+        raise DataGenerationError(f"alpha must be in (0, 1); got {alpha}")
+    result = stats.ks_2samp(x, y)
+    return bool(result.pvalue >= alpha), float(result.pvalue)

@@ -1,0 +1,198 @@
+"""The real historical data set (paper Tables I & II, Section III-D1).
+
+The paper fills its initial 5×9 ETC/EPC matrices from an
+openbenchmarking.org result (`1204229-SU-CPUMONITO81`) that measured
+nine 2012-era desktop CPUs (Table I) running five programs (Table II),
+reporting average execution time and average power per (program,
+machine) pair.  That result is not retrievable offline, so this module
+ships **reconstructed** values whose magnitudes and orderings are
+consistent with published Phoronix measurements of the same hardware
+(see DESIGN.md, substitution table):
+
+* compute-bound programs (C-Ray, 7-Zip, kernel compilation) separate
+  the machines strongly — the six-core i7-3960X and the overclocked
+  i7s are several times faster than the AMD A8 and dual-core i3;
+* GPU-bound programs (Warsow, Unigine Heaven) separate them weakly —
+  all machines shared the same GPU in the benchmark;
+* power orders the other way: the 3960X and FX-8150 draw the most,
+  the i3-2120 the least, and overclocked parts pay a power premium.
+
+This preserves exactly the heterogeneity structure the paper's analysis
+depends on.  Real data can be substituted at any time via
+:func:`load_matrices_csv`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import DataGenerationError
+from repro.model.matrices import EPCMatrix, ETCMatrix
+from repro.model.system import SystemModel
+from repro.types import FloatArray
+
+__all__ = [
+    "MACHINE_NAMES",
+    "PROGRAM_NAMES",
+    "HISTORICAL_ETC",
+    "HISTORICAL_EPC",
+    "historical_etc",
+    "historical_epc",
+    "historical_system",
+    "load_matrices_csv",
+    "save_matrices_csv",
+]
+
+#: Table I — machines (designated by CPU) used in the benchmark.
+MACHINE_NAMES: tuple[str, ...] = (
+    "AMD A8-3870K",
+    "AMD FX-8150",
+    "Intel Core i3 2120",
+    "Intel Core i5 2400S",
+    "Intel Core i5 2500K",
+    "Intel Core i7 3960X",
+    "Intel Core i7 3960X @ 4.2 GHz",
+    "Intel Core i7 3770K",
+    "Intel Core i7 3770K @ 4.3 GHz",
+)
+
+#: Table II — programs used in the benchmark.
+PROGRAM_NAMES: tuple[str, ...] = (
+    "C-Ray",
+    "7-Zip Compression",
+    "Warsow",
+    "Unigine Heaven",
+    "Timed Linux Kernel Compilation",
+)
+
+#: Reconstructed ETC — average execution time, seconds.
+#: Rows: programs (Table II order). Columns: machines (Table I order).
+HISTORICAL_ETC: FloatArray = np.array(
+    [
+        #  A8     FX    i3    2400S  2500K  3960X  3960X@ 3770K  3770K@
+        [ 90.0,  45.0, 110.0,  70.0,  55.0,  28.0,  23.0,  40.0,  34.0],  # C-Ray
+        [120.0,  65.0, 130.0,  95.0,  78.0,  40.0,  34.0,  58.0,  50.0],  # 7-Zip
+        [ 60.0,  55.0,  58.0,  52.0,  48.0,  45.0,  43.0,  46.0,  44.0],  # Warsow
+        [ 95.0,  92.0,  94.0,  90.0,  88.0,  86.0,  85.0,  87.0,  86.0],  # Heaven
+        [300.0, 150.0, 280.0, 210.0, 170.0,  90.0,  78.0, 130.0, 112.0],  # Kernel
+    ],
+    dtype=np.float64,
+)
+HISTORICAL_ETC.setflags(write=False)
+
+#: Reconstructed EPC — average system power under load, watts.
+HISTORICAL_EPC: FloatArray = np.array(
+    [
+        #  A8     FX    i3    2400S  2500K  3960X  3960X@ 3770K  3770K@
+        [145.0, 230.0,  95.0, 110.0, 140.0, 215.0, 260.0, 135.0, 165.0],  # C-Ray
+        [135.0, 215.0,  90.0, 105.0, 130.0, 200.0, 245.0, 125.0, 155.0],  # 7-Zip
+        [180.0, 240.0, 150.0, 160.0, 185.0, 235.0, 270.0, 175.0, 200.0],  # Warsow
+        [190.0, 250.0, 160.0, 170.0, 195.0, 245.0, 280.0, 185.0, 210.0],  # Heaven
+        [140.0, 225.0,  92.0, 108.0, 135.0, 210.0, 255.0, 130.0, 160.0],  # Kernel
+    ],
+    dtype=np.float64,
+)
+HISTORICAL_EPC.setflags(write=False)
+
+
+def historical_etc() -> ETCMatrix:
+    """The 5×9 historical ETC matrix (all pairs feasible)."""
+    return ETCMatrix(HISTORICAL_ETC.copy())
+
+
+def historical_epc() -> EPCMatrix:
+    """The 5×9 historical EPC matrix (all pairs feasible)."""
+    return EPCMatrix(HISTORICAL_EPC.copy())
+
+
+def historical_system() -> SystemModel:
+    """Data set 1 hardware: one machine per Table I type, Table II tasks.
+
+    Time-utility functions are *not* attached here; dataset builders in
+    :mod:`repro.experiments.datasets` assign them (they depend on the
+    trace horizon).
+    """
+    return SystemModel.from_matrices(
+        etc_values=HISTORICAL_ETC.copy(),
+        epc_values=HISTORICAL_EPC.copy(),
+        machine_type_names=MACHINE_NAMES,
+        task_type_names=PROGRAM_NAMES,
+        machines_per_type=[1] * len(MACHINE_NAMES),
+    )
+
+
+# -- CSV interchange ------------------------------------------------------
+
+
+def save_matrices_csv(
+    etc: FloatArray,
+    epc: FloatArray,
+    path: Union[str, Path],
+    machine_names: tuple[str, ...] = MACHINE_NAMES,
+    program_names: tuple[str, ...] = PROGRAM_NAMES,
+) -> None:
+    """Write ETC/EPC to one CSV with a ``matrix`` discriminator column."""
+    etc = np.asarray(etc, dtype=np.float64)
+    epc = np.asarray(epc, dtype=np.float64)
+    if etc.shape != (len(program_names), len(machine_names)):
+        raise DataGenerationError(
+            f"ETC shape {etc.shape} does not match names "
+            f"({len(program_names)} x {len(machine_names)})"
+        )
+    if epc.shape != etc.shape:
+        raise DataGenerationError("ETC and EPC shapes differ")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["matrix", "program", *machine_names])
+        for label, matrix in (("ETC", etc), ("EPC", epc)):
+            for i, prog in enumerate(program_names):
+                writer.writerow([label, prog, *matrix[i].tolist()])
+
+
+def load_matrices_csv(
+    path: Union[str, Path],
+) -> tuple[FloatArray, FloatArray, tuple[str, ...], tuple[str, ...]]:
+    """Load ``(etc, epc, machine_names, program_names)`` from CSV.
+
+    This is the hook for substituting genuine benchmark data for the
+    reconstructed tables: export the openbenchmarking result to the CSV
+    layout written by :func:`save_matrices_csv` and load it here.
+    """
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if not header or header[0] != "matrix" or header[1] != "program":
+            raise DataGenerationError(
+                f"{path}: expected header 'matrix,program,<machines...>'"
+            )
+        machine_names = tuple(header[2:])
+        rows = {"ETC": {}, "EPC": {}}
+        program_order: list[str] = []
+        for row in reader:
+            if not row:
+                continue
+            label, prog, *values = row
+            if label not in rows:
+                raise DataGenerationError(f"{path}: unknown matrix label {label!r}")
+            if len(values) != len(machine_names):
+                raise DataGenerationError(
+                    f"{path}: row for {prog!r} has {len(values)} values, "
+                    f"expected {len(machine_names)}"
+                )
+            if prog not in rows[label]:
+                if label == "ETC" and prog not in program_order:
+                    program_order.append(prog)
+                rows[label][prog] = [float(v) for v in values]
+            else:
+                raise DataGenerationError(f"{path}: duplicate row {label}/{prog}")
+    if set(rows["ETC"]) != set(rows["EPC"]):
+        raise DataGenerationError(f"{path}: ETC and EPC program sets differ")
+    if not program_order:
+        raise DataGenerationError(f"{path}: no data rows found")
+    etc = np.array([rows["ETC"][p] for p in program_order], dtype=np.float64)
+    epc = np.array([rows["EPC"][p] for p in program_order], dtype=np.float64)
+    return etc, epc, machine_names, tuple(program_order)

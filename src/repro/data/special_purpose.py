@@ -1,0 +1,170 @@
+"""Special-purpose machine-type construction (Section III-D2, final step).
+
+Special-purpose machine types execute only a small subset of task types
+(two to three each), roughly **10x faster** than the general-purpose
+machines: their ETC entry for an accelerated task type is that type's
+average execution time across the general-purpose machines divided by
+ten.  EPC entries use the average power *without* dividing by ten
+("when calculating EPC values, the average power consumption across the
+machines is not divided by ten") — so special-purpose execution costs
+~10x less *energy*, which is what makes these machines attractive to
+both objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DataGenerationError
+from repro.rng import SeedLike, ensure_rng
+from repro.types import BoolArray, FloatArray
+
+__all__ = ["SpecialPurposePlan", "append_special_purpose_columns", "choose_accelerated_sets"]
+
+#: The paper's speedup factor for special-purpose execution.
+SPEEDUP = 10.0
+
+
+@dataclass(frozen=True)
+class SpecialPurposePlan:
+    """Which task types each new special-purpose machine type accelerates.
+
+    ``accelerated[k]`` is the tuple of task-type indices supported by
+    special machine type ``k``.  Task types must not be shared between
+    special machine types (each special-purpose *task* type names one
+    accelerating machine type).
+    """
+
+    accelerated: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for k, group in enumerate(self.accelerated):
+            if not group:
+                raise DataGenerationError(
+                    f"special machine type {k} accelerates no task types"
+                )
+            for tt in group:
+                if tt in seen:
+                    raise DataGenerationError(
+                        f"task type {tt} is accelerated by more than one "
+                        "special-purpose machine type"
+                    )
+                seen.add(tt)
+
+    @property
+    def num_special_machine_types(self) -> int:
+        """Number of special machine types the plan creates."""
+        return len(self.accelerated)
+
+    @property
+    def accelerated_task_types(self) -> frozenset[int]:
+        """All task types accelerated by some special machine type."""
+        return frozenset(t for group in self.accelerated for t in group)
+
+    def machine_for_task(self, task_type: int) -> int | None:
+        """Index (0-based, within the special group) accelerating *task_type*."""
+        for k, group in enumerate(self.accelerated):
+            if task_type in group:
+                return k
+        return None
+
+
+def choose_accelerated_sets(
+    num_task_types: int,
+    num_special_machine_types: int,
+    seed: SeedLike = None,
+    group_sizes: Sequence[int] | None = None,
+) -> SpecialPurposePlan:
+    """Pick disjoint accelerated task-type sets for the special machines.
+
+    Group sizes default to alternating 3/2 ("two to three for each
+    special purpose machine type").
+    """
+    if num_special_machine_types < 0:
+        raise DataGenerationError(
+            f"num_special_machine_types must be >= 0, got {num_special_machine_types}"
+        )
+    if group_sizes is None:
+        group_sizes = [3 if k % 2 == 0 else 2 for k in range(num_special_machine_types)]
+    if len(group_sizes) != num_special_machine_types:
+        raise DataGenerationError(
+            f"group_sizes length {len(group_sizes)} does not match "
+            f"num_special_machine_types {num_special_machine_types}"
+        )
+    total = sum(group_sizes)
+    if total > num_task_types:
+        raise DataGenerationError(
+            f"cannot accelerate {total} task types out of only {num_task_types}"
+        )
+    rng = ensure_rng(seed)
+    chosen = rng.choice(num_task_types, size=total, replace=False)
+    groups: list[tuple[int, ...]] = []
+    pos = 0
+    for size in group_sizes:
+        groups.append(tuple(int(t) for t in chosen[pos:pos + size]))
+        pos += size
+    return SpecialPurposePlan(accelerated=tuple(groups))
+
+
+def append_special_purpose_columns(
+    etc_values: FloatArray,
+    epc_values: FloatArray,
+    plan: SpecialPurposePlan,
+    speedup: float = SPEEDUP,
+) -> tuple[FloatArray, FloatArray, BoolArray]:
+    """Append one ETC/EPC column per special machine type in *plan*.
+
+    Parameters
+    ----------
+    etc_values, epc_values:
+        ``(T, M_general)`` matrices over the general-purpose machine
+        types (strictly positive).
+    plan:
+        The accelerated-task-type assignment.
+    speedup:
+        Execution-time divisor for accelerated types (paper: 10).
+
+    Returns
+    -------
+    ``(etc_out, epc_out, feasible)`` with shapes ``(T, M_general + S)``;
+    infeasible entries are ``inf`` in the value arrays and ``False`` in
+    the mask.  The general-purpose block is fully feasible.
+    """
+    etc_values = np.asarray(etc_values, dtype=np.float64)
+    epc_values = np.asarray(epc_values, dtype=np.float64)
+    if etc_values.shape != epc_values.shape:
+        raise DataGenerationError("ETC and EPC shapes differ")
+    if np.any(~np.isfinite(etc_values)) or np.any(etc_values <= 0):
+        raise DataGenerationError("general-purpose ETC must be strictly positive")
+    if speedup <= 0:
+        raise DataGenerationError(f"speedup must be > 0, got {speedup}")
+    T, M = etc_values.shape
+    for group in plan.accelerated:
+        for tt in group:
+            if not (0 <= tt < T):
+                raise DataGenerationError(
+                    f"accelerated task type {tt} out of range [0, {T})"
+                )
+    S = plan.num_special_machine_types
+    etc_out = np.full((T, M + S), np.inf, dtype=np.float64)
+    epc_out = np.full((T, M + S), np.inf, dtype=np.float64)
+    feasible = np.zeros((T, M + S), dtype=bool)
+    etc_out[:, :M] = etc_values
+    epc_out[:, :M] = epc_values
+    feasible[:, :M] = True
+
+    etc_row_avgs = etc_values.mean(axis=1)
+    epc_row_avgs = epc_values.mean(axis=1)
+    for k, group in enumerate(plan.accelerated):
+        col = M + k
+        for tt in group:
+            # ETC: average execution time divided by the speedup.
+            etc_out[tt, col] = etc_row_avgs[tt] / speedup
+            # EPC: average power, *not* divided (paper Section III-D2).
+            epc_out[tt, col] = epc_row_avgs[tt]
+            feasible[tt, col] = True
+    return etc_out, epc_out, feasible

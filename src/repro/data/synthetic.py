@@ -1,0 +1,174 @@
+"""Synthetic data creation preserving heterogeneity (Section III-D2).
+
+The pipeline, exactly as the paper describes it (applied identically to
+the ETC and EPC matrices):
+
+1. compute the *row average* of each real task type (its mean value
+   across all machines);
+2. compute the mvsk heterogeneity measures of those row averages,
+   build a Gram-Charlier PDF from them, and sample it to create row
+   averages for any number of new task types;
+3. compute every real task type's *execution-time ratio* on every
+   machine (entry ÷ its row average — faster machines < 1);
+4. per machine, compute the mvsk of its ratios, build a Gram-Charlier
+   PDF, and sample ratios for the new task types on that machine;
+5. the new entry is ``sampled ratio × sampled row average``; the real
+   rows are retained unchanged at the top of the expanded matrix.
+
+Positive-support floors are imposed on both PDFs, since execution
+times, powers, and ratios must be strictly positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.gram_charlier import GramCharlierPDF
+from repro.data.heterogeneity import HeterogeneityStats, mvsk
+from repro.errors import DataGenerationError
+from repro.rng import SeedLike, spawn
+from repro.types import FloatArray
+
+__all__ = ["SyntheticExpansion", "expand_matrix", "expand_matrix_pair"]
+
+#: Fraction of the smallest observed value used as the sampling floor.
+_FLOOR_FRACTION = 0.1
+
+
+@dataclass(frozen=True)
+class SyntheticExpansion:
+    """Result of expanding one matrix: values plus generation diagnostics.
+
+    Attributes
+    ----------
+    values:
+        ``(num_real + num_new, M)`` expanded matrix; rows
+        ``[:num_real]`` are the untouched real data.
+    num_real:
+        Number of original (real) task-type rows.
+    row_average_stats:
+        mvsk of the real row averages (the sampling target).
+    ratio_stats:
+        Per-machine mvsk of the real execution-time ratios.
+    """
+
+    values: FloatArray
+    num_real: int
+    row_average_stats: HeterogeneityStats
+    ratio_stats: tuple[HeterogeneityStats, ...]
+
+    @property
+    def num_new(self) -> int:
+        """Number of synthetic task-type rows appended."""
+        return self.values.shape[0] - self.num_real
+
+    def new_rows(self) -> FloatArray:
+        """The synthetic rows only."""
+        return self.values[self.num_real:]
+
+
+def expand_matrix(
+    base: FloatArray,
+    num_new_task_types: int,
+    seed: SeedLike = None,
+    floor_fraction: float = _FLOOR_FRACTION,
+) -> SyntheticExpansion:
+    """Expand *base* with *num_new_task_types* heterogeneity-preserving rows.
+
+    Parameters
+    ----------
+    base:
+        ``(T, M)`` real matrix, strictly positive and fully feasible
+        (the paper's historical set has no infeasible pairs; special-
+        purpose columns are added *after* expansion).
+    num_new_task_types:
+        Number of synthetic rows to append (>= 0).
+    seed:
+        Seed or generator; the row-average stream and each machine's
+        ratio stream are independent spawns, so adding machines does
+        not perturb the row averages drawn.
+    floor_fraction:
+        Sampling floors are this fraction of the smallest observed
+        row average / ratio.
+    """
+    base = np.asarray(base, dtype=np.float64)
+    if base.ndim != 2 or base.size == 0:
+        raise DataGenerationError(f"base matrix must be non-empty 2-D; got {base.shape}")
+    if not np.all(np.isfinite(base)) or np.any(base <= 0):
+        raise DataGenerationError(
+            "base matrix must be strictly positive and fully feasible; "
+            "add special-purpose columns after expansion"
+        )
+    if num_new_task_types < 0:
+        raise DataGenerationError(
+            f"num_new_task_types must be >= 0, got {num_new_task_types}"
+        )
+    T, M = base.shape
+
+    # Step 1-2: sample new row averages from the Gram-Charlier PDF of the
+    # real row averages.
+    row_avgs = base.mean(axis=1)
+    row_stats = mvsk(row_avgs)
+    ratios = base / row_avgs[:, None]
+    ratio_stats = tuple(mvsk(ratios[:, j]) for j in range(M))
+
+    if num_new_task_types == 0:
+        return SyntheticExpansion(
+            values=base.copy(),
+            num_real=T,
+            row_average_stats=row_stats,
+            ratio_stats=ratio_stats,
+        )
+
+    streams = spawn(seed, M + 1)
+    row_pdf = GramCharlierPDF.from_stats(
+        row_stats, support_floor=floor_fraction * float(row_avgs.min())
+    )
+    new_row_avgs = row_pdf.sample(num_new_task_types, streams[0])
+
+    # Step 3-4: per machine, sample execution-time ratios for the new
+    # task types from that machine's ratio PDF.
+    new_ratios = np.empty((num_new_task_types, M), dtype=np.float64)
+    for j in range(M):
+        pdf_j = GramCharlierPDF.from_stats(
+            ratio_stats[j],
+            support_floor=floor_fraction * float(ratios[:, j].min()),
+        )
+        new_ratios[:, j] = pdf_j.sample(num_new_task_types, streams[j + 1])
+
+    # Step 5: actual values = ratio × row average.
+    new_rows = new_ratios * new_row_avgs[:, None]
+    values = np.vstack([base, new_rows])
+    return SyntheticExpansion(
+        values=values,
+        num_real=T,
+        row_average_stats=row_stats,
+        ratio_stats=ratio_stats,
+    )
+
+
+def expand_matrix_pair(
+    etc: FloatArray,
+    epc: FloatArray,
+    num_new_task_types: int,
+    seed: SeedLike = None,
+    floor_fraction: float = _FLOOR_FRACTION,
+) -> tuple[SyntheticExpansion, SyntheticExpansion]:
+    """Expand ETC and EPC together ("the process is identical for EPC").
+
+    The two matrices use independent spawned streams so the ETC
+    expansion is unchanged by whether an EPC expansion follows.
+    """
+    etc = np.asarray(etc, dtype=np.float64)
+    epc = np.asarray(epc, dtype=np.float64)
+    if etc.shape != epc.shape:
+        raise DataGenerationError(
+            f"ETC shape {etc.shape} does not match EPC shape {epc.shape}"
+        )
+    etc_stream, epc_stream = spawn(seed, 2)
+    etc_exp = expand_matrix(etc, num_new_task_types, etc_stream, floor_fraction)
+    epc_exp = expand_matrix(epc, num_new_task_types, epc_stream, floor_fraction)
+    return etc_exp, epc_exp

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` analysis framework.
+
+All exceptions raised intentionally by this package derive from
+:class:`ReproError`, so callers can catch framework failures without
+swallowing genuine programming errors (``TypeError`` from misuse of
+NumPy, etc.).  The subclasses partition failures by subsystem:
+
+* :class:`ModelError` — inconsistent machine/task/matrix definitions.
+* :class:`DataGenerationError` — the synthetic-data pipeline could not
+  honour the requested heterogeneity statistics.
+* :class:`UtilityFunctionError` — a time-utility function definition is
+  not monotone decreasing / has malformed intervals.
+* :class:`WorkloadError` — trace generation parameters are infeasible.
+* :class:`ScheduleError` — an allocation references unknown tasks or
+  infeasible machines.
+* :class:`OptimizationError` — the NSGA-II engine was configured
+  inconsistently (population size, operator probabilities, ...).
+* :class:`AnalysisError` — a Pareto-front analysis was asked of an
+  empty or degenerate front.
+* :class:`ExperimentError` — experiment configuration/IO failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "DataGenerationError",
+    "UtilityFunctionError",
+    "WorkloadError",
+    "ScheduleError",
+    "OptimizationError",
+    "AnalysisError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every intentional failure raised by :mod:`repro`."""
+
+
+class ModelError(ReproError):
+    """The system model (machines, task types, ETC/EPC) is inconsistent."""
+
+
+class DataGenerationError(ReproError):
+    """Synthetic data generation failed or was configured infeasibly."""
+
+
+class UtilityFunctionError(ReproError):
+    """A time-utility function definition violates the TUF contract."""
+
+
+class WorkloadError(ReproError):
+    """Workload/trace generation parameters are invalid."""
+
+
+class ScheduleError(ReproError):
+    """A resource allocation is malformed or infeasible."""
+
+
+class OptimizationError(ReproError):
+    """The bi-objective optimizer was configured or used incorrectly."""
+
+
+class AnalysisError(ReproError):
+    """A Pareto-front analysis could not be performed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or its IO failed."""

@@ -1,0 +1,65 @@
+"""Experiment definitions and reproduction drivers (paper Section V-VI).
+
+* :mod:`repro.experiments.datasets` — data sets 1, 2, and 3 exactly as
+  Section V-A specifies them (machine breakups, task counts, windows).
+* :mod:`repro.experiments.runner` — run the five seeded populations
+  (four heuristic seeds + all-random) with checkpointed NSGA-II.
+* :mod:`repro.experiments.figures` — one driver per paper figure.
+* :mod:`repro.experiments.tables` — Tables I, II, III.
+* :mod:`repro.experiments.io` — result serialization.
+"""
+
+from repro.experiments.config import ExperimentConfig, scaled_checkpoints
+from repro.experiments.datasets import (
+    DatasetBundle,
+    TABLE3_MACHINE_COUNTS,
+    dataset1,
+    dataset2,
+    dataset3,
+)
+from repro.experiments.runner import SeededPopulationResult, run_seeded_populations
+from repro.experiments.figures import (
+    FigureResult,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+)
+from repro.experiments.claims import ClaimResult, verify_paper_claims
+from repro.experiments.reproduce import reproduce_all
+from repro.experiments.sweep import LoadPoint, offered_load, oversubscription_sweep
+from repro.experiments.repetitions import (
+    HypervolumeStats,
+    RepetitionResult,
+    run_repetitions,
+)
+from repro.experiments.tables import table1, table2, table3
+
+__all__ = [
+    "ExperimentConfig",
+    "scaled_checkpoints",
+    "DatasetBundle",
+    "TABLE3_MACHINE_COUNTS",
+    "dataset1",
+    "dataset2",
+    "dataset3",
+    "SeededPopulationResult",
+    "run_seeded_populations",
+    "FigureResult",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "table1",
+    "table2",
+    "table3",
+    "HypervolumeStats",
+    "RepetitionResult",
+    "run_repetitions",
+    "LoadPoint",
+    "offered_load",
+    "oversubscription_sweep",
+    "reproduce_all",
+    "ClaimResult",
+    "verify_paper_claims",
+]

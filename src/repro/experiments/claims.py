@@ -1,0 +1,222 @@
+"""Machine-checkable paper claims.
+
+The paper's Section VI makes qualitative claims about its figures; this
+module turns each into a named, machine-checkable predicate over a
+:class:`~repro.experiments.figures.FigureResult`, so any run — the
+benchmark defaults, a paper-scale rerun, or a user's own data set —
+can be audited with one call:
+
+    results = verify_paper_claims(figure3(...))
+    for r in results:
+        print("PASS" if r.passed else "FAIL", r.claim, "-", r.detail)
+
+Claims (each references its source sentence):
+
+* ``fronts-improve`` — elitism: front hypervolume never regresses
+  across checkpoints (implied by Algorithm 1's meta-population).
+* ``min-energy-owns-low-end`` — "the 'min energy' population typically
+  finds solutions that perform better with respect to energy
+  consumption"; strengthened here because the min-energy seed is
+  *provably* optimal.
+* ``min-min-best-utility-early`` — "the 'min-min completion time'
+  population typically finds solutions that perform better with
+  respect to utility earned" (checked at the first checkpoint vs the
+  random population).
+* ``seeded-dominate-random-early`` — "In all cases, our seeded
+  populations are finding solutions that dominate those found by the
+  random population" (Figure 6).
+* ``efficient-region-exists`` — "The circled region represents the
+  solutions that earn the most utility per energy spent" with
+  diminishing returns on its right (Figures 3-6).
+* ``convergence-trend`` — "all the populations, even the all random
+  initial population, start converging to very similar Pareto fronts":
+  the random population's best-utility deficit versus min-min shrinks
+  from the first to the last checkpoint.
+
+The benchmark harness asserts these same predicates (via
+``benchmarks/shape_checks.py``, which delegates here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.efficiency import (
+    marginal_utility_per_energy,
+    max_utility_per_energy_region,
+)
+from repro.analysis.indicators import hypervolume
+from repro.errors import ExperimentError
+
+__all__ = ["ClaimResult", "verify_paper_claims"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClaimResult:
+    """Outcome of checking one paper claim against a figure run."""
+
+    claim: str
+    passed: bool
+    detail: str
+
+
+def _claim_fronts_improve(fig) -> ClaimResult:
+    all_pts = np.vstack(
+        [s.front_points for h in fig.result.histories.values() for s in h.snapshots]
+    )
+    ref = (float(all_pts[:, 0].max() * 1.01), 0.0)
+    worst_drop = 0.0
+    offender = ""
+    for label, history in fig.result.histories.items():
+        hv = [hypervolume(s.front_points, ref) for s in history.snapshots]
+        for a, b in zip(hv, hv[1:]):
+            if b < a - 1e-9 and a - b > worst_drop:
+                worst_drop = a - b
+                offender = label
+    passed = worst_drop == 0.0
+    return ClaimResult(
+        claim="fronts-improve",
+        passed=passed,
+        detail=(
+            "hypervolume non-decreasing for every population"
+            if passed
+            else f"{offender}: hypervolume regressed by {worst_drop:.3g}"
+        ),
+    )
+
+
+def _claim_min_energy_low_end(fig) -> ClaimResult:
+    e_min = fig.result.front("min-energy").energy_range[0]
+    worst = min(
+        fig.result.front(label).energy_range[0] for label in fig.result.histories
+    )
+    passed = worst >= e_min - 1e-6
+    return ClaimResult(
+        claim="min-energy-owns-low-end",
+        passed=passed,
+        detail=(
+            f"min-energy reaches {e_min / 1e6:.4f} MJ; no population is lower"
+            if passed
+            else f"some population undercuts min-energy ({worst / 1e6:.4f} MJ "
+            f"< {e_min / 1e6:.4f} MJ) — impossible if the seed is optimal"
+        ),
+    )
+
+
+def _claim_min_min_utility_early(fig) -> ClaimResult:
+    first = fig.checkpoints[0]
+    u_mm = fig.result.front("min-min-completion-time", first).utility_range[1]
+    u_rd = fig.result.front("random", first).utility_range[1]
+    passed = u_mm > u_rd
+    return ClaimResult(
+        claim="min-min-best-utility-early",
+        passed=passed,
+        detail=f"at generation {first}: min-min {u_mm:.1f} vs random {u_rd:.1f}",
+    )
+
+
+def _claim_seeded_dominate_random(fig, min_fraction: float = 0.5) -> ClaimResult:
+    first = fig.checkpoints[0]
+    rand = fig.result.front("random", first)
+    seeded = fig.result.front("min-energy", first)
+    for label in ("min-min-completion-time", "max-utility",
+                  "max-utility-per-energy"):
+        seeded = seeded.merge(fig.result.front(label, first))
+    frac = rand.fraction_dominated_by(seeded)
+    return ClaimResult(
+        claim="seeded-dominate-random-early",
+        passed=frac >= min_fraction,
+        detail=f"seeded fronts dominate {frac * 100:.0f}% of the random front "
+        f"at generation {first} (threshold {min_fraction * 100:.0f}%)",
+    )
+
+
+def _claim_efficient_region(fig) -> ClaimResult:
+    for label in fig.result.histories:
+        front = fig.result.front(label)
+        region = max_utility_per_energy_region(front)
+        if region.region_size < 1:
+            return ClaimResult(
+                claim="efficient-region-exists",
+                passed=False,
+                detail=f"{label}: empty efficiency region",
+            )
+        if front.size >= 3 and 0 < region.peak_index < front.size - 1:
+            marg = marginal_utility_per_energy(front)
+            left = marg[: region.peak_index]
+            right = marg[region.peak_index:]
+            fl = left[np.isfinite(left)]
+            fr = right[np.isfinite(right)]
+            if fl.size and fr.size and fl.mean() < fr.mean():
+                return ClaimResult(
+                    claim="efficient-region-exists",
+                    passed=False,
+                    detail=f"{label}: marginal utility rises to the right of "
+                    "the peak (no diminishing returns)",
+                )
+    return ClaimResult(
+        claim="efficient-region-exists",
+        passed=True,
+        detail="every front has a max-U/E region with diminishing returns "
+        "to its right",
+    )
+
+
+def _claim_convergence_trend(fig) -> ClaimResult:
+    first, last = fig.checkpoints[0], fig.checkpoints[-1]
+
+    def deficit(gen: int) -> float:
+        u_mm = fig.result.front("min-min-completion-time", gen).utility_range[1]
+        u_rd = fig.result.front("random", gen).utility_range[1]
+        return u_mm - u_rd
+
+    d0, d1 = deficit(first), deficit(last)
+    return ClaimResult(
+        claim="convergence-trend",
+        passed=d1 <= d0,
+        detail=f"random's utility deficit vs min-min: {d0:.1f} at gen {first} "
+        f"-> {d1:.1f} at gen {last}",
+    )
+
+
+def verify_paper_claims(
+    figure_result,
+    dominate_fraction: float = 0.5,
+    include_convergence: bool = True,
+) -> list[ClaimResult]:
+    """Check every applicable paper claim against *figure_result*.
+
+    Parameters
+    ----------
+    figure_result:
+        A :class:`~repro.experiments.figures.FigureResult` whose run
+        includes the five standard populations.
+    dominate_fraction:
+        Threshold for ``seeded-dominate-random-early``.
+    include_convergence:
+        The convergence-trend claim needs enough generations to be
+        meaningful; disable for single-checkpoint runs.
+    """
+    required = {"min-energy", "min-min-completion-time", "random"}
+    if not required <= set(figure_result.result.histories):
+        raise ExperimentError(
+            "claims need at least the min-energy, min-min, and random "
+            f"populations; run has {sorted(figure_result.result.histories)}"
+        )
+    results = [
+        _claim_fronts_improve(figure_result),
+        _claim_min_energy_low_end(figure_result),
+        _claim_min_min_utility_early(figure_result),
+        _claim_efficient_region(figure_result),
+    ]
+    if {"max-utility", "max-utility-per-energy"} <= set(
+        figure_result.result.histories
+    ):
+        results.insert(
+            3, _claim_seeded_dominate_random(figure_result, dominate_fraction)
+        )
+    if include_convergence and len(figure_result.checkpoints) > 1:
+        results.append(_claim_convergence_trend(figure_result))
+    return results

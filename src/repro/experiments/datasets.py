@@ -1,0 +1,228 @@
+"""The three data sets of Section V-A.
+
+* **Data set 1** — the real historical data: nine machine types
+  (Table I), one machine each, five task types (Table II); 250 tasks
+  arriving over 15 minutes.
+* **Data sets 2 and 3** — synthetic expansions of the real data
+  (Section III-D2): 25 new task types (30 total), four special-purpose
+  machine types (13 total), 30 machines broken up per Table III.
+  Set 2 simulates 1000 tasks over 15 minutes; set 3 simulates 4000
+  tasks over one hour.
+
+Each builder returns a :class:`DatasetBundle` carrying the system (with
+time-utility functions attached), the trace, and the provenance seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.data.historical import (
+    HISTORICAL_EPC,
+    HISTORICAL_ETC,
+    MACHINE_NAMES,
+    PROGRAM_NAMES,
+)
+from repro.data.special_purpose import (
+    append_special_purpose_columns,
+    choose_accelerated_sets,
+)
+from repro.data.synthetic import expand_matrix_pair
+from repro.errors import ExperimentError
+from repro.model.machine import Machine, MachineCategory, MachineType
+from repro.model.matrices import EPCMatrix, ETCMatrix
+from repro.model.system import SystemModel
+from repro.model.task import TaskCategory, TaskType
+from repro.rng import derive_seed
+from repro.utility.presets import assign_presets
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.trace import Trace
+
+__all__ = [
+    "DatasetBundle",
+    "TABLE3_MACHINE_COUNTS",
+    "dataset1",
+    "dataset2",
+    "dataset3",
+    "build_expanded_system",
+]
+
+#: Table III — breakup of machines to machine types (name, count).
+#: Four special-purpose machine types (one machine each) followed by
+#: the nine general-purpose Table I types.
+TABLE3_MACHINE_COUNTS: tuple[tuple[str, int], ...] = (
+    ("Special-purpose machine A", 1),
+    ("Special-purpose machine B", 1),
+    ("Special-purpose machine C", 1),
+    ("Special-purpose machine D", 1),
+    ("AMD A8-3870K", 2),
+    ("AMD FX-8150", 3),
+    ("Intel Core i3 2120", 3),
+    ("Intel Core i5 2400S", 3),
+    ("Intel Core i5 2500K", 2),
+    ("Intel Core i7 3960X", 4),
+    ("Intel Core i7 3960X @ 4.2 GHz", 2),
+    ("Intel Core i7 3770K", 5),
+    ("Intel Core i7 3770K @ 4.3 GHz", 2),
+)
+
+#: Section V-A parameters.
+NUM_NEW_TASK_TYPES = 25
+NUM_SPECIAL_MACHINE_TYPES = 4
+#: Group sizes "two to three for each special purpose machine type".
+SPECIAL_GROUP_SIZES = (3, 2, 3, 2)
+
+
+@dataclass(frozen=True)
+class DatasetBundle:
+    """A ready-to-optimize (system, trace) pair with provenance."""
+
+    name: str
+    system: SystemModel
+    trace: Trace
+    horizon_seconds: float
+    seed: int
+
+    @property
+    def num_tasks(self) -> int:
+        """Tasks in the trace."""
+        return self.trace.num_tasks
+
+
+def dataset1(seed: int = 2013) -> DatasetBundle:
+    """Data set 1: real 5×9 data, 250 tasks over 15 minutes."""
+    horizon = 900.0
+    system = SystemModel.from_matrices(
+        etc_values=HISTORICAL_ETC.copy(),
+        epc_values=HISTORICAL_EPC.copy(),
+        machine_type_names=MACHINE_NAMES,
+        task_type_names=PROGRAM_NAMES,
+        machines_per_type=[1] * len(MACHINE_NAMES),
+    )
+    tufs = assign_presets(
+        system.num_task_types, horizon, seed=derive_seed(seed, "ds1", "tuf")
+    )
+    system = system.with_utility_functions(tufs)
+    trace = WorkloadGenerator.uniform_for(system.num_task_types).generate(
+        250, horizon, seed=derive_seed(seed, "ds1", "trace")
+    )
+    return DatasetBundle(
+        name="dataset1", system=system, trace=trace,
+        horizon_seconds=horizon, seed=seed,
+    )
+
+
+def build_expanded_system(seed: int, horizon_seconds: float) -> SystemModel:
+    """The 30-machine / 13-machine-type / 30-task-type system of sets 2-3.
+
+    Pipeline: expand the real 5×9 ETC/EPC with 25 Gram-Charlier task
+    types; pick four disjoint accelerated task-type groups (sizes
+    3/2/3/2); append the special-purpose columns (ETC ÷ 10, EPC not
+    divided); instantiate machines per Table III; attach TUF presets.
+    """
+    etc_exp, epc_exp = expand_matrix_pair(
+        HISTORICAL_ETC,
+        HISTORICAL_EPC,
+        NUM_NEW_TASK_TYPES,
+        seed=derive_seed(seed, "expand"),
+    )
+    num_task_types = etc_exp.values.shape[0]
+    plan = choose_accelerated_sets(
+        num_task_types,
+        NUM_SPECIAL_MACHINE_TYPES,
+        seed=derive_seed(seed, "special"),
+        group_sizes=list(SPECIAL_GROUP_SIZES),
+    )
+    etc_vals, epc_vals, feasible = append_special_purpose_columns(
+        etc_exp.values, epc_exp.values, plan
+    )
+    num_general = len(MACHINE_NAMES)
+
+    # Machine types: Table III order is specials first, but the matrix
+    # columns are generals first — build types in *column* order and
+    # instantiate machines in Table III order via the name lookup.
+    machine_types: list[MachineType] = []
+    for j, name in enumerate(MACHINE_NAMES):
+        machine_types.append(MachineType(name=name, index=j))
+    for k in range(NUM_SPECIAL_MACHINE_TYPES):
+        machine_types.append(
+            MachineType(
+                name=f"Special-purpose machine {chr(ord('A') + k)}",
+                index=num_general + k,
+                category=MachineCategory.SPECIAL_PURPOSE,
+                supported_task_types=frozenset(plan.accelerated[k]),
+            )
+        )
+    type_by_name = {mt.name: mt for mt in machine_types}
+
+    machines: list[Machine] = []
+    for name, count in TABLE3_MACHINE_COUNTS:
+        if name not in type_by_name:
+            raise ExperimentError(f"Table III names unknown machine type {name!r}")
+        for i in range(count):
+            machines.append(
+                Machine(
+                    name=f"{name}#{i}",
+                    index=len(machines),
+                    machine_type=type_by_name[name],
+                )
+            )
+
+    task_types: list[TaskType] = []
+    for i in range(num_task_types):
+        name = (
+            PROGRAM_NAMES[i]
+            if i < len(PROGRAM_NAMES)
+            else f"synthetic-task-{i}"
+        )
+        special_machine = plan.machine_for_task(i)
+        if special_machine is None:
+            task_types.append(TaskType(name=name, index=i))
+        else:
+            task_types.append(
+                TaskType(
+                    name=name,
+                    index=i,
+                    category=TaskCategory.SPECIAL_PURPOSE,
+                    special_machine_type=num_general + special_machine,
+                )
+            )
+
+    system = SystemModel(
+        machine_types=tuple(machine_types),
+        machines=tuple(machines),
+        task_types=tuple(task_types),
+        etc=ETCMatrix(etc_vals, feasible),
+        epc=EPCMatrix(epc_vals, feasible),
+    )
+    tufs = assign_presets(
+        num_task_types, horizon_seconds, seed=derive_seed(seed, "tuf")
+    )
+    return system.with_utility_functions(tufs)
+
+
+def _expanded_dataset(
+    name: str, num_tasks: int, horizon: float, seed: int
+) -> DatasetBundle:
+    # Sets 2 and 3 share the same synthetic system ("data sets 2 and 3
+    # differ from one another by the number of tasks each set
+    # simulates"); only the trace and the TUF horizon differ.
+    system = build_expanded_system(derive_seed(seed, "expanded", "system"), horizon)
+    trace = WorkloadGenerator.uniform_for(system.num_task_types).generate(
+        num_tasks, horizon, seed=derive_seed(seed, name, "trace")
+    )
+    return DatasetBundle(
+        name=name, system=system, trace=trace,
+        horizon_seconds=horizon, seed=seed,
+    )
+
+
+def dataset2(seed: int = 2013) -> DatasetBundle:
+    """Data set 2: expanded system, 1000 tasks over 15 minutes."""
+    return _expanded_dataset("dataset2", 1000, 900.0, seed)
+
+
+def dataset3(seed: int = 2013) -> DatasetBundle:
+    """Data set 3: expanded system, 4000 tasks over one hour."""
+    return _expanded_dataset("dataset3", 4000, 3600.0, seed)

@@ -1,0 +1,116 @@
+"""Serialization of experiment results.
+
+Figure reproductions can take a while at paper scale; these helpers
+archive a :class:`~repro.experiments.figures.FigureResult`'s front data
+as JSON so analyses and plots can be re-run without re-optimizing.
+Chromosome payloads are intentionally *not* serialized (they are large
+and reproducible from the recorded seeds); the objective-space data —
+what the paper's figures show — round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.nsga2 import GenerationSnapshot, RunHistory
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import SeededPopulationResult
+
+__all__ = ["save_figure_result", "load_figure_result"]
+
+_FORMAT = "repro.figure-result/1"
+
+
+def save_figure_result(result: FigureResult, path: Union[str, Path]) -> None:
+    """Write *result*'s objective-space data as JSON."""
+    doc = {
+        "format": _FORMAT,
+        "name": result.name,
+        "dataset": result.result.dataset_name,
+        "paper_checkpoints": list(result.paper_checkpoints),
+        "config": {
+            "population_size": result.result.config.population_size,
+            "mutation_probability": result.result.config.mutation_probability,
+            "generations": result.result.config.generations,
+            "checkpoints": list(result.result.config.checkpoints),
+            "base_seed": result.result.config.base_seed,
+        },
+        "seed_objectives": {
+            k: list(v) for k, v in result.result.seed_objectives.items()
+        },
+        "histories": {
+            label: {
+                "total_generations": h.total_generations,
+                "total_evaluations": h.total_evaluations,
+                "wall_seconds": h.wall_seconds,
+                "snapshots": [
+                    {
+                        "generation": s.generation,
+                        "evaluations": s.evaluations,
+                        "front_points": s.front_points.tolist(),
+                    }
+                    for s in h.snapshots
+                ],
+            }
+            for label, h in result.result.histories.items()
+        },
+    }
+    Path(path).write_text(json.dumps(doc))
+
+
+def load_figure_result(path: Union[str, Path]) -> FigureResult:
+    """Load a result written by :func:`save_figure_result`.
+
+    Chromosome arrays are absent in reloaded snapshots (``None``); all
+    objective-space analyses work unchanged.
+    """
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != _FORMAT:
+        raise ExperimentError(
+            f"unrecognized figure-result format {doc.get('format')!r}"
+        )
+    config = ExperimentConfig(
+        population_size=doc["config"]["population_size"],
+        mutation_probability=doc["config"]["mutation_probability"],
+        generations=doc["config"]["generations"],
+        checkpoints=tuple(doc["config"]["checkpoints"]),
+        base_seed=doc["config"]["base_seed"],
+    )
+    histories = {}
+    for label, h in doc["histories"].items():
+        snapshots = tuple(
+            GenerationSnapshot(
+                generation=s["generation"],
+                front_points=np.asarray(s["front_points"], dtype=np.float64),
+                front_assignments=None,
+                front_orders=None,
+                evaluations=s["evaluations"],
+            )
+            for s in h["snapshots"]
+        )
+        histories[label] = RunHistory(
+            label=label,
+            snapshots=snapshots,
+            total_generations=h["total_generations"],
+            total_evaluations=h["total_evaluations"],
+            wall_seconds=h["wall_seconds"],
+        )
+    result = SeededPopulationResult(
+        dataset_name=doc["dataset"],
+        config=config,
+        histories=histories,
+        seed_objectives={
+            k: tuple(v) for k, v in doc["seed_objectives"].items()
+        },
+    )
+    return FigureResult(
+        name=doc["name"],
+        result=result,
+        paper_checkpoints=tuple(doc["paper_checkpoints"]),
+    )

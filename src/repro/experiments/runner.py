@@ -1,0 +1,194 @@
+"""The seeded-population experiment runner (paper Section V-B / VI).
+
+One experiment runs **five populations** over the same (system, trace):
+one per heuristic seed — Min Energy (diamond marker in the paper's
+figures), Min-Min Completion Time (square), Max Utility (circle),
+Max Utility-per-Energy (triangle) — plus the completely random initial
+population (star).  Each population evolves independently with its own
+derived RNG stream; snapshots are taken at the configured checkpoint
+generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.pareto_front import ParetoFront
+from repro.core.nsga2 import NSGA2, NSGA2Config, RunHistory
+from repro.core.operators import OperatorConfig
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.datasets import DatasetBundle
+from repro.heuristics import SEEDING_HEURISTICS
+from repro.rng import derive_seed
+from repro.sim.evaluator import ScheduleEvaluator
+from repro.sim.schedule import ResourceAllocation
+
+__all__ = ["SeededPopulationResult", "run_seeded_populations", "POPULATION_LABELS"]
+
+#: Population labels in the paper's marker order (random last).
+POPULATION_LABELS: tuple[str, ...] = (
+    "min-energy",
+    "min-min-completion-time",
+    "max-utility",
+    "max-utility-per-energy",
+    "random",
+)
+
+
+@dataclass(frozen=True)
+class SeededPopulationResult:
+    """All five populations' run histories for one data set."""
+
+    dataset_name: str
+    config: ExperimentConfig
+    histories: Mapping[str, RunHistory]
+    seed_objectives: Mapping[str, tuple[float, float]]
+
+    def front(self, label: str, generation: Optional[int] = None) -> ParetoFront:
+        """The Pareto front of *label* at *generation* (default: final)."""
+        history = self.histories.get(label)
+        if history is None:
+            raise ExperimentError(
+                f"unknown population {label!r}; have {sorted(self.histories)}"
+            )
+        snap = history.final if generation is None else history.snapshot_at(generation)
+        return ParetoFront(points=snap.front_points, label=label)
+
+    def fronts_at(self, generation: int) -> dict[str, ParetoFront]:
+        """All populations' fronts at one checkpoint."""
+        return {
+            label: self.front(label, generation) for label in self.histories
+        }
+
+    def combined_front(self) -> ParetoFront:
+        """Nondominated union of every population's final front."""
+        pts = np.vstack(
+            [h.final.front_points for h in self.histories.values()]
+        )
+        return ParetoFront.from_points(pts, label="combined")
+
+
+def _run_one_population(
+    dataset: DatasetBundle,
+    config: ExperimentConfig,
+    label: str,
+    seeds: list[ResourceAllocation],
+) -> tuple[str, RunHistory]:
+    """Worker body: one population's full NSGA-II run.
+
+    Module-level (picklable) so :func:`run_seeded_populations` can farm
+    populations out to a process pool — the five populations share no
+    state and are embarrassingly parallel.
+    """
+    evaluator = ScheduleEvaluator(dataset.system, dataset.trace,
+                                  check_feasibility=False)
+    ga = NSGA2(
+        evaluator,
+        NSGA2Config(
+            population_size=config.population_size,
+            operators=OperatorConfig(
+                mutation_probability=config.mutation_probability
+            ),
+        ),
+        seeds=seeds,
+        rng=derive_seed(config.base_seed, dataset.name, label),
+        label=label,
+    )
+    history = ga.run(
+        generations=config.generations, checkpoints=list(config.checkpoints)
+    )
+    return label, history
+
+
+def run_seeded_populations(
+    dataset: DatasetBundle,
+    config: ExperimentConfig,
+    labels: Sequence[str] = POPULATION_LABELS,
+    extra_seeds: Optional[Mapping[str, Sequence[ResourceAllocation]]] = None,
+    workers: int = 0,
+) -> SeededPopulationResult:
+    """Run the seeded-population experiment on *dataset*.
+
+    Parameters
+    ----------
+    dataset:
+        The (system, trace) bundle.
+    config:
+        Population size, operators, checkpoints.
+    labels:
+        Which populations to run.  Known labels: the four heuristic
+        names of :data:`repro.heuristics.SEEDING_HEURISTICS`,
+        ``"random"``, and ``"all-seeds"`` (all four heuristics in one
+        population — the paper's dropped variant, used by ablation A5).
+    extra_seeds:
+        Optional label → seed-allocation list for custom populations.
+    workers:
+        Process-pool size for running populations in parallel; 0 (the
+        default) runs sequentially in-process.  Results are identical
+        either way (each population's RNG stream is derived from the
+        config seed, not from execution order).
+    """
+    evaluator = ScheduleEvaluator(dataset.system, dataset.trace,
+                                  check_feasibility=False)
+
+    # Build each heuristic's allocation once (shared across labels).
+    heuristic_allocs: dict[str, ResourceAllocation] = {}
+    needed = set()
+    for label in labels:
+        if label in SEEDING_HEURISTICS:
+            needed.add(label)
+        elif label == "all-seeds":
+            needed.update(SEEDING_HEURISTICS)
+        elif label == "random":
+            pass
+        elif extra_seeds is None or label not in extra_seeds:
+            raise ExperimentError(f"unknown population label {label!r}")
+    for name in sorted(needed):
+        heuristic_allocs[name] = SEEDING_HEURISTICS[name]().build(
+            dataset.system, dataset.trace
+        )
+
+    seed_objectives = {
+        name: evaluator.objectives(alloc)
+        for name, alloc in heuristic_allocs.items()
+    }
+
+    def seeds_for(label: str) -> list[ResourceAllocation]:
+        if label in SEEDING_HEURISTICS:
+            return [heuristic_allocs[label]]
+        if label == "all-seeds":
+            return [heuristic_allocs[name] for name in sorted(SEEDING_HEURISTICS)]
+        if label == "random":
+            return []
+        return list(extra_seeds[label])  # type: ignore[index]
+
+    histories: dict[str, RunHistory] = {}
+    if workers and workers > 1 and len(labels) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_one_population, dataset, config, label, seeds_for(label)
+                )
+                for label in labels
+            ]
+            for future in futures:
+                label, history = future.result()
+                histories[label] = history
+    else:
+        for label in labels:
+            label, history = _run_one_population(
+                dataset, config, label, seeds_for(label)
+            )
+            histories[label] = history
+    return SeededPopulationResult(
+        dataset_name=dataset.name,
+        config=config,
+        histories=histories,
+        seed_objectives=seed_objectives,
+    )

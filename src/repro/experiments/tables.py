@@ -1,0 +1,53 @@
+"""Reproduction of the paper's Tables I, II, and III."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.data.historical import MACHINE_NAMES, PROGRAM_NAMES
+from repro.experiments.datasets import TABLE3_MACHINE_COUNTS
+
+__all__ = ["table1", "table2", "table3", "render_table1", "render_table2", "render_table3"]
+
+
+def table1() -> tuple[str, ...]:
+    """Table I — machines (designated by CPU) used in the benchmark."""
+    return MACHINE_NAMES
+
+
+def table2() -> tuple[str, ...]:
+    """Table II — programs used in the benchmark."""
+    return PROGRAM_NAMES
+
+
+def table3() -> tuple[tuple[str, int], ...]:
+    """Table III — breakup of machines to machine types (name, count)."""
+    return TABLE3_MACHINE_COUNTS
+
+
+def render_table1() -> str:
+    """Table I as text."""
+    return format_table(
+        ["machine (designated by CPU)"],
+        [[name] for name in table1()],
+        title="Table I: machines used in benchmark",
+    )
+
+
+def render_table2() -> str:
+    """Table II as text."""
+    return format_table(
+        ["program"],
+        [[name] for name in table2()],
+        title="Table II: programs used in benchmark",
+    )
+
+
+def render_table3() -> str:
+    """Table III as text, with the 30-machine total row."""
+    rows = [[name, count] for name, count in table3()]
+    rows.append(["TOTAL", sum(c for _, c in table3())])
+    return format_table(
+        ["machine type", "number of machines"],
+        rows,
+        title="Table III: breakup of machines to machine types",
+    )

@@ -1,0 +1,171 @@
+"""Task dropping — the paper's first named future-work direction.
+
+"Dropping tasks that will generate negligible utility when they
+complete": if a task's time-utility function has decayed to (nearly)
+nothing by its completion time, executing it wastes energy.  This
+module evaluates an allocation under a dropping policy:
+
+1. simulate the allocation;
+2. mark tasks whose earned utility is below the threshold as dropped;
+3. remove them from their machine queues (their energy is saved and
+   every later task on that machine starts earlier, possibly *raising*
+   later tasks' utility);
+4. repeat — shortening queues only raises the remaining tasks'
+   utilities, so the dropped set grows monotonically and the iteration
+   reaches a fixed point in at most T rounds (tested).
+
+The result is a strictly-no-worse (energy, utility) point for any
+threshold of 0-utility tasks, and a tunable energy/utility knob above
+that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.sim.evaluator import EvaluationResult, ScheduleEvaluator
+from repro.sim.schedule import ResourceAllocation
+from repro.types import BoolArray
+
+__all__ = ["DroppingPolicy", "DroppingResult", "apply_dropping"]
+
+
+@dataclass(frozen=True, slots=True)
+class DroppingPolicy:
+    """Parameters of the dropping rule.
+
+    Attributes
+    ----------
+    utility_threshold:
+        Tasks earning strictly less than this are dropped.  0 drops
+        nothing (utilities are non-negative); small positive values
+        drop the "negligible utility" tail the paper describes.
+    max_rounds:
+        Safety bound on fixed-point iterations (the loop provably
+        terminates in at most T rounds; in practice a handful).
+    """
+
+    utility_threshold: float = 1e-9
+    max_rounds: int = 50
+
+    def __post_init__(self) -> None:
+        if self.utility_threshold < 0:
+            raise ScheduleError(
+                f"utility_threshold must be >= 0, got {self.utility_threshold}"
+            )
+        if self.max_rounds < 1:
+            raise ScheduleError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+
+@dataclass(frozen=True)
+class DroppingResult:
+    """Outcome of evaluating an allocation under dropping.
+
+    Attributes
+    ----------
+    energy, utility:
+        Objective values counting only executed tasks.
+    dropped:
+        ``(T,)`` bool mask of dropped tasks.
+    rounds:
+        Fixed-point iterations performed.
+    baseline:
+        The no-dropping evaluation, for comparison.
+    """
+
+    energy: float
+    utility: float
+    dropped: BoolArray
+    rounds: int
+    baseline: EvaluationResult
+
+    @property
+    def num_dropped(self) -> int:
+        """Number of tasks dropped."""
+        return int(self.dropped.sum())
+
+    @property
+    def energy_saved(self) -> float:
+        """Energy saved versus executing everything."""
+        return self.baseline.energy - self.energy
+
+
+def apply_dropping(
+    evaluator: ScheduleEvaluator,
+    allocation: ResourceAllocation,
+    policy: DroppingPolicy = DroppingPolicy(),
+) -> DroppingResult:
+    """Evaluate *allocation* under the dropping *policy*.
+
+    Dropped tasks are simulated by reassigning them to a virtual "never
+    counted" state: they are excluded from queues by evaluating the
+    allocation restricted to kept tasks.  Restriction is implemented by
+    giving dropped tasks a scheduling key *after* every kept task on a
+    dedicated pass — simplest correct form: re-evaluate the reduced
+    problem with the evaluator's arrays masked.
+    """
+    baseline = evaluator.evaluate(allocation)
+    T = allocation.num_tasks
+    dropped = np.zeros(T, dtype=bool)
+    current = baseline
+    rounds = 0
+
+    for rounds in range(1, policy.max_rounds + 1):
+        newly = (~dropped) & (current.task_utilities < policy.utility_threshold)
+        if not newly.any():
+            break
+        dropped |= newly
+        if dropped.all():
+            break
+        current = _evaluate_subset(evaluator, allocation, ~dropped)
+
+    if dropped.all():
+        return DroppingResult(
+            energy=0.0,
+            utility=0.0,
+            dropped=dropped,
+            rounds=rounds,
+            baseline=baseline,
+        )
+
+    kept = ~dropped
+    energy = float(current.task_energies[kept].sum())
+    utility = float(current.task_utilities[kept].sum())
+    return DroppingResult(
+        energy=energy,
+        utility=utility,
+        dropped=dropped,
+        rounds=rounds,
+        baseline=baseline,
+    )
+
+
+def _evaluate_subset(
+    evaluator: ScheduleEvaluator,
+    allocation: ResourceAllocation,
+    keep: BoolArray,
+) -> EvaluationResult:
+    """Evaluate the allocation with dropped tasks removed from queues.
+
+    Dropped tasks are parked on their original machines with zero-cost
+    sentinel handling: we simply re-run the closed-form evaluation on
+    the kept subset by building a reduced evaluator view.  To avoid
+    rebuilding evaluator state per round, the kept tasks keep their
+    original scheduling keys (relative order is unchanged), and dropped
+    tasks are assigned keys beyond every kept key on their machine —
+    equivalent to removal for all kept tasks; the dropped tasks'
+    reported utilities/energies are ignored by the caller.
+    """
+    order = allocation.scheduling_order.astype(np.int64, copy=True)
+    # Push dropped tasks after all kept tasks: add a uniform offset
+    # larger than the key range.
+    span = int(order.max() - order.min()) + 1
+    order[~keep] += span
+    shifted = ResourceAllocation(
+        machine_assignment=allocation.machine_assignment,
+        scheduling_order=order,
+    )
+    return evaluator.evaluate(shifted)

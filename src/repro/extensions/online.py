@@ -1,0 +1,327 @@
+"""Online dynamic dispatch under an energy constraint.
+
+The paper positions its offline bi-objective analysis as the *tuning
+stage* for a live system: "A system administrator can use this
+bi-objective optimization approach to analyze the utility-energy
+trade-offs ... and then set parameters, such as energy constraints,
+according to the needs of that system.  These energy constraints could
+then be used in conjunction with a separate online dynamic utility
+maximization heuristics."
+
+This module closes that loop.  An :class:`OnlineDispatcher` replays a
+trace *without lookahead* — each task is revealed at its arrival time
+and must be mapped (or dropped) immediately — under a pluggable policy:
+
+* :class:`MaxUtilityPolicy` — the online analogue of the Max Utility
+  seed: dispatch to the machine maximizing the task's utility given
+  current queues.
+* :class:`UtilityPerEnergyPolicy` — online Max Utility-per-Energy.
+* :class:`BudgetedUtilityPolicy` — utility maximization subject to a
+  total energy budget: machines whose energy cost no longer fits the
+  remaining budget are excluded; when no machine fits, the task is
+  dropped (consuming nothing).  The budget typically comes from the
+  offline Pareto front via :func:`budget_from_front` — e.g. the energy
+  coordinate of the max utility-per-energy region.
+
+The dispatcher's accounting is identical to the offline simulator's
+(same ETC/EPC/TUF semantics), so online outcomes are directly
+comparable to offline front points.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.efficiency import max_utility_per_energy_region
+from repro.analysis.pareto_front import ParetoFront
+from repro.errors import ScheduleError
+from repro.model.system import SystemModel
+from repro.types import BoolArray, FloatArray, IntArray
+from repro.utility.vectorized import TUFTable
+from repro.workload.trace import Trace
+
+__all__ = [
+    "DispatchContext",
+    "OnlinePolicy",
+    "MaxUtilityPolicy",
+    "UtilityPerEnergyPolicy",
+    "BudgetedUtilityPolicy",
+    "OnlineOutcome",
+    "OnlineDispatcher",
+    "budget_from_front",
+]
+
+#: Sentinel a policy returns to drop the task.
+DROP = -1
+
+
+@dataclass(frozen=True)
+class DispatchContext:
+    """Everything a policy may inspect for one dispatch decision.
+
+    All arrays are indexed by machine instance; infeasible machines
+    carry ``inf`` costs.
+
+    Attributes
+    ----------
+    task:
+        Index of the arriving task.
+    task_type:
+        Its task type.
+    now:
+        The arrival time (decision instant).
+    completion_times:
+        Would-be completion time on each machine (queueing included).
+    utilities:
+        Utility earned on each machine at those completions
+        (``-inf`` where infeasible).
+    energies:
+        Energy cost (EEC) on each machine.
+    remaining_budget:
+        Energy remaining under the active budget (``inf`` if none).
+    """
+
+    task: int
+    task_type: int
+    now: float
+    completion_times: FloatArray
+    utilities: FloatArray
+    energies: FloatArray
+    remaining_budget: float
+
+
+class OnlinePolicy(abc.ABC):
+    """Maps one arriving task to a machine (or drops it)."""
+
+    #: Report name; subclasses override.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def choose(self, context: DispatchContext) -> int:
+        """Return a machine index, or :data:`DROP` to drop the task."""
+
+
+class MaxUtilityPolicy(OnlinePolicy):
+    """Online utility maximization (ties: earlier completion)."""
+
+    name = "online-max-utility"
+
+    def choose(self, context: DispatchContext) -> int:
+        best = context.utilities.max()
+        if best == -np.inf:
+            return DROP
+        candidates = np.flatnonzero(context.utilities == best)
+        return int(candidates[np.argmin(context.completion_times[candidates])])
+
+
+class UtilityPerEnergyPolicy(OnlinePolicy):
+    """Online utility-per-energy maximization."""
+
+    name = "online-utility-per-energy"
+
+    def choose(self, context: DispatchContext) -> int:
+        with np.errstate(invalid="ignore"):
+            ratio = np.where(
+                np.isfinite(context.energies),
+                context.utilities / context.energies,
+                -np.inf,
+            )
+        best = ratio.max()
+        if best == -np.inf:
+            return DROP
+        candidates = np.flatnonzero(ratio == best)
+        sub = np.lexsort(
+            (context.completion_times[candidates], context.energies[candidates])
+        )
+        return int(candidates[sub[0]])
+
+
+@dataclass
+class BudgetedUtilityPolicy(OnlinePolicy):
+    """Utility maximization under a hard total-energy budget.
+
+    Attributes
+    ----------
+    drop_worthless:
+        Also drop tasks whose best achievable utility is below this
+        threshold even when the budget would allow them — spending
+        budget on hopeless tasks starves later valuable ones.
+    """
+
+    drop_worthless: float = 0.0
+    name = "online-budgeted-utility"
+
+    def choose(self, context: DispatchContext) -> int:
+        affordable = context.energies <= context.remaining_budget
+        utilities = np.where(affordable, context.utilities, -np.inf)
+        best = utilities.max()
+        if best == -np.inf or best < self.drop_worthless:
+            return DROP
+        candidates = np.flatnonzero(utilities == best)
+        # Among equal-utility choices prefer the cheaper one: stretch
+        # the budget.
+        sub = np.lexsort(
+            (context.completion_times[candidates], context.energies[candidates])
+        )
+        return int(candidates[sub[0]])
+
+
+@dataclass(frozen=True)
+class OnlineOutcome:
+    """Result of one online replay.
+
+    Attributes
+    ----------
+    policy:
+        Policy name.
+    energy, utility:
+        Totals over executed tasks.
+    dropped:
+        ``(T,)`` mask of dropped tasks.
+    machine_assignment:
+        ``(T,)`` machine per task (−1 where dropped).
+    start_times, completion_times:
+        ``(T,)`` arrays (0 where dropped).
+    budget:
+        The energy budget in force (``inf`` if none).
+    """
+
+    policy: str
+    energy: float
+    utility: float
+    dropped: BoolArray
+    machine_assignment: IntArray
+    start_times: FloatArray
+    completion_times: FloatArray
+    budget: float
+
+    @property
+    def num_dropped(self) -> int:
+        """Number of tasks dropped."""
+        return int(self.dropped.sum())
+
+    @property
+    def objectives(self) -> tuple[float, float]:
+        """``(energy, utility)`` for comparison with offline fronts."""
+        return (self.energy, self.utility)
+
+
+class OnlineDispatcher:
+    """Replays a trace task by task under an online policy.
+
+    Unlike the offline NSGA-II (which knows the whole trace), the
+    dispatcher sees each task only at its arrival and never reorders:
+    machines execute their queues in dispatch order.  This is the
+    "online dynamic heuristic" regime the paper's conclusions target.
+    """
+
+    def __init__(self, system: SystemModel, trace: Trace) -> None:
+        trace.validate_against(system.num_task_types)
+        self.system = system
+        self.trace = trace
+        self._etc = system.etc_task_machine[trace.task_types]
+        self._eec = system.eec_task_machine[trace.task_types]
+        self._tuf = TUFTable.from_system(system)
+
+    def run(
+        self,
+        policy: OnlinePolicy,
+        energy_budget: Optional[float] = None,
+    ) -> OnlineOutcome:
+        """Replay the trace under *policy*.
+
+        Parameters
+        ----------
+        policy:
+            The dispatch rule.
+        energy_budget:
+            Optional hard total-energy budget made visible to the
+            policy via ``remaining_budget`` (and enforced: a dispatch
+            exceeding it raises, so policies must respect it).
+        """
+        if energy_budget is not None and energy_budget < 0:
+            raise ScheduleError(
+                f"energy budget must be >= 0, got {energy_budget}"
+            )
+        T = self.trace.num_tasks
+        M = self.system.num_machines
+        available = np.zeros(M, dtype=np.float64)
+        remaining = np.inf if energy_budget is None else float(energy_budget)
+
+        assignment = np.full(T, -1, dtype=np.int64)
+        dropped = np.zeros(T, dtype=bool)
+        start = np.zeros(T, dtype=np.float64)
+        finish = np.zeros(T, dtype=np.float64)
+        total_energy = 0.0
+        total_utility = 0.0
+
+        for t in range(T):  # online replay: inherently sequential
+            arrival = float(self.trace.arrival_times[t])
+            tt = int(self.trace.task_types[t])
+            begin = np.maximum(available, arrival)
+            completion = begin + self._etc[t]
+            feasible = np.isfinite(completion)
+            utilities = np.full(M, -np.inf)
+            idx = np.flatnonzero(feasible)
+            utilities[idx] = self._tuf.evaluate(
+                np.full(idx.size, tt, dtype=np.int64), completion[idx] - arrival
+            )
+            context = DispatchContext(
+                task=t,
+                task_type=tt,
+                now=arrival,
+                completion_times=completion,
+                utilities=utilities,
+                energies=self._eec[t],
+                remaining_budget=remaining,
+            )
+            choice = policy.choose(context)
+            if choice == DROP:
+                dropped[t] = True
+                continue
+            if not (0 <= choice < M) or not feasible[choice]:
+                raise ScheduleError(
+                    f"{policy.name}: chose invalid machine {choice} for task {t}"
+                )
+            cost = float(self._eec[t, choice])
+            if cost > remaining + 1e-9:
+                raise ScheduleError(
+                    f"{policy.name}: dispatch of task {t} exceeds the energy "
+                    f"budget (cost {cost:.1f} J, remaining {remaining:.1f} J)"
+                )
+            assignment[t] = choice
+            start[t] = begin[choice]
+            finish[t] = completion[choice]
+            available[choice] = completion[choice]
+            total_energy += cost
+            total_utility += float(utilities[choice])
+            remaining -= cost
+
+        return OnlineOutcome(
+            policy=policy.name,
+            energy=total_energy,
+            utility=total_utility,
+            dropped=dropped,
+            machine_assignment=assignment,
+            start_times=start,
+            completion_times=finish,
+            budget=np.inf if energy_budget is None else float(energy_budget),
+        )
+
+
+def budget_from_front(front: ParetoFront, slack: float = 1.0) -> float:
+    """Derive an online energy budget from an offline Pareto front.
+
+    Returns the energy coordinate of the front's max utility-per-energy
+    point scaled by *slack* — the administrator workflow the paper
+    sketches (run the offline analysis, read off the efficient region,
+    constrain the online system to it).
+    """
+    if slack <= 0:
+        raise ScheduleError(f"slack must be positive, got {slack}")
+    region = max_utility_per_energy_region(front)
+    return region.peak_energy * slack

@@ -1,0 +1,49 @@
+"""Greedy seeding heuristics (paper Section V-B).
+
+Four heuristics seed the NSGA-II initial populations:
+
+* :class:`MinEnergy` — single-stage greedy, minimum-EEC machine per
+  task in arrival order; provably minimum-energy (tested).
+* :class:`MaxUtility` — single-stage greedy, maximum-utility machine
+  per task in arrival order, accounting for machine queue completion
+  times.
+* :class:`MaxUtilityPerEnergy` — single-stage greedy on the ratio of
+  utility earned to energy consumed.
+* :class:`MinMinCompletionTime` — the classic two-stage Min-Min
+  (Ibarra & Kim 1977; Braun et al. 2001).
+
+:data:`SEEDING_HEURISTICS` is the registry used by the experiment
+runner; :mod:`repro.heuristics.baselines` adds non-paper baseline
+mappers used in tests and ablations.
+"""
+
+from repro.heuristics.base import SeedingHeuristic
+from repro.heuristics.baselines import RandomMapper, RoundRobinMapper, SufferageCompletionTime
+from repro.heuristics.classic import MCT, MET, OLB
+from repro.heuristics.max_utility import MaxUtility
+from repro.heuristics.min_energy import MinEnergy
+from repro.heuristics.min_min import MinMinCompletionTime
+from repro.heuristics.utility_per_energy import MaxUtilityPerEnergy
+
+__all__ = [
+    "SeedingHeuristic",
+    "MinEnergy",
+    "MaxUtility",
+    "MaxUtilityPerEnergy",
+    "MinMinCompletionTime",
+    "RandomMapper",
+    "RoundRobinMapper",
+    "SufferageCompletionTime",
+    "OLB",
+    "MET",
+    "MCT",
+    "SEEDING_HEURISTICS",
+]
+
+#: Registry of the paper's four seeding heuristics, keyed by report name.
+SEEDING_HEURISTICS = {
+    "min-energy": MinEnergy,
+    "max-utility": MaxUtility,
+    "max-utility-per-energy": MaxUtilityPerEnergy,
+    "min-min-completion-time": MinMinCompletionTime,
+}

@@ -1,0 +1,90 @@
+"""Shared machinery for greedy mapping heuristics.
+
+Every heuristic consumes a (system, trace) pair and produces a
+:class:`~repro.sim.schedule.ResourceAllocation` whose scheduling-order
+keys reproduce the heuristic's intended per-machine queue order under
+the simulator's semantics (queue by key, idle until arrival).
+
+The single-stage heuristics share one structure: walk tasks in arrival
+order, score every feasible machine with a heuristic-specific metric,
+pick the best, update that machine's availability.  That walk is
+implemented once in :meth:`SeedingHeuristic._greedy_by_arrival`;
+subclasses supply the scoring rule.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.model.system import SystemModel
+from repro.sim.schedule import ResourceAllocation
+from repro.types import FloatArray
+from repro.workload.trace import Trace
+
+__all__ = ["SeedingHeuristic"]
+
+
+class SeedingHeuristic(abc.ABC):
+    """Base class: deterministic greedy mapper for seeding populations."""
+
+    #: Report name; subclasses override.
+    name: str = "heuristic"
+
+    @abc.abstractmethod
+    def build(self, system: SystemModel, trace: Trace) -> ResourceAllocation:
+        """Construct the heuristic's allocation for (system, trace)."""
+
+    # -- shared helpers ------------------------------------------------------
+
+    @staticmethod
+    def _prepare(system: SystemModel, trace: Trace):
+        """Common precomputation: per-task matrices and TUF table."""
+        trace.validate_against(system.num_task_types)
+        task_types = trace.task_types
+        etc = system.etc_task_machine[task_types]  # (T, M); inf = infeasible
+        eec = system.eec_task_machine[task_types]
+        return task_types, trace.arrival_times, etc, eec
+
+    def _greedy_by_arrival(
+        self,
+        system: SystemModel,
+        trace: Trace,
+        score: Callable[[int, FloatArray, FloatArray], int],
+    ) -> ResourceAllocation:
+        """Single-stage greedy walk over tasks in arrival order.
+
+        Parameters
+        ----------
+        score:
+            ``score(task, completion_times, available) -> machine`` —
+            given the task index, its would-be completion time on every
+            machine (``inf`` where infeasible), and the current machine
+            availability vector, returns the chosen machine index.
+
+        Scheduling-order keys are the task indices themselves: tasks
+        are queued per machine in arrival order, exactly the order the
+        greedy walk assumed when updating availabilities.
+        """
+        task_types, arrivals, etc, _ = self._prepare(system, trace)
+        T = trace.num_tasks
+        M = system.num_machines
+        available = np.zeros(M, dtype=np.float64)
+        assignment = np.empty(T, dtype=np.int64)
+        for t in range(T):  # greedy walk: inherently sequential
+            start = np.maximum(available, arrivals[t])
+            completion = start + etc[t]  # inf on infeasible machines
+            m = score(t, completion, available)
+            if not np.isfinite(etc[t, m]):
+                raise ScheduleError(
+                    f"{self.name}: scored an infeasible machine {m} for task {t}"
+                )
+            assignment[t] = m
+            available[m] = completion[m]
+        return ResourceAllocation(
+            machine_assignment=assignment,
+            scheduling_order=np.arange(T, dtype=np.int64),
+        )

@@ -1,0 +1,109 @@
+"""Baseline mappers beyond the paper's four seeds.
+
+Used by tests (independent fixtures the seeds must beat) and the
+ablation benchmarks — not part of the paper's experiment set:
+
+* :class:`RandomMapper` — uniform feasible machine per task; arrival
+  order.  The "no intelligence" floor.
+* :class:`RoundRobinMapper` — cycles machines (skipping infeasible
+  ones); arrival order.  A load-balancing floor.
+* :class:`SufferageCompletionTime` — Maheswaran et al.'s Sufferage:
+  map first the task that would *suffer* most (largest gap between its
+  best and second-best completion time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.heuristics.base import SeedingHeuristic
+from repro.model.system import SystemModel
+from repro.rng import SeedLike, ensure_rng
+from repro.sim.schedule import ResourceAllocation
+from repro.workload.trace import Trace
+
+__all__ = ["RandomMapper", "RoundRobinMapper", "SufferageCompletionTime"]
+
+
+class RandomMapper(SeedingHeuristic):
+    """Uniformly random feasible machine per task, arrival order."""
+
+    name = "random"
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = ensure_rng(seed)
+
+    def build(self, system: SystemModel, trace: Trace) -> ResourceAllocation:
+        """Draw one feasible machine per task."""
+        task_types, _, etc, _ = self._prepare(system, trace)
+        T = trace.num_tasks
+        assignment = np.empty(T, dtype=np.int64)
+        for t in range(T):
+            feasible = np.flatnonzero(np.isfinite(etc[t]))
+            assignment[t] = int(self._rng.choice(feasible))
+        return ResourceAllocation(
+            machine_assignment=assignment,
+            scheduling_order=np.arange(T, dtype=np.int64),
+        )
+
+
+class RoundRobinMapper(SeedingHeuristic):
+    """Cycle machines in index order, skipping infeasible placements."""
+
+    name = "round-robin"
+
+    def build(self, system: SystemModel, trace: Trace) -> ResourceAllocation:
+        """Assign machine ``(cursor++) mod M``, skipping infeasible ones."""
+        _, _, etc, _ = self._prepare(system, trace)
+        T = trace.num_tasks
+        M = system.num_machines
+        assignment = np.empty(T, dtype=np.int64)
+        cursor = 0
+        for t in range(T):
+            for probe in range(M):
+                m = (cursor + probe) % M
+                if np.isfinite(etc[t, m]):
+                    assignment[t] = m
+                    cursor = (m + 1) % M
+                    break
+            else:
+                raise ScheduleError(f"task {t} has no feasible machine")
+        return ResourceAllocation(
+            machine_assignment=assignment,
+            scheduling_order=np.arange(T, dtype=np.int64),
+        )
+
+
+class SufferageCompletionTime(SeedingHeuristic):
+    """Sufferage on completion time (Maheswaran et al. 1999)."""
+
+    name = "sufferage"
+
+    def build(self, system: SystemModel, trace: Trace) -> ResourceAllocation:
+        """Repeatedly map the task with the largest best/second-best gap."""
+        _, arrivals, etc, _ = self._prepare(system, trace)
+        T = trace.num_tasks
+        M = system.num_machines
+        available = np.zeros(M, dtype=np.float64)
+        assignment = np.empty(T, dtype=np.int64)
+        order = np.empty(T, dtype=np.int64)
+        unmapped = np.ones(T, dtype=bool)
+
+        for k in range(T):
+            rows = np.flatnonzero(unmapped)
+            comp = np.maximum(available[None, :], arrivals[rows, None]) + etc[rows]
+            # Best and second-best completion per task.
+            part = np.partition(comp, 1, axis=1) if M > 1 else comp
+            best = part[:, 0]
+            second = part[:, 1] if M > 1 else np.full(rows.size, np.inf)
+            sufferage = np.where(np.isfinite(second), second - best, np.inf)
+            pick = int(np.argmax(sufferage))
+            t = int(rows[pick])
+            m = int(np.argmin(comp[pick]))
+            assignment[t] = m
+            order[t] = k
+            unmapped[t] = False
+            available[m] = comp[pick, m]
+
+        return ResourceAllocation(machine_assignment=assignment, scheduling_order=order)

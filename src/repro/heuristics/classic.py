@@ -1,0 +1,75 @@
+"""Classic immediate-mode mapping heuristics (Braun et al. 2001).
+
+The paper's reference [24] compares eleven static heuristics for
+mapping independent tasks onto heterogeneous systems; the three
+simplest immediate-mode members are implemented here as additional
+baselines (the paper's four seeds are the smarter end of this family):
+
+* :class:`OLB` — Opportunistic Load Balancing: assign each task (in
+  arrival order) to the machine that becomes *available* soonest,
+  ignoring how long the task runs there.  The classic "keep everything
+  busy" strawman.
+* :class:`MET` — Minimum Execution Time: assign each task to the
+  machine with its smallest ETC, ignoring availability.  Overloads the
+  fastest machines.
+* :class:`MCT` — Minimum Completion Time: assign each task to the
+  machine minimizing ``max(available, arrival) + ETC`` — the
+  single-stage version of Min-Min.
+
+All three queue tasks in arrival order (scheduling key = task index),
+matching the framework's other single-stage heuristics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.heuristics.base import SeedingHeuristic
+from repro.model.system import SystemModel
+from repro.sim.schedule import ResourceAllocation
+from repro.workload.trace import Trace
+
+__all__ = ["OLB", "MET", "MCT"]
+
+
+class OLB(SeedingHeuristic):
+    """Opportunistic Load Balancing: earliest-available machine."""
+
+    name = "olb"
+
+    def build(self, system: SystemModel, trace: Trace) -> ResourceAllocation:
+        """Assign each task to the machine free soonest (feasible only)."""
+        def score(t: int, completion, available) -> int:
+            feasible = np.isfinite(completion)
+            masked = np.where(feasible, available, np.inf)
+            return int(np.argmin(masked))
+
+        return self._greedy_by_arrival(system, trace, score)
+
+
+class MET(SeedingHeuristic):
+    """Minimum Execution Time: fastest machine regardless of queue."""
+
+    name = "met"
+
+    def build(self, system: SystemModel, trace: Trace) -> ResourceAllocation:
+        """Assign each task to its minimum-ETC machine."""
+        _, _, etc, _ = self._prepare(system, trace)
+
+        def score(t: int, completion, available) -> int:
+            return int(np.argmin(etc[t]))
+
+        return self._greedy_by_arrival(system, trace, score)
+
+
+class MCT(SeedingHeuristic):
+    """Minimum Completion Time: queue-aware fastest finish."""
+
+    name = "mct"
+
+    def build(self, system: SystemModel, trace: Trace) -> ResourceAllocation:
+        """Assign each task to the machine finishing it earliest."""
+        def score(t: int, completion, available) -> int:
+            return int(np.argmin(completion))
+
+        return self._greedy_by_arrival(system, trace, score)

@@ -1,0 +1,26 @@
+"""System model: machines, task types, and ETC/EPC/EEC matrices.
+
+This package implements Section III of the paper: a suite of
+heterogeneous machines (general-purpose and special-purpose), a set of
+task types, and the Estimated Time to Compute (ETC) / Estimated Power
+Consumption (EPC) matrices that characterize them.  The derived
+Estimated Energy Consumption (EEC) matrix is ``ETC * EPC`` (Eq. 2).
+"""
+
+from repro.model.machine import Machine, MachineCategory, MachineType
+from repro.model.matrices import EECMatrix, EPCMatrix, ETCMatrix, TypedMatrix
+from repro.model.system import SystemModel
+from repro.model.task import TaskCategory, TaskType
+
+__all__ = [
+    "Machine",
+    "MachineCategory",
+    "MachineType",
+    "TaskCategory",
+    "TaskType",
+    "TypedMatrix",
+    "ETCMatrix",
+    "EPCMatrix",
+    "EECMatrix",
+    "SystemModel",
+]

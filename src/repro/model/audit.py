@@ -1,0 +1,191 @@
+"""System sanity auditing — warnings beyond hard validation.
+
+:class:`~repro.model.system.SystemModel` construction rejects
+*inconsistent* systems; this module flags *suspicious but legal* ones —
+the mistakes users actually make when assembling ETC/EPC data by hand.
+Each finding carries a severity, a machine-readable code, and a human
+explanation; nothing here ever raises.
+
+Checks:
+
+* ``dominated-machine-type`` — a machine type that is slower **and**
+  hungrier than another for every task type.  Under queueing such a
+  machine can still be worth using (it relieves waiting), so this is
+  informational — but it means the min-energy mapping will never pick
+  it and single-task placements on it are always regrettable.
+* ``uniform-row`` — a task type with (near-)identical execution time
+  on every machine: contributes nothing to heterogeneity analysis.
+* ``extreme-ratio`` — a task type whose slowest general-purpose
+  machine is more than ``ratio_limit`` times its fastest: plausible
+  for exotic hardware mixes, usually a typo in hand-entered data.
+* ``etc-epc-scale`` — EPC values outside a plausible power envelope
+  (defaults: 1 W – 10 kW per machine).
+* ``unreferenced-special`` — a special-purpose machine type none of
+  whose supported task types is marked special-purpose (it would work,
+  but the categorization is inconsistent in spirit).
+* ``idle-power-without-dvfs`` — nonzero idle power declared although
+  the paper's energy model never charges idle time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.system import SystemModel
+
+__all__ = ["Severity", "AuditFinding", "audit_system"]
+
+
+class Severity(enum.Enum):
+    """How concerning a finding is."""
+
+    INFO = "info"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class AuditFinding:
+    """One audit observation."""
+
+    code: str
+    severity: Severity
+    message: str
+
+
+def audit_system(
+    system: SystemModel,
+    ratio_limit: float = 50.0,
+    power_floor: float = 1.0,
+    power_ceiling: float = 10_000.0,
+    uniform_tolerance: float = 1e-9,
+) -> list[AuditFinding]:
+    """Audit *system* and return findings (possibly empty)."""
+    findings: list[AuditFinding] = []
+    etc = system.etc.values
+    epc = system.epc.values
+    feasible = system.etc.feasible
+
+    # dominated-machine-type: for general-purpose columns only (special
+    # columns are incomparable due to feasibility).
+    general = [mt.index for mt in system.machine_types if not mt.is_special_purpose]
+    for j in general:
+        for k in general:
+            if j == k:
+                continue
+            worse_time = np.all(etc[:, j] >= etc[:, k])
+            worse_power = np.all(epc[:, j] >= epc[:, k])
+            strictly = np.any(etc[:, j] > etc[:, k]) or np.any(
+                epc[:, j] > epc[:, k]
+            )
+            if worse_time and worse_power and strictly:
+                findings.append(
+                    AuditFinding(
+                        code="dominated-machine-type",
+                        severity=Severity.INFO,
+                        message=(
+                            f"machine type {system.machine_types[j].name!r} is "
+                            f"slower and draws more power than "
+                            f"{system.machine_types[k].name!r} for every task "
+                            "type; it earns its keep only by relieving queues"
+                        ),
+                    )
+                )
+                break  # one report per dominated type suffices
+
+    # uniform-row.
+    for tt in system.task_types:
+        row = etc[tt.index][feasible[tt.index]]
+        if row.size > 1 and float(row.max() - row.min()) <= uniform_tolerance * max(
+            1.0, float(row.mean())
+        ):
+            findings.append(
+                AuditFinding(
+                    code="uniform-row",
+                    severity=Severity.INFO,
+                    message=(
+                        f"task type {tt.name!r} runs in identical time on every "
+                        "machine; it adds no machine heterogeneity"
+                    ),
+                )
+            )
+
+    # extreme-ratio (general-purpose entries only).
+    for tt in system.task_types:
+        mask = feasible[tt.index].copy()
+        for mt in system.machine_types:
+            if mt.is_special_purpose:
+                mask[mt.index] = False
+        row = etc[tt.index][mask]
+        if row.size > 1:
+            fastest = float(row.min())
+            slowest = float(row.max())
+            if fastest > 0 and slowest / fastest > ratio_limit:
+                findings.append(
+                    AuditFinding(
+                        code="extreme-ratio",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"task type {tt.name!r} runs {slowest / fastest:.0f}x "
+                            "slower on its slowest general-purpose machine than "
+                            "its fastest; check for a typo"
+                        ),
+                    )
+                )
+
+    # etc-epc-scale.
+    finite_epc = epc[feasible]
+    if finite_epc.size:
+        lo, hi = float(finite_epc.min()), float(finite_epc.max())
+        if lo < power_floor or hi > power_ceiling:
+            findings.append(
+                AuditFinding(
+                    code="etc-epc-scale",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"EPC values span {lo:.3g}-{hi:.3g} W, outside the "
+                        f"plausible {power_floor:g}-{power_ceiling:g} W "
+                        "envelope; are the units right?"
+                    ),
+                )
+            )
+
+    # unreferenced-special.
+    special_tasks = {
+        tt.index for tt in system.task_types if tt.is_special_purpose
+    }
+    for mt in system.machine_types:
+        if mt.is_special_purpose and mt.supported_task_types:
+            if not (set(mt.supported_task_types) & special_tasks):
+                findings.append(
+                    AuditFinding(
+                        code="unreferenced-special",
+                        severity=Severity.INFO,
+                        message=(
+                            f"special-purpose machine type {mt.name!r} supports "
+                            "only task types not themselves marked "
+                            "special-purpose"
+                        ),
+                    )
+                )
+
+    # idle-power-without-dvfs.
+    for mt in system.machine_types:
+        if mt.idle_power_watts > 0:
+            findings.append(
+                AuditFinding(
+                    code="idle-power-without-dvfs",
+                    severity=Severity.INFO,
+                    message=(
+                        f"machine type {mt.name!r} declares idle power "
+                        f"{mt.idle_power_watts:g} W, but the energy model "
+                        "charges execution energy only (idle power is unused "
+                        "outside the DVFS extension)"
+                    ),
+                )
+            )
+            break  # summarize once
+
+    return findings

@@ -1,0 +1,115 @@
+"""Machine and machine-type definitions (paper Section III-B).
+
+A *machine type* captures performance/power characteristics shared by
+all machines of that type (one row of heterogeneity in the suite); a
+*machine* is a physical instance of a type.  Machine types belong to one
+of two categories:
+
+* **general-purpose** — can execute every task type in the system and
+  make up the majority of the suite;
+* **special-purpose** — can execute only a small subset of task types
+  (typically 2–3), roughly 10x faster than the general-purpose types.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.errors import ModelError
+
+__all__ = ["MachineCategory", "MachineType", "Machine"]
+
+
+class MachineCategory(enum.Enum):
+    """Category of a machine type (Section III-B)."""
+
+    GENERAL_PURPOSE = "general-purpose"
+    SPECIAL_PURPOSE = "special-purpose"
+
+
+@dataclass(frozen=True, slots=True)
+class MachineType:
+    """A machine type ``μ`` — a column of the ETC/EPC matrices.
+
+    Attributes
+    ----------
+    name:
+        Human-readable designation (the paper designates machine types
+        by CPU, e.g. ``"Intel Core i7 3770K"``).
+    index:
+        Column index of this type in the system's ETC/EPC matrices.
+    category:
+        General-purpose or special-purpose.
+    supported_task_types:
+        For special-purpose types, the frozen set of task-type indices
+        the type can execute.  ``None`` for general-purpose types, which
+        support every task type.
+    idle_power_watts:
+        Optional idle power draw; the paper's energy model charges only
+        task execution energy (EEC), so this defaults to 0 and is used
+        only by the DVFS extension.
+    """
+
+    name: str
+    index: int
+    category: MachineCategory = MachineCategory.GENERAL_PURPOSE
+    supported_task_types: Optional[FrozenSet[int]] = None
+    idle_power_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ModelError(f"machine type index must be >= 0, got {self.index}")
+        if self.idle_power_watts < 0:
+            raise ModelError(
+                f"idle power must be non-negative, got {self.idle_power_watts}"
+            )
+        if self.category is MachineCategory.SPECIAL_PURPOSE:
+            if not self.supported_task_types:
+                raise ModelError(
+                    f"special-purpose machine type {self.name!r} must declare a "
+                    "non-empty supported_task_types set"
+                )
+        elif self.supported_task_types is not None:
+            raise ModelError(
+                f"general-purpose machine type {self.name!r} must not restrict "
+                "supported_task_types (it can execute every task type)"
+            )
+
+    @property
+    def is_special_purpose(self) -> bool:
+        """Whether this type only executes a subset of task types."""
+        return self.category is MachineCategory.SPECIAL_PURPOSE
+
+    def supports(self, task_type_index: int) -> bool:
+        """Whether a task of type *task_type_index* can run on this type."""
+        if self.supported_task_types is None:
+            return True
+        return task_type_index in self.supported_task_types
+
+
+@dataclass(frozen=True, slots=True)
+class Machine:
+    """A physical machine instance ``m`` of a machine type ``Ω(m)``.
+
+    The simulator schedules tasks onto machines; performance and power
+    characteristics are looked up through the machine's *type*.
+    """
+
+    name: str
+    index: int
+    machine_type: MachineType
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ModelError(f"machine index must be >= 0, got {self.index}")
+
+    @property
+    def type_index(self) -> int:
+        """Index of the machine's type — ``Ω(m)`` in the paper."""
+        return self.machine_type.index
+
+    def supports(self, task_type_index: int) -> bool:
+        """Whether this machine can execute tasks of the given type."""
+        return self.machine_type.supports(task_type_index)

@@ -1,0 +1,218 @@
+"""ETC / EPC / EEC matrices (paper Sections III-D and IV-B2).
+
+An entry ``ETC(τ, μ)`` is the estimated time (seconds) a task of type
+``τ`` takes on a machine of type ``μ``; ``EPC(τ, μ)`` is the average
+power (watts) it draws there.  Their elementwise product is the
+Estimated Energy Consumption ``EEC(τ, μ) = ETC(τ, μ) × EPC(τ, μ)``
+(joules) — Eq. (2) of the paper.
+
+Infeasible (task type, machine type) pairs — a general-purpose task on a
+special-purpose machine, or a special-purpose task on the *wrong*
+special-purpose machine — are represented as ``np.inf`` in the values
+array together with a boolean feasibility mask.  Using ``inf`` (rather
+than NaN) means greedy heuristics that take argmins over machines
+naturally avoid infeasible placements without branching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.types import BoolArray, FloatArray
+
+__all__ = ["TypedMatrix", "ETCMatrix", "EPCMatrix", "EECMatrix"]
+
+
+@dataclass(frozen=True)
+class TypedMatrix:
+    """A (task type × machine type) matrix with a feasibility mask.
+
+    Attributes
+    ----------
+    values:
+        Shape ``(num_task_types, num_machine_types)`` float64 array.
+        Entries for infeasible pairs are ``np.inf``.
+    feasible:
+        Boolean array of the same shape; ``True`` where the pair is
+        feasible.  Derived automatically when not supplied.
+    name:
+        Label used in error messages ("ETC", "EPC", "EEC").
+    """
+
+    values: FloatArray
+    feasible: BoolArray = field(default=None)  # type: ignore[assignment]
+    name: str = "matrix"
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ModelError(
+                f"{self.name} must be 2-D (task types x machine types); "
+                f"got shape {values.shape}"
+            )
+        if values.size == 0:
+            raise ModelError(f"{self.name} must be non-empty")
+        if np.any(np.isnan(values)):
+            raise ModelError(f"{self.name} must not contain NaN")
+        feasible = self.feasible
+        if feasible is None:
+            feasible = np.isfinite(values)
+        else:
+            feasible = np.asarray(feasible, dtype=bool)
+            if feasible.shape != values.shape:
+                raise ModelError(
+                    f"{self.name} feasibility mask shape {feasible.shape} does "
+                    f"not match values shape {values.shape}"
+                )
+            if np.any(~np.isfinite(values) & feasible):
+                raise ModelError(
+                    f"{self.name} marks non-finite entries as feasible"
+                )
+        finite = values[feasible]
+        if finite.size and np.any(finite <= 0):
+            raise ModelError(
+                f"{self.name} feasible entries must be strictly positive"
+            )
+        # Normalize infeasible entries to +inf for argmin-safety.
+        values = values.copy()
+        values[~feasible] = np.inf
+        values.setflags(write=False)
+        feasible = feasible.copy()
+        feasible.setflags(write=False)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "feasible", feasible)
+
+    # -- shape ---------------------------------------------------------
+
+    @property
+    def num_task_types(self) -> int:
+        """Number of rows (task types ``τ``)."""
+        return self.values.shape[0]
+
+    @property
+    def num_machine_types(self) -> int:
+        """Number of columns (machine types ``μ``)."""
+        return self.values.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(num_task_types, num_machine_types)``."""
+        return self.values.shape  # type: ignore[return-value]
+
+    # -- access --------------------------------------------------------
+
+    def __getitem__(self, key) -> np.ndarray:
+        return self.values[key]
+
+    def entry(self, task_type: int, machine_type: int) -> float:
+        """Scalar lookup ``matrix(τ, μ)`` with bounds checking."""
+        if not (0 <= task_type < self.num_task_types):
+            raise ModelError(
+                f"task type index {task_type} out of range "
+                f"[0, {self.num_task_types})"
+            )
+        if not (0 <= machine_type < self.num_machine_types):
+            raise ModelError(
+                f"machine type index {machine_type} out of range "
+                f"[0, {self.num_machine_types})"
+            )
+        return float(self.values[task_type, machine_type])
+
+    def is_feasible(self, task_type: int, machine_type: int) -> bool:
+        """Whether the (τ, μ) pair is executable."""
+        return bool(self.feasible[task_type, machine_type])
+
+    def feasible_machine_types(self, task_type: int) -> np.ndarray:
+        """Indices of machine types that can execute *task_type*."""
+        return np.nonzero(self.feasible[task_type])[0]
+
+    # -- statistics ----------------------------------------------------
+
+    def row_average(self, task_type: int) -> float:
+        """Mean over *feasible* machine types for one task type.
+
+        This is the "row average task execution time" used by the
+        synthetic-data method of Section III-D2.
+        """
+        row = self.values[task_type]
+        mask = self.feasible[task_type]
+        if not mask.any():
+            raise ModelError(f"task type {task_type} has no feasible machines")
+        return float(row[mask].mean())
+
+    def row_averages(self) -> FloatArray:
+        """Vector of row averages over feasible entries."""
+        masked = np.where(self.feasible, self.values, np.nan)
+        with np.errstate(invalid="ignore"):
+            means = np.nanmean(masked, axis=1)
+        if np.any(np.isnan(means)):
+            bad = np.nonzero(np.isnan(means))[0]
+            raise ModelError(f"task types {bad.tolist()} have no feasible machines")
+        return means
+
+    def ratio_matrix(self) -> FloatArray:
+        """Execution-time ratios: entry / its row average.
+
+        Infeasible entries remain ``inf``.  Faster-than-average machines
+        yield ratios below one (paper Section III-D2 example: 8 min on a
+        10-min-average task -> 0.8).
+        """
+        means = self.row_averages()
+        return self.values / means[:, None]
+
+    # -- restriction ---------------------------------------------------
+
+    def submatrix(
+        self,
+        task_types: Optional[Sequence[int]] = None,
+        machine_types: Optional[Sequence[int]] = None,
+    ) -> "TypedMatrix":
+        """Restrict to the given row/column index lists (reindexed)."""
+        rows = np.arange(self.num_task_types) if task_types is None else np.asarray(task_types)
+        cols = np.arange(self.num_machine_types) if machine_types is None else np.asarray(machine_types)
+        return TypedMatrix(
+            values=self.values[np.ix_(rows, cols)],
+            feasible=self.feasible[np.ix_(rows, cols)],
+            name=self.name,
+        )
+
+
+class ETCMatrix(TypedMatrix):
+    """Estimated Time to Compute matrix (seconds)."""
+
+    def __init__(self, values: FloatArray, feasible: Optional[BoolArray] = None):
+        super().__init__(values=values, feasible=feasible, name="ETC")
+
+
+class EPCMatrix(TypedMatrix):
+    """Estimated Power Consumption matrix (watts)."""
+
+    def __init__(self, values: FloatArray, feasible: Optional[BoolArray] = None):
+        super().__init__(values=values, feasible=feasible, name="EPC")
+
+
+class EECMatrix(TypedMatrix):
+    """Estimated Energy Consumption matrix (joules), Eq. (2).
+
+    Built from ETC and EPC via :meth:`from_etc_epc`; kept as its own
+    class so analysis code can dispatch on matrix meaning.
+    """
+
+    def __init__(self, values: FloatArray, feasible: Optional[BoolArray] = None):
+        super().__init__(values=values, feasible=feasible, name="EEC")
+
+    @classmethod
+    def from_etc_epc(cls, etc: TypedMatrix, epc: TypedMatrix) -> "EECMatrix":
+        """``EEC(τ, μ) = ETC(τ, μ) × EPC(τ, μ)`` elementwise."""
+        if etc.shape != epc.shape:
+            raise ModelError(
+                f"ETC shape {etc.shape} does not match EPC shape {epc.shape}"
+            )
+        if not np.array_equal(etc.feasible, epc.feasible):
+            raise ModelError("ETC and EPC feasibility masks disagree")
+        values = np.where(etc.feasible, etc.values * epc.values, np.inf)
+        return cls(values=values, feasible=etc.feasible)

@@ -1,0 +1,148 @@
+"""JSON-friendly serialization of system models.
+
+Systems (machine types, machines, task types, matrices) round-trip
+through plain dictionaries so experiments can be archived and reloaded.
+Time-utility functions are serialized through their own ``to_dict`` /
+``from_dict`` protocol when present.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.machine import Machine, MachineCategory, MachineType
+from repro.model.matrices import EPCMatrix, ETCMatrix
+from repro.model.system import SystemModel
+from repro.model.task import TaskCategory, TaskType
+
+__all__ = ["system_to_dict", "system_from_dict", "save_system", "load_system"]
+
+
+def _matrix_to_dict(values: np.ndarray, feasible: np.ndarray) -> dict[str, Any]:
+    out = np.where(feasible, values, -1.0)  # -1 encodes infeasible in JSON
+    return {
+        "values": out.tolist(),
+        "feasible": feasible.astype(int).tolist(),
+    }
+
+
+def _matrix_from_dict(data: dict[str, Any]) -> tuple[np.ndarray, np.ndarray]:
+    values = np.asarray(data["values"], dtype=np.float64)
+    feasible = np.asarray(data["feasible"], dtype=bool)
+    values = np.where(feasible, values, np.inf)
+    return values, feasible
+
+
+def system_to_dict(system: SystemModel) -> dict[str, Any]:
+    """Serialize *system* to a JSON-compatible dictionary."""
+    return {
+        "format": "repro.system/1",
+        "machine_types": [
+            {
+                "name": mt.name,
+                "index": mt.index,
+                "category": mt.category.value,
+                "supported_task_types": (
+                    sorted(mt.supported_task_types)
+                    if mt.supported_task_types is not None
+                    else None
+                ),
+                "idle_power_watts": mt.idle_power_watts,
+            }
+            for mt in system.machine_types
+        ],
+        "machines": [
+            {"name": m.name, "index": m.index, "machine_type": m.machine_type.index}
+            for m in system.machines
+        ],
+        "task_types": [
+            {
+                "name": tt.name,
+                "index": tt.index,
+                "category": tt.category.value,
+                "special_machine_type": tt.special_machine_type,
+                "utility_function": (
+                    tt.utility_function.to_dict()
+                    if tt.utility_function is not None
+                    else None
+                ),
+            }
+            for tt in system.task_types
+        ],
+        "etc": _matrix_to_dict(system.etc.values, system.etc.feasible),
+        "epc": _matrix_to_dict(system.epc.values, system.epc.feasible),
+    }
+
+
+def system_from_dict(data: dict[str, Any]) -> SystemModel:
+    """Reconstruct a :class:`SystemModel` from :func:`system_to_dict` output."""
+    if data.get("format") != "repro.system/1":
+        raise ModelError(
+            f"unrecognized system format {data.get('format')!r}; expected "
+            "'repro.system/1'"
+        )
+    machine_types = tuple(
+        MachineType(
+            name=d["name"],
+            index=d["index"],
+            category=MachineCategory(d["category"]),
+            supported_task_types=(
+                frozenset(d["supported_task_types"])
+                if d["supported_task_types"] is not None
+                else None
+            ),
+            idle_power_watts=d.get("idle_power_watts", 0.0),
+        )
+        for d in data["machine_types"]
+    )
+    machines = tuple(
+        Machine(
+            name=d["name"],
+            index=d["index"],
+            machine_type=machine_types[d["machine_type"]],
+        )
+        for d in data["machines"]
+    )
+
+    # Deferred import: utility depends on nothing in model, but model
+    # serialization needs to rebuild TUFs when present.
+    from repro.utility.tuf import TimeUtilityFunction
+
+    task_types = tuple(
+        TaskType(
+            name=d["name"],
+            index=d["index"],
+            category=TaskCategory(d["category"]),
+            special_machine_type=d["special_machine_type"],
+            utility_function=(
+                TimeUtilityFunction.from_dict(d["utility_function"])
+                if d.get("utility_function") is not None
+                else None
+            ),
+        )
+        for d in data["task_types"]
+    )
+    etc_values, etc_feasible = _matrix_from_dict(data["etc"])
+    epc_values, epc_feasible = _matrix_from_dict(data["epc"])
+    return SystemModel(
+        machine_types=machine_types,
+        machines=machines,
+        task_types=task_types,
+        etc=ETCMatrix(etc_values, etc_feasible),
+        epc=EPCMatrix(epc_values, epc_feasible),
+    )
+
+
+def save_system(system: SystemModel, path: Union[str, Path]) -> None:
+    """Write *system* as JSON to *path*."""
+    Path(path).write_text(json.dumps(system_to_dict(system), indent=2))
+
+
+def load_system(path: Union[str, Path]) -> SystemModel:
+    """Load a system previously written by :func:`save_system`."""
+    return system_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,290 @@
+"""The validated :class:`SystemModel` — machines + task types + matrices.
+
+A ``SystemModel`` bundles everything Section III defines about the
+computing environment:
+
+* the machine-type list and the machine instances of each type
+  (dataset 2/3 allot several machines per type — Table III);
+* the task-type list, each optionally carrying a time-utility function;
+* the ETC and EPC matrices (task types × machine types) and the derived
+  EEC matrix;
+* consistency validation between categories and feasibility masks.
+
+It also precomputes the *per-machine* expansions used by the hot
+simulator path: ``etc_task_machine[i, m]`` for task type ``i`` on
+machine instance ``m`` (columns repeated according to machine type),
+so the evaluator can gather directly by machine index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.machine import Machine, MachineType
+from repro.model.matrices import EECMatrix, EPCMatrix, ETCMatrix
+from repro.model.task import TaskType
+from repro.types import BoolArray, FloatArray, IntArray
+
+__all__ = ["SystemModel"]
+
+
+@dataclass(frozen=True)
+class SystemModel:
+    """A complete heterogeneous computing environment.
+
+    Construct via the constructor (validates everything) or the
+    :meth:`from_matrices` convenience for simple all-general systems.
+    """
+
+    machine_types: tuple[MachineType, ...]
+    machines: tuple[Machine, ...]
+    task_types: tuple[TaskType, ...]
+    etc: ETCMatrix
+    epc: EPCMatrix
+
+    def __post_init__(self) -> None:
+        if not self.machine_types:
+            raise ModelError("system must define at least one machine type")
+        if not self.machines:
+            raise ModelError("system must contain at least one machine")
+        if not self.task_types:
+            raise ModelError("system must define at least one task type")
+
+        for i, mt in enumerate(self.machine_types):
+            if mt.index != i:
+                raise ModelError(
+                    f"machine type {mt.name!r} has index {mt.index}, expected "
+                    f"position {i}"
+                )
+        for i, tt in enumerate(self.task_types):
+            if tt.index != i:
+                raise ModelError(
+                    f"task type {tt.name!r} has index {tt.index}, expected "
+                    f"position {i}"
+                )
+        for i, m in enumerate(self.machines):
+            if m.index != i:
+                raise ModelError(
+                    f"machine {m.name!r} has index {m.index}, expected {i}"
+                )
+            if m.machine_type is not self.machine_types[m.machine_type.index]:
+                # Allow equal-but-distinct objects as long as indices map.
+                if m.machine_type.index >= len(self.machine_types):
+                    raise ModelError(
+                        f"machine {m.name!r} references unknown machine type "
+                        f"index {m.machine_type.index}"
+                    )
+
+        T, M = len(self.task_types), len(self.machine_types)
+        if self.etc.shape != (T, M):
+            raise ModelError(
+                f"ETC shape {self.etc.shape} does not match "
+                f"({T} task types, {M} machine types)"
+            )
+        if self.epc.shape != (T, M):
+            raise ModelError(
+                f"EPC shape {self.epc.shape} does not match "
+                f"({T} task types, {M} machine types)"
+            )
+        if not np.array_equal(self.etc.feasible, self.epc.feasible):
+            raise ModelError("ETC and EPC feasibility masks disagree")
+
+        self._validate_category_consistency()
+
+        for tt in self.task_types:
+            if not self.etc.feasible[tt.index].any():
+                raise ModelError(
+                    f"task type {tt.name!r} cannot execute on any machine type"
+                )
+
+    def _validate_category_consistency(self) -> None:
+        """Check feasibility mask against machine/task categories.
+
+        The paper's rules: a special-purpose machine type executes only
+        its declared task subset; a general-purpose machine type
+        executes every task type; a special-purpose task type runs on
+        its one special machine type plus the general-purpose types.
+        """
+        for mt in self.machine_types:
+            col = self.etc.feasible[:, mt.index]
+            if mt.is_special_purpose:
+                declared = mt.supported_task_types or frozenset()
+                actual = set(np.nonzero(col)[0].tolist())
+                if actual != set(declared):
+                    raise ModelError(
+                        f"special-purpose machine type {mt.name!r} feasibility "
+                        f"column {sorted(actual)} disagrees with declared "
+                        f"supported task types {sorted(declared)}"
+                    )
+            else:
+                if not col.all():
+                    missing = np.nonzero(~col)[0].tolist()
+                    raise ModelError(
+                        f"general-purpose machine type {mt.name!r} must execute "
+                        f"every task type; infeasible for {missing}"
+                    )
+
+    # -- convenience construction --------------------------------------
+
+    @classmethod
+    def from_matrices(
+        cls,
+        etc_values: FloatArray,
+        epc_values: FloatArray,
+        machine_type_names: Optional[Sequence[str]] = None,
+        task_type_names: Optional[Sequence[str]] = None,
+        machines_per_type: Optional[Sequence[int]] = None,
+    ) -> "SystemModel":
+        """Build an all-general-purpose system straight from arrays.
+
+        Parameters
+        ----------
+        etc_values, epc_values:
+            ``(T, M)`` arrays of execution times / powers (all feasible).
+        machine_type_names, task_type_names:
+            Optional name lists; defaults are generated.
+        machines_per_type:
+            Number of machine instances per type; default one each.
+        """
+        etc_values = np.asarray(etc_values, dtype=np.float64)
+        epc_values = np.asarray(epc_values, dtype=np.float64)
+        T, M = etc_values.shape
+        if machine_type_names is None:
+            machine_type_names = [f"machine-type-{j}" for j in range(M)]
+        if task_type_names is None:
+            task_type_names = [f"task-type-{i}" for i in range(T)]
+        if machines_per_type is None:
+            machines_per_type = [1] * M
+        if len(machine_type_names) != M:
+            raise ModelError("machine_type_names length must equal ETC columns")
+        if len(task_type_names) != T:
+            raise ModelError("task_type_names length must equal ETC rows")
+        if len(machines_per_type) != M:
+            raise ModelError("machines_per_type length must equal ETC columns")
+
+        machine_types = tuple(
+            MachineType(name=name, index=j)
+            for j, name in enumerate(machine_type_names)
+        )
+        machines: list[Machine] = []
+        for j, count in enumerate(machines_per_type):
+            if count < 1:
+                raise ModelError(
+                    f"machines_per_type[{j}] must be >= 1, got {count}"
+                )
+            for k in range(count):
+                machines.append(
+                    Machine(
+                        name=f"{machine_type_names[j]}#{k}",
+                        index=len(machines),
+                        machine_type=machine_types[j],
+                    )
+                )
+        task_types = tuple(
+            TaskType(name=name, index=i) for i, name in enumerate(task_type_names)
+        )
+        return cls(
+            machine_types=machine_types,
+            machines=tuple(machines),
+            task_types=task_types,
+            etc=ETCMatrix(etc_values),
+            epc=EPCMatrix(epc_values),
+        )
+
+    def with_utility_functions(self, tufs: Sequence) -> "SystemModel":
+        """Return a copy whose task types carry the given TUFs (by index)."""
+        if len(tufs) != self.num_task_types:
+            raise ModelError(
+                f"expected {self.num_task_types} utility functions, got {len(tufs)}"
+            )
+        new_task_types = tuple(
+            tt.with_utility_function(tuf) for tt, tuf in zip(self.task_types, tufs)
+        )
+        return SystemModel(
+            machine_types=self.machine_types,
+            machines=self.machines,
+            task_types=new_task_types,
+            etc=self.etc,
+            epc=self.epc,
+        )
+
+    # -- sizes ----------------------------------------------------------
+
+    @property
+    def num_machine_types(self) -> int:
+        """Number of machine types ``μ``."""
+        return len(self.machine_types)
+
+    @property
+    def num_machines(self) -> int:
+        """Number of machine instances ``M``."""
+        return len(self.machines)
+
+    @property
+    def num_task_types(self) -> int:
+        """Number of task types ``τ``."""
+        return len(self.task_types)
+
+    # -- derived matrices -----------------------------------------------
+
+    @cached_property
+    def eec(self) -> EECMatrix:
+        """Estimated Energy Consumption matrix (Eq. 2)."""
+        return EECMatrix.from_etc_epc(self.etc, self.epc)
+
+    @cached_property
+    def machine_type_of_machine(self) -> IntArray:
+        """``Ω(m)``: machine-type index for each machine instance."""
+        arr = np.array([m.machine_type.index for m in self.machines], dtype=np.int64)
+        arr.setflags(write=False)
+        return arr
+
+    @cached_property
+    def etc_task_machine(self) -> FloatArray:
+        """ETC expanded to machine instances: shape ``(T, num_machines)``."""
+        arr = self.etc.values[:, self.machine_type_of_machine]
+        arr.setflags(write=False)
+        return arr
+
+    @cached_property
+    def epc_task_machine(self) -> FloatArray:
+        """EPC expanded to machine instances: shape ``(T, num_machines)``."""
+        arr = self.epc.values[:, self.machine_type_of_machine]
+        arr.setflags(write=False)
+        return arr
+
+    @cached_property
+    def eec_task_machine(self) -> FloatArray:
+        """EEC expanded to machine instances: shape ``(T, num_machines)``."""
+        arr = self.eec.values[:, self.machine_type_of_machine]
+        arr.setflags(write=False)
+        return arr
+
+    @cached_property
+    def feasible_task_machine(self) -> BoolArray:
+        """Feasibility expanded to machine instances."""
+        arr = self.etc.feasible[:, self.machine_type_of_machine]
+        arr.setflags(write=False)
+        return arr
+
+    def feasible_machines(self, task_type: int) -> IntArray:
+        """Machine-instance indices that can execute *task_type*."""
+        return np.nonzero(self.feasible_task_machine[task_type])[0]
+
+    # -- descriptive -----------------------------------------------------
+
+    def describe(self) -> str:
+        """One-paragraph summary used by the CLI and reports."""
+        n_special_mt = sum(mt.is_special_purpose for mt in self.machine_types)
+        n_special_tt = sum(tt.is_special_purpose for tt in self.task_types)
+        return (
+            f"SystemModel: {self.num_machines} machines across "
+            f"{self.num_machine_types} machine types ({n_special_mt} special-"
+            f"purpose), {self.num_task_types} task types ({n_special_tt} "
+            f"special-purpose)"
+        )

@@ -1,0 +1,94 @@
+"""Task-type definitions (paper Section III-C).
+
+Each task in a workload trace is an instance of a *task type* ``τ``.
+Task types have unique execution/power characteristics on each machine
+type (the rows of the ETC/EPC matrices) and belong to one of two
+categories:
+
+* **general-purpose** task types execute only on general-purpose
+  machine types;
+* **special-purpose** task types additionally execute on one specific
+  special-purpose machine type at a ~10x faster rate.
+
+A task type also carries the *time-utility function* (TUF) parameters
+that determine how much utility its instances earn as a function of
+completion time; the TUF object itself lives in :mod:`repro.utility`
+and is referenced here opaquely to avoid an import cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import ModelError
+
+__all__ = ["TaskCategory", "TaskType"]
+
+
+class TaskCategory(enum.Enum):
+    """Category of a task type (Section III-C)."""
+
+    GENERAL_PURPOSE = "general-purpose"
+    SPECIAL_PURPOSE = "special-purpose"
+
+
+@dataclass(frozen=True, slots=True)
+class TaskType:
+    """A task type ``τ`` — a row of the ETC/EPC matrices.
+
+    Attributes
+    ----------
+    name:
+        Human-readable designation (e.g. ``"C-Ray"``).
+    index:
+        Row index of this type in the system's ETC/EPC matrices.
+    category:
+        General-purpose or special-purpose.
+    special_machine_type:
+        For special-purpose task types, the index of the one
+        special-purpose *machine type* that accelerates them.  ``None``
+        for general-purpose task types.
+    utility_function:
+        The :class:`repro.utility.tuf.TimeUtilityFunction` assigned to
+        instances of this type (held as ``Any`` to keep the model layer
+        free of utility-layer imports).  May be ``None`` for systems
+        used in pure energy/makespan studies.
+    """
+
+    name: str
+    index: int
+    category: TaskCategory = TaskCategory.GENERAL_PURPOSE
+    special_machine_type: Optional[int] = None
+    utility_function: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ModelError(f"task type index must be >= 0, got {self.index}")
+        if self.category is TaskCategory.SPECIAL_PURPOSE:
+            if self.special_machine_type is None:
+                raise ModelError(
+                    f"special-purpose task type {self.name!r} must name its "
+                    "accelerating special_machine_type"
+                )
+        elif self.special_machine_type is not None:
+            raise ModelError(
+                f"general-purpose task type {self.name!r} must not reference a "
+                "special machine type"
+            )
+
+    @property
+    def is_special_purpose(self) -> bool:
+        """Whether a special-purpose machine type accelerates this type."""
+        return self.category is TaskCategory.SPECIAL_PURPOSE
+
+    def with_utility_function(self, tuf: Any) -> "TaskType":
+        """Return a copy of this task type carrying *tuf*."""
+        return TaskType(
+            name=self.name,
+            index=self.index,
+            category=self.category,
+            special_machine_type=self.special_machine_type,
+            utility_function=tuf,
+        )

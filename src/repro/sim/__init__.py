@@ -1,0 +1,34 @@
+"""Schedule simulation and evaluation (paper Sections IV-B and V).
+
+Given a system, a trace, and a resource allocation (per-task machine
+assignment + global scheduling order), this package computes the two
+objective values of the paper — total utility earned ``U`` (Eq. 1) and
+total energy consumed ``E`` (Eq. 3) — plus auxiliary schedule metrics.
+
+Two implementations with identical semantics:
+
+* :mod:`repro.sim.evaluator` — the fast path.  The per-machine queue
+  recurrence ``f_i = max(f_{i-1}, a_i) + e_i`` is solved in closed form
+  with segmented cumulative sums and a segmented running maximum, so
+  evaluating a chromosome is pure vectorized NumPy (no Python loop
+  over tasks), and whole populations evaluate in one shot.
+* :mod:`repro.sim.events` — a plain sequential reference simulator
+  used to validate the fast path (property-tested to bit-equality).
+"""
+
+from repro.sim.evaluator import EvaluationResult, ScheduleEvaluator
+from repro.sim.events import simulate_reference
+from repro.sim.gantt import machine_timeline, render_gantt
+from repro.sim.metrics import ScheduleMetrics, compute_metrics
+from repro.sim.schedule import ResourceAllocation
+
+__all__ = [
+    "ResourceAllocation",
+    "ScheduleEvaluator",
+    "EvaluationResult",
+    "simulate_reference",
+    "ScheduleMetrics",
+    "compute_metrics",
+    "render_gantt",
+    "machine_timeline",
+]

@@ -1,0 +1,105 @@
+"""Auxiliary schedule metrics beyond the two paper objectives.
+
+The bi-objective analysis optimizes (energy, utility) only, but makespan,
+flow time, waiting time, and machine utilization are what related work
+optimizes (Friese et al. 2012 minimized makespan) and what system
+administrators inspect; they are also used by the Min-Min heuristic
+tests and the extension benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.model.system import SystemModel
+from repro.sim.evaluator import EvaluationResult
+from repro.sim.schedule import ResourceAllocation
+from repro.types import FloatArray
+from repro.workload.trace import Trace
+
+__all__ = ["ScheduleMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Summary statistics of one simulated schedule.
+
+    Attributes
+    ----------
+    makespan:
+        Latest completion time (seconds).
+    total_flow_time:
+        Sum over tasks of ``completion − arrival``.
+    mean_waiting_time:
+        Mean of ``start − arrival``.
+    max_waiting_time:
+        Maximum of ``start − arrival``.
+    machine_busy_time:
+        ``(num_machines,)`` seconds of execution per machine.
+    machine_utilization:
+        ``(num_machines,)`` busy time divided by makespan.
+    machine_energy:
+        ``(num_machines,)`` joules consumed per machine (Eq. 3's inner
+        sum).
+    utility_fraction:
+        Utility earned as a fraction of the sum of task priorities
+        (1.0 = every task completed instantly).
+    """
+
+    makespan: float
+    total_flow_time: float
+    mean_waiting_time: float
+    max_waiting_time: float
+    machine_busy_time: FloatArray
+    machine_utilization: FloatArray
+    machine_energy: FloatArray
+    utility_fraction: float
+
+
+def compute_metrics(
+    system: SystemModel,
+    trace: Trace,
+    allocation: ResourceAllocation,
+    result: EvaluationResult,
+) -> ScheduleMetrics:
+    """Derive :class:`ScheduleMetrics` from an evaluation result."""
+    if result.start_times.shape[0] != trace.num_tasks:
+        raise ScheduleError("result does not match the trace size")
+    waiting = result.start_times - trace.arrival_times
+    flow = result.completion_times - trace.arrival_times
+    exec_times = result.completion_times - result.start_times
+
+    busy = np.bincount(
+        allocation.machine_assignment,
+        weights=exec_times,
+        minlength=system.num_machines,
+    )
+    energy_per_machine = np.bincount(
+        allocation.machine_assignment,
+        weights=result.task_energies,
+        minlength=system.num_machines,
+    )
+    makespan = float(result.completion_times.max())
+    utilization = busy / makespan if makespan > 0 else np.zeros_like(busy)
+
+    # Upper bound on utility: every task completes the instant it arrives.
+    max_utilities = np.array(
+        [
+            system.task_types[tt].utility_function.max_utility
+            for tt in trace.task_types
+        ]
+    )
+    bound = float(max_utilities.sum())
+    return ScheduleMetrics(
+        makespan=makespan,
+        total_flow_time=float(flow.sum()),
+        mean_waiting_time=float(waiting.mean()),
+        max_waiting_time=float(waiting.max()),
+        machine_busy_time=busy,
+        machine_utilization=utilization,
+        machine_energy=energy_per_machine,
+        utility_fraction=result.utility / bound if bound > 0 else 0.0,
+    )

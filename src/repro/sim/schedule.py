@@ -1,0 +1,133 @@
+"""The :class:`ResourceAllocation` — a complete mapping of tasks to machines.
+
+The paper (Section IV-D): each *gene* holds the machine a task executes
+on, the task's arrival time, and its **global scheduling order** — an
+integer key controlling execution order on the machines, *independent*
+of arrival times (a machine sits idle if its next task has not yet
+arrived).  A *chromosome* is the full vector of genes; this class is
+that chromosome's phenotype, decoupled from the GA machinery so greedy
+heuristics and the simulator share it.
+
+The scheduling order is an integer *priority key*: lower runs earlier.
+After the paper's crossover (which swaps order values between two
+chromosomes) keys may repeat; ties are broken by task index (stable),
+as documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.types import IntArray
+
+__all__ = ["ResourceAllocation"]
+
+
+@dataclass(frozen=True)
+class ResourceAllocation:
+    """Per-task machine assignment and global scheduling order.
+
+    Attributes
+    ----------
+    machine_assignment:
+        ``(T,)`` int array; ``machine_assignment[i]`` is the machine
+        *instance* index executing task *i*.
+    scheduling_order:
+        ``(T,)`` int array of priority keys; lower keys execute earlier
+        on their machine (ties broken by task index).
+    """
+
+    machine_assignment: IntArray
+    scheduling_order: IntArray
+
+    def __post_init__(self) -> None:
+        assignment = np.asarray(self.machine_assignment, dtype=np.int64)
+        order = np.asarray(self.scheduling_order, dtype=np.int64)
+        if assignment.ndim != 1 or order.ndim != 1:
+            raise ScheduleError("allocation columns must be 1-D")
+        if assignment.shape != order.shape:
+            raise ScheduleError(
+                f"assignment length {assignment.shape[0]} does not match "
+                f"order length {order.shape[0]}"
+            )
+        if assignment.size == 0:
+            raise ScheduleError("allocation must cover at least one task")
+        if np.any(assignment < 0):
+            raise ScheduleError("machine indices must be >= 0")
+        assignment = assignment.copy()
+        order = order.copy()
+        assignment.setflags(write=False)
+        order.setflags(write=False)
+        object.__setattr__(self, "machine_assignment", assignment)
+        object.__setattr__(self, "scheduling_order", order)
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks the allocation covers."""
+        return int(self.machine_assignment.shape[0])
+
+    def validate_against(self, num_machines: int, feasible_task_machine=None,
+                         task_types: Optional[IntArray] = None) -> None:
+        """Raise :class:`ScheduleError` on out-of-range or infeasible placement.
+
+        Parameters
+        ----------
+        num_machines:
+            Machine-instance count of the system.
+        feasible_task_machine:
+            Optional ``(num_task_types, num_machines)`` bool mask; when
+            given together with *task_types*, placements are checked
+            against it.
+        task_types:
+            ``(T,)`` task-type indices of the trace.
+        """
+        if int(self.machine_assignment.max()) >= num_machines:
+            raise ScheduleError(
+                f"allocation references machine {int(self.machine_assignment.max())} "
+                f"but the system has only {num_machines} machines"
+            )
+        if feasible_task_machine is not None:
+            if task_types is None:
+                raise ScheduleError(
+                    "task_types required to check placement feasibility"
+                )
+            ok = feasible_task_machine[task_types, self.machine_assignment]
+            if not np.all(ok):
+                bad = int(np.flatnonzero(~ok)[0])
+                raise ScheduleError(
+                    f"task {bad} (type {int(task_types[bad])}) is assigned to "
+                    f"machine {int(self.machine_assignment[bad])}, which cannot "
+                    "execute that task type"
+                )
+
+    def is_order_permutation(self) -> bool:
+        """Whether the scheduling order is a permutation of ``0..T-1``."""
+        return bool(
+            np.array_equal(np.sort(self.scheduling_order), np.arange(self.num_tasks))
+        )
+
+    def normalized_order(self) -> "ResourceAllocation":
+        """Copy with the order keys renormalized to a permutation.
+
+        Stable: relative order (ties broken by task index) is preserved.
+        """
+        ranks = np.empty(self.num_tasks, dtype=np.int64)
+        # argsort of (order, index) — np.argsort is stable for kind='stable'.
+        perm = np.argsort(self.scheduling_order, kind="stable")
+        ranks[perm] = np.arange(self.num_tasks)
+        return ResourceAllocation(
+            machine_assignment=self.machine_assignment,
+            scheduling_order=ranks,
+        )
+
+    def machine_queue(self, machine: int) -> IntArray:
+        """Task indices queued on *machine*, in execution order."""
+        tasks = np.flatnonzero(self.machine_assignment == machine)
+        if tasks.size == 0:
+            return tasks
+        keys = self.scheduling_order[tasks]
+        return tasks[np.argsort(keys, kind="stable")]

@@ -1,0 +1,70 @@
+"""Shared type aliases and small value types used across subsystems.
+
+Keeping these in one leaf module avoids import cycles between the model,
+simulator, and optimizer packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = [
+    "FloatArray",
+    "IntArray",
+    "BoolArray",
+    "Seconds",
+    "Watts",
+    "Joules",
+    "ObjectivePoint",
+]
+
+#: 1-D or 2-D array of float64 values.
+FloatArray = npt.NDArray[np.float64]
+#: 1-D or 2-D array of integer indices.
+IntArray = npt.NDArray[np.int64]
+#: Boolean mask array.
+BoolArray = npt.NDArray[np.bool_]
+
+#: Execution time, seconds.
+Seconds = float
+#: Power, watts.
+Watts = float
+#: Energy, joules.
+Joules = float
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectivePoint:
+    """A single point in the (energy, utility) objective space.
+
+    Attributes
+    ----------
+    energy:
+        Total energy consumed by the allocation, in joules.
+    utility:
+        Total utility earned by the allocation (dimensionless units, as
+        defined by the time-utility functions).
+    """
+
+    energy: Joules
+    utility: float
+
+    @property
+    def energy_megajoules(self) -> float:
+        """Energy in megajoules — the unit on the paper's x-axes."""
+        return self.energy / 1.0e6
+
+    @property
+    def utility_per_energy(self) -> float:
+        """Utility earned per joule spent (``inf``-safe for zero energy)."""
+        if self.energy == 0.0:
+            return float("inf") if self.utility > 0 else 0.0
+        return self.utility / self.energy
+
+    def as_tuple(self) -> tuple[float, float]:
+        """``(energy, utility)`` tuple, for array construction."""
+        return (self.energy, self.utility)

@@ -1,0 +1,33 @@
+"""Time-utility functions (paper Section IV-B1, Briceno et al. HCW 2011).
+
+Each task type carries a monotonically non-increasing *time-utility
+function* (TUF) built from three parameter sets:
+
+* **priority** — the maximum utility the task can earn;
+* **urgency** — the base rate at which utility decays with completion
+  time;
+* **utility characteristic class** — an ordered list of intervals, each
+  spanning a begin/end percentage of maximum priority with its own
+  urgency modifier and decay shape.
+
+This package defines the interval/class/TUF value objects, compiles
+them into breakpoint tables, and provides fully vectorized batch
+evaluation for the simulator hot path.
+"""
+
+from repro.utility.intervals import DecayShape, UtilityClass, UtilityInterval
+from repro.utility.presets import PresetCatalog, default_catalog, assign_presets
+from repro.utility.tuf import CompiledTUF, TimeUtilityFunction
+from repro.utility.vectorized import TUFTable
+
+__all__ = [
+    "DecayShape",
+    "UtilityInterval",
+    "UtilityClass",
+    "TimeUtilityFunction",
+    "CompiledTUF",
+    "TUFTable",
+    "PresetCatalog",
+    "default_catalog",
+    "assign_presets",
+]

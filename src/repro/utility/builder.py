@@ -1,0 +1,121 @@
+"""Fluent builder for time-utility functions.
+
+Writing multi-interval utility classes by hand means tracking fraction
+contiguity manually; :class:`TUFBuilder` chains segments and validates
+once at :meth:`build`:
+
+    tuf = (
+        TUFBuilder(priority=10.0, urgency=1.0 / 300.0)
+        .hold(seconds=60.0)                  # full value for a minute
+        .exponential_to(0.5)                 # decay to 50%...
+        .exponential_to(0.1, modifier=3.0)   # ...then faster to 10%
+        .linear_to_zero(modifier=5.0)        # then drop to nothing
+        .build()
+    )
+
+Each ``*_to`` method appends an interval starting at the previous
+interval's end fraction, so contiguity holds by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import UtilityFunctionError
+from repro.utility.intervals import DecayShape, UtilityClass, UtilityInterval
+from repro.utility.tuf import TimeUtilityFunction
+
+__all__ = ["TUFBuilder"]
+
+
+class TUFBuilder:
+    """Chainable construction of a :class:`TimeUtilityFunction`.
+
+    Parameters
+    ----------
+    priority:
+        Maximum utility (> 0).
+    urgency:
+        Base decay rate (> 0); interval modifiers scale it.
+    name:
+        Label of the resulting utility class.
+    """
+
+    def __init__(self, priority: float, urgency: float, name: str = "built") -> None:
+        if priority <= 0:
+            raise UtilityFunctionError(f"priority must be > 0, got {priority}")
+        if urgency <= 0:
+            raise UtilityFunctionError(f"urgency must be > 0, got {urgency}")
+        self._priority = priority
+        self._urgency = urgency
+        self._name = name
+        self._intervals: list[UtilityInterval] = []
+        self._current_fraction = 1.0
+
+    @property
+    def current_fraction(self) -> float:
+        """Fraction the next interval will start at."""
+        return self._current_fraction
+
+    def hold(self, seconds: float) -> "TUFBuilder":
+        """Hold the current value constant for *seconds*."""
+        self._intervals.append(
+            UtilityInterval(
+                start_fraction=self._current_fraction,
+                end_fraction=self._current_fraction,
+                shape=DecayShape.CONSTANT,
+                duration=seconds,
+            )
+        )
+        return self
+
+    def exponential_to(
+        self, fraction: float, modifier: float = 1.0
+    ) -> "TUFBuilder":
+        """Decay exponentially from the current fraction to *fraction*."""
+        self._intervals.append(
+            UtilityInterval(
+                start_fraction=self._current_fraction,
+                end_fraction=fraction,
+                urgency_modifier=modifier,
+                shape=DecayShape.EXPONENTIAL,
+            )
+        )
+        self._current_fraction = fraction
+        return self
+
+    def linear_to(self, fraction: float, modifier: float = 1.0) -> "TUFBuilder":
+        """Decay linearly from the current fraction to *fraction*."""
+        self._intervals.append(
+            UtilityInterval(
+                start_fraction=self._current_fraction,
+                end_fraction=fraction,
+                urgency_modifier=modifier,
+                shape=DecayShape.LINEAR,
+            )
+        )
+        self._current_fraction = fraction
+        return self
+
+    def linear_to_zero(self, modifier: float = 1.0) -> "TUFBuilder":
+        """Decay linearly from the current fraction to zero."""
+        return self.linear_to(0.0, modifier=modifier)
+
+    def drop_to(self, fraction: float) -> "TUFBuilder":
+        """Near-instant drop to *fraction* (steep linear, 1000x modifier)."""
+        return self.linear_to(fraction, modifier=1000.0)
+
+    def build(self) -> TimeUtilityFunction:
+        """Validate and assemble the TUF."""
+        if not self._intervals:
+            raise UtilityFunctionError(
+                "builder has no intervals; add hold()/exponential_to()/"
+                "linear_to() segments first"
+            )
+        return TimeUtilityFunction(
+            priority=self._priority,
+            urgency=self._urgency,
+            utility_class=UtilityClass(
+                intervals=tuple(self._intervals), name=self._name
+            ),
+        )

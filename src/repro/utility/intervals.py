@@ -1,0 +1,243 @@
+"""Utility characteristic classes — the interval structure of a TUF.
+
+The paper (Section IV-B1): *"Utility characteristic class allows the
+utility function to be separated into discrete intervals. Each interval
+can have a beginning and ending percentage of maximum priority, as well
+as an urgency modifier to control the rate of decay of utility."*
+
+An interval therefore spans utility *values* (fractions of priority),
+not times; the time span of each interval is derived from the decay
+shape, urgency, and the modifier when the TUF is compiled.  Three decay
+shapes are supported:
+
+* ``EXPONENTIAL`` — value decays as ``v0 * exp(-λ Δt)`` with
+  ``λ = urgency × modifier``; requires a strictly positive end fraction
+  (the exponential never reaches zero in finite time).
+* ``LINEAR`` — value decays at ``urgency × modifier × priority`` units
+  per second; may reach zero.
+* ``CONSTANT`` — value holds for an explicit ``duration``; start and
+  end fractions must be equal.  Used for grace periods before decay and
+  for staircase TUFs such as the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.errors import UtilityFunctionError
+
+__all__ = ["DecayShape", "UtilityInterval", "UtilityClass"]
+
+_FRACTION_TOL = 1e-12
+
+
+class DecayShape(enum.Enum):
+    """How utility decays across one interval of a utility class."""
+
+    EXPONENTIAL = "exponential"
+    LINEAR = "linear"
+    CONSTANT = "constant"
+
+
+@dataclass(frozen=True, slots=True)
+class UtilityInterval:
+    """One interval of a utility characteristic class.
+
+    Attributes
+    ----------
+    start_fraction:
+        Utility value at the start of the interval, as a fraction of
+        maximum priority (``1.0`` = full priority).
+    end_fraction:
+        Utility value at the end of the interval, same units.
+    urgency_modifier:
+        Multiplier applied to the task's base urgency inside this
+        interval (> 0 for decaying shapes; ignored for CONSTANT).
+    shape:
+        Decay shape within the interval.
+    duration:
+        Required for CONSTANT intervals (seconds the value holds);
+        must be ``None`` for decaying shapes, whose durations are
+        derived at compile time.
+    """
+
+    start_fraction: float
+    end_fraction: float
+    urgency_modifier: float = 1.0
+    shape: DecayShape = DecayShape.EXPONENTIAL
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.end_fraction <= self.start_fraction <= 1.0 + _FRACTION_TOL):
+            raise UtilityFunctionError(
+                "interval fractions must satisfy 0 <= end <= start <= 1; got "
+                f"start={self.start_fraction}, end={self.end_fraction}"
+            )
+        if self.shape is DecayShape.CONSTANT:
+            if abs(self.start_fraction - self.end_fraction) > _FRACTION_TOL:
+                raise UtilityFunctionError(
+                    "CONSTANT interval must have equal start and end fractions; "
+                    f"got {self.start_fraction} -> {self.end_fraction}"
+                )
+            if self.duration is None or self.duration <= 0:
+                raise UtilityFunctionError(
+                    "CONSTANT interval requires a positive duration"
+                )
+        else:
+            if self.duration is not None:
+                raise UtilityFunctionError(
+                    f"{self.shape.value} interval must not set duration "
+                    "(it is derived from urgency)"
+                )
+            if self.urgency_modifier <= 0:
+                raise UtilityFunctionError(
+                    "decaying interval requires urgency_modifier > 0; got "
+                    f"{self.urgency_modifier}"
+                )
+            if self.start_fraction - self.end_fraction <= _FRACTION_TOL:
+                raise UtilityFunctionError(
+                    "decaying interval must strictly decrease; use CONSTANT "
+                    "for flat segments"
+                )
+        if self.shape is DecayShape.EXPONENTIAL and self.end_fraction <= 0.0:
+            raise UtilityFunctionError(
+                "EXPONENTIAL interval cannot end at zero utility in finite "
+                "time; use a LINEAR interval to reach zero"
+            )
+
+    def derived_duration(self, urgency: float) -> float:
+        """Time (seconds) this interval spans for a given base urgency.
+
+        * exponential: ``ln(start/end) / (urgency × modifier)``
+        * linear: ``(start − end) / (urgency × modifier)`` — the linear
+          rate is ``urgency × modifier`` fractions of priority/second.
+        * constant: the explicit duration.
+        """
+        if self.shape is DecayShape.CONSTANT:
+            assert self.duration is not None
+            return self.duration
+        if urgency <= 0:
+            raise UtilityFunctionError(f"urgency must be > 0, got {urgency}")
+        rate = urgency * self.urgency_modifier
+        if self.shape is DecayShape.EXPONENTIAL:
+            return math.log(self.start_fraction / self.end_fraction) / rate
+        return (self.start_fraction - self.end_fraction) / rate
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation."""
+        return {
+            "start_fraction": self.start_fraction,
+            "end_fraction": self.end_fraction,
+            "urgency_modifier": self.urgency_modifier,
+            "shape": self.shape.value,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "UtilityInterval":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            start_fraction=data["start_fraction"],
+            end_fraction=data["end_fraction"],
+            urgency_modifier=data.get("urgency_modifier", 1.0),
+            shape=DecayShape(data["shape"]),
+            duration=data.get("duration"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class UtilityClass:
+    """An ordered, contiguous sequence of utility intervals.
+
+    Contract (validated): the first interval starts at fraction 1.0,
+    consecutive intervals are value-contiguous (interval *i*+1 starts
+    where interval *i* ends), and fractions are non-increasing
+    throughout — making every TUF built from the class monotone
+    non-increasing by construction.
+    """
+
+    intervals: tuple[UtilityInterval, ...]
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if not self.intervals:
+            raise UtilityFunctionError("utility class requires >= 1 interval")
+        first = self.intervals[0]
+        if abs(first.start_fraction - 1.0) > _FRACTION_TOL:
+            raise UtilityFunctionError(
+                "first interval must start at fraction 1.0 (full priority); "
+                f"got {first.start_fraction}"
+            )
+        for prev, nxt in zip(self.intervals, self.intervals[1:]):
+            if abs(prev.end_fraction - nxt.start_fraction) > 1e-9:
+                raise UtilityFunctionError(
+                    "intervals must be value-contiguous: interval ending at "
+                    f"{prev.end_fraction} followed by one starting at "
+                    f"{nxt.start_fraction}"
+                )
+
+    @property
+    def final_fraction(self) -> float:
+        """Residual utility fraction after the last interval elapses."""
+        return self.intervals[-1].end_fraction
+
+    def total_duration(self, urgency: float) -> float:
+        """Total time span of all intervals at the given base urgency."""
+        return sum(iv.derived_duration(urgency) for iv in self.intervals)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation."""
+        return {
+            "name": self.name,
+            "intervals": [iv.to_dict() for iv in self.intervals],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "UtilityClass":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            intervals=tuple(
+                UtilityInterval.from_dict(d) for d in data["intervals"]
+            ),
+            name=data.get("name", "custom"),
+        )
+
+    # -- common shapes ---------------------------------------------------
+
+    @classmethod
+    def single_exponential(cls, floor_fraction: float = 0.01) -> "UtilityClass":
+        """One exponential interval decaying to *floor_fraction*."""
+        return cls(
+            intervals=(
+                UtilityInterval(1.0, floor_fraction, 1.0, DecayShape.EXPONENTIAL),
+            ),
+            name="single-exponential",
+        )
+
+    @classmethod
+    def linear_to_zero(cls) -> "UtilityClass":
+        """One linear interval decaying from full priority to zero."""
+        return cls(
+            intervals=(UtilityInterval(1.0, 0.0, 1.0, DecayShape.LINEAR),),
+            name="linear-to-zero",
+        )
+
+    @classmethod
+    def hard_deadline(cls, hold_seconds: float) -> "UtilityClass":
+        """Full utility for *hold_seconds*, then an immediate drop to zero.
+
+        The drop is modeled as a steep linear interval (modifier 1000x),
+        keeping the function finite-valued and monotone.
+        """
+        return cls(
+            intervals=(
+                UtilityInterval(
+                    1.0, 1.0, shape=DecayShape.CONSTANT, duration=hold_seconds
+                ),
+                UtilityInterval(1.0, 0.0, 1000.0, DecayShape.LINEAR),
+            ),
+            name="hard-deadline",
+        )

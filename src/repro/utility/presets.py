@@ -1,0 +1,137 @@
+"""Policy catalogue of TUF presets and assignment to task types.
+
+The paper does not publish the numeric priority/urgency/class values
+used in the ESSC experiments ("determined by system administrators ...
+policy decisions"), only their structure.  This module provides a
+catalogue of presets spanning that structure — three priority levels,
+three urgency levels, and four characteristic-class shapes — and a
+seeded assignment of presets to task types, so experiments are fully
+reproducible while exercising the full TUF shape family.
+
+Urgency values are scaled relative to the workload's time horizon: an
+urgency of ``k / horizon`` makes utility decay by a factor of ``e^k``
+across the trace window, which is the regime in which the
+utility/energy trade-off is non-trivial (decay too slow and every
+allocation earns full utility; too fast and none does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+from repro.errors import UtilityFunctionError
+from repro.rng import SeedLike, ensure_rng
+from repro.utility.intervals import DecayShape, UtilityClass, UtilityInterval
+from repro.utility.tuf import TimeUtilityFunction
+
+__all__ = ["PresetCatalog", "default_catalog", "assign_presets"]
+
+#: Priority levels: (name, max utility).
+PRIORITY_LEVELS: tuple[tuple[str, float], ...] = (
+    ("high", 8.0),
+    ("medium", 4.0),
+    ("low", 1.0),
+)
+
+#: Urgency levels as multiples of 1/horizon: (name, k).
+URGENCY_LEVELS: tuple[tuple[str, float], ...] = (
+    ("urgent", 8.0),
+    ("steady", 3.0),
+    ("relaxed", 1.0),
+)
+
+
+def _class_shapes() -> tuple[tuple[str, UtilityClass], ...]:
+    """The four characteristic-class shapes in the catalogue."""
+    two_phase = UtilityClass(
+        name="two-phase",
+        intervals=(
+            UtilityInterval(1.0, 0.5, 1.0, DecayShape.EXPONENTIAL),
+            UtilityInterval(0.5, 0.05, 3.0, DecayShape.EXPONENTIAL),
+        ),
+    )
+    grace_then_decay = UtilityClass(
+        name="grace-then-decay",
+        intervals=(
+            UtilityInterval(1.0, 1.0, shape=DecayShape.CONSTANT, duration=30.0),
+            UtilityInterval(1.0, 0.02, 1.0, DecayShape.EXPONENTIAL),
+        ),
+    )
+    return (
+        ("single-exponential", UtilityClass.single_exponential(0.01)),
+        ("linear-to-zero", UtilityClass.linear_to_zero()),
+        ("two-phase", two_phase),
+        ("grace-then-decay", grace_then_decay),
+    )
+
+
+@dataclass(frozen=True)
+class PresetCatalog:
+    """All (priority, urgency, class) combinations available for assignment."""
+
+    functions: tuple[TimeUtilityFunction, ...]
+    names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.functions) != len(self.names):
+            raise UtilityFunctionError("catalogue functions/names length mismatch")
+        if not self.functions:
+            raise UtilityFunctionError("catalogue must be non-empty")
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __getitem__(self, i: int) -> TimeUtilityFunction:
+        return self.functions[i]
+
+
+def default_catalog(horizon_seconds: float) -> PresetCatalog:
+    """Build the default preset catalogue for a trace window length.
+
+    Parameters
+    ----------
+    horizon_seconds:
+        The workload window (e.g. 900 s for the paper's 15-minute
+        traces); urgencies are expressed relative to it.
+    """
+    if horizon_seconds <= 0:
+        raise UtilityFunctionError(
+            f"horizon must be positive, got {horizon_seconds}"
+        )
+    functions: list[TimeUtilityFunction] = []
+    names: list[str] = []
+    for pname, priority in PRIORITY_LEVELS:
+        for uname, k in URGENCY_LEVELS:
+            urgency = k / horizon_seconds
+            for cname, uclass in _class_shapes():
+                functions.append(
+                    TimeUtilityFunction(
+                        priority=priority, urgency=urgency, utility_class=uclass
+                    )
+                )
+                names.append(f"{pname}/{uname}/{cname}")
+    return PresetCatalog(functions=tuple(functions), names=tuple(names))
+
+
+def assign_presets(
+    num_task_types: int,
+    horizon_seconds: float,
+    seed: SeedLike = None,
+    catalog: PresetCatalog | None = None,
+) -> list[TimeUtilityFunction]:
+    """Assign one preset TUF to each of *num_task_types* task types.
+
+    Assignment is uniform over the catalogue from a seeded stream, so a
+    given ``(num_task_types, horizon, seed)`` triple always produces the
+    same policy — the reproducibility contract the experiments rely on.
+    """
+    if num_task_types <= 0:
+        raise UtilityFunctionError(
+            f"num_task_types must be positive, got {num_task_types}"
+        )
+    rng = ensure_rng(seed)
+    cat = catalog if catalog is not None else default_catalog(horizon_seconds)
+    picks = rng.integers(0, len(cat), size=num_task_types)
+    return [cat[int(i)] for i in picks]

@@ -1,0 +1,256 @@
+"""Time-utility functions and their compiled breakpoint form.
+
+A :class:`TimeUtilityFunction` combines the three parameter sets of the
+paper — priority, urgency, utility characteristic class — into the
+monotone non-increasing function ``Υ(t)`` that returns the utility a
+task earns when it completes ``t`` seconds after arrival.
+
+For simulator throughput the function is *compiled* once into a
+:class:`CompiledTUF`: arrays of time breakpoints plus per-segment
+(shape, start value, rate) parameters, evaluated with
+``np.searchsorted``.  Batch evaluation across many task types lives in
+:mod:`repro.utility.vectorized`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Iterable, Union
+
+import numpy as np
+
+from repro.errors import UtilityFunctionError
+from repro.types import FloatArray
+from repro.utility.intervals import DecayShape, UtilityClass, UtilityInterval
+
+__all__ = ["TimeUtilityFunction", "CompiledTUF", "SEGMENT_KIND"]
+
+#: Integer codes for compiled segment kinds.
+SEGMENT_KIND = {
+    DecayShape.CONSTANT: 0,
+    DecayShape.LINEAR: 1,
+    DecayShape.EXPONENTIAL: 2,
+}
+
+
+@dataclass(frozen=True)
+class CompiledTUF:
+    """Breakpoint-table form of a TUF, for vectorized evaluation.
+
+    Attributes
+    ----------
+    breakpoints:
+        Ascending segment start times, length ``K`` with
+        ``breakpoints[0] == 0``.  Times past the last segment earn the
+        constant ``tail_value``.
+    kinds:
+        Integer segment kinds (see :data:`SEGMENT_KIND`), length ``K``.
+    start_values:
+        Utility value at each segment start, length ``K``.
+    rates:
+        Per-segment decay parameter: ``λ`` (1/s) for exponential
+        segments, slope (utility/s) for linear segments, 0 for constant
+        segments.  Length ``K``.
+    durations:
+        Segment time spans; ``durations[-1]`` may be ``inf`` only if the
+        final segment is constant.
+    tail_value:
+        Utility earned at/after the end of the last segment.
+    """
+
+    breakpoints: FloatArray
+    kinds: np.ndarray
+    start_values: FloatArray
+    rates: FloatArray
+    durations: FloatArray
+    tail_value: float
+
+    @property
+    def end_time(self) -> float:
+        """Time after which utility is the constant tail value."""
+        return float(self.breakpoints[-1] + self.durations[-1])
+
+    def evaluate(self, elapsed: Union[float, FloatArray]) -> Union[float, FloatArray]:
+        """Utility at the given elapsed time(s) since task arrival.
+
+        Negative elapsed times are clamped to zero (a task cannot
+        complete before it arrives; callers guard this, but clamping
+        keeps the function total).
+        """
+        t = np.asarray(elapsed, dtype=np.float64)
+        scalar = t.ndim == 0
+        t = np.atleast_1d(np.maximum(t, 0.0))
+        seg = np.searchsorted(self.breakpoints, t, side="right") - 1
+        past = seg >= len(self.breakpoints) - 1
+        # Clamp indices; the last segment handles its own overshoot.
+        seg = np.clip(seg, 0, len(self.breakpoints) - 1)
+        dt = t - self.breakpoints[seg]
+        kind = self.kinds[seg]
+        v0 = self.start_values[seg]
+        rate = self.rates[seg]
+        value = np.where(
+            kind == SEGMENT_KIND[DecayShape.EXPONENTIAL],
+            v0 * np.exp(-rate * dt),
+            np.where(
+                kind == SEGMENT_KIND[DecayShape.LINEAR],
+                v0 - rate * dt,
+                v0,
+            ),
+        )
+        overshoot = dt > self.durations[seg]
+        value = np.where(overshoot, self.tail_value, value)
+        value = np.maximum(value, self.tail_value if self.tail_value > 0 else 0.0)
+        del past  # readability: overshoot handles the tail uniformly
+        return float(value[0]) if scalar else value
+
+
+@dataclass(frozen=True)
+class TimeUtilityFunction:
+    """The paper's TUF: priority × utility-class shape at base urgency.
+
+    Attributes
+    ----------
+    priority:
+        Maximum utility the task can earn (> 0) — "how important a task
+        is".
+    urgency:
+        Base decay rate (1/s for exponential intervals; fraction of
+        priority per second for linear intervals) — "the rate of decay
+        of utility ... as a function of completion time".
+    utility_class:
+        The interval structure (see :mod:`repro.utility.intervals`).
+    """
+
+    priority: float
+    urgency: float
+    utility_class: UtilityClass
+
+    def __post_init__(self) -> None:
+        if self.priority <= 0:
+            raise UtilityFunctionError(f"priority must be > 0, got {self.priority}")
+        if self.urgency <= 0:
+            raise UtilityFunctionError(f"urgency must be > 0, got {self.urgency}")
+
+    @cached_property
+    def compiled(self) -> CompiledTUF:
+        """Compile the interval structure into a breakpoint table."""
+        breaks: list[float] = []
+        kinds: list[int] = []
+        v0s: list[float] = []
+        rates: list[float] = []
+        durations: list[float] = []
+        t = 0.0
+        for iv in self.utility_class.intervals:
+            d = iv.derived_duration(self.urgency)
+            breaks.append(t)
+            kinds.append(SEGMENT_KIND[iv.shape])
+            v0s.append(self.priority * iv.start_fraction)
+            if iv.shape is DecayShape.EXPONENTIAL:
+                rates.append(self.urgency * iv.urgency_modifier)
+            elif iv.shape is DecayShape.LINEAR:
+                # slope in utility units per second
+                rates.append(self.urgency * iv.urgency_modifier * self.priority)
+            else:
+                rates.append(0.0)
+            durations.append(d)
+            t += d
+        tail = self.priority * self.utility_class.final_fraction
+        return CompiledTUF(
+            breakpoints=np.asarray(breaks, dtype=np.float64),
+            kinds=np.asarray(kinds, dtype=np.int64),
+            start_values=np.asarray(v0s, dtype=np.float64),
+            rates=np.asarray(rates, dtype=np.float64),
+            durations=np.asarray(durations, dtype=np.float64),
+            tail_value=tail,
+        )
+
+    # -- evaluation ------------------------------------------------------
+
+    def __call__(self, elapsed: Union[float, FloatArray]) -> Union[float, FloatArray]:
+        """``Υ`` evaluated at elapsed completion time(s) since arrival."""
+        return self.compiled.evaluate(elapsed)
+
+    @property
+    def max_utility(self) -> float:
+        """Utility for instantaneous completion (== priority)."""
+        return self.priority
+
+    @property
+    def zero_utility_time(self) -> float:
+        """Earliest elapsed time at which the minimum (tail) value is reached."""
+        return self.compiled.end_time
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation."""
+        return {
+            "priority": self.priority,
+            "urgency": self.urgency,
+            "utility_class": self.utility_class.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TimeUtilityFunction":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            priority=data["priority"],
+            urgency=data["urgency"],
+            utility_class=UtilityClass.from_dict(data["utility_class"]),
+        )
+
+    # -- convenience constructors -----------------------------------------
+
+    @classmethod
+    def exponential(
+        cls, priority: float, urgency: float, floor_fraction: float = 0.01
+    ) -> "TimeUtilityFunction":
+        """Single-interval exponential TUF decaying to a small floor."""
+        return cls(priority, urgency, UtilityClass.single_exponential(floor_fraction))
+
+    @classmethod
+    def linear(cls, priority: float, urgency: float) -> "TimeUtilityFunction":
+        """Single-interval linear TUF decaying to zero."""
+        return cls(priority, urgency, UtilityClass.linear_to_zero())
+
+    @classmethod
+    def hard_deadline(
+        cls, priority: float, deadline_seconds: float
+    ) -> "TimeUtilityFunction":
+        """Full priority until *deadline_seconds*, ~zero afterwards."""
+        if deadline_seconds <= 0:
+            raise UtilityFunctionError(
+                f"deadline must be positive, got {deadline_seconds}"
+            )
+        return cls(
+            priority,
+            urgency=1.0,
+            utility_class=UtilityClass.hard_deadline(deadline_seconds),
+        )
+
+    @classmethod
+    def figure1_example(cls) -> "TimeUtilityFunction":
+        """A staircase TUF matching the paper's Figure 1 spot checks.
+
+        The figure shows a monotone staircase where a task completing at
+        time 20 earns 12 units and one completing at time 47 earns 7.
+        We realize it as constant plateaus at 12 and 7 over those times
+        joined by steep linear drops from an initial maximum of 16.
+        """
+        # Fractions of priority 16: 1.0 -> 0.75 (=12) -> 0.4375 (=7) -> 0.
+        return cls(
+            priority=16.0,
+            urgency=1.0,
+            utility_class=UtilityClass(
+                name="figure-1",
+                intervals=(
+                    UtilityInterval(1.0, 1.0, shape=DecayShape.CONSTANT, duration=10.0),
+                    UtilityInterval(1.0, 0.75, 100.0, DecayShape.LINEAR),
+                    UtilityInterval(0.75, 0.75, shape=DecayShape.CONSTANT, duration=20.0),
+                    UtilityInterval(0.75, 0.4375, 100.0, DecayShape.LINEAR),
+                    UtilityInterval(0.4375, 0.4375, shape=DecayShape.CONSTANT, duration=25.0),
+                    UtilityInterval(0.4375, 0.0, 100.0, DecayShape.LINEAR),
+                ),
+            ),
+        )

@@ -1,0 +1,152 @@
+"""Batch TUF evaluation across heterogeneous task types.
+
+The simulator must evaluate, per chromosome, ``Υ_τ(completion −
+arrival)`` for thousands of tasks whose types carry *different*
+compiled TUFs.  :class:`TUFTable` stacks every task type's breakpoint
+table into padded 2-D arrays so one evaluation is a handful of fancy
+gathers — no Python-level loop over tasks (see the HPC guide's
+"vectorizing for loops").
+
+Layout: with ``K`` = max segments over all types, the table holds
+``(num_types, K)`` arrays ``breakpoints``, ``kinds``, ``start_values``,
+``rates``, ``durations``; rows are padded with repeats of the last real
+segment so the search below never indexes padding with smaller times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import UtilityFunctionError
+from repro.types import FloatArray, IntArray
+from repro.utility.tuf import SEGMENT_KIND, TimeUtilityFunction
+from repro.utility.intervals import DecayShape
+
+__all__ = ["TUFTable"]
+
+_KIND_EXP = SEGMENT_KIND[DecayShape.EXPONENTIAL]
+_KIND_LIN = SEGMENT_KIND[DecayShape.LINEAR]
+
+
+@dataclass(frozen=True)
+class TUFTable:
+    """Stacked compiled TUFs for all task types of a system."""
+
+    breakpoints: FloatArray  # (num_types, K) segment start times
+    kinds: np.ndarray  # (num_types, K) int codes
+    start_values: FloatArray  # (num_types, K)
+    rates: FloatArray  # (num_types, K)
+    end_times: FloatArray  # (num_types,) time after which tail applies
+    tail_values: FloatArray  # (num_types,)
+    max_utilities: FloatArray  # (num_types,) value at elapsed == 0
+
+    @classmethod
+    def from_functions(
+        cls, functions: Sequence[TimeUtilityFunction]
+    ) -> "TUFTable":
+        """Stack the compiled forms of *functions* (one per task type)."""
+        if not functions:
+            raise UtilityFunctionError("TUFTable requires >= 1 function")
+        compiled = [f.compiled for f in functions]
+        K = max(len(c.breakpoints) for c in compiled)
+        n = len(compiled)
+        breakpoints = np.empty((n, K), dtype=np.float64)
+        kinds = np.empty((n, K), dtype=np.int64)
+        start_values = np.empty((n, K), dtype=np.float64)
+        rates = np.empty((n, K), dtype=np.float64)
+        end_times = np.empty(n, dtype=np.float64)
+        tail_values = np.empty(n, dtype=np.float64)
+        max_utils = np.empty(n, dtype=np.float64)
+        for i, c in enumerate(compiled):
+            k = len(c.breakpoints)
+            breakpoints[i, :k] = c.breakpoints
+            kinds[i, :k] = c.kinds
+            start_values[i, :k] = c.start_values
+            rates[i, :k] = c.rates
+            if k < K:
+                # Pad with +inf start times: the segment search below can
+                # never select padding because elapsed < inf always puts
+                # the insertion point before it.
+                breakpoints[i, k:] = np.inf
+                kinds[i, k:] = 0
+                start_values[i, k:] = c.tail_value
+                rates[i, k:] = 0.0
+            end_times[i] = c.end_time
+            tail_values[i] = c.tail_value
+            max_utils[i] = c.start_values[0]
+        for arr in (breakpoints, kinds, start_values, rates, end_times,
+                    tail_values, max_utils):
+            arr.setflags(write=False)
+        return cls(
+            breakpoints=breakpoints,
+            kinds=kinds,
+            start_values=start_values,
+            rates=rates,
+            end_times=end_times,
+            tail_values=tail_values,
+            max_utilities=max_utils,
+        )
+
+    @classmethod
+    def from_system(cls, system) -> "TUFTable":
+        """Build the table from a system whose task types carry TUFs."""
+        functions = []
+        for tt in system.task_types:
+            if tt.utility_function is None:
+                raise UtilityFunctionError(
+                    f"task type {tt.name!r} has no utility function; call "
+                    "SystemModel.with_utility_functions first"
+                )
+            functions.append(tt.utility_function)
+        return cls.from_functions(functions)
+
+    @property
+    def num_types(self) -> int:
+        """Number of task types in the table."""
+        return self.breakpoints.shape[0]
+
+    def evaluate(self, task_types: IntArray, elapsed: FloatArray) -> FloatArray:
+        """Utility for each task given its type and elapsed completion time.
+
+        Parameters
+        ----------
+        task_types:
+            ``(T,)`` int array of task-type indices.
+        elapsed:
+            ``(T,)`` float array of ``completion − arrival`` seconds.
+
+        Returns
+        -------
+        ``(T,)`` float array of utilities.
+        """
+        task_types = np.asarray(task_types, dtype=np.int64)
+        t = np.maximum(np.asarray(elapsed, dtype=np.float64), 0.0)
+        if task_types.shape != t.shape:
+            raise UtilityFunctionError(
+                f"task_types shape {task_types.shape} does not match elapsed "
+                f"shape {t.shape}"
+            )
+        rows = self.breakpoints[task_types]  # (T, K)
+        # Per-row searchsorted via broadcasting: count of breakpoints <= t.
+        seg = np.sum(rows <= t[:, None], axis=1) - 1
+        seg = np.clip(seg, 0, self.breakpoints.shape[1] - 1)
+        idx = (task_types, seg)
+        dt = t - self.breakpoints[idx]
+        kind = self.kinds[idx]
+        v0 = self.start_values[idx]
+        rate = self.rates[idx]
+        value = np.where(
+            kind == _KIND_EXP,
+            v0 * np.exp(-np.where(kind == _KIND_EXP, rate, 0.0) * dt),
+            np.where(kind == _KIND_LIN, v0 - rate * dt, v0),
+        )
+        tail = self.tail_values[task_types]
+        value = np.where(t >= self.end_times[task_types], tail, value)
+        return np.maximum(value, np.where(tail > 0, tail, 0.0))
+
+    def utility_upper_bound(self, task_types: IntArray) -> float:
+        """Sum of maximum utilities — the unreachable ideal ``U``."""
+        return float(self.max_utilities[np.asarray(task_types, dtype=np.int64)].sum())

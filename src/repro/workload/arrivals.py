@@ -1,0 +1,158 @@
+"""Arrival-time processes for trace generation.
+
+The paper specifies only "N tasks arriving within a window of W
+seconds"; these processes instantiate that specification:
+
+* :class:`PoissonArrivals` — tasks arrive by a homogeneous Poisson
+  process *conditioned on the count*: given N arrivals in [0, W), the
+  arrival times are N order statistics of Uniform(0, W).  This is the
+  default and the standard model for independent task submissions.
+* :class:`UniformArrivals` — evenly spaced deterministic arrivals
+  (useful for tests needing predictable queues).
+* :class:`BurstyArrivals` — arrivals clustered into B bursts with
+  Gaussian jitter, exercising congested-queue behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.rng import SeedLike, ensure_rng
+from repro.types import FloatArray
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "BurstyArrivals",
+    "ProfileArrivals",
+]
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates sorted arrival times for a fixed task count and window."""
+
+    @abc.abstractmethod
+    def generate(self, count: int, window: float, seed: SeedLike = None) -> FloatArray:
+        """Return *count* sorted arrival times in ``[0, window)``."""
+
+    @staticmethod
+    def _validate(count: int, window: float) -> None:
+        if count < 0:
+            raise WorkloadError(f"task count must be >= 0, got {count}")
+        if window <= 0:
+            raise WorkloadError(f"window must be positive, got {window}")
+
+
+@dataclass(frozen=True, slots=True)
+class PoissonArrivals(ArrivalProcess):
+    """Poisson process conditioned on the arrival count.
+
+    Conditioned on N points in the window, a homogeneous Poisson
+    process's arrival times are iid Uniform(0, W) order statistics, so
+    generation is a sorted uniform draw — exact, not an approximation.
+    """
+
+    def generate(self, count: int, window: float, seed: SeedLike = None) -> FloatArray:
+        self._validate(count, window)
+        rng = ensure_rng(seed)
+        times = rng.uniform(0.0, window, size=count)
+        times.sort()
+        return times
+
+
+@dataclass(frozen=True, slots=True)
+class UniformArrivals(ArrivalProcess):
+    """Deterministic, evenly spaced arrivals: ``i · W / N``."""
+
+    def generate(self, count: int, window: float, seed: SeedLike = None) -> FloatArray:
+        self._validate(count, window)
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        return np.arange(count, dtype=np.float64) * (window / count)
+
+
+@dataclass(frozen=True, slots=True)
+class BurstyArrivals(ArrivalProcess):
+    """Arrivals clustered into bursts.
+
+    Attributes
+    ----------
+    num_bursts:
+        Number of burst centers, spread evenly over the window.
+    spread_fraction:
+        Standard deviation of the Gaussian jitter around each center,
+        as a fraction of the inter-burst spacing.
+    """
+
+    num_bursts: int = 4
+    spread_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.num_bursts < 1:
+            raise WorkloadError(f"num_bursts must be >= 1, got {self.num_bursts}")
+        if self.spread_fraction <= 0:
+            raise WorkloadError(
+                f"spread_fraction must be > 0, got {self.spread_fraction}"
+            )
+
+    def generate(self, count: int, window: float, seed: SeedLike = None) -> FloatArray:
+        self._validate(count, window)
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        rng = ensure_rng(seed)
+        spacing = window / self.num_bursts
+        centers = (np.arange(self.num_bursts) + 0.5) * spacing
+        assignment = rng.integers(0, self.num_bursts, size=count)
+        jitter = rng.normal(0.0, self.spread_fraction * spacing, size=count)
+        times = centers[assignment] + jitter
+        # Clamp into the window; np.nextafter keeps the interval half-open.
+        times = np.clip(times, 0.0, np.nextafter(window, 0.0))
+        times.sort()
+        return times
+
+
+@dataclass(frozen=True)
+class ProfileArrivals(ArrivalProcess):
+    """Arrivals following a piecewise-constant intensity profile.
+
+    Models diurnal load: the window is divided into ``len(weights)``
+    equal buckets, and the probability of an arrival landing in a
+    bucket is proportional to its weight (uniform within the bucket).
+    A daily trace with a 9am-5pm hump is, e.g.,
+    ``ProfileArrivals(weights=(1, 1, 1, 2, 5, 8, 8, 7, 8, 8, 5, 2))``.
+
+    Attributes
+    ----------
+    weights:
+        Non-negative relative intensities, one per equal-width bucket.
+    """
+
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.weights) < 1:
+            raise WorkloadError("profile requires at least one bucket")
+        w = np.asarray(self.weights, dtype=np.float64)
+        if np.any(~np.isfinite(w)) or np.any(w < 0):
+            raise WorkloadError("profile weights must be finite and >= 0")
+        if w.sum() <= 0:
+            raise WorkloadError("profile weights must not all be zero")
+
+    def generate(self, count: int, window: float, seed: SeedLike = None) -> FloatArray:
+        self._validate(count, window)
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        rng = ensure_rng(seed)
+        w = np.asarray(self.weights, dtype=np.float64)
+        probs = w / w.sum()
+        buckets = rng.choice(len(w), size=count, p=probs)
+        width = window / len(w)
+        times = (buckets + rng.random(count)) * width
+        times = np.minimum(times, np.nextafter(window, 0.0))
+        times.sort()
+        return times

@@ -1,0 +1,112 @@
+"""Workload generation: arrival process × task-type mix → :class:`Trace`.
+
+``WorkloadGenerator`` draws each task's type from a :class:`TaskTypeMix`
+(uniform by default, or weighted — e.g. to make special-purpose task
+types rarer, matching environments where accelerated workloads are a
+minority) and its arrival time from an
+:class:`~repro.workload.arrivals.ArrivalProcess`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.rng import SeedLike, ensure_rng, spawn
+from repro.types import FloatArray
+from repro.workload.arrivals import ArrivalProcess, PoissonArrivals
+from repro.workload.trace import Trace
+
+__all__ = ["TaskTypeMix", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class TaskTypeMix:
+    """A categorical distribution over task types.
+
+    Attributes
+    ----------
+    weights:
+        Non-negative weights, one per task type; normalized internally.
+    """
+
+    weights: FloatArray
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.weights, dtype=np.float64)
+        if w.ndim != 1 or w.size == 0:
+            raise WorkloadError("mix weights must be a non-empty 1-D array")
+        if np.any(~np.isfinite(w)) or np.any(w < 0):
+            raise WorkloadError("mix weights must be finite and non-negative")
+        total = w.sum()
+        if total <= 0:
+            raise WorkloadError("mix weights must not all be zero")
+        w = w / total
+        w.setflags(write=False)
+        object.__setattr__(self, "weights", w)
+
+    @classmethod
+    def uniform(cls, num_task_types: int) -> "TaskTypeMix":
+        """Equal probability for every task type."""
+        if num_task_types <= 0:
+            raise WorkloadError(
+                f"num_task_types must be positive, got {num_task_types}"
+            )
+        return cls(weights=np.ones(num_task_types))
+
+    @classmethod
+    def weighted(cls, weights: Sequence[float]) -> "TaskTypeMix":
+        """Explicit weights (normalized)."""
+        return cls(weights=np.asarray(weights, dtype=np.float64))
+
+    @property
+    def num_task_types(self) -> int:
+        """Number of task types in the mix."""
+        return int(self.weights.shape[0])
+
+    def sample(self, count: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw *count* task-type indices."""
+        rng = ensure_rng(seed)
+        return rng.choice(self.num_task_types, size=count, p=self.weights)
+
+
+@dataclass(frozen=True)
+class WorkloadGenerator:
+    """Generates reproducible traces for a system.
+
+    Attributes
+    ----------
+    mix:
+        Distribution of task types.
+    arrivals:
+        Arrival process (default: Poisson-in-window).
+    """
+
+    mix: TaskTypeMix
+    arrivals: ArrivalProcess = field(default_factory=PoissonArrivals)
+
+    def generate(self, num_tasks: int, window: float, seed: SeedLike = None) -> Trace:
+        """Generate a trace of *num_tasks* tasks over *window* seconds.
+
+        The type stream and the arrival stream are independent spawned
+        children of *seed*, so the same seed yields the same trace
+        regardless of which is consumed first.
+        """
+        if num_tasks <= 0:
+            raise WorkloadError(f"num_tasks must be positive, got {num_tasks}")
+        type_stream, arrival_stream = spawn(seed, 2)
+        task_types = self.mix.sample(num_tasks, type_stream).astype(np.int64)
+        arrival_times = self.arrivals.generate(num_tasks, window, arrival_stream)
+        return Trace(task_types=task_types, arrival_times=arrival_times, window=window)
+
+    @classmethod
+    def uniform_for(cls, num_task_types: int,
+                    arrivals: Optional[ArrivalProcess] = None) -> "WorkloadGenerator":
+        """Generator with a uniform mix over *num_task_types*."""
+        return cls(
+            mix=TaskTypeMix.uniform(num_task_types),
+            arrivals=arrivals if arrivals is not None else PoissonArrivals(),
+        )

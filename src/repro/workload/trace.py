@@ -1,0 +1,160 @@
+"""The immutable :class:`Trace` — a recorded workload for static allocation.
+
+A trace is the paper's unit of analysis: the set of tasks that arrived
+during the studied window, each with its arrival time and task type.
+Tasks are indexed ``0..T-1`` **ordered by arrival time** — the paper's
+chromosome convention ("the i-th gene in every chromosome corresponds
+to ... the i-th task ordered based on task arrival times").
+
+Stored columnar (NumPy arrays) because the simulator consumes whole
+columns; the per-task view :meth:`Trace.task` is provided for
+inspection and examples.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.types import FloatArray, IntArray
+
+__all__ = ["Trace", "TraceTask"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceTask:
+    """One task instance of a trace (inspection view)."""
+
+    index: int
+    task_type: int
+    arrival_time: float
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A workload trace: per-task type indices and arrival times.
+
+    Attributes
+    ----------
+    task_types:
+        ``(T,)`` int array; ``task_types[i]`` is the type of task *i*.
+    arrival_times:
+        ``(T,)`` float array, non-decreasing, starting at >= 0.
+    window:
+        The trace window length (seconds); all arrivals lie in
+        ``[0, window)``.
+    """
+
+    task_types: IntArray
+    arrival_times: FloatArray
+    window: float
+
+    def __post_init__(self) -> None:
+        task_types = np.asarray(self.task_types, dtype=np.int64)
+        arrivals = np.asarray(self.arrival_times, dtype=np.float64)
+        if task_types.ndim != 1 or arrivals.ndim != 1:
+            raise WorkloadError("trace columns must be 1-D")
+        if task_types.shape != arrivals.shape:
+            raise WorkloadError(
+                f"task_types length {task_types.shape[0]} does not match "
+                f"arrival_times length {arrivals.shape[0]}"
+            )
+        if task_types.size == 0:
+            raise WorkloadError("trace must contain at least one task")
+        if self.window <= 0:
+            raise WorkloadError(f"window must be positive, got {self.window}")
+        if np.any(arrivals < 0) or np.any(arrivals >= self.window):
+            raise WorkloadError("arrival times must lie in [0, window)")
+        if np.any(np.diff(arrivals) < 0):
+            raise WorkloadError(
+                "arrival times must be sorted (tasks are indexed by arrival)"
+            )
+        if np.any(task_types < 0):
+            raise WorkloadError("task type indices must be >= 0")
+        task_types = task_types.copy()
+        arrivals = arrivals.copy()
+        task_types.setflags(write=False)
+        arrivals.setflags(write=False)
+        object.__setattr__(self, "task_types", task_types)
+        object.__setattr__(self, "arrival_times", arrivals)
+
+    # -- sizes / access ----------------------------------------------------
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks ``T`` in the trace."""
+        return int(self.task_types.shape[0])
+
+    def __len__(self) -> int:
+        return self.num_tasks
+
+    def task(self, index: int) -> TraceTask:
+        """Per-task inspection view."""
+        if not (0 <= index < self.num_tasks):
+            raise WorkloadError(
+                f"task index {index} out of range [0, {self.num_tasks})"
+            )
+        return TraceTask(
+            index=index,
+            task_type=int(self.task_types[index]),
+            arrival_time=float(self.arrival_times[index]),
+        )
+
+    def __iter__(self) -> Iterator[TraceTask]:
+        for i in range(self.num_tasks):
+            yield self.task(i)
+
+    def type_counts(self, num_task_types: int | None = None) -> IntArray:
+        """Histogram of task types present in the trace."""
+        n = (
+            int(self.task_types.max()) + 1
+            if num_task_types is None
+            else num_task_types
+        )
+        return np.bincount(self.task_types, minlength=n)
+
+    def validate_against(self, num_task_types: int) -> None:
+        """Raise if the trace references task types outside the system."""
+        if int(self.task_types.max()) >= num_task_types:
+            raise WorkloadError(
+                f"trace references task type {int(self.task_types.max())} but "
+                f"the system defines only {num_task_types} types"
+            )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "format": "repro.trace/1",
+            "window": self.window,
+            "task_types": self.task_types.tolist(),
+            "arrival_times": self.arrival_times.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        """Inverse of :meth:`to_dict`."""
+        if data.get("format") != "repro.trace/1":
+            raise WorkloadError(
+                f"unrecognized trace format {data.get('format')!r}"
+            )
+        return cls(
+            task_types=np.asarray(data["task_types"], dtype=np.int64),
+            arrival_times=np.asarray(data["arrival_times"], dtype=np.float64),
+            window=float(data["window"]),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Load a trace written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

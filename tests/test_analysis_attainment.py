@@ -1,0 +1,138 @@
+"""Tests for empirical attainment surfaces and repetition experiments."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.attainment import attainment_summary, attainment_surface
+from repro.analysis.pareto_front import ParetoFront
+from repro.errors import AnalysisError, ExperimentError
+
+
+RUN_A = np.array([[1.0, 5.0], [2.0, 8.0]])
+RUN_B = np.array([[1.5, 6.0], [2.5, 9.0]])
+RUN_C = np.array([[1.2, 4.0], [3.0, 10.0]])
+
+
+class TestSurface:
+    def test_best_is_union_front(self):
+        best = attainment_surface([RUN_A, RUN_B, RUN_C], k=1)
+        union = ParetoFront.from_points(np.vstack([RUN_A, RUN_B, RUN_C]))
+        np.testing.assert_allclose(best.points, union.points)
+
+    def test_worst_attained_by_all(self):
+        worst = attainment_surface([RUN_A, RUN_B, RUN_C], k=3)
+        # Every worst-surface point is weakly attained by every run:
+        # some run point has energy <= e and utility >= u.
+        for e, u in worst.points:
+            for run in (RUN_A, RUN_B, RUN_C):
+                attains = np.any((run[:, 0] <= e + 1e-12) & (run[:, 1] >= u - 1e-12))
+                assert attains
+
+    def test_hand_computed_two_runs(self):
+        # Levels: union of utilities {5, 6, 8, 9}.
+        # k=2 surface: for u=5: energies {1.0 (A), 1.5 (B)} -> 2nd = 1.5.
+        # u=6: {2.0 (A: needs util>=6 -> (2,8)), 1.5} -> 2.0.
+        # u=8: {2.0, 2.5} -> 2.5. u=9: {inf, 2.5} -> inf (dropped).
+        surface = attainment_surface([RUN_A, RUN_B], k=2)
+        np.testing.assert_allclose(
+            surface.points, [[1.5, 5.0], [2.0, 6.0], [2.5, 8.0]]
+        )
+
+    def test_single_run_any_k1(self):
+        surface = attainment_surface([RUN_A], k=1)
+        np.testing.assert_allclose(surface.points, RUN_A)
+
+    def test_surfaces_nested(self):
+        """Higher k surfaces never dominate lower k surfaces."""
+        runs = [RUN_A, RUN_B, RUN_C]
+        s1 = attainment_surface(runs, 1)
+        s2 = attainment_surface(runs, 2)
+        s3 = attainment_surface(runs, 3)
+        assert s1.fraction_dominated_by(s2) == 0.0
+        assert s1.fraction_dominated_by(s3) == 0.0
+        assert s2.fraction_dominated_by(s3) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            attainment_surface([], k=1)
+        with pytest.raises(AnalysisError):
+            attainment_surface([RUN_A], k=2)
+        with pytest.raises(AnalysisError):
+            attainment_surface([RUN_A], k=0)
+        with pytest.raises(AnalysisError):
+            attainment_surface([np.empty((0, 2))], k=1)
+
+    def test_summary_keys(self):
+        summary = attainment_summary([RUN_A, RUN_B, RUN_C])
+        assert set(summary) == {"best", "median", "worst"}
+        assert summary["best"].label == "best"
+
+
+class TestRepetitions:
+    def test_runs_and_aggregates(self, small_system, small_trace):
+        from repro.experiments.datasets import DatasetBundle
+        from repro.experiments.repetitions import run_repetitions
+
+        bundle = DatasetBundle(
+            name="small", system=small_system, trace=small_trace,
+            horizon_seconds=600.0, seed=0,
+        )
+        result = run_repetitions(
+            bundle, repetitions=3, generations=8, population_size=12,
+            base_seed=5,
+        )
+        assert result.repetitions == 3
+        assert result.label == "random"
+        assert set(result.attainment) == {"best", "median", "worst"}
+        hv = result.hypervolume
+        assert hv.minimum <= hv.mean <= hv.maximum
+        assert hv.std >= 0
+
+    def test_repetitions_differ(self, small_system, small_trace):
+        from repro.experiments.datasets import DatasetBundle
+        from repro.experiments.repetitions import run_repetitions
+
+        bundle = DatasetBundle(
+            name="small", system=small_system, trace=small_trace,
+            horizon_seconds=600.0, seed=0,
+        )
+        result = run_repetitions(
+            bundle, repetitions=2, generations=5, population_size=12,
+            base_seed=6,
+        )
+        assert not np.array_equal(result.fronts[0], result.fronts[1])
+
+    def test_seeded_repetitions_share_heuristic_point(self, small_system,
+                                                      small_trace):
+        from repro.experiments.datasets import DatasetBundle
+        from repro.experiments.repetitions import run_repetitions
+        from repro.heuristics import MinEnergy
+        from repro.sim.evaluator import ScheduleEvaluator
+
+        bundle = DatasetBundle(
+            name="small", system=small_system, trace=small_trace,
+            horizon_seconds=600.0, seed=0,
+        )
+        e_seed = ScheduleEvaluator(small_system, small_trace).evaluate(
+            MinEnergy().build(small_system, small_trace)
+        ).energy
+        result = run_repetitions(
+            bundle, repetitions=3, generations=5, population_size=12,
+            seed_label="min-energy", base_seed=7,
+        )
+        for front in result.fronts:
+            assert front[:, 0].min() == pytest.approx(e_seed)
+
+    def test_validation(self, small_system, small_trace):
+        from repro.experiments.datasets import DatasetBundle
+        from repro.experiments.repetitions import run_repetitions
+
+        bundle = DatasetBundle(
+            name="small", system=small_system, trace=small_trace,
+            horizon_seconds=600.0, seed=0,
+        )
+        with pytest.raises(ExperimentError):
+            run_repetitions(bundle, repetitions=0, generations=1)
+        with pytest.raises(ExperimentError):
+            run_repetitions(bundle, repetitions=1, generations=1,
+                            seed_label="bogus")

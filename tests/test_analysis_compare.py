@@ -1,0 +1,61 @@
+"""Tests for cross-run comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_runs, render_comparison
+from repro.errors import AnalysisError
+from repro.experiments.figures import figure3
+
+
+@pytest.fixture(scope="module")
+def two_runs():
+    short = figure3(checkpoints=[2], population_size=16, base_seed=55)
+    longer = figure3(checkpoints=[12], population_size=16, base_seed=55)
+    return short, longer
+
+
+class TestCompareRuns:
+    def test_structure(self, two_runs):
+        short, longer = two_runs
+        comparisons = compare_runs(short, longer)
+        assert {c.label for c in comparisons} == set(short.result.histories)
+        for c in comparisons:
+            assert c.hypervolume_a >= 0 and c.hypervolume_b >= 0
+            assert 0 <= c.a_dominated_by_b <= 1
+            assert 0 <= c.b_dominated_by_a <= 1
+
+    def test_longer_run_improves_hypervolume(self, two_runs):
+        """12 generations beat 2 for every population (same seed stream
+        start, elitist engine)."""
+        short, longer = two_runs
+        for c in compare_runs(short, longer):
+            assert c.hypervolume_b >= c.hypervolume_a - 1e-9
+            assert c.b_improves or c.hypervolume_a == c.hypervolume_b
+
+    def test_self_comparison_is_neutral(self, two_runs):
+        short, _ = two_runs
+        for c in compare_runs(short, short):
+            assert c.hypervolume_a == c.hypervolume_b
+            assert c.a_dominated_by_b == 0.0
+            assert c.b_dominated_by_a == 0.0
+            assert c.min_energy_drift == 0.0
+            assert c.epsilon_a_to_b == pytest.approx(0.0, abs=1e-9)
+
+    def test_render(self, two_runs):
+        short, longer = two_runs
+        text = render_comparison(compare_runs(short, longer), "2-gen", "12-gen")
+        assert "2-gen" in text and "12-gen" in text
+        assert "min-energy" in text
+
+    def test_disjoint_labels_rejected(self, two_runs):
+        short, _ = two_runs
+
+        class Fake:
+            class result:
+                histories = {}
+
+        with pytest.raises(AnalysisError):
+            compare_runs(short, Fake())
+        with pytest.raises(AnalysisError):
+            render_comparison([])

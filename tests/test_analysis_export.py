@@ -1,0 +1,124 @@
+"""Tests for CSV/SVG export and gantt rendering."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    front_to_csv,
+    figure_to_csv,
+    figure_to_svg,
+    render_svg_scatter,
+)
+from repro.analysis.pareto_front import ParetoFront
+from repro.errors import AnalysisError, ScheduleError
+from repro.sim.events import simulate_reference
+from repro.sim.gantt import machine_timeline, render_gantt
+
+from conftest import random_allocation
+
+
+@pytest.fixture(scope="module")
+def small_figure():
+    from repro.experiments.figures import figure3
+
+    return figure3(checkpoints=[2, 4], population_size=12, base_seed=9)
+
+
+class TestCSV:
+    def test_front_csv(self, tmp_path):
+        front = ParetoFront.from_points(
+            np.array([[1e6, 5.0], [2e6, 8.0]]), label="x"
+        )
+        path = tmp_path / "front.csv"
+        front_to_csv(front, path)
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["population", "energy_joules", "utility"]
+        assert len(rows) == 3
+        assert rows[1][0] == "x"
+        assert float(rows[1][1]) == 1e6
+
+    def test_figure_csv_roundtrips_points(self, tmp_path, small_figure):
+        path = tmp_path / "fig.csv"
+        figure_to_csv(small_figure, path)
+        rows = list(csv.reader(path.open()))[1:]
+        total_points = sum(
+            s.front_points.shape[0]
+            for h in small_figure.result.histories.values()
+            for s in h.snapshots
+        )
+        assert len(rows) == total_points
+        labels = {r[0] for r in rows}
+        assert "min-energy" in labels and "random" in labels
+        # Exact float round-trip via repr.
+        e0 = small_figure.result.histories["min-energy"].snapshots[0].front_points[0, 0]
+        assert any(float(r[2]) == e0 for r in rows)
+
+
+class TestSVG:
+    def test_valid_svg_with_legend(self):
+        svg = render_svg_scatter(
+            {"a": np.array([[1e6, 2.0], [2e6, 3.0]]),
+             "b": np.array([[1.5e6, 4.0]])},
+            title="demo",
+        )
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "demo" in svg
+        assert svg.count("<circle") >= 2  # series 'a' markers
+        assert ">a</text>" in svg and ">b</text>" in svg
+
+    def test_degenerate_single_point(self):
+        svg = render_svg_scatter({"a": np.array([[1e6, 2.0]])})
+        assert "<svg" in svg
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            render_svg_scatter({})
+        with pytest.raises(AnalysisError):
+            render_svg_scatter({"a": np.empty((0, 2))})
+        with pytest.raises(AnalysisError):
+            render_svg_scatter({"a": np.array([[1.0, 2.0]])}, width=50, height=50)
+
+    def test_figure_to_svg_writes_subplots(self, tmp_path, small_figure):
+        paths = figure_to_svg(small_figure, tmp_path)
+        assert len(paths) == len(small_figure.checkpoints)
+        for p in paths:
+            text = p.read_text()
+            assert text.startswith("<svg")
+            assert "min-energy" in text
+
+
+class TestGantt:
+    def test_render_structure(self, tiny_system, tiny_trace):
+        alloc = random_allocation(tiny_system, tiny_trace, seed=1)
+        ref = simulate_reference(tiny_system, tiny_trace, alloc)
+        chart = render_gantt(ref, system=tiny_system, width=60)
+        lines = chart.splitlines()
+        machines_used = {e.machine for e in ref.gantt}
+        assert len(lines) == len(machines_used) + 2  # rows + ruler + legend
+        assert "time" in lines[-2]
+        assert "idle awaiting arrival" in lines[-1]
+
+    def test_task_cells_present(self, tiny_system, tiny_trace):
+        alloc = random_allocation(tiny_system, tiny_trace, seed=2)
+        ref = simulate_reference(tiny_system, tiny_trace, alloc)
+        chart = render_gantt(ref, width=80)
+        # Every executed task's letter appears somewhere.
+        for e in ref.gantt:
+            ch = "abcdefghijklmnopqrstuvwxyz0123456789"[e.task % 36]
+            assert ch in chart
+
+    def test_machine_timeline_sorted(self, small_system, small_trace):
+        alloc = random_allocation(small_system, small_trace, seed=3)
+        ref = simulate_reference(small_system, small_trace, alloc)
+        tl = machine_timeline(ref.gantt, 0)
+        starts = [e.start for e in tl]
+        assert starts == sorted(starts)
+
+    def test_validation(self, tiny_system, tiny_trace):
+        alloc = random_allocation(tiny_system, tiny_trace, seed=4)
+        ref = simulate_reference(tiny_system, tiny_trace, alloc)
+        with pytest.raises(ScheduleError):
+            render_gantt(ref, width=5)

@@ -1,0 +1,132 @@
+"""Tests for multi-objective quality indicators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.indicators import (
+    additive_epsilon,
+    hypervolume,
+    igd,
+    spacing,
+    spread,
+)
+from repro.errors import AnalysisError
+
+
+FRONT = np.array([[1.0, 5.0], [2.0, 8.0], [3.0, 9.0]])
+
+
+class TestHypervolume:
+    def test_hand_computed(self):
+        # Staircase widths (1,1,1) x heights (5,8,9) to ref (4, 0).
+        assert hypervolume(FRONT, (4.0, 0.0)) == pytest.approx(22.0)
+
+    def test_dominated_points_do_not_add(self):
+        with_dominated = np.vstack([FRONT, [[2.5, 7.0]]])
+        assert hypervolume(with_dominated, (4.0, 0.0)) == pytest.approx(22.0)
+
+    def test_points_beyond_reference_ignored(self):
+        beyond = np.vstack([FRONT, [[10.0, 20.0]]])
+        assert hypervolume(beyond, (4.0, 0.0)) == pytest.approx(22.0)
+
+    def test_empty_contribution(self):
+        assert hypervolume(np.array([[5.0, 1.0]]), (4.0, 2.0)) == 0.0
+
+    def test_monotone_in_front_quality(self):
+        better = FRONT.copy()
+        better[:, 1] += 1.0  # more utility everywhere
+        assert hypervolume(better, (4.0, 0.0)) > hypervolume(FRONT, (4.0, 0.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            hypervolume(np.empty((0, 2)), (1.0, 1.0))
+
+
+class TestSpacing:
+    def test_uniform_spacing_zero(self):
+        pts = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        assert spacing(pts) == pytest.approx(0.0, abs=1e-12)
+
+    def test_clustered_positive(self):
+        pts = np.array([[0.0, 3.0], [0.1, 2.9], [2.0, 1.0], [3.0, 0.0]])
+        assert spacing(pts) > 0.05
+
+    def test_few_points_zero(self):
+        assert spacing(np.array([[1.0, 2.0]])) == 0.0
+        assert spacing(np.array([[1.0, 2.0], [3.0, 4.0]])) == 0.0
+
+
+class TestSpread:
+    def test_even_front_low_spread(self):
+        even = np.column_stack([np.linspace(0, 10, 11), np.linspace(10, 0, 11)])
+        uneven = np.array(
+            [[0.0, 10.0], [0.5, 9.5], [0.6, 9.4], [9.0, 1.0], [10.0, 0.0]]
+        )
+        assert spread(even) < spread(uneven)
+
+    def test_degenerate(self):
+        assert spread(np.array([[1.0, 1.0], [2.0, 2.0]])) == 0.0
+
+
+class TestEpsilon:
+    def test_self_zero(self):
+        assert additive_epsilon(FRONT, FRONT) == 0.0
+
+    def test_dominating_front_nonpositive(self):
+        better = FRONT + np.array([[-0.5, 0.5]])
+        assert additive_epsilon(better, FRONT) <= 0.0
+
+    def test_shortfall_measured(self):
+        worse = FRONT + np.array([[1.0, 0.0]])  # 1 J more everywhere
+        assert additive_epsilon(worse, FRONT) == pytest.approx(1.0)
+
+
+class TestIGD:
+    def test_self_zero(self):
+        assert igd(FRONT, FRONT) == 0.0
+
+    def test_distance_grows_with_gap(self):
+        near = FRONT + np.array([[0.05, 0.0]])
+        far = FRONT + np.array([[0.5, 0.0]])
+        assert igd(near, FRONT) < igd(far, FRONT)
+
+    def test_subset_approx(self):
+        # Approximating with one middle point: distance to extremes.
+        approx = FRONT[[1]]
+        assert igd(approx, FRONT) > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pts=st.lists(
+        st.tuples(st.floats(0.1, 50.0), st.floats(0.1, 50.0)),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_property_hypervolume_bounds(pts):
+    """HV is between 0 and the full reference box."""
+    arr = np.asarray(pts)
+    ref = (arr[:, 0].max() + 1.0, 0.0)
+    hv = hypervolume(arr, ref)
+    box = ref[0] * (arr[:, 1].max() + 1.0)
+    assert 0.0 <= hv <= box
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pts=st.lists(
+        st.tuples(st.floats(0.1, 50.0), st.floats(0.1, 50.0)),
+        min_size=1,
+        max_size=20,
+    ),
+    extra=st.tuples(st.floats(0.1, 50.0), st.floats(0.1, 50.0)),
+)
+def test_property_hypervolume_monotone_under_union(pts, extra):
+    """Adding a point never decreases hypervolume."""
+    arr = np.asarray(pts)
+    ref = (max(arr[:, 0].max(), extra[0]) + 1.0, 0.0)
+    hv_before = hypervolume(arr, ref)
+    hv_after = hypervolume(np.vstack([arr, [extra]]), ref)
+    assert hv_after >= hv_before - 1e-9

@@ -1,0 +1,104 @@
+"""Tests for the ParetoFront container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.pareto_front import ParetoFront
+from repro.errors import AnalysisError
+
+
+def front_abc() -> ParetoFront:
+    return ParetoFront.from_points(
+        np.array([[1.0, 5.0], [2.0, 8.0], [3.0, 9.0], [2.5, 6.0]])
+    )
+
+
+class TestConstruction:
+    def test_from_points_filters(self):
+        f = front_abc()
+        assert f.size == 3  # (2.5, 6) dominated by (2, 8)
+        np.testing.assert_allclose(f.points[:, 0], [1.0, 2.0, 3.0])
+
+    def test_sorted_and_increasing_utility(self):
+        f = front_abc()
+        assert np.all(np.diff(f.energies) > 0)
+        assert np.all(np.diff(f.utilities) > 0)
+
+    def test_duplicates_dropped(self):
+        f = ParetoFront.from_points(np.array([[1.0, 5.0], [1.0, 5.0]]))
+        assert f.size == 1
+
+    def test_dominated_input_rejected_by_strict_ctor(self):
+        with pytest.raises(AnalysisError):
+            ParetoFront(points=np.array([[1.0, 5.0], [2.0, 4.0]]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            ParetoFront.from_points(np.empty((0, 2)))
+
+    def test_ranges(self):
+        f = front_abc()
+        assert f.energy_range == (1.0, 3.0)
+        assert f.utility_range == (5.0, 9.0)
+
+
+class TestMerge:
+    def test_merge_keeps_best_of_both(self):
+        a = ParetoFront.from_points(np.array([[1.0, 5.0], [3.0, 9.0]]))
+        b = ParetoFront.from_points(np.array([[2.0, 8.0], [3.0, 8.5]]))
+        merged = a.merge(b)
+        assert merged.size == 3
+        np.testing.assert_allclose(merged.points[:, 1], [5.0, 8.0, 9.0])
+
+
+class TestCrossDominance:
+    def test_fraction_dominated(self):
+        better = ParetoFront.from_points(np.array([[1.0, 9.0]]))
+        worse = ParetoFront.from_points(np.array([[2.0, 8.0], [0.5, 1.0]]))
+        # (2, 8) dominated by (1, 9); (0.5, 1.0) is not.
+        assert worse.fraction_dominated_by(better) == pytest.approx(0.5)
+        assert better.fraction_dominated_by(worse) == 0.0
+        assert not better.dominates_front(worse)
+
+    def test_dominates_front_complete(self):
+        better = ParetoFront.from_points(np.array([[0.5, 9.5]]))
+        worse = ParetoFront.from_points(np.array([[2.0, 8.0], [1.0, 5.0]]))
+        assert better.dominates_front(worse)
+
+    def test_self_dominance_zero(self):
+        f = front_abc()
+        assert f.fraction_dominated_by(f) == 0.0
+
+
+class TestBudgetQueries:
+    def test_utility_at_energy(self):
+        f = front_abc()
+        assert f.utility_at_energy(2.4) == 8.0
+        assert f.utility_at_energy(10.0) == 9.0
+        with pytest.raises(AnalysisError):
+            f.utility_at_energy(0.5)
+
+    def test_energy_for_utility(self):
+        f = front_abc()
+        assert f.energy_for_utility(7.0) == 2.0
+        assert f.energy_for_utility(9.0) == 3.0
+        with pytest.raises(AnalysisError):
+            f.energy_for_utility(100.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pts=st.lists(
+        st.tuples(st.floats(0.1, 100.0), st.floats(0.1, 100.0)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_front_is_monotone_curve(pts):
+    """Along any constructed front, utility strictly increases with
+    energy — the defining shape of the paper's trade-off curves."""
+    f = ParetoFront.from_points(np.asarray(pts))
+    if f.size > 1:
+        assert np.all(np.diff(f.energies) > 0)
+        assert np.all(np.diff(f.utilities) > 0)

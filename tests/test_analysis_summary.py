@@ -1,0 +1,74 @@
+"""Tests for the experiment report and KS similarity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.summary import experiment_report
+from repro.data.gram_charlier import GramCharlierPDF
+from repro.data.heterogeneity import ks_similarity, mvsk
+from repro.errors import DataGenerationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.datasets import dataset1
+from repro.experiments.runner import run_seeded_populations
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    cfg = ExperimentConfig(
+        population_size=12, generations=4, checkpoints=(2, 4), base_seed=71
+    )
+    return run_seeded_populations(
+        dataset1(seed=71), cfg, labels=["min-energy", "random"]
+    )
+
+
+class TestExperimentReport:
+    def test_sections_present(self, small_result):
+        text = experiment_report(small_result)
+        assert "Greedy seed objectives" in text
+        assert "Final Pareto fronts" in text
+        assert "Convergence across checkpoints" in text
+        assert "Cross-population dominance" in text
+        assert "Best-known front" in text
+
+    def test_populations_listed(self, small_result):
+        text = experiment_report(small_result)
+        assert "min-energy" in text and "random" in text
+
+    def test_custom_title(self, small_result):
+        text = experiment_report(small_result, title="My Study")
+        assert text.splitlines()[0] == "My Study"
+
+    def test_numbers_are_plausible(self, small_result):
+        """The report's min-energy row quotes the provably minimal
+        energy in MJ."""
+        e_min = small_result.seed_objectives["min-energy"][0]
+        text = experiment_report(small_result)
+        assert f"{e_min / 1e6:.4f}" in text
+
+
+class TestKSSimilarity:
+    def test_same_distribution_similar(self):
+        rng = np.random.default_rng(1)
+        ok, p = ks_similarity(rng.gamma(2, 3, 400), rng.gamma(2, 3, 400))
+        assert ok and p > 0.05
+
+    def test_different_distribution_dissimilar(self):
+        rng = np.random.default_rng(2)
+        ok, p = ks_similarity(rng.gamma(2, 3, 400), rng.gamma(2, 9, 400))
+        assert not ok and p < 0.05
+
+    def test_gram_charlier_samples_track_target(self):
+        """Large GC samples with the same parameters are KS-similar to
+        each other (sampler self-consistency)."""
+        pdf = GramCharlierPDF(mean=50.0, std=10.0, skewness=0.5)
+        a = pdf.sample(2000, seed=3)
+        b = pdf.sample(2000, seed=4)
+        ok, _ = ks_similarity(a, b)
+        assert ok
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            ks_similarity([], [1.0])
+        with pytest.raises(DataGenerationError):
+            ks_similarity([1.0], [1.0], alpha=0.0)

@@ -1,0 +1,118 @@
+"""Tests for the repro-analyze CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "--name", "figure9"])
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table III" in out
+        assert "AMD A8-3870K" in out
+        assert "TOTAL" in out
+
+    def test_seeds(self, capsys):
+        assert main(["seeds", "--dataset", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "min-energy" in out and "min-min-completion-time" in out
+
+    def test_datagen(self, capsys):
+        assert main(["datagen", "--new-task-types", "10", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ETC real rows" in out and "EPC synthetic rows" in out
+
+    def test_system_export(self, capsys, tmp_path):
+        out_path = tmp_path / "sys.json"
+        assert main(["system", "--dataset", "1", "--output", str(out_path)]) == 0
+        data = json.loads(out_path.read_text())
+        assert data["format"] == "repro.system/1"
+        out = capsys.readouterr().out
+        assert "SystemModel" in out
+
+    def test_figure_small(self, capsys, tmp_path):
+        out_path = tmp_path / "fig.json"
+        code = main(
+            [
+                "figure",
+                "--name",
+                "figure3",
+                "--scale",
+                "0.00002",
+                "--seed",
+                "1",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure3" in out
+        assert out_path.exists()
+        saved = json.loads(out_path.read_text())
+        assert saved["name"] == "figure3"
+
+
+class TestNewCommands:
+    def test_gantt(self, capsys):
+        assert main(
+            ["gantt", "--dataset", "1", "--heuristic", "min-energy",
+             "--width", "60", "--max-machines", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "min-energy on dataset1" in out
+        assert "idle awaiting arrival" in out
+
+    def test_repetitions(self, capsys):
+        assert main(
+            ["repetitions", "--repetitions", "2", "--generations", "3",
+             "--population", "10", "--seed", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "best" in out and "worst" in out
+        assert "hypervolume" in out
+
+    def test_figure_csv_and_svg(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig.csv"
+        svg_dir = tmp_path / "svg"
+        code = main(
+            [
+                "figure", "--name", "figure3", "--scale", "0.00002",
+                "--seed", "2", "--csv", str(csv_path),
+                "--svg-dir", str(svg_dir),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        assert list(svg_dir.glob("*.svg"))
+
+    def test_report(self, capsys):
+        assert main(
+            ["report", "--dataset", "1", "--scale", "0.00002",
+             "--population", "10", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Experiment report" in out
+        assert "Best-known front" in out
+
+    def test_reproduce_all(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        assert main(
+            ["reproduce-all", "--output", str(out_dir),
+             "--scale", "0.00002", "--population", "10", "--seed", "3"]
+        ) == 0
+        assert (out_dir / "MANIFEST.txt").exists()
+        assert (out_dir / "figure6.json").exists()

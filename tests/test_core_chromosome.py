@@ -1,0 +1,60 @@
+"""Tests for the Gene/Chromosome API view."""
+
+import numpy as np
+import pytest
+
+from repro.core.chromosome import Chromosome, Gene
+from repro.errors import OptimizationError
+from repro.sim.schedule import ResourceAllocation
+
+
+class TestChromosome:
+    def test_genes_carry_arrival_times(self, tiny_trace):
+        chrom = Chromosome(
+            machine_assignment=np.array([0, 1, 2, 3, 0, 1]),
+            scheduling_order=np.arange(6),
+            trace=tiny_trace,
+        )
+        g = chrom.gene(2)
+        assert isinstance(g, Gene)
+        assert g.task == 2
+        assert g.machine == 2
+        assert g.arrival_time == tiny_trace.arrival_times[2]
+        assert g.scheduling_order == 2
+
+    def test_iteration_yields_all_genes(self, tiny_trace):
+        chrom = Chromosome(
+            machine_assignment=np.zeros(6, dtype=int),
+            scheduling_order=np.arange(6),
+            trace=tiny_trace,
+        )
+        genes = list(chrom)
+        assert len(genes) == 6
+        assert [g.task for g in genes] == list(range(6))
+
+    def test_allocation_roundtrip(self, tiny_trace):
+        alloc = ResourceAllocation(
+            machine_assignment=np.array([3, 2, 1, 0, 3, 2]),
+            scheduling_order=np.array([5, 4, 3, 2, 1, 0]),
+        )
+        chrom = Chromosome.from_allocation(alloc, tiny_trace)
+        back = chrom.to_allocation()
+        np.testing.assert_array_equal(back.machine_assignment, alloc.machine_assignment)
+        np.testing.assert_array_equal(back.scheduling_order, alloc.scheduling_order)
+
+    def test_size_mismatch_rejected(self, tiny_trace):
+        with pytest.raises(OptimizationError):
+            Chromosome(
+                machine_assignment=np.zeros(3, dtype=int),
+                scheduling_order=np.arange(3),
+                trace=tiny_trace,
+            )
+
+    def test_gene_out_of_range(self, tiny_trace):
+        chrom = Chromosome(
+            machine_assignment=np.zeros(6, dtype=int),
+            scheduling_order=np.arange(6),
+            trace=tiny_trace,
+        )
+        with pytest.raises(OptimizationError):
+            chrom.gene(6)

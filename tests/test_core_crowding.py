@@ -1,0 +1,93 @@
+"""Tests for crowding distance and truncation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.crowding import crowding_distance, crowding_truncate
+from repro.errors import OptimizationError
+
+
+class TestCrowdingDistance:
+    def test_boundaries_infinite(self):
+        pts = np.array([[1.0, 9.0], [2.0, 8.0], [3.0, 5.0], [4.0, 1.0]])
+        d = crowding_distance(pts)
+        assert np.isinf(d[0]) and np.isinf(d[3])
+        assert np.isfinite(d[1]) and np.isfinite(d[2])
+
+    def test_two_points_infinite(self):
+        d = crowding_distance(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert np.all(np.isinf(d))
+
+    def test_interior_value(self):
+        # Evenly spaced colinear points: interior distances equal.
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        d = crowding_distance(pts)
+        assert d[1] == pytest.approx(d[2])
+        # Each axis contributes (x_{i+1} - x_{i-1}) / span = 2/3.
+        assert d[1] == pytest.approx(4.0 / 3.0)
+
+    def test_dense_cluster_penalized(self):
+        pts = np.array([[0.0, 10.0], [5.0, 5.0], [5.1, 4.9], [10.0, 0.0]])
+        d = crowding_distance(pts)
+        # Clustered middle points have smaller distance than an
+        # equally-spaced alternative.
+        assert d[1] < 4.0 / 3.0 and d[2] < 4.0 / 3.0
+
+    def test_degenerate_axis_ignored(self):
+        pts = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        d = crowding_distance(pts)
+        assert np.isinf(d[0]) and np.isinf(d[2])
+        assert d[1] == pytest.approx(1.0)  # only axis 0 contributes
+
+    def test_empty(self):
+        assert crowding_distance(np.empty((0, 2))).shape == (0,)
+
+    def test_1d_rejected(self):
+        with pytest.raises(OptimizationError):
+            crowding_distance(np.array([1.0, 2.0]))
+
+
+class TestTruncate:
+    def test_keeps_boundaries_first(self):
+        pts = np.array([[0.0, 10.0], [4.9, 5.1], [5.0, 5.0], [10.0, 0.0]])
+        keep = crowding_truncate(pts, 3)
+        assert 0 in keep and 3 in keep
+        assert len(keep) == 3
+
+    def test_keep_all(self):
+        pts = np.array([[0.0, 1.0], [1.0, 0.0]])
+        np.testing.assert_array_equal(crowding_truncate(pts, 5), [0, 1])
+
+    def test_keep_zero(self):
+        pts = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert crowding_truncate(pts, 0).shape == (0,)
+
+    def test_negative_rejected(self):
+        with pytest.raises(OptimizationError):
+            crowding_truncate(np.ones((2, 2)), -1)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 1, size=(20, 2))
+        np.testing.assert_array_equal(
+            crowding_truncate(pts, 7), crowding_truncate(pts, 7)
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pts=st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)),
+        min_size=1,
+        max_size=30,
+    ),
+    keep_frac=st.floats(0.0, 1.0),
+)
+def test_property_truncate_size_and_subset(pts, keep_frac):
+    arr = np.asarray(pts, dtype=np.float64)
+    keep = int(keep_frac * arr.shape[0])
+    idx = crowding_truncate(arr, keep)
+    assert len(idx) == min(keep, arr.shape[0])
+    assert len(set(idx.tolist())) == len(idx)
+    assert np.all((idx >= 0) & (idx < arr.shape[0]))

@@ -1,0 +1,138 @@
+"""Tests for solution dominance (paper Figure 2 semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dominance import (
+    dominance_matrix,
+    dominates,
+    nondominated_mask,
+    pareto_filter,
+)
+from repro.errors import OptimizationError
+
+
+class TestFigure2:
+    """The paper's Figure 2: A dominates B; A and C incomparable."""
+
+    A = (5.0, 10.0)  # (energy, utility)
+    B = (7.0, 8.0)
+    C = (3.0, 6.0)
+
+    def test_a_dominates_b(self):
+        assert dominates(self.A, self.B)
+        assert not dominates(self.B, self.A)
+
+    def test_a_c_incomparable(self):
+        assert not dominates(self.A, self.C)
+        assert not dominates(self.C, self.A)
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(self.A, self.A)
+
+    def test_weak_improvement_dominates(self):
+        # Same energy, more utility.
+        assert dominates((5.0, 11.0), self.A)
+        # Less energy, same utility.
+        assert dominates((4.0, 10.0), self.A)
+
+    def test_shape_validated(self):
+        with pytest.raises(OptimizationError):
+            dominates((1.0, 2.0, 3.0), (1.0, 2.0))
+
+
+class TestDominanceMatrix:
+    def test_matches_pairwise(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 10, size=(15, 2))
+        D = dominance_matrix(pts)
+        for i in range(15):
+            for j in range(15):
+                assert D[i, j] == dominates(pts[i], pts[j])
+
+    def test_diagonal_false(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0]])
+        D = dominance_matrix(pts)
+        assert not D.any()  # duplicates never dominate
+
+
+class TestNondominatedMask:
+    def test_simple_front(self):
+        pts = np.array(
+            [
+                [1.0, 5.0],   # front
+                [2.0, 8.0],   # front
+                [2.5, 7.0],   # dominated by (2, 8)
+                [3.0, 9.0],   # front
+                [1.5, 4.0],   # dominated by (1, 5)
+            ]
+        )
+        np.testing.assert_array_equal(
+            nondominated_mask(pts), [True, True, False, True, False]
+        )
+
+    def test_duplicates_all_kept(self):
+        pts = np.array([[1.0, 5.0], [1.0, 5.0], [2.0, 4.0]])
+        np.testing.assert_array_equal(nondominated_mask(pts), [True, True, False])
+
+    def test_equal_utility_lower_energy_wins(self):
+        pts = np.array([[1.0, 5.0], [2.0, 5.0]])
+        np.testing.assert_array_equal(nondominated_mask(pts), [True, False])
+
+    def test_equal_energy_higher_utility_wins(self):
+        pts = np.array([[1.0, 5.0], [1.0, 7.0]])
+        np.testing.assert_array_equal(nondominated_mask(pts), [False, True])
+
+    def test_empty(self):
+        assert nondominated_mask(np.empty((0, 2))).shape == (0,)
+
+    def test_single(self):
+        np.testing.assert_array_equal(nondominated_mask(np.array([[1.0, 1.0]])), [True])
+
+
+class TestParetoFilter:
+    def test_with_indices(self):
+        pts = np.array([[1.0, 5.0], [2.0, 4.0], [0.5, 9.0]])
+        front, idx = pareto_filter(pts, return_indices=True)
+        np.testing.assert_array_equal(idx, [2])
+        np.testing.assert_allclose(front, [[0.5, 9.0]])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pts=st.lists(
+        st.tuples(st.floats(0.0, 100.0), st.floats(0.0, 100.0)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_mask_matches_brute_force(pts):
+    """The O(N log N) sweep agrees with the O(N^2) definition."""
+    arr = np.asarray(pts, dtype=np.float64)
+    mask = nondominated_mask(arr)
+    n = arr.shape[0]
+    brute = np.ones(n, dtype=bool)
+    for j in range(n):
+        for i in range(n):
+            if i != j and dominates(arr[i], arr[j]):
+                brute[j] = False
+                break
+    np.testing.assert_array_equal(mask, brute)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pts=st.lists(
+        st.tuples(st.floats(0.0, 100.0), st.floats(0.0, 100.0)),
+        min_size=2,
+        max_size=40,
+    )
+)
+def test_property_front_points_mutually_incomparable(pts):
+    arr = np.asarray(pts, dtype=np.float64)
+    front = pareto_filter(arr)
+    for i in range(front.shape[0]):
+        for j in range(front.shape[0]):
+            if i != j:
+                assert not dominates(front[i], front[j])

@@ -1,0 +1,50 @@
+"""Tests for objective-space conventions."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import (
+    ENERGY_UTILITY,
+    BiObjectiveSpace,
+    ObjectiveSense,
+)
+from repro.errors import OptimizationError
+
+
+class TestSenses:
+    def test_signs(self):
+        assert ObjectiveSense.MINIMIZE.sign == 1.0
+        assert ObjectiveSense.MAXIMIZE.sign == -1.0
+
+    def test_energy_utility_space(self):
+        assert ENERGY_UTILITY.senses[0] is ObjectiveSense.MINIMIZE
+        assert ENERGY_UTILITY.senses[1] is ObjectiveSense.MAXIMIZE
+
+
+class TestTransforms:
+    def test_to_minimization(self):
+        pts = np.array([[10.0, 5.0], [20.0, 8.0]])
+        out = ENERGY_UTILITY.to_minimization(pts)
+        np.testing.assert_allclose(out, [[10.0, -5.0], [20.0, -8.0]])
+
+    def test_shape_rejected(self):
+        with pytest.raises(OptimizationError):
+            ENERGY_UTILITY.to_minimization(np.array([1.0, 2.0, 3.0]))
+
+    def test_better_or_equal(self):
+        a = np.array([10.0, 5.0])
+        b = np.array([12.0, 4.0])
+        np.testing.assert_array_equal(
+            ENERGY_UTILITY.better_or_equal(a, b), [True, True]
+        )
+        np.testing.assert_array_equal(
+            ENERGY_UTILITY.strictly_better(a, b), [True, True]
+        )
+        np.testing.assert_array_equal(
+            ENERGY_UTILITY.strictly_better(a, a), [False, False]
+        )
+
+    def test_ideal_and_nadir(self):
+        pts = np.array([[10.0, 5.0], [20.0, 8.0], [15.0, 2.0]])
+        np.testing.assert_allclose(ENERGY_UTILITY.ideal_point(pts), [10.0, 8.0])
+        np.testing.assert_allclose(ENERGY_UTILITY.nadir_point(pts), [20.0, 2.0])

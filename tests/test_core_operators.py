@@ -1,0 +1,188 @@
+"""Tests for crossover/mutation operators and the feasible-machine table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.operators import (
+    FeasibleMachines,
+    OperatorConfig,
+    VariationOperators,
+    repair_orders,
+)
+from repro.errors import OptimizationError
+from repro.workload.trace import Trace
+
+from conftest import make_tiny_system
+from test_model_system import make_special_system
+
+
+def special_feasible():
+    from repro.utility.tuf import TimeUtilityFunction
+
+    sys_ = make_special_system().with_utility_functions(
+        [TimeUtilityFunction.linear(5.0, 0.01)] * 2
+    )
+    trace = Trace(
+        task_types=np.array([0, 1, 0, 1]),
+        arrival_times=np.array([0.0, 1.0, 2.0, 3.0]),
+        window=10.0,
+    )
+    return sys_, trace, FeasibleMachines.from_system_trace(sys_, trace)
+
+
+class TestFeasibleMachines:
+    def test_counts_and_membership(self):
+        sys_, trace, feas = special_feasible()
+        # Task type 0 can use machines 0, 1, 2; type 1 only 0, 1.
+        np.testing.assert_array_equal(feas.counts, [3, 2, 3, 2])
+        assert set(feas.padded[0, :3].tolist()) == {0, 1, 2}
+        assert set(feas.padded[1, :2].tolist()) == {0, 1}
+
+    def test_sampling_respects_feasibility(self):
+        sys_, trace, feas = special_feasible()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            machines = feas.sample(np.array([1, 3]), rng)
+            assert np.all(np.isin(machines, [0, 1]))
+
+    def test_sample_matrix_feasible(self):
+        sys_, trace, feas = special_feasible()
+        rng = np.random.default_rng(1)
+        m = feas.sample_matrix(50, rng)
+        assert m.shape == (50, 4)
+        mask = sys_.feasible_task_machine[trace.task_types]
+        for row in m:
+            assert np.all(mask[np.arange(4), row])
+
+    def test_sampling_covers_all_feasible(self):
+        sys_, trace, feas = special_feasible()
+        rng = np.random.default_rng(2)
+        seen = set(
+            feas.sample(np.zeros(300, dtype=np.int64), rng).tolist()
+        )
+        assert seen == {0, 1, 2}
+
+
+class TestRepairOrders:
+    def test_rank_transform(self):
+        orders = np.array([[5, 1, 5], [9, 9, 9]])
+        fixed = repair_orders(orders)
+        np.testing.assert_array_equal(fixed[0], [1, 0, 2])
+        np.testing.assert_array_equal(fixed[1], [0, 1, 2])
+
+    def test_permutation_unchanged_in_effect(self):
+        orders = np.array([[2, 0, 1]])
+        np.testing.assert_array_equal(repair_orders(orders), orders)
+
+
+class TestOperatorConfig:
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            OperatorConfig(mutation_probability=1.5)
+        with pytest.raises(OptimizationError):
+            OperatorConfig(mutations_per_offspring=0)
+
+
+class TestCrossover:
+    def make_ops(self, repair=False):
+        sys_, trace, feas = special_feasible()
+        return sys_, trace, VariationOperators(
+            feas, OperatorConfig(mutation_probability=1.0, repair_order=repair)
+        )
+
+    def test_offspring_size_matches(self):
+        sys_, trace, ops = self.make_ops()
+        rng = np.random.default_rng(3)
+        feas = ops.feasible
+        assign = feas.sample_matrix(10, rng)
+        orders = np.tile(np.arange(4), (10, 1))
+        ca, co = ops.crossover_population(assign, orders, rng)
+        assert ca.shape == assign.shape and co.shape == orders.shape
+
+    def test_genes_come_from_parents_at_same_position(self):
+        """Every child gene (machine AND order) equals some parent's
+        gene at the same position — the paper's positional swap."""
+        sys_, trace, ops = self.make_ops()
+        rng = np.random.default_rng(4)
+        feas = ops.feasible
+        assign = feas.sample_matrix(8, rng)
+        orders = np.stack([rng.permutation(4) for _ in range(8)])
+        ca, co = ops.crossover_population(assign, orders, rng)
+        for child in range(ca.shape[0]):
+            for g in range(4):
+                pairs = set(zip(assign[:, g].tolist(), orders[:, g].tolist()))
+                assert (ca[child, g], co[child, g]) in pairs
+
+    def test_feasibility_preserved(self):
+        sys_, trace, ops = self.make_ops()
+        rng = np.random.default_rng(5)
+        feas = ops.feasible
+        mask = sys_.feasible_task_machine[trace.task_types]
+        assign = feas.sample_matrix(20, rng)
+        orders = np.stack([rng.permutation(4) for _ in range(20)])
+        for _ in range(10):
+            assign, orders = ops.crossover_population(assign, orders, rng)
+            assign, orders = ops.mutate_population(assign, orders, rng)
+            for row in assign:
+                assert np.all(mask[np.arange(4), row])
+
+    def test_odd_population(self):
+        sys_, trace, ops = self.make_ops()
+        rng = np.random.default_rng(6)
+        assign = ops.feasible.sample_matrix(5, rng)
+        orders = np.tile(np.arange(4), (5, 1))
+        ca, co = ops.crossover_population(assign, orders, rng)
+        assert ca.shape == (5, 4)
+
+    def test_single_parent_copies(self):
+        sys_, trace, ops = self.make_ops()
+        rng = np.random.default_rng(7)
+        assign = ops.feasible.sample_matrix(1, rng)
+        orders = np.tile(np.arange(4), (1, 1))
+        ca, co = ops.crossover_population(assign, orders, rng)
+        np.testing.assert_array_equal(ca, assign)
+
+    def test_repair_mode_yields_permutations(self):
+        sys_, trace, ops = self.make_ops(repair=True)
+        rng = np.random.default_rng(8)
+        assign = ops.feasible.sample_matrix(10, rng)
+        orders = np.stack([rng.permutation(4) for _ in range(10)])
+        for _ in range(5):
+            assign, orders = ops.crossover_population(assign, orders, rng)
+            assign, orders = ops.mutate_population(assign, orders, rng)
+        for row in orders:
+            np.testing.assert_array_equal(np.sort(row), np.arange(4))
+
+
+class TestMutation:
+    def test_zero_probability_no_change(self):
+        sys_, trace, feas = special_feasible()
+        ops = VariationOperators(feas, OperatorConfig(mutation_probability=0.0))
+        rng = np.random.default_rng(9)
+        assign = feas.sample_matrix(10, rng)
+        orders = np.tile(np.arange(4), (10, 1))
+        a2, o2 = ops.mutate_population(assign.copy(), orders.copy(), rng)
+        np.testing.assert_array_equal(a2, assign)
+        np.testing.assert_array_equal(o2, orders)
+
+    def test_mutation_changes_population(self):
+        sys_, trace, feas = special_feasible()
+        ops = VariationOperators(feas, OperatorConfig(mutation_probability=1.0))
+        rng = np.random.default_rng(10)
+        assign = feas.sample_matrix(30, rng)
+        orders = np.stack([rng.permutation(4) for _ in range(30)])
+        a2, o2 = ops.mutate_population(assign.copy(), orders.copy(), rng)
+        assert (not np.array_equal(a2, assign)) or (not np.array_equal(o2, orders))
+
+    def test_order_swap_preserves_multiset(self):
+        """Mutation swaps two order keys — the key multiset per
+        chromosome is invariant."""
+        sys_, trace, feas = special_feasible()
+        ops = VariationOperators(feas, OperatorConfig(mutation_probability=1.0))
+        rng = np.random.default_rng(11)
+        orders = np.stack([rng.permutation(4) for _ in range(20)])
+        before = np.sort(orders, axis=1).copy()
+        assign = feas.sample_matrix(20, rng)
+        _, o2 = ops.mutate_population(assign, orders, rng)
+        np.testing.assert_array_equal(np.sort(o2, axis=1), before)

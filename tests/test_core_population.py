@@ -1,0 +1,88 @@
+"""Tests for the packed Population container."""
+
+import numpy as np
+import pytest
+
+from repro.core.operators import FeasibleMachines
+from repro.core.population import Population
+from repro.errors import OptimizationError
+
+
+@pytest.fixture
+def feas(small_system, small_trace):
+    return FeasibleMachines.from_system_trace(small_system, small_trace)
+
+
+class TestRandomInit:
+    def test_shapes(self, feas):
+        rng = np.random.default_rng(0)
+        pop = Population.random(feas, 12, rng)
+        assert pop.size == 12
+        assert pop.num_tasks == feas.num_tasks
+        assert not pop.is_evaluated
+
+    def test_orders_are_permutations(self, feas):
+        rng = np.random.default_rng(1)
+        pop = Population.random(feas, 5, rng)
+        T = pop.num_tasks
+        for row in pop.orders:
+            np.testing.assert_array_equal(np.sort(row), np.arange(T))
+
+    def test_invalid_size(self, feas):
+        with pytest.raises(OptimizationError):
+            Population.random(feas, 0, np.random.default_rng(0))
+
+
+class TestEvaluation:
+    def test_evaluate_fills_objectives(self, feas, small_evaluator):
+        pop = Population.random(feas, 8, np.random.default_rng(2))
+        pop.evaluate(small_evaluator)
+        assert pop.is_evaluated
+        assert pop.objectives.shape == (8, 2)
+        assert np.all(pop.energies > 0)
+
+    def test_objectives_before_evaluate_rejected(self, feas):
+        pop = Population.random(feas, 3, np.random.default_rng(3))
+        with pytest.raises(OptimizationError):
+            _ = pop.objectives
+
+
+class TestComposition:
+    def test_concatenate(self, feas, small_evaluator):
+        rng = np.random.default_rng(4)
+        a = Population.random(feas, 4, rng)
+        b = Population.random(feas, 6, rng)
+        a.evaluate(small_evaluator)
+        b.evaluate(small_evaluator)
+        meta = a.concatenate(b)
+        assert meta.size == 10
+        np.testing.assert_array_equal(meta.energies[:4], a.energies)
+        np.testing.assert_array_equal(meta.energies[4:], b.energies)
+
+    def test_concatenate_requires_evaluation(self, feas):
+        rng = np.random.default_rng(5)
+        a = Population.random(feas, 2, rng)
+        b = Population.random(feas, 2, rng)
+        with pytest.raises(OptimizationError):
+            a.concatenate(b)
+
+    def test_select(self, feas, small_evaluator):
+        pop = Population.random(feas, 6, np.random.default_rng(6))
+        pop.evaluate(small_evaluator)
+        sub = pop.select(np.array([4, 0]))
+        assert sub.size == 2
+        np.testing.assert_array_equal(sub.assignments[0], pop.assignments[4])
+        assert sub.energies[1] == pop.energies[0]
+
+    def test_allocation_roundtrip(self, feas, small_evaluator):
+        pop = Population.random(feas, 3, np.random.default_rng(7))
+        pop.evaluate(small_evaluator)
+        alloc = pop.allocation(1)
+        res = small_evaluator.evaluate(alloc)
+        assert res.energy == pytest.approx(pop.energies[1])
+        assert res.utility == pytest.approx(pop.utilities[1])
+
+    def test_allocation_out_of_range(self, feas):
+        pop = Population.random(feas, 3, np.random.default_rng(8))
+        with pytest.raises(OptimizationError):
+            pop.allocation(3)

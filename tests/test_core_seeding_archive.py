@@ -1,0 +1,92 @@
+"""Tests for seed injection and the external Pareto archive."""
+
+import numpy as np
+import pytest
+
+from repro.core.archive import ParetoArchive
+from repro.core.dominance import nondominated_mask
+from repro.core.operators import FeasibleMachines
+from repro.core.seeding import seeded_initial_population
+from repro.errors import OptimizationError
+from repro.heuristics import MinEnergy
+
+
+class TestSeeding:
+    def test_seed_occupies_first_row(self, small_system, small_trace):
+        feas = FeasibleMachines.from_system_trace(small_system, small_trace)
+        seed_alloc = MinEnergy().build(small_system, small_trace)
+        pop = seeded_initial_population(feas, 10, [seed_alloc], rng_seed=0)
+        np.testing.assert_array_equal(pop.assignments[0], seed_alloc.machine_assignment)
+        np.testing.assert_array_equal(pop.orders[0], seed_alloc.scheduling_order)
+
+    def test_rest_is_random(self, small_system, small_trace):
+        feas = FeasibleMachines.from_system_trace(small_system, small_trace)
+        seed_alloc = MinEnergy().build(small_system, small_trace)
+        pop = seeded_initial_population(feas, 10, [seed_alloc], rng_seed=0)
+        # At least one non-seed row differs from the seed.
+        assert any(
+            not np.array_equal(pop.assignments[i], seed_alloc.machine_assignment)
+            for i in range(1, 10)
+        )
+
+    def test_no_seeds_all_random(self, small_system, small_trace):
+        feas = FeasibleMachines.from_system_trace(small_system, small_trace)
+        pop = seeded_initial_population(feas, 5, [], rng_seed=1)
+        assert pop.size == 5
+
+    def test_too_many_seeds_rejected(self, small_system, small_trace):
+        feas = FeasibleMachines.from_system_trace(small_system, small_trace)
+        seed_alloc = MinEnergy().build(small_system, small_trace)
+        with pytest.raises(OptimizationError):
+            seeded_initial_population(feas, 1, [seed_alloc, seed_alloc], rng_seed=0)
+
+
+class TestArchive:
+    def test_update_keeps_nondominated(self):
+        archive = ParetoArchive()
+        archive.update(np.array([[2.0, 5.0], [1.0, 3.0], [3.0, 4.0]]))
+        # (3, 4) dominated by (2, 5).
+        assert len(archive) == 2
+
+    def test_incremental_updates(self):
+        archive = ParetoArchive()
+        archive.update(np.array([[2.0, 5.0]]))
+        archive.update(np.array([[1.0, 6.0]]))  # dominates the first
+        assert len(archive) == 1
+        np.testing.assert_allclose(archive.points, [[1.0, 6.0]])
+
+    def test_payloads_follow_points(self):
+        archive = ParetoArchive()
+        archive.update(np.array([[2.0, 5.0], [1.0, 3.0]]), payloads=["a", "b"])
+        archive.update(np.array([[0.5, 6.0]]), payloads=["c"])
+        assert archive.payloads == ["c"]
+
+    def test_duplicates_collapse(self):
+        archive = ParetoArchive()
+        archive.update(np.array([[1.0, 5.0], [1.0, 5.0]]), payloads=["x", "y"])
+        assert len(archive) == 1
+        assert archive.payloads == ["x"]
+
+    def test_front_sorted(self):
+        archive = ParetoArchive()
+        archive.update(np.array([[3.0, 9.0], [1.0, 4.0], [2.0, 7.0]]))
+        front = archive.front()
+        assert np.all(np.diff(front[:, 0]) >= 0)
+        assert nondominated_mask(front).all()
+
+    def test_dominates_point(self):
+        archive = ParetoArchive()
+        archive.update(np.array([[1.0, 5.0]]))
+        assert archive.dominates_point((2.0, 4.0))
+        assert not archive.dominates_point((0.5, 6.0))
+        assert not archive.dominates_point((1.0, 5.0))  # equal: not dominated
+
+    def test_payload_count_mismatch_rejected(self):
+        archive = ParetoArchive()
+        with pytest.raises(OptimizationError):
+            archive.update(np.array([[1.0, 2.0]]), payloads=["a", "b"])
+
+    def test_empty_archive(self):
+        archive = ParetoArchive()
+        assert len(archive) == 0
+        assert not archive.dominates_point((1.0, 1.0))

@@ -1,0 +1,101 @@
+"""Tests for nondominated sorting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dominance import dominates, nondominated_mask
+from repro.core.sorting import (
+    domination_count_ranks,
+    fast_nondominated_sort,
+    fronts_from_ranks,
+)
+from repro.errors import OptimizationError
+
+
+class TestFastSort:
+    def test_simple_layers(self):
+        pts = np.array(
+            [
+                [1.0, 9.0],  # front 1: dominates everything below
+                [2.0, 8.0],  # front 3: dominated by (1,9) and (1.5,8.5)
+                [2.0, 7.0],  # front 4
+                [3.0, 6.0],  # front 5
+                [1.5, 8.5],  # front 2: only dominated by (1, 9)
+            ]
+        )
+        ranks = fast_nondominated_sort(pts)
+        np.testing.assert_array_equal(ranks, [1, 3, 4, 5, 2])
+
+    def test_rank1_is_pareto_set(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 10, size=(50, 2))
+        ranks = fast_nondominated_sort(pts)
+        np.testing.assert_array_equal(ranks == 1, nondominated_mask(pts))
+
+    def test_empty(self):
+        assert fast_nondominated_sort(np.empty((0, 2))).shape == (0,)
+
+    def test_all_identical(self):
+        pts = np.ones((5, 2))
+        np.testing.assert_array_equal(fast_nondominated_sort(pts), 1)
+
+    def test_shape_rejected(self):
+        with pytest.raises(OptimizationError):
+            fast_nondominated_sort(np.ones((3, 3)))
+
+
+class TestDominationCountRanks:
+    def test_paper_definition(self):
+        """Rank = 1 + number of dominating solutions."""
+        pts = np.array([[1.0, 9.0], [2.0, 8.0], [3.0, 7.0], [4.0, 6.0]])
+        # Chain: each dominated by all previous.
+        np.testing.assert_array_equal(domination_count_ranks(pts), [1, 2, 3, 4])
+
+    def test_agrees_with_front_rank_on_rank1(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 10, size=(40, 2))
+        front = fast_nondominated_sort(pts) == 1
+        count = domination_count_ranks(pts) == 1
+        np.testing.assert_array_equal(front, count)
+
+
+class TestFrontsFromRanks:
+    def test_grouping(self):
+        ranks = np.array([1, 2, 1, 3, 2])
+        fronts = fronts_from_ranks(ranks)
+        np.testing.assert_array_equal(fronts[0], [0, 2])
+        np.testing.assert_array_equal(fronts[1], [1, 4])
+        np.testing.assert_array_equal(fronts[2], [3])
+
+    def test_empty(self):
+        assert fronts_from_ranks(np.empty(0, dtype=int)) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pts=st.lists(
+        st.tuples(st.floats(0.0, 50.0), st.floats(0.0, 50.0)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_front_structure(pts):
+    """Within a front no dominance; each rank>1 point is dominated by
+    some point of the previous front; front rank <= domination-count
+    rank."""
+    arr = np.asarray(pts, dtype=np.float64)
+    ranks = fast_nondominated_sort(arr)
+    counts = domination_count_ranks(arr)
+    assert np.all(ranks <= counts)
+    max_rank = int(ranks.max())
+    for r in range(1, max_rank + 1):
+        front = np.flatnonzero(ranks == r)
+        for i in front:
+            for j in front:
+                if i != j:
+                    assert not dominates(arr[i], arr[j])
+        if r > 1:
+            prev = np.flatnonzero(ranks == r - 1)
+            for j in front:
+                assert any(dominates(arr[i], arr[j]) for i in prev)

@@ -1,0 +1,101 @@
+"""Tests for the telemetry recorder and the parallel population runner."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.core.nsga2 import NSGA2, NSGA2Config
+from repro.core.telemetry import GenerationStats, TelemetryRecorder, compose
+from repro.errors import OptimizationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.datasets import dataset1
+from repro.experiments.runner import run_seeded_populations
+
+
+class TestTelemetry:
+    def test_records_every_generation(self, small_evaluator):
+        ga = NSGA2(small_evaluator, NSGA2Config(population_size=12), rng=1)
+        pts, _ = ga.current_front()
+        recorder = TelemetryRecorder(reference=(pts[:, 0].max() * 10, 0.0))
+        ga.run(8, progress=recorder)
+        assert len(recorder) == 8
+        assert recorder.rows[0].generation == 1
+        assert recorder.rows[-1].generation == 8
+
+    def test_sampling_interval(self, small_evaluator):
+        ga = NSGA2(small_evaluator, NSGA2Config(population_size=12), rng=2)
+        pts, _ = ga.current_front()
+        recorder = TelemetryRecorder(reference=(pts[:, 0].max() * 10, 0.0),
+                                     every=3)
+        ga.run(9, progress=recorder)
+        assert [r.generation for r in recorder.rows] == [3, 6, 9]
+
+    def test_hypervolume_series_nondecreasing(self, small_evaluator):
+        ga = NSGA2(small_evaluator, NSGA2Config(population_size=12), rng=3)
+        pts, _ = ga.current_front()
+        recorder = TelemetryRecorder(reference=(pts[:, 0].max() * 10, 0.0))
+        ga.run(15, progress=recorder)
+        hv = recorder.series("hypervolume")
+        assert np.all(np.diff(hv) >= -1e-9)
+
+    def test_series_unknown_field(self, small_evaluator):
+        ga = NSGA2(small_evaluator, NSGA2Config(population_size=12), rng=4)
+        pts, _ = ga.current_front()
+        recorder = TelemetryRecorder(reference=(pts[:, 0].max() * 10, 0.0))
+        ga.run(2, progress=recorder)
+        with pytest.raises(OptimizationError):
+            recorder.series("nope")
+        with pytest.raises(OptimizationError):
+            TelemetryRecorder(reference=(1.0, 0.0)).series("hypervolume")
+
+    def test_csv_export(self, small_evaluator, tmp_path):
+        ga = NSGA2(small_evaluator, NSGA2Config(population_size=12), rng=5)
+        pts, _ = ga.current_front()
+        recorder = TelemetryRecorder(reference=(pts[:, 0].max() * 10, 0.0))
+        ga.run(4, progress=recorder)
+        path = tmp_path / "telemetry.csv"
+        recorder.to_csv(path)
+        rows = list(csv.reader(path.open()))
+        assert rows[0][0] == "generation"
+        assert len(rows) == 5
+
+    def test_compose(self, small_evaluator):
+        ga = NSGA2(small_evaluator, NSGA2Config(population_size=12), rng=6)
+        pts, _ = ga.current_front()
+        a = TelemetryRecorder(reference=(pts[:, 0].max() * 10, 0.0))
+        seen = []
+        ga.run(3, progress=compose(a, lambda gen, eng: seen.append(gen)))
+        assert len(a) == 3 and seen == [1, 2, 3]
+        with pytest.raises(OptimizationError):
+            compose()
+
+    def test_every_validation(self):
+        with pytest.raises(OptimizationError):
+            TelemetryRecorder(reference=(1.0, 0.0), every=0)
+
+
+class TestParallelRunner:
+    CFG = ExperimentConfig(
+        population_size=10, generations=3, checkpoints=(3,), base_seed=44
+    )
+
+    def test_parallel_matches_sequential(self):
+        """Process-pool execution is bit-identical to in-process
+        execution (RNG streams derive from config, not order)."""
+        bundle = dataset1(seed=44)
+        labels = ["min-energy", "random"]
+        seq = run_seeded_populations(bundle, self.CFG, labels=labels, workers=0)
+        par = run_seeded_populations(bundle, self.CFG, labels=labels, workers=2)
+        for label in labels:
+            np.testing.assert_array_equal(
+                seq.histories[label].final.front_points,
+                par.histories[label].final.front_points,
+            )
+
+    def test_single_worker_falls_back(self):
+        bundle = dataset1(seed=44)
+        result = run_seeded_populations(
+            bundle, self.CFG, labels=["random"], workers=1
+        )
+        assert "random" in result.histories

@@ -1,0 +1,62 @@
+"""Tests for the CVB baseline ETC generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.cvb import CVBParameters, generate_cvb_etc
+from repro.data.heterogeneity import mvsk
+from repro.errors import DataGenerationError
+
+
+class TestParameters:
+    def test_gamma_mapping(self):
+        p = CVBParameters(mean_task=100.0, v_task=0.5, v_machine=0.25)
+        assert p.alpha_task == pytest.approx(4.0)
+        assert p.beta_task == pytest.approx(25.0)
+        assert p.alpha_machine == pytest.approx(16.0)
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            CVBParameters(mean_task=0.0, v_task=0.5, v_machine=0.5)
+        with pytest.raises(DataGenerationError):
+            CVBParameters(mean_task=1.0, v_task=0.0, v_machine=0.5)
+        with pytest.raises(DataGenerationError):
+            CVBParameters(mean_task=1.0, v_task=0.5, v_machine=-1.0)
+
+
+class TestGeneration:
+    def test_shape_and_positivity(self):
+        p = CVBParameters(100.0, 0.5, 0.3)
+        etc = generate_cvb_etc(20, 8, p, seed=1)
+        assert etc.shape == (20, 8)
+        assert np.all(etc > 0)
+
+    def test_deterministic(self):
+        p = CVBParameters(100.0, 0.5, 0.3)
+        np.testing.assert_array_equal(
+            generate_cvb_etc(5, 5, p, seed=2), generate_cvb_etc(5, 5, p, seed=2)
+        )
+
+    def test_moments_track_parameters(self):
+        p = CVBParameters(mean_task=50.0, v_task=0.4, v_machine=0.2)
+        etc = generate_cvb_etc(3000, 40, p, seed=3)
+        # Mean of everything ~ mean_task.
+        assert etc.mean() == pytest.approx(50.0, rel=0.05)
+        # Within-row CV ~ v_machine.
+        row_cv = (etc.std(axis=1) / etc.mean(axis=1)).mean()
+        assert row_cv == pytest.approx(0.2, rel=0.1)
+        # Across-task CV of row means ~ v_task (machine noise averages out).
+        s = mvsk(etc.mean(axis=1))
+        assert s.cov == pytest.approx(0.4, rel=0.15)
+
+    def test_high_task_heterogeneity(self):
+        lo = generate_cvb_etc(500, 10, CVBParameters(100.0, 0.1, 0.1), seed=4)
+        hi = generate_cvb_etc(500, 10, CVBParameters(100.0, 1.0, 0.1), seed=4)
+        assert mvsk(hi.mean(axis=1)).cov > mvsk(lo.mean(axis=1)).cov * 3
+
+    def test_bad_dimensions_rejected(self):
+        p = CVBParameters(1.0, 0.5, 0.5)
+        with pytest.raises(DataGenerationError):
+            generate_cvb_etc(0, 5, p)
+        with pytest.raises(DataGenerationError):
+            generate_cvb_etc(5, -1, p)

@@ -1,0 +1,140 @@
+"""Tests for the Gram-Charlier expansion PDF and sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.gram_charlier import GramCharlierPDF, hermite_he3, hermite_he4
+from repro.data.heterogeneity import mvsk
+from repro.errors import DataGenerationError
+
+
+class TestHermite:
+    def test_he3_roots(self):
+        # He3(z) = z^3 - 3z has roots 0, ±sqrt(3).
+        z = np.array([0.0, np.sqrt(3.0), -np.sqrt(3.0)])
+        np.testing.assert_allclose(hermite_he3(z), 0.0, atol=1e-12)
+
+    def test_he4_at_zero(self):
+        assert hermite_he4(np.array([0.0]))[0] == 3.0
+
+
+class TestNormalReduction:
+    """With skew 0 and kurtosis 3 the expansion *is* the normal."""
+
+    def test_density_matches_normal(self):
+        pdf = GramCharlierPDF(mean=10.0, std=2.0)
+        x = np.linspace(4.0, 16.0, 101)
+        normal = np.exp(-0.5 * ((x - 10.0) / 2.0) ** 2) / (
+            np.sqrt(2 * np.pi) * 2.0
+        )
+        np.testing.assert_allclose(pdf.density_raw(x), normal, rtol=1e-12)
+
+    def test_numeric_moments_match(self):
+        pdf = GramCharlierPDF(mean=10.0, std=2.0)
+        m = pdf.numeric_moments()
+        assert m.mean == pytest.approx(10.0, rel=1e-6)
+        assert m.std == pytest.approx(2.0, rel=1e-3)
+        assert abs(m.skewness) < 1e-6
+        assert m.kurtosis == pytest.approx(3.0, abs=1e-2)
+
+
+class TestMomentTargets:
+    def test_moderate_skew_reproduced(self):
+        pdf = GramCharlierPDF(mean=0.0, std=1.0, skewness=0.5, kurtosis=3.2)
+        m = pdf.numeric_moments()
+        assert m.mean == pytest.approx(0.0, abs=0.02)
+        assert m.skewness == pytest.approx(0.5, abs=0.1)
+        assert m.kurtosis == pytest.approx(3.2, abs=0.25)
+
+    def test_extreme_parameters_clipped_not_crashing(self):
+        pdf = GramCharlierPDF(mean=0.0, std=1.0, skewness=3.0, kurtosis=10.0)
+        m = pdf.numeric_moments()
+        # Clipping pulls extreme requests toward normality but keeps a
+        # valid density.
+        assert np.isfinite(m.skewness) and np.isfinite(m.kurtosis)
+        x = np.linspace(-8, 8, 500)
+        assert np.all(pdf.density(x) >= 0.0)
+
+
+class TestSampler:
+    def test_deterministic(self):
+        pdf = GramCharlierPDF(mean=5.0, std=1.0, skewness=0.4)
+        np.testing.assert_array_equal(pdf.sample(100, seed=3), pdf.sample(100, seed=3))
+
+    def test_sample_moments_near_targets(self):
+        pdf = GramCharlierPDF(mean=50.0, std=10.0, skewness=0.6, kurtosis=3.5)
+        s = mvsk(pdf.sample(200_000, seed=1))
+        assert s.mean == pytest.approx(50.0, rel=0.02)
+        assert s.std == pytest.approx(10.0, rel=0.05)
+        assert s.skewness == pytest.approx(0.6, abs=0.15)
+        assert s.kurtosis == pytest.approx(3.5, abs=0.5)
+
+    def test_support_floor_respected(self):
+        pdf = GramCharlierPDF(mean=1.0, std=2.0, support_floor=0.1)
+        samples = pdf.sample(10_000, seed=2)
+        assert np.all(samples >= 0.1)
+
+    def test_zero_samples(self):
+        pdf = GramCharlierPDF(mean=0.0, std=1.0)
+        assert pdf.sample(0, seed=1).shape == (0,)
+
+    def test_negative_count_rejected(self):
+        pdf = GramCharlierPDF(mean=0.0, std=1.0)
+        with pytest.raises(DataGenerationError):
+            pdf.sample(-1)
+
+
+class TestCDFAndPPF:
+    def test_cdf_monotone_0_to_1(self):
+        pdf = GramCharlierPDF(mean=0.0, std=1.0, skewness=0.5)
+        x = np.linspace(-9, 9, 200)
+        c = pdf.cdf(x)
+        assert np.all(np.diff(c) >= -1e-12)
+        assert c[0] == pytest.approx(0.0, abs=1e-9)
+        assert c[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_ppf_inverts_cdf(self):
+        pdf = GramCharlierPDF(mean=3.0, std=1.5, skewness=0.3)
+        q = np.array([0.1, 0.25, 0.5, 0.75, 0.9])
+        x = pdf.ppf(q)
+        np.testing.assert_allclose(pdf.cdf(x), q, atol=1e-3)
+
+    def test_ppf_rejects_out_of_range(self):
+        pdf = GramCharlierPDF(mean=0.0, std=1.0)
+        with pytest.raises(DataGenerationError):
+            pdf.ppf(np.array([1.5]))
+
+
+class TestValidation:
+    def test_bad_std(self):
+        with pytest.raises(DataGenerationError):
+            GramCharlierPDF(mean=0.0, std=0.0)
+
+    def test_floor_above_grid(self):
+        with pytest.raises(DataGenerationError):
+            GramCharlierPDF(mean=0.0, std=1.0, support_floor=100.0)
+
+    def test_from_stats_degenerate_variance(self):
+        s = mvsk([5.0, 5.0])
+        pdf = GramCharlierPDF.from_stats(s)
+        samples = pdf.sample(100, seed=0)
+        np.testing.assert_allclose(samples, 5.0, atol=0.1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    mean=st.floats(1.0, 100.0),
+    std=st.floats(0.1, 20.0),
+    skew=st.floats(-0.8, 0.8),
+    ex_kurt=st.floats(-0.5, 1.5),
+)
+def test_property_moments_roundtrip_moderate_regime(mean, std, skew, ex_kurt):
+    """Within the expansion's validity region the clipped density
+    reproduces the requested moments to loose tolerances."""
+    pdf = GramCharlierPDF(mean=mean, std=std, skewness=skew,
+                          kurtosis=3.0 + ex_kurt)
+    m = pdf.numeric_moments()
+    assert m.mean == pytest.approx(mean, rel=0.15, abs=0.3 * std)
+    assert m.std == pytest.approx(std, rel=0.25)
+    assert m.skewness == pytest.approx(skew, abs=0.45)

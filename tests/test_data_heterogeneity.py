@@ -1,0 +1,117 @@
+"""Tests for the mvsk heterogeneity measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.heterogeneity import (
+    HeterogeneityStats,
+    compare_stats,
+    machine_heterogeneity,
+    mvsk,
+    task_heterogeneity,
+)
+from repro.errors import DataGenerationError
+
+
+class TestMvsk:
+    def test_known_values(self):
+        x = np.array([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        s = mvsk(x)
+        assert s.mean == pytest.approx(5.0)
+        assert s.variance == pytest.approx(4.0)
+        assert s.std == pytest.approx(2.0)
+        assert s.cov == pytest.approx(0.4)
+
+    def test_normal_sample_near_reference(self):
+        rng = np.random.default_rng(0)
+        s = mvsk(rng.normal(10.0, 2.0, size=200_000))
+        assert abs(s.skewness) < 0.05
+        assert abs(s.kurtosis - 3.0) < 0.1
+
+    def test_degenerate_sample(self):
+        s = mvsk([5.0, 5.0, 5.0])
+        assert s.variance == 0.0
+        assert s.skewness == 0.0 and s.kurtosis == 3.0
+
+    def test_single_point(self):
+        s = mvsk([3.0])
+        assert s.mean == 3.0 and s.variance == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataGenerationError):
+            mvsk([])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(DataGenerationError):
+            mvsk([1.0, np.inf])
+
+    def test_cov_requires_nonzero_mean(self):
+        s = mvsk([-1.0, 1.0])
+        with pytest.raises(DataGenerationError):
+            _ = s.cov
+
+    def test_excess_kurtosis(self):
+        s = HeterogeneityStats(0.0, 1.0, 0.0, 4.5)
+        assert s.excess_kurtosis == pytest.approx(1.5)
+
+
+class TestRowColumnMeasures:
+    def test_task_heterogeneity_is_row_average_stats(self):
+        m = np.array([[10.0, 20.0], [30.0, 50.0]])
+        s = task_heterogeneity(m)
+        expected = mvsk([15.0, 40.0])
+        assert s.mean == pytest.approx(expected.mean)
+        assert s.variance == pytest.approx(expected.variance)
+
+    def test_machine_heterogeneity_uses_ratios(self):
+        m = np.array([[10.0, 20.0], [30.0, 50.0]])
+        s = machine_heterogeneity(m, 0)
+        expected = mvsk([10.0 / 15.0, 30.0 / 40.0])
+        assert s.mean == pytest.approx(expected.mean)
+
+    def test_infeasible_entries_skipped(self):
+        m = np.array([[10.0, np.inf, 20.0], [30.0, 40.0, 50.0]])
+        s = task_heterogeneity(m)
+        expected = mvsk([15.0, 40.0])
+        assert s.mean == pytest.approx(expected.mean)
+
+    def test_all_infeasible_row_rejected(self):
+        m = np.array([[np.inf, np.inf], [1.0, 2.0]])
+        with pytest.raises(DataGenerationError):
+            task_heterogeneity(m)
+
+
+class TestCompareStats:
+    def test_self_similar(self):
+        s = mvsk(np.random.default_rng(1).gamma(2.0, 3.0, size=1000))
+        assert compare_stats(s, s)
+
+    def test_detects_mean_shift(self):
+        a = HeterogeneityStats(10.0, 4.0, 0.0, 3.0)
+        b = HeterogeneityStats(20.0, 4.0, 0.0, 3.0)
+        assert not compare_stats(a, b)
+
+    def test_detects_skew_shift(self):
+        a = HeterogeneityStats(10.0, 4.0, 0.0, 3.0)
+        b = HeterogeneityStats(10.0, 4.0, 2.5, 3.0)
+        assert not compare_stats(a, b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(st.floats(0.1, 1e4), min_size=2, max_size=50),
+    shift=st.floats(0.1, 100.0),
+    scale=st.floats(0.1, 10.0),
+)
+def test_property_affine_transforms(data, shift, scale):
+    """Skewness/kurtosis are scale-invariant; mean/variance transform
+    affinely."""
+    x = np.asarray(data)
+    base = mvsk(x)
+    moved = mvsk(x * scale + shift)
+    assert moved.mean == pytest.approx(base.mean * scale + shift, rel=1e-6)
+    assert moved.variance == pytest.approx(base.variance * scale**2, rel=1e-6)
+    if base.variance > 1e-12 * max(1.0, base.mean**2):
+        assert moved.skewness == pytest.approx(base.skewness, rel=1e-4, abs=1e-6)
+        assert moved.kurtosis == pytest.approx(base.kurtosis, rel=1e-4, abs=1e-6)

@@ -1,0 +1,114 @@
+"""Tests for the historical (Table I/II) data set."""
+
+import numpy as np
+import pytest
+
+from repro.data.historical import (
+    HISTORICAL_EPC,
+    HISTORICAL_ETC,
+    MACHINE_NAMES,
+    PROGRAM_NAMES,
+    historical_epc,
+    historical_etc,
+    historical_system,
+    load_matrices_csv,
+    save_matrices_csv,
+)
+from repro.errors import DataGenerationError
+
+
+class TestShapes:
+    def test_table_sizes(self):
+        assert len(MACHINE_NAMES) == 9  # Table I
+        assert len(PROGRAM_NAMES) == 5  # Table II
+        assert HISTORICAL_ETC.shape == (5, 9)
+        assert HISTORICAL_EPC.shape == (5, 9)
+
+    def test_all_feasible_positive(self):
+        assert np.all(HISTORICAL_ETC > 0)
+        assert np.all(HISTORICAL_EPC > 0)
+        assert historical_etc().feasible.all()
+        assert historical_epc().feasible.all()
+
+
+class TestHeterogeneityStructure:
+    """Orderings the paper's analysis depends on."""
+
+    def test_overclocked_parts_faster_than_stock(self):
+        names = list(MACHINE_NAMES)
+        i3960 = names.index("Intel Core i7 3960X")
+        i3960oc = names.index("Intel Core i7 3960X @ 4.2 GHz")
+        i3770 = names.index("Intel Core i7 3770K")
+        i3770oc = names.index("Intel Core i7 3770K @ 4.3 GHz")
+        assert np.all(HISTORICAL_ETC[:, i3960oc] <= HISTORICAL_ETC[:, i3960])
+        assert np.all(HISTORICAL_ETC[:, i3770oc] <= HISTORICAL_ETC[:, i3770])
+
+    def test_overclocked_parts_draw_more_power(self):
+        names = list(MACHINE_NAMES)
+        for stock, oc in [
+            ("Intel Core i7 3960X", "Intel Core i7 3960X @ 4.2 GHz"),
+            ("Intel Core i7 3770K", "Intel Core i7 3770K @ 4.3 GHz"),
+        ]:
+            assert np.all(
+                HISTORICAL_EPC[:, names.index(oc)]
+                > HISTORICAL_EPC[:, names.index(stock)]
+            )
+
+    def test_machine_performance_is_inconsistent_across_tasks(self):
+        """Heterogeneous systems: no single machine ranking fits all
+        tasks (GPU-bound tasks compress the spread)."""
+        rank_per_task = np.argsort(np.argsort(HISTORICAL_ETC, axis=1), axis=1)
+        assert not np.all(rank_per_task == rank_per_task[0])
+
+    def test_compute_tasks_separate_machines_more_than_gpu_tasks(self):
+        cov = HISTORICAL_ETC.std(axis=1) / HISTORICAL_ETC.mean(axis=1)
+        names = list(PROGRAM_NAMES)
+        assert cov[names.index("C-Ray")] > cov[names.index("Unigine Heaven")]
+        assert (
+            cov[names.index("Timed Linux Kernel Compilation")]
+            > cov[names.index("Warsow")]
+        )
+
+
+class TestSystem:
+    def test_one_machine_per_type(self):
+        sys_ = historical_system()
+        assert sys_.num_machines == 9
+        assert sys_.num_machine_types == 9
+        assert sys_.num_task_types == 5
+
+    def test_no_tufs_attached(self):
+        sys_ = historical_system()
+        assert all(tt.utility_function is None for tt in sys_.task_types)
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "data.csv"
+        save_matrices_csv(HISTORICAL_ETC, HISTORICAL_EPC, path)
+        etc, epc, machines, programs = load_matrices_csv(path)
+        np.testing.assert_allclose(etc, HISTORICAL_ETC)
+        np.testing.assert_allclose(epc, HISTORICAL_EPC)
+        assert machines == MACHINE_NAMES
+        assert programs == PROGRAM_NAMES
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope\n")
+        with pytest.raises(DataGenerationError):
+            load_matrices_csv(path)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        with pytest.raises(DataGenerationError):
+            save_matrices_csv(
+                HISTORICAL_ETC[:, :3], HISTORICAL_EPC, tmp_path / "x.csv"
+            )
+
+    def test_duplicate_row_rejected(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        save_matrices_csv(HISTORICAL_ETC, HISTORICAL_EPC, path)
+        lines = path.read_text().splitlines()
+        lines.append(lines[1])  # duplicate first ETC row
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DataGenerationError):
+            load_matrices_csv(path)

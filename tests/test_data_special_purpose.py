@@ -1,0 +1,93 @@
+"""Tests for special-purpose machine-type construction."""
+
+import numpy as np
+import pytest
+
+from repro.data.historical import HISTORICAL_EPC, HISTORICAL_ETC
+from repro.data.special_purpose import (
+    SpecialPurposePlan,
+    append_special_purpose_columns,
+    choose_accelerated_sets,
+)
+from repro.errors import DataGenerationError
+
+
+class TestPlan:
+    def test_disjoint_groups_required(self):
+        with pytest.raises(DataGenerationError):
+            SpecialPurposePlan(accelerated=((0, 1), (1, 2)))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(DataGenerationError):
+            SpecialPurposePlan(accelerated=((0,), ()))
+
+    def test_machine_for_task(self):
+        plan = SpecialPurposePlan(accelerated=((0, 1), (3,)))
+        assert plan.machine_for_task(1) == 0
+        assert plan.machine_for_task(3) == 1
+        assert plan.machine_for_task(2) is None
+        assert plan.accelerated_task_types == frozenset({0, 1, 3})
+
+
+class TestChooseSets:
+    def test_default_sizes_alternate_3_2(self):
+        plan = choose_accelerated_sets(30, 4, seed=1)
+        sizes = [len(g) for g in plan.accelerated]
+        assert sizes == [3, 2, 3, 2]
+
+    def test_deterministic(self):
+        a = choose_accelerated_sets(30, 4, seed=5)
+        b = choose_accelerated_sets(30, 4, seed=5)
+        assert a.accelerated == b.accelerated
+
+    def test_too_many_rejected(self):
+        with pytest.raises(DataGenerationError):
+            choose_accelerated_sets(4, 2, group_sizes=[3, 3])
+
+    def test_custom_sizes(self):
+        plan = choose_accelerated_sets(10, 2, seed=0, group_sizes=[2, 2])
+        assert [len(g) for g in plan.accelerated] == [2, 2]
+
+
+class TestAppendColumns:
+    def test_paper_rules(self):
+        plan = SpecialPurposePlan(accelerated=((0, 2), (4,)))
+        etc, epc, feasible = append_special_purpose_columns(
+            HISTORICAL_ETC, HISTORICAL_EPC, plan
+        )
+        assert etc.shape == (5, 11)
+        # ETC of accelerated types: row average / 10.
+        assert etc[0, 9] == pytest.approx(HISTORICAL_ETC[0].mean() / 10.0)
+        assert etc[2, 9] == pytest.approx(HISTORICAL_ETC[2].mean() / 10.0)
+        assert etc[4, 10] == pytest.approx(HISTORICAL_ETC[4].mean() / 10.0)
+        # EPC: row average, NOT divided by 10 (paper Section III-D2).
+        assert epc[0, 9] == pytest.approx(HISTORICAL_EPC[0].mean())
+        # Non-accelerated types infeasible on the special column.
+        assert np.isinf(etc[1, 9]) and not feasible[1, 9]
+        assert np.isinf(etc[0, 10]) and not feasible[0, 10]
+        # General block untouched and fully feasible.
+        np.testing.assert_array_equal(etc[:, :9], HISTORICAL_ETC)
+        assert feasible[:, :9].all()
+
+    def test_special_execution_saves_energy(self):
+        """EEC on the special machine is ~10x lower: (avg_etc/10) * avg_epc
+        vs roughly avg_etc * avg_epc on general machines."""
+        plan = SpecialPurposePlan(accelerated=((0,),))
+        etc, epc, feasible = append_special_purpose_columns(
+            HISTORICAL_ETC, HISTORICAL_EPC, plan
+        )
+        eec_special = etc[0, 9] * epc[0, 9]
+        eec_general_avg = (HISTORICAL_ETC[0] * HISTORICAL_EPC[0]).mean()
+        assert eec_special < eec_general_avg / 5.0
+
+    def test_out_of_range_task_rejected(self):
+        plan = SpecialPurposePlan(accelerated=((7,),))
+        with pytest.raises(DataGenerationError):
+            append_special_purpose_columns(HISTORICAL_ETC, HISTORICAL_EPC, plan)
+
+    def test_bad_speedup_rejected(self):
+        plan = SpecialPurposePlan(accelerated=((0,),))
+        with pytest.raises(DataGenerationError):
+            append_special_purpose_columns(
+                HISTORICAL_ETC, HISTORICAL_EPC, plan, speedup=0.0
+            )

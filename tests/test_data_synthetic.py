@@ -1,0 +1,98 @@
+"""Tests for the Section III-D2 synthetic expansion pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data.heterogeneity import compare_stats, mvsk
+from repro.data.historical import HISTORICAL_EPC, HISTORICAL_ETC
+from repro.data.synthetic import expand_matrix, expand_matrix_pair
+from repro.errors import DataGenerationError
+
+
+class TestExpandMatrix:
+    def test_real_rows_preserved(self):
+        exp = expand_matrix(HISTORICAL_ETC, 25, seed=1)
+        np.testing.assert_array_equal(exp.values[:5], HISTORICAL_ETC)
+        assert exp.num_real == 5 and exp.num_new == 25
+        assert exp.values.shape == (30, 9)
+
+    def test_new_rows_strictly_positive(self):
+        exp = expand_matrix(HISTORICAL_ETC, 50, seed=2)
+        assert np.all(exp.new_rows() > 0)
+        assert np.all(np.isfinite(exp.new_rows()))
+
+    def test_zero_new_rows(self):
+        exp = expand_matrix(HISTORICAL_ETC, 0, seed=3)
+        assert exp.num_new == 0
+        np.testing.assert_array_equal(exp.values, HISTORICAL_ETC)
+
+    def test_deterministic(self):
+        a = expand_matrix(HISTORICAL_ETC, 10, seed=7)
+        b = expand_matrix(HISTORICAL_ETC, 10, seed=7)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_seed_sensitivity(self):
+        a = expand_matrix(HISTORICAL_ETC, 10, seed=7)
+        b = expand_matrix(HISTORICAL_ETC, 10, seed=8)
+        assert not np.array_equal(a.new_rows(), b.new_rows())
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DataGenerationError):
+            expand_matrix(HISTORICAL_ETC, -1)
+
+    def test_infeasible_base_rejected(self):
+        bad = HISTORICAL_ETC.copy()
+        bad[0, 0] = np.inf
+        with pytest.raises(DataGenerationError):
+            expand_matrix(bad, 5)
+
+    def test_nonpositive_base_rejected(self):
+        bad = HISTORICAL_ETC.copy()
+        bad[0, 0] = 0.0
+        with pytest.raises(DataGenerationError):
+            expand_matrix(bad, 5)
+
+
+class TestHeterogeneityPreservation:
+    """The paper's core claim for the method: synthetic data exhibits
+    similar heterogeneity characteristics to the real data."""
+
+    def test_row_average_stats_similar(self):
+        exp = expand_matrix(HISTORICAL_ETC, 400, seed=11)
+        real = exp.row_average_stats
+        synth = mvsk(exp.new_rows().mean(axis=1))
+        assert compare_stats(real, synth)
+
+    def test_ratio_stats_similar_per_machine(self):
+        exp = expand_matrix(HISTORICAL_ETC, 400, seed=12)
+        new_rows = exp.new_rows()
+        new_ratios = new_rows / new_rows.mean(axis=1)[:, None]
+        similar = 0
+        for j in range(HISTORICAL_ETC.shape[1]):
+            if compare_stats(exp.ratio_stats[j], mvsk(new_ratios[:, j])):
+                similar += 1
+        # The product of two sampled quantities distorts per-machine
+        # ratios slightly; require a clear majority to track.
+        assert similar >= 6
+
+    def test_epc_expansion_also_similar(self):
+        _, epc_exp = expand_matrix_pair(HISTORICAL_ETC, HISTORICAL_EPC, 400, seed=13)
+        synth = mvsk(epc_exp.new_rows().mean(axis=1))
+        assert compare_stats(epc_exp.row_average_stats, synth)
+
+
+class TestExpandPair:
+    def test_shapes_match(self):
+        etc_exp, epc_exp = expand_matrix_pair(HISTORICAL_ETC, HISTORICAL_EPC, 25, seed=5)
+        assert etc_exp.values.shape == epc_exp.values.shape == (30, 9)
+
+    def test_etc_independent_of_epc(self):
+        """The ETC expansion must be identical whether or not an EPC
+        expansion follows (independent spawned streams)."""
+        etc_only = expand_matrix_pair(HISTORICAL_ETC, HISTORICAL_EPC, 10, seed=9)[0]
+        etc_again = expand_matrix_pair(HISTORICAL_ETC, HISTORICAL_EPC, 10, seed=9)[0]
+        np.testing.assert_array_equal(etc_only.values, etc_again.values)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataGenerationError):
+            expand_matrix_pair(HISTORICAL_ETC, HISTORICAL_EPC[:, :4], 5)

@@ -1,0 +1,28 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+    with pytest.raises(errors.ReproError):
+        raise errors.ModelError("boom")
+
+
+def test_subsystem_errors_are_distinct():
+    names = [n for n in errors.__all__ if n != "ReproError"]
+    classes = [getattr(errors, n) for n in names]
+    assert len(set(classes)) == len(classes)
+    # No subsystem error subclasses another (flat partition).
+    for a in classes:
+        for b in classes:
+            if a is not b:
+                assert not issubclass(a, b)

@@ -1,0 +1,68 @@
+"""Tests for the machine-checkable paper claims."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.claims import ClaimResult, verify_paper_claims
+from repro.experiments.figures import figure3
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return figure3(checkpoints=[3, 15], population_size=24, base_seed=31)
+
+
+class TestVerifyClaims:
+    def test_all_claims_evaluated(self, fig):
+        results = verify_paper_claims(fig)
+        names = {r.claim for r in results}
+        assert names == {
+            "fronts-improve",
+            "min-energy-owns-low-end",
+            "min-min-best-utility-early",
+            "seeded-dominate-random-early",
+            "efficient-region-exists",
+            "convergence-trend",
+        }
+
+    def test_structural_claims_pass_on_real_run(self, fig):
+        results = {r.claim: r for r in verify_paper_claims(fig)}
+        # These hold for any correct engine regardless of scale.
+        assert results["fronts-improve"].passed, results["fronts-improve"].detail
+        assert results["min-energy-owns-low-end"].passed
+        assert results["min-min-best-utility-early"].passed
+        assert results["efficient-region-exists"].passed
+
+    def test_details_are_informative(self, fig):
+        for r in verify_paper_claims(fig):
+            assert isinstance(r, ClaimResult)
+            assert r.detail
+
+    def test_convergence_claim_optional(self, fig):
+        results = verify_paper_claims(fig, include_convergence=False)
+        assert all(r.claim != "convergence-trend" for r in results)
+
+    def test_missing_populations_rejected(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.datasets import dataset1
+        from repro.experiments.figures import FigureResult
+        from repro.experiments.runner import run_seeded_populations
+
+        cfg = ExperimentConfig(
+            population_size=10, generations=2, checkpoints=(2,), base_seed=1
+        )
+        partial = run_seeded_populations(
+            dataset1(seed=1), cfg, labels=["random"]
+        )
+        fig_like = FigureResult(
+            name="figure3", result=partial, paper_checkpoints=(100,)
+        )
+        with pytest.raises(ExperimentError):
+            verify_paper_claims(fig_like)
+
+    def test_dominate_fraction_threshold(self, fig):
+        loose = {r.claim: r for r in verify_paper_claims(fig, dominate_fraction=0.0)}
+        assert loose["seeded-dominate-random-early"].passed
+        strict = {r.claim: r for r in verify_paper_claims(fig, dominate_fraction=1.01)}
+        assert not strict["seeded-dominate-random-early"].passed

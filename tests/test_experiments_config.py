@@ -1,0 +1,66 @@
+"""Tests for experiment configuration and checkpoint scaling."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import (
+    ExperimentConfig,
+    default_scale,
+    scaled_checkpoints,
+)
+
+
+class TestScaledCheckpoints:
+    def test_paper_scale_identity(self):
+        assert scaled_checkpoints([100, 1000, 10000], scale=1.0) == [100, 1000, 10000]
+
+    def test_downscale_keeps_distinct(self):
+        cps = scaled_checkpoints([100, 1000, 10_000, 100_000], scale=0.002)
+        assert cps == sorted(set(cps))
+        assert len(cps) == 4
+        assert cps[0] >= 1
+
+    def test_heavy_downscale_pushes_apart(self):
+        cps = scaled_checkpoints([100, 1000], scale=1e-6)
+        assert cps == [1, 2]
+
+    def test_env_var_used(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert default_scale() == 0.5
+        assert scaled_checkpoints([100]) == [50]
+
+    def test_env_var_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        with pytest.raises(ExperimentError):
+            default_scale()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ExperimentError):
+            default_scale()
+
+    def test_bad_inputs(self):
+        with pytest.raises(ExperimentError):
+            scaled_checkpoints([0], scale=1.0)
+        with pytest.raises(ExperimentError):
+            scaled_checkpoints([10], scale=0.0)
+
+
+class TestExperimentConfig:
+    def test_checkpoints_must_end_at_generations(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(generations=10, checkpoints=(5,))
+
+    def test_checkpoints_must_increase(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(generations=10, checkpoints=(5, 5, 10))
+
+    def test_for_paper_checkpoints(self):
+        cfg = ExperimentConfig.for_paper_checkpoints(
+            [100, 1000], scale=0.01, population_size=10
+        )
+        assert cfg.checkpoints == (1, 10)
+        assert cfg.generations == 10
+        assert cfg.population_size == 10
+
+    def test_population_size_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(population_size=1, generations=1, checkpoints=(1,))

@@ -1,0 +1,122 @@
+"""Tests for the Section V-A data set builders."""
+
+import numpy as np
+import pytest
+
+from repro.data.historical import HISTORICAL_ETC, MACHINE_NAMES, PROGRAM_NAMES
+from repro.experiments.datasets import (
+    TABLE3_MACHINE_COUNTS,
+    dataset1,
+    dataset2,
+    dataset3,
+)
+from repro.model.machine import MachineCategory
+
+
+class TestDataset1:
+    def test_paper_parameters(self, ds1_bundle):
+        assert ds1_bundle.system.num_machines == 9
+        assert ds1_bundle.system.num_machine_types == 9
+        assert ds1_bundle.system.num_task_types == 5
+        assert ds1_bundle.num_tasks == 250
+        assert ds1_bundle.horizon_seconds == 900.0
+        assert ds1_bundle.trace.window == 900.0
+
+    def test_real_matrices_used(self, ds1_bundle):
+        np.testing.assert_array_equal(
+            ds1_bundle.system.etc.values, HISTORICAL_ETC
+        )
+
+    def test_tufs_attached(self, ds1_bundle):
+        assert all(
+            tt.utility_function is not None
+            for tt in ds1_bundle.system.task_types
+        )
+
+    def test_deterministic(self):
+        a = dataset1(seed=5)
+        b = dataset1(seed=5)
+        np.testing.assert_array_equal(a.trace.task_types, b.trace.task_types)
+        np.testing.assert_array_equal(a.trace.arrival_times, b.trace.arrival_times)
+
+
+class TestTable3:
+    def test_totals(self):
+        counts = dict(TABLE3_MACHINE_COUNTS)
+        assert sum(counts.values()) == 30
+        assert len(counts) == 13
+        # Four special-purpose machine types, one machine each.
+        specials = [n for n in counts if n.startswith("Special")]
+        assert len(specials) == 4
+        assert all(counts[n] == 1 for n in specials)
+
+    def test_paper_general_counts(self):
+        counts = dict(TABLE3_MACHINE_COUNTS)
+        assert counts["Intel Core i7 3770K"] == 5
+        assert counts["Intel Core i7 3960X"] == 4
+        assert counts["AMD A8-3870K"] == 2
+
+
+class TestDataset2:
+    def test_paper_parameters(self, ds2_bundle):
+        sys_ = ds2_bundle.system
+        assert sys_.num_machines == 30
+        assert sys_.num_machine_types == 13
+        assert sys_.num_task_types == 30
+        assert ds2_bundle.num_tasks == 1000
+        assert ds2_bundle.horizon_seconds == 900.0
+
+    def test_special_machine_types(self, ds2_bundle):
+        specials = [
+            mt for mt in ds2_bundle.system.machine_types if mt.is_special_purpose
+        ]
+        assert len(specials) == 4
+        sizes = sorted(len(mt.supported_task_types) for mt in specials)
+        assert sizes == [2, 2, 3, 3]
+
+    def test_special_task_types_point_to_machines(self, ds2_bundle):
+        sys_ = ds2_bundle.system
+        special_tasks = [tt for tt in sys_.task_types if tt.is_special_purpose]
+        assert len(special_tasks) == 10  # 3+2+3+2
+        for tt in special_tasks:
+            mt = sys_.machine_types[tt.special_machine_type]
+            assert mt.is_special_purpose
+            assert tt.index in mt.supported_task_types
+
+    def test_real_rows_retained(self, ds2_bundle):
+        # First five task-type rows over general columns == real data.
+        np.testing.assert_array_equal(
+            ds2_bundle.system.etc.values[:5, : len(MACHINE_NAMES)],
+            HISTORICAL_ETC,
+        )
+        assert tuple(
+            tt.name for tt in ds2_bundle.system.task_types[:5]
+        ) == PROGRAM_NAMES
+
+    def test_special_speedup_rule(self, ds2_bundle):
+        sys_ = ds2_bundle.system
+        general = slice(0, len(MACHINE_NAMES))
+        for tt in sys_.task_types:
+            if tt.is_special_purpose:
+                col = tt.special_machine_type
+                row_avg = sys_.etc.values[tt.index, general].mean()
+                assert sys_.etc.values[tt.index, col] == pytest.approx(row_avg / 10.0)
+                epc_avg = sys_.epc.values[tt.index, general].mean()
+                assert sys_.epc.values[tt.index, col] == pytest.approx(epc_avg)
+
+
+class TestDataset3:
+    def test_paper_parameters(self):
+        ds3 = dataset3(seed=123)
+        assert ds3.num_tasks == 4000
+        assert ds3.horizon_seconds == 3600.0
+        assert ds3.system.num_machines == 30
+
+    def test_shares_system_with_dataset2(self, ds2_bundle):
+        ds3 = dataset3(seed=123)
+        np.testing.assert_array_equal(
+            ds3.system.etc.values, ds2_bundle.system.etc.values
+        )
+        np.testing.assert_array_equal(
+            ds3.system.epc.values, ds2_bundle.system.epc.values
+        )

@@ -1,0 +1,52 @@
+"""Round-trip tests for figure-result serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import figure3
+from repro.experiments.io import load_figure_result, save_figure_result
+
+
+@pytest.fixture(scope="module")
+def small_fig():
+    return figure3(checkpoints=[2, 4], population_size=12, base_seed=3)
+
+
+class TestRoundTrip:
+    def test_front_points_roundtrip(self, small_fig, tmp_path):
+        path = tmp_path / "fig.json"
+        save_figure_result(small_fig, path)
+        loaded = load_figure_result(path)
+        assert loaded.name == small_fig.name
+        assert loaded.checkpoints == small_fig.checkpoints
+        assert loaded.paper_checkpoints == small_fig.paper_checkpoints
+        for label, history in small_fig.result.histories.items():
+            restored = loaded.result.histories[label]
+            assert restored.total_generations == history.total_generations
+            assert restored.total_evaluations == history.total_evaluations
+            for a, b in zip(history.snapshots, restored.snapshots):
+                assert a.generation == b.generation
+                np.testing.assert_allclose(a.front_points, b.front_points)
+
+    def test_loaded_result_supports_analysis(self, small_fig, tmp_path):
+        path = tmp_path / "fig.json"
+        save_figure_result(small_fig, path)
+        loaded = load_figure_result(path)
+        regions = loaded.efficiency_regions()
+        assert len(regions) == len(small_fig.result.histories)
+        text = loaded.render()
+        assert "figure3" in text
+
+    def test_seed_objectives_roundtrip(self, small_fig, tmp_path):
+        path = tmp_path / "fig.json"
+        save_figure_result(small_fig, path)
+        loaded = load_figure_result(path)
+        for k, v in small_fig.result.seed_objectives.items():
+            assert loaded.result.seed_objectives[k] == pytest.approx(v)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "nope"}')
+        with pytest.raises(ExperimentError):
+            load_figure_result(path)

@@ -1,0 +1,155 @@
+"""Tests for the seeded-population runner and figure drivers.
+
+These run real (small) NSGA-II optimizations on data set 1 and assert
+the paper's qualitative claims hold on the reproduced data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.efficiency import max_utility_per_energy_region
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import PAPER_CHECKPOINTS, figure3, figure5
+from repro.experiments.runner import POPULATION_LABELS, run_seeded_populations
+from repro.experiments.tables import table1, table2, table3
+
+
+CFG = ExperimentConfig(
+    population_size=24,
+    generations=30,
+    checkpoints=(5, 30),
+    base_seed=99,
+)
+
+
+@pytest.fixture(scope="module")
+def ds1_result():
+    from repro.experiments.datasets import dataset1
+
+    return run_seeded_populations(dataset1(seed=99), CFG)
+
+
+class TestRunner:
+    def test_all_populations_present(self, ds1_result):
+        assert set(ds1_result.histories) == set(POPULATION_LABELS)
+
+    def test_seed_objectives_recorded(self, ds1_result):
+        assert set(ds1_result.seed_objectives) == {
+            "min-energy",
+            "max-utility",
+            "max-utility-per-energy",
+            "min-min-completion-time",
+        }
+
+    def test_min_energy_population_holds_min_energy(self, ds1_result):
+        """The min-energy seed's energy is globally minimal, so its
+        population's front must retain it at every checkpoint."""
+        e_seed = ds1_result.seed_objectives["min-energy"][0]
+        for gen in CFG.checkpoints:
+            front = ds1_result.front("min-energy", gen)
+            assert front.energy_range[0] == pytest.approx(e_seed)
+
+    def test_seeded_fronts_distinct_early(self, ds1_result):
+        """Figure 3, early subplot: seeded populations occupy different
+        regions — min-energy's front reaches lower energy than
+        min-min's at the early checkpoint."""
+        early = CFG.checkpoints[0]
+        e_front = ds1_result.front("min-energy", early)
+        m_front = ds1_result.front("min-min-completion-time", early)
+        assert e_front.energy_range[0] < m_front.energy_range[0]
+        assert m_front.utility_range[1] > e_front.utility_range[1]
+
+    def test_min_min_best_utility_early(self, ds1_result):
+        """Fig. 4 narrative: the min-min population finds the
+        best-utility solutions early on."""
+        early = CFG.checkpoints[0]
+        u_minmin = ds1_result.front("min-min-completion-time", early).utility_range[1]
+        u_random = ds1_result.front("random", early).utility_range[1]
+        assert u_minmin > u_random
+
+    def test_random_dominated_by_seeded(self, ds1_result):
+        """Fig. 6 narrative: seeded populations find solutions that
+        dominate those of the all-random population."""
+        rand = ds1_result.front("random")
+        combined_seeded = ds1_result.front("min-energy").merge(
+            ds1_result.front("min-min-completion-time")
+        )
+        frac = rand.fraction_dominated_by(combined_seeded)
+        assert frac > 0.5
+
+    def test_combined_front(self, ds1_result):
+        combined = ds1_result.combined_front()
+        for label in POPULATION_LABELS:
+            assert combined.fraction_dominated_by(ds1_result.front(label)) == 0.0
+
+    def test_unknown_label_rejected(self, ds1_result):
+        with pytest.raises(ExperimentError):
+            ds1_result.front("bogus")
+
+    def test_all_seeds_label(self):
+        from repro.experiments.datasets import dataset1
+
+        cfg = ExperimentConfig(
+            population_size=16, generations=3, checkpoints=(3,), base_seed=7
+        )
+        result = run_seeded_populations(
+            dataset1(seed=7), cfg, labels=["all-seeds", "random"]
+        )
+        assert set(result.histories) == {"all-seeds", "random"}
+
+
+class TestFigureDrivers:
+    def test_figure3_structure(self):
+        fig = figure3(
+            checkpoints=[2, 6],
+            population_size=16,
+            base_seed=5,
+        )
+        assert fig.name == "figure3"
+        assert fig.checkpoints == (2, 6)
+        assert fig.paper_checkpoints == PAPER_CHECKPOINTS["figure3"]
+        subplot = fig.subplot(0)
+        assert set(subplot) == set(POPULATION_LABELS)
+        with pytest.raises(ExperimentError):
+            fig.subplot(2)
+
+    def test_figure3_render(self):
+        fig = figure3(checkpoints=[2], population_size=16, base_seed=5)
+        text = fig.render(plot=True)
+        assert "figure3" in text
+        assert "min-energy" in text
+        assert "subplot 1" in text
+
+    def test_figure5_analysis(self):
+        fig4_like = figure3(checkpoints=[4], population_size=16, base_seed=5)
+        fig5 = figure5(figure4_result=fig4_like)
+        assert fig5.front.label == "max-utility-per-energy"
+        region = fig5.region
+        assert region.peak_ratio > 0
+        assert fig5.curve_vs_utility.shape == (fig5.front.size, 2)
+        assert fig5.curve_vs_energy.shape == (fig5.front.size, 2)
+        np.testing.assert_allclose(
+            fig5.curve_vs_utility[:, 1], fig5.curve_vs_energy[:, 1]
+        )
+        assert "max utility-per-energy" in fig5.render()
+
+    def test_efficiency_regions_per_population(self):
+        fig = figure3(checkpoints=[3], population_size=16, base_seed=5)
+        regions = fig.efficiency_regions()
+        assert set(regions) == set(POPULATION_LABELS)
+        for region in regions.values():
+            assert region.region_size >= 1
+
+
+class TestTables:
+    def test_table1_is_9_machines(self):
+        assert len(table1()) == 9
+        assert "AMD A8-3870K" in table1()
+
+    def test_table2_is_5_programs(self):
+        assert len(table2()) == 5
+        assert "C-Ray" in table2()
+
+    def test_table3_machine_total(self):
+        assert sum(count for _, count in table3()) == 30

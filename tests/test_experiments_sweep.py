@@ -1,0 +1,57 @@
+"""Tests for the oversubscription sweep."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.sweep import LoadPoint, offered_load, oversubscription_sweep
+
+
+class TestOfferedLoad:
+    def test_linear_in_tasks(self, small_system):
+        a = offered_load(small_system, 100, 600.0)
+        b = offered_load(small_system, 200, 600.0)
+        assert b == pytest.approx(2 * a)
+
+    def test_inverse_in_window(self, small_system):
+        a = offered_load(small_system, 100, 600.0)
+        b = offered_load(small_system, 100, 1200.0)
+        assert b == pytest.approx(a / 2)
+
+    def test_magnitude(self, small_system):
+        # mean ETC ~62.5s over 8 machines, 600 s window: 100 tasks
+        # should be moderately oversubscribed.
+        load = offered_load(small_system, 100, 600.0)
+        assert 0.5 < load < 5.0
+
+
+class TestSweep:
+    def test_structure(self, small_system):
+        points = oversubscription_sweep(
+            small_system, window=600.0, task_counts=[20, 60],
+            generations=8, population_size=12, base_seed=3,
+        )
+        assert len(points) == 2
+        for p in points:
+            assert isinstance(p, LoadPoint)
+            assert 0 < p.utility_fraction <= 1.0
+            assert p.energy_per_task_at_peak > 0
+            assert p.front.size >= 1
+        assert points[0].offered_load < points[1].offered_load
+
+    def test_utility_fraction_falls_with_load(self, small_system):
+        """The regime shift: heavier load, lower achievable utility
+        fraction (queues force decay)."""
+        points = oversubscription_sweep(
+            small_system, window=600.0, task_counts=[10, 150],
+            generations=15, population_size=16, base_seed=4,
+        )
+        assert points[0].utility_fraction > points[1].utility_fraction
+
+    def test_validation(self, small_system):
+        with pytest.raises(ExperimentError):
+            oversubscription_sweep(small_system, window=600.0, task_counts=[])
+        with pytest.raises(ExperimentError):
+            oversubscription_sweep(small_system, window=0.0, task_counts=[5])
+        with pytest.raises(ExperimentError):
+            oversubscription_sweep(small_system, window=600.0, task_counts=[0])

@@ -1,0 +1,106 @@
+"""Tests for the task-dropping extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.extensions.dropping import DroppingPolicy, apply_dropping
+from repro.heuristics import MinEnergy
+
+from conftest import random_allocation
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            DroppingPolicy(utility_threshold=-1.0)
+        with pytest.raises(ScheduleError):
+            DroppingPolicy(max_rounds=0)
+
+
+class TestDropping:
+    def test_zero_threshold_drops_nothing_useful(self, small_system, small_trace,
+                                                 small_evaluator):
+        alloc = random_allocation(small_system, small_trace, seed=1)
+        result = apply_dropping(
+            small_evaluator, alloc, DroppingPolicy(utility_threshold=0.0)
+        )
+        assert result.num_dropped == 0
+        assert result.energy == pytest.approx(result.baseline.energy)
+        assert result.utility == pytest.approx(result.baseline.utility)
+
+    def test_dropping_never_hurts(self, small_system, small_trace,
+                                  small_evaluator):
+        """Dropping zero-utility tasks saves energy without losing
+        utility — the extension is a strict improvement at tiny
+        thresholds."""
+        for seed in range(5):
+            alloc = random_allocation(small_system, small_trace, seed=seed)
+            result = apply_dropping(
+                small_evaluator, alloc, DroppingPolicy(utility_threshold=1e-9)
+            )
+            assert result.energy <= result.baseline.energy + 1e-9
+            assert result.utility >= result.baseline.utility - 1e-6
+
+    def test_higher_threshold_drops_more(self, small_system, small_trace,
+                                         small_evaluator):
+        alloc = random_allocation(small_system, small_trace, seed=2)
+        low = apply_dropping(small_evaluator, alloc,
+                             DroppingPolicy(utility_threshold=1e-9))
+        high = apply_dropping(small_evaluator, alloc,
+                              DroppingPolicy(utility_threshold=0.5))
+        assert high.num_dropped >= low.num_dropped
+        assert high.energy <= low.energy + 1e-9
+
+    def test_energy_saved_accounting(self, small_system, small_trace,
+                                     small_evaluator):
+        alloc = random_allocation(small_system, small_trace, seed=3)
+        result = apply_dropping(small_evaluator, alloc,
+                                DroppingPolicy(utility_threshold=0.1))
+        assert result.energy_saved == pytest.approx(
+            result.baseline.energy - result.energy
+        )
+        assert result.energy_saved >= 0
+
+    def test_dropped_tasks_shorten_queues(self, small_system, small_trace,
+                                          small_evaluator):
+        """Remaining tasks can only finish earlier once queue-mates are
+        dropped — per-task utilities never decrease."""
+        alloc = random_allocation(small_system, small_trace, seed=4)
+        baseline = small_evaluator.evaluate(alloc)
+        result = apply_dropping(small_evaluator, alloc,
+                                DroppingPolicy(utility_threshold=0.2))
+        if result.num_dropped:
+            kept = ~result.dropped
+            assert result.utility >= baseline.task_utilities[kept].sum() - 1e-6
+
+    def test_drop_everything(self, tiny_system, tiny_trace):
+        from repro.sim.evaluator import ScheduleEvaluator
+        from repro.sim.schedule import ResourceAllocation
+
+        ev = ScheduleEvaluator(tiny_system, tiny_trace)
+        alloc = ResourceAllocation(
+            machine_assignment=np.zeros(6, dtype=int),
+            scheduling_order=np.arange(6),
+        )
+        result = apply_dropping(
+            ev, alloc, DroppingPolicy(utility_threshold=np.inf)
+        )
+        assert result.num_dropped == 6
+        assert result.energy == 0.0 and result.utility == 0.0
+
+    def test_fixed_point_terminates(self, small_system, small_trace,
+                                    small_evaluator):
+        alloc = random_allocation(small_system, small_trace, seed=5)
+        result = apply_dropping(small_evaluator, alloc,
+                                DroppingPolicy(utility_threshold=0.3))
+        assert result.rounds <= DroppingPolicy().max_rounds
+
+    def test_good_allocation_loses_nothing(self, small_system, small_trace,
+                                           small_evaluator):
+        """A sensible allocation (min-energy) should not have its whole
+        workload dropped at small thresholds."""
+        alloc = MinEnergy().build(small_system, small_trace)
+        result = apply_dropping(small_evaluator, alloc,
+                                DroppingPolicy(utility_threshold=1e-9))
+        assert result.num_dropped < small_trace.num_tasks

@@ -1,0 +1,155 @@
+"""Tests for baseline mappers."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics import MinEnergy
+from repro.heuristics.baselines import (
+    RandomMapper,
+    RoundRobinMapper,
+    SufferageCompletionTime,
+)
+
+
+class TestRandomMapper:
+    def test_feasible(self, small_system, small_trace):
+        alloc = RandomMapper(seed=1).build(small_system, small_trace)
+        alloc.validate_against(
+            small_system.num_machines,
+            small_system.feasible_task_machine,
+            small_trace.task_types,
+        )
+
+    def test_seeded_determinism(self, small_system, small_trace):
+        a = RandomMapper(seed=7).build(small_system, small_trace)
+        b = RandomMapper(seed=7).build(small_system, small_trace)
+        np.testing.assert_array_equal(a.machine_assignment, b.machine_assignment)
+
+    def test_seed_sensitivity(self, small_system, small_trace):
+        a = RandomMapper(seed=1).build(small_system, small_trace)
+        b = RandomMapper(seed=2).build(small_system, small_trace)
+        assert not np.array_equal(a.machine_assignment, b.machine_assignment)
+
+
+class TestRoundRobin:
+    def test_cycles_machines(self, small_system, small_trace):
+        alloc = RoundRobinMapper().build(small_system, small_trace)
+        M = small_system.num_machines
+        expected = np.arange(small_trace.num_tasks) % M
+        np.testing.assert_array_equal(alloc.machine_assignment, expected)
+
+    def test_balanced_load(self, small_system, small_trace):
+        alloc = RoundRobinMapper().build(small_system, small_trace)
+        counts = np.bincount(alloc.machine_assignment,
+                             minlength=small_system.num_machines)
+        assert counts.max() - counts.min() <= 1
+
+    def test_skips_infeasible(self):
+        from test_model_system import make_special_system
+        from repro.utility.tuf import TimeUtilityFunction
+        from repro.workload.trace import Trace
+
+        sys_ = make_special_system().with_utility_functions(
+            [TimeUtilityFunction.linear(5.0, 0.01)] * 2
+        )
+        # All tasks type 1: machine 2 (special) infeasible for them.
+        trace = Trace(np.array([1, 1, 1, 1]), np.array([0.0, 1.0, 2.0, 3.0]), 10.0)
+        alloc = RoundRobinMapper().build(sys_, trace)
+        assert np.all(alloc.machine_assignment < 2)
+
+
+class TestSufferage:
+    def test_feasible_and_deterministic(self, small_system, small_trace):
+        a = SufferageCompletionTime().build(small_system, small_trace)
+        b = SufferageCompletionTime().build(small_system, small_trace)
+        np.testing.assert_array_equal(a.machine_assignment, b.machine_assignment)
+        a.validate_against(
+            small_system.num_machines,
+            small_system.feasible_task_machine,
+            small_trace.task_types,
+        )
+
+    def test_orders_all_tasks(self, small_system, small_trace):
+        alloc = SufferageCompletionTime().build(small_system, small_trace)
+        np.testing.assert_array_equal(
+            np.sort(alloc.scheduling_order), np.arange(small_trace.num_tasks)
+        )
+
+
+class TestBaselinesAreWorse:
+    def test_random_uses_more_energy_than_min_energy(
+        self, small_system, small_trace, small_evaluator
+    ):
+        e_min = small_evaluator.evaluate(
+            MinEnergy().build(small_system, small_trace)
+        ).energy
+        e_rand = small_evaluator.evaluate(
+            RandomMapper(seed=3).build(small_system, small_trace)
+        ).energy
+        assert e_rand > e_min
+
+
+class TestClassicHeuristics:
+    """OLB / MET / MCT from Braun et al. (paper reference [24])."""
+
+    def test_all_feasible(self, small_system, small_trace):
+        from repro.heuristics.classic import MCT, MET, OLB
+
+        for cls in (OLB, MET, MCT):
+            alloc = cls().build(small_system, small_trace)
+            alloc.validate_against(
+                small_system.num_machines,
+                small_system.feasible_task_machine,
+                small_trace.task_types,
+            )
+
+    def test_met_picks_fastest_machine(self, small_system, small_trace):
+        from repro.heuristics.classic import MET
+
+        alloc = MET().build(small_system, small_trace)
+        etc = small_system.etc_task_machine[small_trace.task_types]
+        chosen = etc[np.arange(small_trace.num_tasks), alloc.machine_assignment]
+        np.testing.assert_allclose(chosen, etc.min(axis=1))
+
+    def test_met_overloads_fast_machines(self, small_system, small_trace):
+        """MET ignores queues: it uses strictly fewer distinct machines
+        than MCT on a loaded trace."""
+        from repro.heuristics.classic import MCT, MET
+
+        met = MET().build(small_system, small_trace)
+        mct = MCT().build(small_system, small_trace)
+        assert len(set(met.machine_assignment.tolist())) <= len(
+            set(mct.machine_assignment.tolist())
+        )
+
+    def test_mct_beats_olb_and_met_on_makespan(self, small_system, small_trace):
+        """The Braun et al. ordering: MCT's queue-aware choice yields a
+        makespan no worse than the two strawmen."""
+        from repro.heuristics.classic import MCT, MET, OLB
+        from repro.sim.evaluator import ScheduleEvaluator
+
+        ev = ScheduleEvaluator(small_system, small_trace)
+        makespans = {
+            cls.name: ev.evaluate(cls().build(small_system, small_trace)).makespan
+            for cls in (OLB, MET, MCT)
+        }
+        assert makespans["mct"] <= makespans["met"]
+        assert makespans["mct"] <= makespans["olb"]
+
+    def test_olb_balances_busy_time(self, small_system, small_trace):
+        """OLB spreads work: its busiest/idlest machine gap is finite
+        and it uses every machine on a sufficiently long trace."""
+        from repro.heuristics.classic import OLB
+
+        alloc = OLB().build(small_system, small_trace)
+        used = set(alloc.machine_assignment.tolist())
+        assert used == set(range(small_system.num_machines))
+
+    def test_mct_equals_min_min_first_pick(self, small_system, small_trace):
+        """For the first arriving task (empty queues) MCT and Min-Min
+        agree on the machine."""
+        from repro.heuristics.classic import MCT
+
+        mct = MCT().build(small_system, small_trace)
+        etc = small_system.etc_task_machine[small_trace.task_types]
+        assert mct.machine_assignment[0] == int(np.argmin(etc[0]))

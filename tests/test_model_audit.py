@@ -1,0 +1,127 @@
+"""Tests for the system audit."""
+
+import numpy as np
+import pytest
+
+from repro.model.audit import AuditFinding, Severity, audit_system
+from repro.model.machine import Machine, MachineCategory, MachineType
+from repro.model.matrices import EPCMatrix, ETCMatrix
+from repro.model.system import SystemModel
+from repro.model.task import TaskCategory, TaskType
+
+from conftest import make_tiny_system
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+def warnings_of(findings):
+    return [f for f in findings if f.severity is Severity.WARNING]
+
+
+class TestCleanSystem:
+    def test_tiny_system_no_warnings(self):
+        findings = audit_system(make_tiny_system())
+        assert warnings_of(findings) == []
+        # The fixture's constant row IS flagged (informational).
+        assert "uniform-row" in codes(findings)
+
+    def test_historical_no_warnings(self):
+        from repro.data.historical import historical_system
+
+        findings = audit_system(historical_system())
+        assert warnings_of(findings) == []
+        # Cross-generation CPUs genuinely dominate older parts: the
+        # 2400S beats the A8 on time and power for every program —
+        # reported as informational, since queueing can still justify
+        # the dominated machines.
+        assert "dominated-machine-type" in codes(findings)
+
+    def test_dataset2_clean(self, ds2_bundle):
+        findings = audit_system(ds2_bundle.system)
+        assert codes(findings) <= {"extreme-ratio"}  # GC tails permitted
+
+
+class TestFindings:
+    def test_dominated_machine_type(self):
+        etc = np.array([[10.0, 20.0], [5.0, 9.0]])   # col 1 always slower
+        epc = np.array([[100.0, 150.0], [80.0, 90.0]])  # and hungrier
+        sys_ = SystemModel.from_matrices(etc, epc)
+        findings = audit_system(sys_)
+        assert "dominated-machine-type" in codes(findings)
+
+    def test_uniform_row(self):
+        etc = np.array([[10.0, 10.0], [5.0, 9.0]])
+        epc = np.array([[100.0, 90.0], [80.0, 95.0]])
+        sys_ = SystemModel.from_matrices(etc, epc)
+        assert "uniform-row" in codes(audit_system(sys_))
+
+    def test_extreme_ratio(self):
+        etc = np.array([[10.0, 2000.0], [5.0, 9.0]])  # 200x slower
+        epc = np.array([[100.0, 90.0], [80.0, 95.0]])
+        sys_ = SystemModel.from_matrices(etc, epc)
+        assert "extreme-ratio" in codes(audit_system(sys_))
+
+    def test_power_scale(self):
+        etc = np.array([[10.0, 12.0]])
+        epc = np.array([[0.001, 90.0]])  # milliwatt machine: unit bug
+        sys_ = SystemModel.from_matrices(etc, epc)
+        assert "etc-epc-scale" in codes(audit_system(sys_))
+
+    def test_idle_power_note(self):
+        mt = (
+            MachineType(name="a", index=0, idle_power_watts=50.0),
+            MachineType(name="b", index=1),
+        )
+        machines = tuple(
+            Machine(name=f"m{i}", index=i, machine_type=mt[i]) for i in range(2)
+        )
+        tts = (TaskType(name="t", index=0),)
+        sys_ = SystemModel(
+            machine_types=mt,
+            machines=machines,
+            task_types=tts,
+            etc=ETCMatrix(np.array([[10.0, 12.0]])),
+            epc=EPCMatrix(np.array([[100.0, 90.0]])),
+        )
+        assert "idle-power-without-dvfs" in codes(audit_system(sys_))
+
+    def test_unreferenced_special(self):
+        # Special machine supports task 0, but task 0 is categorized
+        # general-purpose... which SystemModel validation actually
+        # allows (feasibility matches declaration); audit flags it.
+        mt = (
+            MachineType(name="g", index=0),
+            MachineType(
+                name="s",
+                index=1,
+                category=MachineCategory.SPECIAL_PURPOSE,
+                supported_task_types=frozenset({0}),
+            ),
+        )
+        machines = tuple(
+            Machine(name=f"m{i}", index=i, machine_type=mt[i]) for i in range(2)
+        )
+        tts = (TaskType(name="t0", index=0),)  # general-purpose!
+        etc = np.array([[10.0, 1.0]])
+        epc = np.array([[100.0, 90.0]])
+        sys_ = SystemModel(
+            machine_types=mt,
+            machines=machines,
+            task_types=tts,
+            etc=ETCMatrix(etc),
+            epc=EPCMatrix(epc),
+        )
+        assert "unreferenced-special" in codes(audit_system(sys_))
+
+
+class TestFindingShape:
+    def test_messages_are_informative(self):
+        etc = np.array([[10.0, 20.0], [5.0, 9.0]])
+        epc = np.array([[100.0, 150.0], [80.0, 90.0]])
+        findings = audit_system(SystemModel.from_matrices(etc, epc))
+        for f in findings:
+            assert isinstance(f, AuditFinding)
+            assert f.message
+            assert f.code

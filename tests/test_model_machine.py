@@ -1,0 +1,71 @@
+"""Tests for machine and machine-type definitions."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.machine import Machine, MachineCategory, MachineType
+
+
+class TestMachineType:
+    def test_general_purpose_supports_everything(self):
+        mt = MachineType(name="gp", index=0)
+        assert not mt.is_special_purpose
+        assert mt.supports(0) and mt.supports(99)
+
+    def test_special_purpose_supports_subset(self):
+        mt = MachineType(
+            name="sp",
+            index=1,
+            category=MachineCategory.SPECIAL_PURPOSE,
+            supported_task_types=frozenset({2, 5}),
+        )
+        assert mt.is_special_purpose
+        assert mt.supports(2) and mt.supports(5)
+        assert not mt.supports(0)
+
+    def test_special_purpose_requires_task_set(self):
+        with pytest.raises(ModelError):
+            MachineType(name="sp", index=0, category=MachineCategory.SPECIAL_PURPOSE)
+
+    def test_special_purpose_rejects_empty_task_set(self):
+        with pytest.raises(ModelError):
+            MachineType(
+                name="sp",
+                index=0,
+                category=MachineCategory.SPECIAL_PURPOSE,
+                supported_task_types=frozenset(),
+            )
+
+    def test_general_purpose_rejects_task_set(self):
+        with pytest.raises(ModelError):
+            MachineType(name="gp", index=0, supported_task_types=frozenset({1}))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ModelError):
+            MachineType(name="x", index=-1)
+
+    def test_negative_idle_power_rejected(self):
+        with pytest.raises(ModelError):
+            MachineType(name="x", index=0, idle_power_watts=-1.0)
+
+
+class TestMachine:
+    def test_type_index_is_omega(self):
+        mt = MachineType(name="gp", index=3)
+        m = Machine(name="m0", index=0, machine_type=mt)
+        assert m.type_index == 3
+
+    def test_supports_delegates_to_type(self):
+        mt = MachineType(
+            name="sp",
+            index=0,
+            category=MachineCategory.SPECIAL_PURPOSE,
+            supported_task_types=frozenset({1}),
+        )
+        m = Machine(name="m0", index=0, machine_type=mt)
+        assert m.supports(1) and not m.supports(0)
+
+    def test_negative_index_rejected(self):
+        mt = MachineType(name="gp", index=0)
+        with pytest.raises(ModelError):
+            Machine(name="m", index=-2, machine_type=mt)

@@ -1,0 +1,140 @@
+"""Tests for ETC/EPC/EEC matrices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.matrices import EECMatrix, EPCMatrix, ETCMatrix, TypedMatrix
+
+
+def simple() -> np.ndarray:
+    return np.array([[10.0, 20.0], [5.0, 40.0]])
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = ETCMatrix(simple())
+        assert m.shape == (2, 2)
+        assert m.num_task_types == 2 and m.num_machine_types == 2
+        assert m.feasible.all()
+
+    def test_values_immutable(self):
+        m = ETCMatrix(simple())
+        with pytest.raises(ValueError):
+            m.values[0, 0] = 1.0
+
+    def test_inf_marks_infeasible(self):
+        vals = simple()
+        vals[0, 1] = np.inf
+        m = ETCMatrix(vals)
+        assert not m.is_feasible(0, 1)
+        assert m.is_feasible(0, 0)
+
+    def test_explicit_mask(self):
+        mask = np.array([[True, False], [True, True]])
+        vals = simple()
+        vals[0, 1] = np.inf
+        m = ETCMatrix(vals, mask)
+        assert not m.is_feasible(0, 1)
+
+    def test_mask_disagreeing_with_inf_rejected(self):
+        vals = simple()
+        vals[0, 1] = np.inf
+        mask = np.ones((2, 2), dtype=bool)
+        with pytest.raises(ModelError):
+            ETCMatrix(vals, mask)
+
+    def test_rejects_nan(self):
+        vals = simple()
+        vals[0, 0] = np.nan
+        with pytest.raises(ModelError):
+            ETCMatrix(vals)
+
+    def test_rejects_nonpositive(self):
+        vals = simple()
+        vals[1, 1] = 0.0
+        with pytest.raises(ModelError):
+            ETCMatrix(vals)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ModelError):
+            ETCMatrix(np.array([1.0, 2.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            ETCMatrix(np.empty((0, 0)))
+
+
+class TestAccess:
+    def test_entry_and_bounds(self):
+        m = ETCMatrix(simple())
+        assert m.entry(0, 1) == 20.0
+        with pytest.raises(ModelError):
+            m.entry(2, 0)
+        with pytest.raises(ModelError):
+            m.entry(0, 2)
+
+    def test_feasible_machine_types(self):
+        vals = simple()
+        vals[0, 0] = np.inf
+        m = ETCMatrix(vals)
+        np.testing.assert_array_equal(m.feasible_machine_types(0), [1])
+        np.testing.assert_array_equal(m.feasible_machine_types(1), [0, 1])
+
+
+class TestStatistics:
+    def test_row_average(self):
+        m = ETCMatrix(simple())
+        assert m.row_average(0) == 15.0
+        np.testing.assert_allclose(m.row_averages(), [15.0, 22.5])
+
+    def test_row_average_skips_infeasible(self):
+        vals = np.array([[10.0, np.inf, 20.0]])
+        m = ETCMatrix(vals)
+        assert m.row_average(0) == 15.0
+
+    def test_ratio_matrix_matches_paper_example(self):
+        # Paper Section III-D2: 8 min on a 10-min-average task -> 0.8;
+        # 12 min -> 1.2.
+        vals = np.array([[8.0, 12.0]])
+        m = ETCMatrix(vals)
+        np.testing.assert_allclose(m.ratio_matrix(), [[0.8, 1.2]])
+
+    def test_submatrix_reindexes(self):
+        m = ETCMatrix(simple())
+        sub = m.submatrix(task_types=[1], machine_types=[0])
+        assert sub.shape == (1, 1)
+        assert sub.values[0, 0] == 5.0
+
+
+class TestEEC:
+    def test_elementwise_product(self):
+        etc = ETCMatrix(simple())
+        epc = EPCMatrix(np.array([[2.0, 3.0], [4.0, 5.0]]))
+        eec = EECMatrix.from_etc_epc(etc, epc)
+        np.testing.assert_allclose(eec.values, [[20.0, 60.0], [20.0, 200.0]])
+
+    def test_infeasible_propagates(self):
+        vals = simple()
+        vals[0, 0] = np.inf
+        etc = ETCMatrix(vals)
+        epc_vals = np.array([[2.0, 3.0], [4.0, 5.0]])
+        epc_vals[0, 0] = np.inf
+        epc = EPCMatrix(epc_vals)
+        eec = EECMatrix.from_etc_epc(etc, epc)
+        assert not eec.is_feasible(0, 0)
+        assert np.isinf(eec.values[0, 0])
+
+    def test_shape_mismatch_rejected(self):
+        etc = ETCMatrix(simple())
+        epc = EPCMatrix(np.array([[2.0, 3.0, 4.0], [4.0, 5.0, 6.0]]))
+        with pytest.raises(ModelError):
+            EECMatrix.from_etc_epc(etc, epc)
+
+    def test_mask_mismatch_rejected(self):
+        a = simple()
+        a[0, 0] = np.inf
+        etc = ETCMatrix(a)
+        epc = EPCMatrix(np.array([[2.0, 3.0], [4.0, 5.0]]))
+        with pytest.raises(ModelError):
+            EECMatrix.from_etc_epc(etc, epc)

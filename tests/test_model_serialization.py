@@ -1,0 +1,69 @@
+"""Round-trip tests for system serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.serialization import (
+    load_system,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+
+from conftest import make_tiny_system
+from test_model_system import make_special_system
+
+
+def assert_systems_equal(a, b):
+    assert a.num_machines == b.num_machines
+    assert a.num_machine_types == b.num_machine_types
+    assert a.num_task_types == b.num_task_types
+    np.testing.assert_allclose(
+        np.where(a.etc.feasible, a.etc.values, -1),
+        np.where(b.etc.feasible, b.etc.values, -1),
+    )
+    np.testing.assert_allclose(
+        np.where(a.epc.feasible, a.epc.values, -1),
+        np.where(b.epc.feasible, b.epc.values, -1),
+    )
+    np.testing.assert_array_equal(a.etc.feasible, b.etc.feasible)
+    for mt_a, mt_b in zip(a.machine_types, b.machine_types):
+        assert mt_a.name == mt_b.name
+        assert mt_a.category == mt_b.category
+        assert mt_a.supported_task_types == mt_b.supported_task_types
+    for tt_a, tt_b in zip(a.task_types, b.task_types):
+        assert tt_a.name == tt_b.name
+        assert tt_a.category == tt_b.category
+        assert tt_a.special_machine_type == tt_b.special_machine_type
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_tiny(self):
+        sys_ = make_tiny_system()
+        restored = system_from_dict(system_to_dict(sys_))
+        assert_systems_equal(sys_, restored)
+
+    def test_dict_roundtrip_special(self):
+        sys_ = make_special_system()
+        restored = system_from_dict(system_to_dict(sys_))
+        assert_systems_equal(sys_, restored)
+
+    def test_tuf_roundtrip_preserves_evaluation(self):
+        sys_ = make_tiny_system(with_tufs=True)
+        restored = system_from_dict(system_to_dict(sys_))
+        times = np.array([0.0, 10.0, 50.0, 500.0])
+        for tt_a, tt_b in zip(sys_.task_types, restored.task_types):
+            np.testing.assert_allclose(
+                tt_a.utility_function(times), tt_b.utility_function(times)
+            )
+
+    def test_file_roundtrip(self, tmp_path):
+        sys_ = make_special_system()
+        path = tmp_path / "system.json"
+        save_system(sys_, path)
+        assert_systems_equal(sys_, load_system(path))
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ModelError):
+            system_from_dict({"format": "bogus"})

@@ -1,0 +1,173 @@
+"""Tests for the validated SystemModel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.machine import Machine, MachineCategory, MachineType
+from repro.model.matrices import EPCMatrix, ETCMatrix
+from repro.model.system import SystemModel
+from repro.model.task import TaskCategory, TaskType
+
+from conftest import TINY_EPC, TINY_ETC, make_tiny_system
+
+
+class TestFromMatrices:
+    def test_counts(self):
+        sys_ = SystemModel.from_matrices(TINY_ETC, TINY_EPC)
+        assert sys_.num_task_types == 3
+        assert sys_.num_machine_types == 4
+        assert sys_.num_machines == 4
+
+    def test_machines_per_type(self):
+        sys_ = SystemModel.from_matrices(
+            TINY_ETC, TINY_EPC, machines_per_type=[2, 1, 3, 1]
+        )
+        assert sys_.num_machines == 7
+        np.testing.assert_array_equal(
+            sys_.machine_type_of_machine, [0, 0, 1, 2, 2, 2, 3]
+        )
+
+    def test_zero_machines_rejected(self):
+        with pytest.raises(ModelError):
+            SystemModel.from_matrices(TINY_ETC, TINY_EPC, machines_per_type=[0, 1, 1, 1])
+
+    def test_name_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            SystemModel.from_matrices(TINY_ETC, TINY_EPC, machine_type_names=["a"])
+        with pytest.raises(ModelError):
+            SystemModel.from_matrices(TINY_ETC, TINY_EPC, task_type_names=["a"])
+
+
+class TestDerivedMatrices:
+    def test_eec_is_product(self):
+        sys_ = SystemModel.from_matrices(TINY_ETC, TINY_EPC)
+        np.testing.assert_allclose(sys_.eec.values, TINY_ETC * TINY_EPC)
+
+    def test_task_machine_expansion(self):
+        sys_ = SystemModel.from_matrices(
+            TINY_ETC, TINY_EPC, machines_per_type=[1, 2, 1, 1]
+        )
+        assert sys_.etc_task_machine.shape == (3, 5)
+        # Machine 1 and 2 are both type 1.
+        np.testing.assert_allclose(
+            sys_.etc_task_machine[:, 1], sys_.etc_task_machine[:, 2]
+        )
+        np.testing.assert_allclose(sys_.etc_task_machine[:, 0], TINY_ETC[:, 0])
+
+    def test_feasible_machines(self):
+        sys_ = make_special_system()
+        # Task 0 is accelerated by the special machine (index 2).
+        np.testing.assert_array_equal(sys_.feasible_machines(0), [0, 1, 2])
+        # Task 1 is general-purpose: cannot use the special machine.
+        np.testing.assert_array_equal(sys_.feasible_machines(1), [0, 1])
+
+
+def make_special_system() -> SystemModel:
+    """2 general types + 1 special type accelerating task 0."""
+    etc = np.array([[10.0, 20.0, 1.5], [30.0, 15.0, np.inf]])
+    epc = np.array([[100.0, 50.0, 75.0], [80.0, 120.0, np.inf]])
+    machine_types = (
+        MachineType(name="g0", index=0),
+        MachineType(name="g1", index=1),
+        MachineType(
+            name="s0",
+            index=2,
+            category=MachineCategory.SPECIAL_PURPOSE,
+            supported_task_types=frozenset({0}),
+        ),
+    )
+    machines = tuple(
+        Machine(name=f"m{i}", index=i, machine_type=machine_types[i])
+        for i in range(3)
+    )
+    task_types = (
+        TaskType(
+            name="t0",
+            index=0,
+            category=TaskCategory.SPECIAL_PURPOSE,
+            special_machine_type=2,
+        ),
+        TaskType(name="t1", index=1),
+    )
+    return SystemModel(
+        machine_types=machine_types,
+        machines=machines,
+        task_types=task_types,
+        etc=ETCMatrix(etc),
+        epc=EPCMatrix(epc),
+    )
+
+
+class TestCategoryValidation:
+    def test_special_system_valid(self):
+        sys_ = make_special_system()
+        assert sys_.num_machines == 3
+
+    def test_special_machine_feasibility_must_match_declaration(self):
+        etc = np.array([[10.0, 20.0, 1.5], [30.0, 15.0, 2.0]])  # task 1 feasible!
+        epc = np.array([[100.0, 50.0, 75.0], [80.0, 120.0, 60.0]])
+        machine_types = (
+            MachineType(name="g0", index=0),
+            MachineType(name="g1", index=1),
+            MachineType(
+                name="s0",
+                index=2,
+                category=MachineCategory.SPECIAL_PURPOSE,
+                supported_task_types=frozenset({0}),
+            ),
+        )
+        machines = tuple(
+            Machine(name=f"m{i}", index=i, machine_type=machine_types[i])
+            for i in range(3)
+        )
+        task_types = (
+            TaskType(name="t0", index=0, category=TaskCategory.SPECIAL_PURPOSE,
+                     special_machine_type=2),
+            TaskType(name="t1", index=1),
+        )
+        with pytest.raises(ModelError):
+            SystemModel(
+                machine_types=machine_types,
+                machines=machines,
+                task_types=task_types,
+                etc=ETCMatrix(etc),
+                epc=EPCMatrix(epc),
+            )
+
+    def test_general_machine_must_run_everything(self):
+        etc = np.array([[10.0, np.inf], [30.0, 15.0]])
+        epc = np.array([[100.0, np.inf], [80.0, 120.0]])
+        with pytest.raises(ModelError):
+            SystemModel.from_matrices(etc, epc)
+
+
+class TestIndexValidation:
+    def test_wrong_machine_type_index_rejected(self):
+        mt = (MachineType(name="a", index=1),)  # should be 0
+        m = (Machine(name="m", index=0, machine_type=mt[0]),)
+        tt = (TaskType(name="t", index=0),)
+        with pytest.raises(ModelError):
+            SystemModel(
+                machine_types=mt, machines=m, task_types=tt,
+                etc=ETCMatrix(np.array([[1.0]])), epc=EPCMatrix(np.array([[1.0]])),
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            SystemModel.from_matrices(TINY_ETC, TINY_EPC[:, :3])
+
+
+class TestUtilityAttachment:
+    def test_with_utility_functions(self):
+        sys_ = make_tiny_system(with_tufs=True)
+        assert all(tt.utility_function is not None for tt in sys_.task_types)
+
+    def test_wrong_count_rejected(self):
+        sys_ = SystemModel.from_matrices(TINY_ETC, TINY_EPC)
+        with pytest.raises(ModelError):
+            sys_.with_utility_functions([None])
+
+    def test_describe_mentions_counts(self):
+        text = make_tiny_system().describe()
+        assert "4 machines" in text and "3 task types" in text

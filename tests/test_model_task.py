@@ -1,0 +1,45 @@
+"""Tests for task-type definitions."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.task import TaskCategory, TaskType
+from repro.utility.tuf import TimeUtilityFunction
+
+
+class TestTaskType:
+    def test_general_purpose_default(self):
+        tt = TaskType(name="t", index=0)
+        assert tt.category is TaskCategory.GENERAL_PURPOSE
+        assert not tt.is_special_purpose
+        assert tt.special_machine_type is None
+
+    def test_special_purpose_names_machine(self):
+        tt = TaskType(
+            name="t",
+            index=1,
+            category=TaskCategory.SPECIAL_PURPOSE,
+            special_machine_type=4,
+        )
+        assert tt.is_special_purpose
+        assert tt.special_machine_type == 4
+
+    def test_special_purpose_requires_machine(self):
+        with pytest.raises(ModelError):
+            TaskType(name="t", index=0, category=TaskCategory.SPECIAL_PURPOSE)
+
+    def test_general_purpose_rejects_machine(self):
+        with pytest.raises(ModelError):
+            TaskType(name="t", index=0, special_machine_type=2)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ModelError):
+            TaskType(name="t", index=-1)
+
+    def test_with_utility_function_copies(self):
+        tt = TaskType(name="t", index=0)
+        tuf = TimeUtilityFunction.linear(5.0, 0.01)
+        tt2 = tt.with_utility_function(tuf)
+        assert tt.utility_function is None
+        assert tt2.utility_function is tuf
+        assert tt2.name == tt.name and tt2.index == tt.index

@@ -1,0 +1,61 @@
+"""Tests for auxiliary schedule metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import compute_metrics
+from repro.sim.schedule import ResourceAllocation
+from repro.sim.evaluator import ScheduleEvaluator
+from repro.workload.trace import Trace
+
+from conftest import random_allocation
+
+
+@pytest.fixture
+def evaluated(tiny_system):
+    trace = Trace(
+        task_types=np.array([0, 1, 2]),
+        arrival_times=np.array([0.0, 0.0, 0.0]),
+        window=10.0,
+    )
+    alloc = ResourceAllocation(
+        machine_assignment=np.array([0, 0, 1]),
+        scheduling_order=np.array([0, 1, 2]),
+    )
+    ev = ScheduleEvaluator(tiny_system, trace)
+    return tiny_system, trace, alloc, ev.evaluate(alloc)
+
+
+class TestMetrics:
+    def test_makespan(self, evaluated):
+        system, trace, alloc, res = evaluated
+        m = compute_metrics(system, trace, alloc, res)
+        # Machine 0: type 0 (10s) then type 1 (30s) -> 40; machine 1:
+        # type 2 -> 8.
+        assert m.makespan == pytest.approx(40.0)
+
+    def test_busy_time_and_utilization(self, evaluated):
+        system, trace, alloc, res = evaluated
+        m = compute_metrics(system, trace, alloc, res)
+        np.testing.assert_allclose(m.machine_busy_time, [40.0, 8.0, 0.0, 0.0])
+        np.testing.assert_allclose(m.machine_utilization, [1.0, 0.2, 0.0, 0.0])
+
+    def test_machine_energy_sums_to_total(self, evaluated):
+        system, trace, alloc, res = evaluated
+        m = compute_metrics(system, trace, alloc, res)
+        assert m.machine_energy.sum() == pytest.approx(res.energy)
+
+    def test_waiting_and_flow(self, evaluated):
+        system, trace, alloc, res = evaluated
+        m = compute_metrics(system, trace, alloc, res)
+        # Waiting: task 0: 0, task 1: 10, task 2: 0.
+        assert m.mean_waiting_time == pytest.approx(10.0 / 3.0)
+        assert m.max_waiting_time == pytest.approx(10.0)
+        assert m.total_flow_time == pytest.approx(40.0 + 8.0 + 10.0)
+
+    def test_utility_fraction_in_unit_interval(self, small_system, small_trace,
+                                               small_evaluator):
+        alloc = random_allocation(small_system, small_trace, seed=3)
+        res = small_evaluator.evaluate(alloc)
+        m = compute_metrics(small_system, small_trace, alloc, res)
+        assert 0.0 <= m.utility_fraction <= 1.0

@@ -1,0 +1,29 @@
+"""Tests for shared value types."""
+
+import pytest
+
+from repro.types import ObjectivePoint
+
+
+class TestObjectivePoint:
+    def test_units(self):
+        p = ObjectivePoint(energy=2.5e6, utility=400.0)
+        assert p.energy_megajoules == pytest.approx(2.5)
+        assert p.utility_per_energy == pytest.approx(400.0 / 2.5e6)
+        assert p.as_tuple() == (2.5e6, 400.0)
+
+    def test_zero_energy_edge(self):
+        assert ObjectivePoint(0.0, 5.0).utility_per_energy == float("inf")
+        assert ObjectivePoint(0.0, 0.0).utility_per_energy == 0.0
+
+    def test_hashable_value_semantics(self):
+        a = ObjectivePoint(1.0, 2.0)
+        b = ObjectivePoint(1.0, 2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_immutable(self):
+        p = ObjectivePoint(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            p.energy = 5.0  # type: ignore[misc]

@@ -1,0 +1,68 @@
+"""Tests for the fluent TUF builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UtilityFunctionError
+from repro.utility.builder import TUFBuilder
+from repro.utility.intervals import DecayShape
+
+
+class TestBuilder:
+    def test_multi_segment(self):
+        tuf = (
+            TUFBuilder(priority=10.0, urgency=1.0 / 100.0)
+            .hold(seconds=50.0)
+            .exponential_to(0.5)
+            .linear_to_zero(modifier=2.0)
+            .build()
+        )
+        assert tuf(0.0) == 10.0
+        assert tuf(49.9) == 10.0
+        # After the hold, exponential decay begins.
+        assert tuf(60.0) < 10.0
+        # Eventually zero.
+        assert tuf(1e6) == 0.0
+        # Monotone.
+        t = np.linspace(0, 2000, 500)
+        assert np.all(np.diff(tuf(t)) <= 1e-9)
+
+    def test_contiguity_by_construction(self):
+        builder = TUFBuilder(priority=4.0, urgency=0.01)
+        builder.exponential_to(0.6).exponential_to(0.2, modifier=2.0)
+        assert builder.current_fraction == pytest.approx(0.2)
+        tuf = builder.build()
+        # Compiled breakpoints continuous.
+        c = tuf.compiled
+        np.testing.assert_allclose(tuf(c.breakpoints), c.start_values)
+
+    def test_drop_to(self):
+        tuf = (
+            TUFBuilder(priority=8.0, urgency=0.01)
+            .hold(seconds=30.0)
+            .drop_to(0.25)
+            .hold(seconds=30.0)
+            .linear_to_zero()
+            .build()
+        )
+        assert tuf(29.0) == 8.0
+        assert tuf(35.0) == pytest.approx(2.0)
+
+    def test_matches_handwritten_equivalent(self):
+        from repro.utility.tuf import TimeUtilityFunction
+
+        built = TUFBuilder(priority=5.0, urgency=0.02).exponential_to(0.01).build()
+        handwritten = TimeUtilityFunction.exponential(5.0, 0.02, 0.01)
+        t = np.linspace(0, 500, 200)
+        np.testing.assert_allclose(built(t), handwritten(t))
+
+    def test_validation(self):
+        with pytest.raises(UtilityFunctionError):
+            TUFBuilder(priority=0.0, urgency=0.1)
+        with pytest.raises(UtilityFunctionError):
+            TUFBuilder(priority=1.0, urgency=0.0)
+        with pytest.raises(UtilityFunctionError):
+            TUFBuilder(priority=1.0, urgency=0.1).build()  # empty
+        with pytest.raises(UtilityFunctionError):
+            # Increasing fractions rejected by the interval layer.
+            TUFBuilder(priority=1.0, urgency=0.1).exponential_to(0.5).exponential_to(0.8)

@@ -1,0 +1,100 @@
+"""Tests for utility intervals and characteristic classes."""
+
+import math
+
+import pytest
+
+from repro.errors import UtilityFunctionError
+from repro.utility.intervals import DecayShape, UtilityClass, UtilityInterval
+
+
+class TestUtilityInterval:
+    def test_exponential_duration(self):
+        iv = UtilityInterval(1.0, 0.5, 2.0, DecayShape.EXPONENTIAL)
+        # duration = ln(1/0.5) / (urgency * 2)
+        assert iv.derived_duration(urgency=0.1) == pytest.approx(
+            math.log(2.0) / 0.2
+        )
+
+    def test_linear_duration(self):
+        iv = UtilityInterval(1.0, 0.0, 1.0, DecayShape.LINEAR)
+        assert iv.derived_duration(urgency=0.01) == pytest.approx(100.0)
+
+    def test_constant_duration_is_explicit(self):
+        iv = UtilityInterval(0.5, 0.5, shape=DecayShape.CONSTANT, duration=30.0)
+        assert iv.derived_duration(urgency=123.0) == 30.0
+
+    def test_exponential_to_zero_rejected(self):
+        with pytest.raises(UtilityFunctionError):
+            UtilityInterval(1.0, 0.0, 1.0, DecayShape.EXPONENTIAL)
+
+    def test_constant_requires_duration(self):
+        with pytest.raises(UtilityFunctionError):
+            UtilityInterval(1.0, 1.0, shape=DecayShape.CONSTANT)
+
+    def test_constant_requires_flat_fractions(self):
+        with pytest.raises(UtilityFunctionError):
+            UtilityInterval(1.0, 0.5, shape=DecayShape.CONSTANT, duration=10.0)
+
+    def test_decaying_rejects_duration(self):
+        with pytest.raises(UtilityFunctionError):
+            UtilityInterval(1.0, 0.5, shape=DecayShape.LINEAR, duration=5.0)
+
+    def test_decaying_must_decrease(self):
+        with pytest.raises(UtilityFunctionError):
+            UtilityInterval(0.5, 0.5, shape=DecayShape.LINEAR)
+
+    def test_fraction_ordering_enforced(self):
+        with pytest.raises(UtilityFunctionError):
+            UtilityInterval(0.5, 0.8)
+        with pytest.raises(UtilityFunctionError):
+            UtilityInterval(1.5, 0.5)
+
+    def test_nonpositive_modifier_rejected(self):
+        with pytest.raises(UtilityFunctionError):
+            UtilityInterval(1.0, 0.5, urgency_modifier=0.0)
+
+    def test_dict_roundtrip(self):
+        iv = UtilityInterval(1.0, 0.25, 3.0, DecayShape.EXPONENTIAL)
+        assert UtilityInterval.from_dict(iv.to_dict()) == iv
+
+
+class TestUtilityClass:
+    def test_must_start_at_full_priority(self):
+        with pytest.raises(UtilityFunctionError):
+            UtilityClass(intervals=(UtilityInterval(0.9, 0.5),))
+
+    def test_must_be_contiguous(self):
+        with pytest.raises(UtilityFunctionError):
+            UtilityClass(
+                intervals=(
+                    UtilityInterval(1.0, 0.5),
+                    UtilityInterval(0.4, 0.1),
+                )
+            )
+
+    def test_requires_intervals(self):
+        with pytest.raises(UtilityFunctionError):
+            UtilityClass(intervals=())
+
+    def test_total_duration_sums(self):
+        uc = UtilityClass(
+            intervals=(
+                UtilityInterval(1.0, 1.0, shape=DecayShape.CONSTANT, duration=10.0),
+                UtilityInterval(1.0, 0.0, 1.0, DecayShape.LINEAR),
+            )
+        )
+        assert uc.total_duration(urgency=0.1) == pytest.approx(10.0 + 10.0)
+        assert uc.final_fraction == 0.0
+
+    def test_factories(self):
+        assert UtilityClass.single_exponential().final_fraction == pytest.approx(0.01)
+        assert UtilityClass.linear_to_zero().final_fraction == 0.0
+        hd = UtilityClass.hard_deadline(60.0)
+        assert hd.intervals[0].duration == 60.0
+        assert hd.final_fraction == 0.0
+
+    def test_dict_roundtrip(self):
+        uc = UtilityClass.hard_deadline(45.0)
+        restored = UtilityClass.from_dict(uc.to_dict())
+        assert restored == uc

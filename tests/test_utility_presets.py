@@ -1,0 +1,62 @@
+"""Tests for the TUF preset catalogue and assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UtilityFunctionError
+from repro.utility.presets import (
+    PRIORITY_LEVELS,
+    URGENCY_LEVELS,
+    assign_presets,
+    default_catalog,
+)
+
+
+class TestCatalog:
+    def test_size_is_priority_x_urgency_x_shapes(self):
+        cat = default_catalog(900.0)
+        assert len(cat) == len(PRIORITY_LEVELS) * len(URGENCY_LEVELS) * 4
+
+    def test_names_unique(self):
+        cat = default_catalog(900.0)
+        assert len(set(cat.names)) == len(cat)
+
+    def test_urgency_scales_with_horizon(self):
+        short = default_catalog(100.0)
+        long = default_catalog(1000.0)
+        # Same catalogue position => urgency inversely proportional.
+        assert short[0].urgency == pytest.approx(long[0].urgency * 10.0)
+
+    def test_all_monotone(self):
+        cat = default_catalog(900.0)
+        times = np.linspace(0.0, 3600.0, 200)
+        for tuf in cat.functions:
+            values = tuf(times)
+            assert np.all(np.diff(values) <= 1e-9)
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(UtilityFunctionError):
+            default_catalog(0.0)
+
+
+class TestAssignment:
+    def test_deterministic(self):
+        a = assign_presets(10, 900.0, seed=5)
+        b = assign_presets(10, 900.0, seed=5)
+        for x, y in zip(a, b):
+            assert x.priority == y.priority and x.urgency == y.urgency
+
+    def test_seed_changes_assignment(self):
+        a = assign_presets(30, 900.0, seed=1)
+        b = assign_presets(30, 900.0, seed=2)
+        assert any(
+            x.priority != y.priority or x.urgency != y.urgency
+            for x, y in zip(a, b)
+        )
+
+    def test_count(self):
+        assert len(assign_presets(7, 900.0, seed=0)) == 7
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(UtilityFunctionError):
+            assign_presets(0, 900.0)

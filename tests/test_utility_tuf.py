@@ -1,0 +1,132 @@
+"""Tests for time-utility functions, including Figure 1 spot checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UtilityFunctionError
+from repro.utility.intervals import DecayShape, UtilityClass, UtilityInterval
+from repro.utility.tuf import TimeUtilityFunction
+
+
+class TestBasicShapes:
+    def test_linear_values(self):
+        tuf = TimeUtilityFunction.linear(priority=10.0, urgency=0.01)
+        # decays 10 * 0.01 = 0.1 utility per second
+        assert tuf(0.0) == pytest.approx(10.0)
+        assert tuf(50.0) == pytest.approx(5.0)
+        assert tuf(100.0) == pytest.approx(0.0)
+        assert tuf(1000.0) == 0.0
+
+    def test_exponential_values(self):
+        tuf = TimeUtilityFunction.exponential(priority=4.0, urgency=0.1,
+                                              floor_fraction=0.01)
+        assert tuf(0.0) == pytest.approx(4.0)
+        assert tuf(10.0) == pytest.approx(4.0 * np.exp(-1.0))
+        # After reaching the floor, the value stays at floor.
+        assert tuf(10_000.0) == pytest.approx(0.04)
+
+    def test_hard_deadline(self):
+        tuf = TimeUtilityFunction.hard_deadline(priority=8.0, deadline_seconds=60.0)
+        assert tuf(0.0) == 8.0
+        assert tuf(59.999) == 8.0
+        assert tuf(61.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_negative_elapsed_clamped(self):
+        tuf = TimeUtilityFunction.linear(10.0, 0.01)
+        assert tuf(-5.0) == 10.0
+
+    def test_priority_urgency_validation(self):
+        with pytest.raises(UtilityFunctionError):
+            TimeUtilityFunction.linear(0.0, 0.1)
+        with pytest.raises(UtilityFunctionError):
+            TimeUtilityFunction.linear(1.0, -0.1)
+        with pytest.raises(UtilityFunctionError):
+            TimeUtilityFunction.hard_deadline(1.0, 0.0)
+
+
+class TestFigure1:
+    """The paper's Figure 1 spot checks: finish@20 -> 12, finish@47 -> 7."""
+
+    def test_spot_checks(self):
+        tuf = TimeUtilityFunction.figure1_example()
+        assert tuf(20.0) == pytest.approx(12.0)
+        assert tuf(47.0) == pytest.approx(7.0)
+
+    def test_monotone_and_bounded(self):
+        tuf = TimeUtilityFunction.figure1_example()
+        times = np.linspace(0.0, 80.0, 500)
+        values = tuf(times)
+        assert np.all(np.diff(values) <= 1e-9)
+        assert values[0] == pytest.approx(16.0)
+        assert values[-1] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestCompiled:
+    def test_vector_matches_scalar(self):
+        tuf = TimeUtilityFunction.exponential(5.0, 0.02)
+        times = np.array([0.0, 1.0, 10.0, 100.0, 400.0])
+        vec = tuf(times)
+        for t, v in zip(times, vec):
+            assert tuf(float(t)) == pytest.approx(v)
+
+    def test_zero_utility_time(self):
+        tuf = TimeUtilityFunction.linear(10.0, 0.01)
+        assert tuf.zero_utility_time == pytest.approx(100.0)
+
+    def test_max_utility(self):
+        tuf = TimeUtilityFunction.linear(10.0, 0.01)
+        assert tuf.max_utility == 10.0
+
+    def test_multi_interval_continuity(self):
+        uc = UtilityClass(
+            intervals=(
+                UtilityInterval(1.0, 0.5, 1.0, DecayShape.EXPONENTIAL),
+                UtilityInterval(0.5, 0.1, 2.0, DecayShape.EXPONENTIAL),
+                UtilityInterval(0.1, 0.0, 1.0, DecayShape.LINEAR),
+            )
+        )
+        tuf = TimeUtilityFunction(priority=20.0, urgency=0.05, utility_class=uc)
+        # Value at every compiled breakpoint matches the interval start
+        # value (continuity across segments).
+        c = tuf.compiled
+        np.testing.assert_allclose(tuf(c.breakpoints), c.start_values, rtol=1e-9)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        tuf = TimeUtilityFunction.figure1_example()
+        restored = TimeUtilityFunction.from_dict(tuf.to_dict())
+        times = np.linspace(0, 100, 300)
+        np.testing.assert_allclose(restored(times), tuf(times))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    priority=st.floats(0.1, 100.0),
+    urgency=st.floats(1e-4, 1.0),
+    t1=st.floats(0.0, 1e4),
+    t2=st.floats(0.0, 1e4),
+)
+def test_property_monotone_nonincreasing(priority, urgency, t1, t2):
+    """Every TUF in the factory family is monotone non-increasing."""
+    for tuf in (
+        TimeUtilityFunction.linear(priority, urgency),
+        TimeUtilityFunction.exponential(priority, urgency),
+        TimeUtilityFunction.hard_deadline(priority, 1.0 + 100.0 * urgency),
+    ):
+        lo, hi = sorted((t1, t2))
+        assert tuf(lo) >= tuf(hi) - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    priority=st.floats(0.1, 100.0),
+    urgency=st.floats(1e-4, 1.0),
+    t=st.floats(0.0, 1e6),
+)
+def test_property_bounded(priority, urgency, t):
+    """TUF values lie in [0, priority]."""
+    tuf = TimeUtilityFunction.exponential(priority, urgency)
+    v = tuf(t)
+    assert -1e-12 <= v <= priority + 1e-9

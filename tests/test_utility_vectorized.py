@@ -1,0 +1,87 @@
+"""Tests for batched TUF evaluation (TUFTable)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UtilityFunctionError
+from repro.utility.presets import default_catalog
+from repro.utility.tuf import TimeUtilityFunction
+from repro.utility.vectorized import TUFTable
+
+
+def make_table():
+    functions = [
+        TimeUtilityFunction.linear(10.0, 0.01),
+        TimeUtilityFunction.exponential(4.0, 0.05),
+        TimeUtilityFunction.hard_deadline(8.0, 30.0),
+        TimeUtilityFunction.figure1_example(),
+    ]
+    return functions, TUFTable.from_functions(functions)
+
+
+class TestTable:
+    def test_matches_scalar_evaluation(self):
+        functions, table = make_table()
+        rng = np.random.default_rng(0)
+        types = rng.integers(0, len(functions), size=200)
+        elapsed = rng.uniform(0.0, 200.0, size=200)
+        batch = table.evaluate(types, elapsed)
+        expected = np.array(
+            [functions[tt](float(t)) for tt, t in zip(types, elapsed)]
+        )
+        np.testing.assert_allclose(batch, expected, rtol=1e-9, atol=1e-12)
+
+    def test_negative_elapsed_clamped(self):
+        functions, table = make_table()
+        out = table.evaluate(np.array([0]), np.array([-10.0]))
+        assert out[0] == pytest.approx(10.0)
+
+    def test_shape_mismatch_rejected(self):
+        _, table = make_table()
+        with pytest.raises(UtilityFunctionError):
+            table.evaluate(np.array([0, 1]), np.array([1.0]))
+
+    def test_empty_functions_rejected(self):
+        with pytest.raises(UtilityFunctionError):
+            TUFTable.from_functions([])
+
+    def test_upper_bound(self):
+        _, table = make_table()
+        types = np.array([0, 0, 1, 2, 3])
+        assert table.utility_upper_bound(types) == pytest.approx(
+            10.0 + 10.0 + 4.0 + 8.0 + 16.0
+        )
+
+    def test_num_types(self):
+        _, table = make_table()
+        assert table.num_types == 4
+
+    def test_from_system_requires_tufs(self):
+        from conftest import make_tiny_system
+
+        bare = make_tiny_system(with_tufs=False)
+        with pytest.raises(UtilityFunctionError):
+            TUFTable.from_system(bare)
+        table = TUFTable.from_system(make_tiny_system(with_tufs=True))
+        assert table.num_types == 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    elapsed=st.lists(st.floats(0.0, 5000.0), min_size=1, max_size=40),
+    seed=st.integers(0, 1000),
+)
+def test_property_table_matches_scalars_on_catalog(elapsed, seed):
+    """The padded table agrees with per-function scalar evaluation for
+    arbitrary subsets of the full preset catalogue (mixed shapes and
+    segment counts exercise the padding)."""
+    cat = default_catalog(900.0)
+    rng = np.random.default_rng(seed)
+    functions = [cat[int(i)] for i in rng.integers(0, len(cat), size=5)]
+    table = TUFTable.from_functions(functions)
+    types = rng.integers(0, 5, size=len(elapsed))
+    t = np.asarray(elapsed)
+    batch = table.evaluate(types, t)
+    expected = np.array([functions[tt](float(x)) for tt, x in zip(types, t)])
+    np.testing.assert_allclose(batch, expected, rtol=1e-9, atol=1e-12)

@@ -1,0 +1,86 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import BurstyArrivals, PoissonArrivals, UniformArrivals
+
+
+ALL_PROCESSES = [PoissonArrivals(), UniformArrivals(), BurstyArrivals()]
+
+
+@pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: type(p).__name__)
+class TestCommonContract:
+    def test_sorted_in_window(self, process):
+        times = process.generate(100, 900.0, seed=1)
+        assert times.shape == (100,)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all((times >= 0) & (times < 900.0))
+
+    def test_zero_count(self, process):
+        assert process.generate(0, 10.0, seed=1).shape == (0,)
+
+    def test_negative_count_rejected(self, process):
+        with pytest.raises(WorkloadError):
+            process.generate(-1, 10.0)
+
+    def test_bad_window_rejected(self, process):
+        with pytest.raises(WorkloadError):
+            process.generate(5, 0.0)
+
+
+class TestPoisson:
+    def test_deterministic(self):
+        p = PoissonArrivals()
+        np.testing.assert_array_equal(
+            p.generate(50, 100.0, seed=3), p.generate(50, 100.0, seed=3)
+        )
+
+    def test_approximately_uniform(self):
+        times = PoissonArrivals().generate(100_000, 1.0, seed=4)
+        # Mean of Uniform(0,1) order statistics is 0.5.
+        assert times.mean() == pytest.approx(0.5, abs=0.01)
+
+
+class TestUniform:
+    def test_exact_spacing(self):
+        times = UniformArrivals().generate(4, 100.0)
+        np.testing.assert_allclose(times, [0.0, 25.0, 50.0, 75.0])
+
+    def test_seed_irrelevant(self):
+        u = UniformArrivals()
+        np.testing.assert_array_equal(
+            u.generate(10, 50.0, seed=1), u.generate(10, 50.0, seed=999)
+        )
+
+
+class TestBursty:
+    def test_clustering(self):
+        """Bursty arrivals concentrate mass near burst centers."""
+        b = BurstyArrivals(num_bursts=2, spread_fraction=0.05)
+        times = b.generate(10_000, 100.0, seed=5)
+        # Centers at 25 and 75; count arrivals within +-10 of centers.
+        near = np.sum((np.abs(times - 25.0) < 10.0) | (np.abs(times - 75.0) < 10.0))
+        assert near / times.size > 0.95
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BurstyArrivals(num_bursts=0)
+        with pytest.raises(WorkloadError):
+            BurstyArrivals(spread_fraction=0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    count=st.integers(1, 200),
+    window=st.floats(0.1, 1e5),
+    seed=st.integers(0, 2**31),
+)
+def test_property_all_processes_respect_window(count, window, seed):
+    for process in ALL_PROCESSES:
+        times = process.generate(count, window, seed=seed)
+        assert times.shape == (count,)
+        assert np.all((times >= 0) & (times < window))
+        assert np.all(np.diff(times) >= 0)

@@ -1,0 +1,70 @@
+"""Tests for the workload generator and task-type mix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import UniformArrivals
+from repro.workload.generator import TaskTypeMix, WorkloadGenerator
+
+
+class TestTaskTypeMix:
+    def test_uniform(self):
+        mix = TaskTypeMix.uniform(4)
+        np.testing.assert_allclose(mix.weights, 0.25)
+        assert mix.num_task_types == 4
+
+    def test_weighted_normalizes(self):
+        mix = TaskTypeMix.weighted([1.0, 3.0])
+        np.testing.assert_allclose(mix.weights, [0.25, 0.75])
+
+    def test_zero_weight_type_never_sampled(self):
+        mix = TaskTypeMix.weighted([1.0, 0.0, 1.0])
+        samples = mix.sample(1000, seed=1)
+        assert not np.any(samples == 1)
+
+    def test_sampling_tracks_weights(self):
+        mix = TaskTypeMix.weighted([1.0, 9.0])
+        samples = mix.sample(50_000, seed=2)
+        assert np.mean(samples == 1) == pytest.approx(0.9, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TaskTypeMix.uniform(0)
+        with pytest.raises(WorkloadError):
+            TaskTypeMix.weighted([0.0, 0.0])
+        with pytest.raises(WorkloadError):
+            TaskTypeMix.weighted([-1.0, 2.0])
+
+
+class TestWorkloadGenerator:
+    def test_generates_valid_trace(self):
+        gen = WorkloadGenerator.uniform_for(5)
+        trace = gen.generate(100, 900.0, seed=1)
+        assert trace.num_tasks == 100
+        assert trace.window == 900.0
+        assert int(trace.task_types.max()) < 5
+
+    def test_deterministic(self):
+        gen = WorkloadGenerator.uniform_for(5)
+        a = gen.generate(50, 100.0, seed=7)
+        b = gen.generate(50, 100.0, seed=7)
+        np.testing.assert_array_equal(a.task_types, b.task_types)
+        np.testing.assert_array_equal(a.arrival_times, b.arrival_times)
+
+    def test_types_sorted_by_arrival_alignment(self):
+        """Tasks are indexed by arrival order (the chromosome convention):
+        arrival times non-decreasing by construction."""
+        trace = WorkloadGenerator.uniform_for(3).generate(200, 100.0, seed=3)
+        assert np.all(np.diff(trace.arrival_times) >= 0)
+
+    def test_custom_arrivals(self):
+        gen = WorkloadGenerator(
+            mix=TaskTypeMix.uniform(2), arrivals=UniformArrivals()
+        )
+        trace = gen.generate(4, 100.0, seed=5)
+        np.testing.assert_allclose(trace.arrival_times, [0.0, 25.0, 50.0, 75.0])
+
+    def test_zero_tasks_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator.uniform_for(2).generate(0, 10.0)

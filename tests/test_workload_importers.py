@@ -1,0 +1,211 @@
+"""Tests for the SWF importer and the profile arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import ProfileArrivals
+from repro.workload.importers import parse_swf, parse_swf_text, trace_from_swf
+
+
+def swf_line(job_id, submit, run, executable=1, status=1, procs=4):
+    """An 18-field SWF record with the fields we consume filled in."""
+    fields = [-1] * 18
+    fields[0] = job_id
+    fields[1] = submit
+    fields[2] = 0          # wait
+    fields[3] = run
+    fields[4] = procs
+    fields[10] = status
+    fields[13] = executable
+    return " ".join(str(f) for f in fields)
+
+
+SAMPLE = "\n".join(
+    [
+        "; SWF header comment",
+        "; MaxJobs: 6",
+        swf_line(1, 100, 60, executable=7),
+        swf_line(2, 130, 10, executable=3),
+        swf_line(3, 150, 600, executable=7),
+        swf_line(4, 155, 30, executable=2, status=0),  # failed job
+        swf_line(5, 200, 3600, executable=9),
+        swf_line(6, 260, 5, executable=3),
+    ]
+)
+
+
+class TestParse:
+    def test_parses_jobs_and_skips_comments(self):
+        jobs = parse_swf_text(SAMPLE)
+        assert len(jobs) == 6
+        assert jobs[0].job_id == 1
+        assert jobs[0].submit_time == 100.0
+        assert jobs[0].run_time == 60.0
+        assert jobs[0].executable == 7
+        assert jobs[3].status == 0
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text(SAMPLE)
+        assert len(parse_swf(path)) == 6
+
+    def test_short_line_rejected(self):
+        with pytest.raises(WorkloadError, match="line 1"):
+            parse_swf_text("1 2 3")
+
+    def test_bad_number_rejected(self):
+        bad = swf_line(1, 100, 60).replace("100", "abc")
+        with pytest.raises(WorkloadError):
+            parse_swf_text(bad)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_swf_text("; only comments\n")
+
+
+class TestTraceFromSwf:
+    def test_arrivals_shift_to_zero(self):
+        trace = trace_from_swf(parse_swf_text(SAMPLE), num_task_types=5)
+        assert trace.arrival_times[0] == 0.0
+        assert trace.num_tasks == 5  # failed job dropped
+        assert np.all(np.diff(trace.arrival_times) >= 0)
+
+    def test_keep_incomplete(self):
+        trace = trace_from_swf(
+            parse_swf_text(SAMPLE), num_task_types=5, drop_incomplete=False
+        )
+        assert trace.num_tasks == 6
+
+    def test_executable_strategy_consistent(self):
+        jobs = parse_swf_text(SAMPLE)
+        trace = trace_from_swf(jobs, num_task_types=5, type_strategy="executable")
+        # Jobs 2 and 6 share executable 3 -> same task type.
+        kept = [j for j in jobs if j.status == 1]
+        idx_by_id = {j.job_id: i for i, j in enumerate(sorted(
+            kept, key=lambda j: (j.submit_time, j.job_id)))}
+        assert trace.task_types[idx_by_id[2]] == trace.task_types[idx_by_id[6]]
+        assert int(trace.task_types[idx_by_id[1]]) == 7 % 5
+
+    def test_runtime_quantile_strategy_orders_by_size(self):
+        trace = trace_from_swf(
+            parse_swf_text(SAMPLE),
+            num_task_types=2,
+            type_strategy="runtime-quantile",
+        )
+        jobs = [j for j in parse_swf_text(SAMPLE) if j.status == 1]
+        jobs.sort(key=lambda j: (j.submit_time, j.job_id))
+        runtimes = np.array([j.run_time for j in jobs])
+        # Short jobs in type 0, long jobs in type 1.
+        assert set(trace.task_types[runtimes <= np.median(runtimes)]) <= {0}
+        assert trace.task_types[np.argmax(runtimes)] == 1
+
+    def test_window_rescaling(self):
+        trace = trace_from_swf(parse_swf_text(SAMPLE), num_task_types=3,
+                               window=100.0)
+        assert trace.window == 100.0
+        assert trace.arrival_times[0] == 0.0
+        assert trace.arrival_times[-1] < 100.0
+        assert trace.arrival_times[-1] == pytest.approx(100.0, rel=1e-6)
+
+    def test_max_tasks(self):
+        trace = trace_from_swf(parse_swf_text(SAMPLE), num_task_types=3,
+                               max_tasks=2)
+        assert trace.num_tasks == 2
+
+    def test_validation(self):
+        jobs = parse_swf_text(SAMPLE)
+        with pytest.raises(WorkloadError):
+            trace_from_swf(jobs, num_task_types=0)
+        with pytest.raises(WorkloadError):
+            trace_from_swf(jobs, num_task_types=3, max_tasks=0)
+        with pytest.raises(WorkloadError):
+            trace_from_swf(jobs, num_task_types=3, window=-5.0)
+        with pytest.raises(WorkloadError):
+            trace_from_swf(jobs, num_task_types=3, type_strategy="bogus")
+
+    def test_trace_feeds_the_pipeline(self, small_system):
+        """An SWF-imported trace drives the evaluator end to end."""
+        from repro.heuristics import MinEnergy
+        from repro.sim.evaluator import ScheduleEvaluator
+
+        trace = trace_from_swf(
+            parse_swf_text(SAMPLE),
+            num_task_types=small_system.num_task_types,
+            window=600.0,
+        )
+        evaluator = ScheduleEvaluator(small_system, trace)
+        res = evaluator.evaluate(MinEnergy().build(small_system, trace))
+        assert res.energy > 0
+
+
+class TestProfileArrivals:
+    def test_respects_zero_weight_buckets(self):
+        p = ProfileArrivals(weights=(0.0, 1.0, 0.0, 3.0))
+        times = p.generate(2000, 100.0, seed=1)
+        hist, _ = np.histogram(times, bins=4, range=(0, 100))
+        assert hist[0] == 0 and hist[2] == 0
+        assert hist[3] > hist[1]
+
+    def test_ratio_tracks_weights(self):
+        p = ProfileArrivals(weights=(1.0, 3.0))
+        times = p.generate(40_000, 10.0, seed=2)
+        hist, _ = np.histogram(times, bins=2, range=(0, 10))
+        assert hist[1] / hist[0] == pytest.approx(3.0, rel=0.1)
+
+    def test_common_contract(self):
+        p = ProfileArrivals(weights=(2.0, 1.0))
+        times = p.generate(100, 50.0, seed=3)
+        assert np.all((times >= 0) & (times < 50.0))
+        assert np.all(np.diff(times) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ProfileArrivals(weights=())
+        with pytest.raises(WorkloadError):
+            ProfileArrivals(weights=(0.0, 0.0))
+        with pytest.raises(WorkloadError):
+            ProfileArrivals(weights=(-1.0, 2.0))
+
+
+class TestExportSwf:
+    def test_roundtrip_types_and_order(self, tmp_path):
+        from repro.workload.importers import export_swf
+        from repro.workload.trace import Trace
+
+        trace = Trace(
+            task_types=np.array([2, 0, 1, 2]),
+            arrival_times=np.array([0.0, 10.0, 25.0, 400.0]),
+            window=500.0,
+        )
+        path = tmp_path / "out.swf"
+        export_swf(trace, path, run_times=np.array([5.0, 9.0, 3.0, 60.0]))
+        jobs = parse_swf(path)
+        assert len(jobs) == 4
+        assert [j.executable for j in jobs] == [2, 0, 1, 2]
+        assert [j.submit_time for j in jobs] == [0.0, 10.0, 25.0, 400.0]
+        assert [j.run_time for j in jobs] == [5.0, 9.0, 3.0, 60.0]
+        # Full loop: re-import with executable strategy keeps types.
+        back = trace_from_swf(jobs, num_task_types=3, window=500.0)
+        np.testing.assert_array_equal(back.task_types, trace.task_types)
+
+    def test_default_runtimes(self, tmp_path):
+        from repro.workload.importers import export_swf
+        from repro.workload.trace import Trace
+
+        trace = Trace(np.array([0]), np.array([0.0]), window=10.0)
+        path = tmp_path / "min.swf"
+        export_swf(trace, path)
+        assert parse_swf(path)[0].run_time == 1.0
+
+    def test_runtime_validation(self, tmp_path):
+        from repro.errors import WorkloadError
+        from repro.workload.importers import export_swf
+        from repro.workload.trace import Trace
+
+        trace = Trace(np.array([0, 1]), np.array([0.0, 1.0]), window=10.0)
+        with pytest.raises(WorkloadError):
+            export_swf(trace, tmp_path / "x.swf", run_times=np.array([1.0]))
+        with pytest.raises(WorkloadError):
+            export_swf(trace, tmp_path / "x.swf",
+                       run_times=np.array([1.0, 0.0]))

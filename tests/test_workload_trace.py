@@ -1,0 +1,96 @@
+"""Tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.trace import Trace
+
+
+def make_trace() -> Trace:
+    return Trace(
+        task_types=np.array([0, 2, 1, 0]),
+        arrival_times=np.array([0.0, 1.5, 3.0, 9.0]),
+        window=10.0,
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = make_trace()
+        assert t.num_tasks == 4
+        assert len(t) == 4
+
+    def test_columns_immutable(self):
+        t = make_trace()
+        with pytest.raises(ValueError):
+            t.task_types[0] = 5
+
+    def test_unsorted_arrivals_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace(np.array([0, 1]), np.array([5.0, 1.0]), window=10.0)
+
+    def test_arrival_outside_window_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace(np.array([0]), np.array([10.0]), window=10.0)
+        with pytest.raises(WorkloadError):
+            Trace(np.array([0]), np.array([-1.0]), window=10.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace(np.array([0, 1]), np.array([0.0]), window=10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace(np.array([], dtype=np.int64), np.array([]), window=10.0)
+
+    def test_negative_type_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace(np.array([-1]), np.array([0.0]), window=10.0)
+
+
+class TestAccess:
+    def test_task_view(self):
+        t = make_trace()
+        task = t.task(1)
+        assert task.index == 1 and task.task_type == 2
+        assert task.arrival_time == 1.5
+
+    def test_task_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            make_trace().task(4)
+
+    def test_iteration(self):
+        tasks = list(make_trace())
+        assert [t.index for t in tasks] == [0, 1, 2, 3]
+
+    def test_type_counts(self):
+        t = make_trace()
+        np.testing.assert_array_equal(t.type_counts(), [2, 1, 1])
+        np.testing.assert_array_equal(t.type_counts(5), [2, 1, 1, 0, 0])
+
+    def test_validate_against(self):
+        t = make_trace()
+        t.validate_against(3)  # fine
+        with pytest.raises(WorkloadError):
+            t.validate_against(2)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        t = make_trace()
+        restored = Trace.from_dict(t.to_dict())
+        np.testing.assert_array_equal(restored.task_types, t.task_types)
+        np.testing.assert_array_equal(restored.arrival_times, t.arrival_times)
+        assert restored.window == t.window
+
+    def test_file_roundtrip(self, tmp_path):
+        t = make_trace()
+        path = tmp_path / "trace.json"
+        t.save(path)
+        restored = Trace.load(path)
+        np.testing.assert_array_equal(restored.task_types, t.task_types)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace.from_dict({"format": "bogus"})
