@@ -12,6 +12,8 @@ Subcommands:
 * ``gantt`` — render a heuristic's schedule as a text Gantt chart.
 * ``repetitions`` — run R independent NSGA-II repetitions and report
   attainment surfaces and hypervolume spread.
+* ``resume`` — continue an interrupted ``report`` experiment from its
+  durable NSGA-II checkpoints (see docs/fault_tolerance.md).
 
 Examples::
 
@@ -97,11 +99,15 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _cmd_report(args: argparse.Namespace, resume: bool = False) -> int:
     from repro.analysis.summary import experiment_report
     from repro.experiments.config import ExperimentConfig
-    from repro.experiments.runner import run_seeded_populations
+    from repro.experiments.runner import RetryPolicy, run_seeded_populations
 
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if resume and checkpoint_dir is None:
+        print("resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     bundle = _DATASETS[args.dataset](args.seed)
     config = ExperimentConfig.for_paper_checkpoints(
         [100, 1000, 10000],
@@ -109,9 +115,28 @@ def _cmd_report(args: argparse.Namespace) -> int:
         population_size=args.population,
         base_seed=args.seed,
     )
-    result = run_seeded_populations(bundle, config, workers=args.workers)
+    result = run_seeded_populations(
+        bundle,
+        config,
+        workers=args.workers,
+        retry=RetryPolicy(max_attempts=args.max_attempts,
+                          timeout=args.timeout),
+        strict=args.strict,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
     print(experiment_report(result))
-    return 0
+    for failure in result.failures:
+        print(
+            f"FAILED population {failure.label!r} after {failure.attempts} "
+            f"attempt(s): {failure.error}",
+            file=sys.stderr,
+        )
+    return 1 if result.failures else 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    return _cmd_report(args, resume=True)
 
 
 def _cmd_reproduce_all(args: argparse.Namespace) -> int:
@@ -267,15 +292,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_gantt.add_argument("--width", type=int, default=100)
     p_gantt.add_argument("--max-machines", type=int, default=None)
 
+    def _add_execution_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", choices=["1", "2", "3"], default="1")
+        p.add_argument("--scale", type=float, default=None)
+        p.add_argument("--population", type=int, default=60)
+        p.add_argument("--workers", type=int, default=0,
+                       help="process-pool size (0 = sequential)")
+        p.add_argument("--seed", type=int, default=2013)
+        p.add_argument("--checkpoint-dir", default=None,
+                       help="durable NSGA-II checkpoints (one file per "
+                       "population) for crash recovery")
+        p.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts per population before recording a "
+                       "failure")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-attempt timeout in seconds (parallel only)")
+        p.add_argument("--strict", action="store_true",
+                       help="fail fast on the first exhausted population "
+                       "instead of degrading gracefully")
+
     p_report = sub.add_parser(
         "report", help="full experiment report for one data set"
     )
-    p_report.add_argument("--dataset", choices=["1", "2", "3"], default="1")
-    p_report.add_argument("--scale", type=float, default=None)
-    p_report.add_argument("--population", type=int, default=60)
-    p_report.add_argument("--workers", type=int, default=0,
-                          help="process-pool size (0 = sequential)")
-    p_report.add_argument("--seed", type=int, default=2013)
+    _add_execution_args(p_report)
+
+    p_resume = sub.add_parser(
+        "resume",
+        help="resume an interrupted report experiment from --checkpoint-dir",
+    )
+    _add_execution_args(p_resume)
 
     p_all = sub.add_parser(
         "reproduce-all",
@@ -317,6 +362,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "repetitions": _cmd_repetitions,
         "reproduce-all": _cmd_reproduce_all,
         "report": _cmd_report,
+        "resume": _cmd_resume,
     }
     return handlers[args.command](args)
 

@@ -9,6 +9,12 @@ and an all-time external Pareto archive.
 """
 
 from repro.core.archive import ParetoArchive
+from repro.core.checkpoint import (
+    CheckpointStore,
+    EngineState,
+    capture_state,
+    restore_state,
+)
 from repro.core.chromosome import Chromosome, Gene
 from repro.core.crowding import crowding_distance
 from repro.core.dominance import (
@@ -51,6 +57,10 @@ __all__ = [
     "GenerationSnapshot",
     "RunHistory",
     "ParetoArchive",
+    "CheckpointStore",
+    "EngineState",
+    "capture_state",
+    "restore_state",
     "seeded_initial_population",
     "TerminationCriterion",
     "MaxGenerations",

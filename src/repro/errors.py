@@ -18,6 +18,12 @@ NumPy, etc.).  The subclasses partition failures by subsystem:
 * :class:`AnalysisError` — a Pareto-front analysis was asked of an
   empty or degenerate front.
 * :class:`ExperimentError` — experiment configuration/IO failures.
+* :class:`CheckpointError` — a checkpoint is missing, incompatible with
+  the requesting run, or structurally malformed.
+* :class:`CorruptArtifactError` — an on-disk artifact exists but failed
+  its integrity check (undecodable JSON or checksum mismatch).  Kept
+  distinct from the missing-artifact case so callers can decide between
+  "restart from scratch" and "refuse to silently discard data".
 """
 
 from __future__ import annotations
@@ -32,6 +38,8 @@ __all__ = [
     "OptimizationError",
     "AnalysisError",
     "ExperimentError",
+    "CheckpointError",
+    "CorruptArtifactError",
 ]
 
 
@@ -69,3 +77,11 @@ class AnalysisError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment definition or its IO failed."""
+
+
+class CheckpointError(ExperimentError):
+    """A checkpoint is missing, malformed, or incompatible with the run."""
+
+
+class CorruptArtifactError(ExperimentError):
+    """An on-disk artifact failed its integrity (checksum/decode) check."""

@@ -17,7 +17,12 @@ from repro.experiments.datasets import (
     dataset2,
     dataset3,
 )
-from repro.experiments.runner import SeededPopulationResult, run_seeded_populations
+from repro.experiments.runner import (
+    PopulationFailure,
+    RetryPolicy,
+    SeededPopulationResult,
+    run_seeded_populations,
+)
 from repro.experiments.figures import (
     FigureResult,
     figure3,
@@ -43,6 +48,8 @@ __all__ = [
     "dataset1",
     "dataset2",
     "dataset3",
+    "PopulationFailure",
+    "RetryPolicy",
     "SeededPopulationResult",
     "run_seeded_populations",
     "FigureResult",

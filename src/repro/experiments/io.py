@@ -6,11 +6,16 @@ as JSON so analyses and plots can be re-run without re-optimizing.
 Chromosome payloads are intentionally *not* serialized (they are large
 and reproducible from the recorded seeds); the objective-space data —
 what the paper's figures show — round-trips exactly.
+
+Writes are durable (see :mod:`repro.storage`): atomic temp-file +
+``os.replace`` so a crash mid-save never truncates an existing result,
+and a SHA-256 payload checksum so a damaged file raises
+:class:`~repro.errors.CorruptArtifactError` on load instead of feeding
+garbage into an analysis.  Pre-checksum files still load, unchecked.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Union
 
@@ -20,7 +25,8 @@ from repro.core.nsga2 import GenerationSnapshot, RunHistory
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import FigureResult
-from repro.experiments.runner import SeededPopulationResult
+from repro.experiments.runner import PopulationFailure, SeededPopulationResult
+from repro.storage import atomic_write_json, read_json_artifact
 
 __all__ = ["save_figure_result", "load_figure_result"]
 
@@ -60,8 +66,12 @@ def save_figure_result(result: FigureResult, path: Union[str, Path]) -> None:
             }
             for label, h in result.result.histories.items()
         },
+        "failures": [
+            {"label": f.label, "attempts": f.attempts, "error": f.error}
+            for f in result.result.failures
+        ],
     }
-    Path(path).write_text(json.dumps(doc))
+    atomic_write_json(path, doc)
 
 
 def load_figure_result(path: Union[str, Path]) -> FigureResult:
@@ -69,12 +79,18 @@ def load_figure_result(path: Union[str, Path]) -> FigureResult:
 
     Chromosome arrays are absent in reloaded snapshots (``None``); all
     objective-space analyses work unchanged.
+
+    Raises :class:`~repro.errors.ExperimentError` when *path* does not
+    exist and :class:`~repro.errors.CorruptArtifactError` when it fails
+    its integrity check.
     """
-    doc = json.loads(Path(path).read_text())
-    if doc.get("format") != _FORMAT:
-        raise ExperimentError(
-            f"unrecognized figure-result format {doc.get('format')!r}"
-        )
+    try:
+        doc = read_json_artifact(path)
+    except FileNotFoundError as exc:
+        raise ExperimentError(f"no figure result at {Path(path)}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+        found = doc.get("format") if isinstance(doc, dict) else type(doc).__name__
+        raise ExperimentError(f"unrecognized figure-result format {found!r}")
     config = ExperimentConfig(
         population_size=doc["config"]["population_size"],
         mutation_probability=doc["config"]["mutation_probability"],
@@ -108,6 +124,12 @@ def load_figure_result(path: Union[str, Path]) -> FigureResult:
         seed_objectives={
             k: tuple(v) for k, v in doc["seed_objectives"].items()
         },
+        failures=tuple(
+            PopulationFailure(
+                label=f["label"], attempts=f["attempts"], error=f["error"]
+            )
+            for f in doc.get("failures", [])
+        ),
     )
     return FigureResult(
         name=doc["name"],

@@ -7,12 +7,23 @@ Max Utility-per-Energy (triangle) — plus the completely random initial
 population (star).  Each population evolves independently with its own
 derived RNG stream; snapshots are taken at the configured checkpoint
 generations.
+
+Fault tolerance (see ``docs/fault_tolerance.md``): each population
+worker is an *attempt* governed by a :class:`RetryPolicy` — bounded
+retries with exponential backoff + deterministic jitter, and (in the
+process-pool path) a per-attempt timeout.  A population that exhausts
+its attempts degrades to a :class:`PopulationFailure` record on the
+result instead of destroying its siblings' work; ``strict=True``
+restores fail-fast semantics.  With a ``checkpoint_dir``, retries and
+explicit resumes continue from the population's last durable NSGA-II
+checkpoint rather than starting over.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -23,11 +34,17 @@ from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.datasets import DatasetBundle
 from repro.heuristics import SEEDING_HEURISTICS
-from repro.rng import derive_seed
+from repro.rng import derive_seed, ensure_rng
 from repro.sim.evaluator import ScheduleEvaluator
 from repro.sim.schedule import ResourceAllocation
 
-__all__ = ["SeededPopulationResult", "run_seeded_populations", "POPULATION_LABELS"]
+__all__ = [
+    "PopulationFailure",
+    "RetryPolicy",
+    "SeededPopulationResult",
+    "run_seeded_populations",
+    "POPULATION_LABELS",
+]
 
 #: Population labels in the paper's marker order (random last).
 POPULATION_LABELS: tuple[str, ...] = (
@@ -40,18 +57,101 @@ POPULATION_LABELS: tuple[str, ...] = (
 
 
 @dataclass(frozen=True)
+class PopulationFailure:
+    """A population whose every attempt failed.
+
+    Attributes
+    ----------
+    label:
+        The population's label.
+    attempts:
+        How many attempts were made before giving up.
+    error:
+        ``"ExceptionType: message"`` of the final attempt's failure.
+    """
+
+    label: str
+    attempts: int
+    error: str
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded-retry behaviour of one population worker.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per population (1 = no retry).
+    timeout:
+        Per-attempt wall-clock limit in seconds (process-pool path
+        only — a single in-process run cannot be pre-empted; ``None``
+        disables).  A timed-out attempt counts as a failure and is
+        retried under the same policy.  The abandoned worker process
+        cannot be killed mid-task; it occupies a pool slot until it
+        finishes or the pool shuts down.
+    backoff_base:
+        First retry delay; attempt *k*'s delay is
+        ``min(backoff_max, backoff_base * 2**(k-1))``.
+    backoff_max:
+        Delay ceiling.
+    jitter:
+        Multiplies the delay by ``1 + jitter * u`` with ``u ~ U[0, 1)``
+        drawn from a per-label stream derived from the experiment seed,
+        so backoff spreading is reproducible.
+    """
+
+    max_attempts: int = 3
+    timeout: Optional[float] = None
+    backoff_base: float = 0.5
+    backoff_max: float = 30.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExperimentError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ExperimentError(f"timeout must be positive, got {self.timeout}")
+        if self.backoff_base < 0 or self.backoff_max < 0 or self.jitter < 0:
+            raise ExperimentError(
+                "backoff_base, backoff_max, and jitter must be >= 0"
+            )
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retrying after the *attempt*-th failure."""
+        base = min(self.backoff_max, self.backoff_base * 2 ** (attempt - 1))
+        if self.jitter:
+            base *= 1.0 + self.jitter * float(rng.random())
+        return base
+
+
+@dataclass(frozen=True)
 class SeededPopulationResult:
-    """All five populations' run histories for one data set."""
+    """All populations' run histories for one data set.
+
+    ``histories`` holds the populations that completed; ``failures``
+    records those that exhausted their retry budget.  Front accessors
+    operate on the surviving populations.
+    """
 
     dataset_name: str
     config: ExperimentConfig
     histories: Mapping[str, RunHistory]
     seed_objectives: Mapping[str, tuple[float, float]]
+    failures: tuple[PopulationFailure, ...] = field(default=())
 
     def front(self, label: str, generation: Optional[int] = None) -> ParetoFront:
         """The Pareto front of *label* at *generation* (default: final)."""
         history = self.histories.get(label)
         if history is None:
+            failed = {f.label: f for f in self.failures}
+            if label in failed:
+                raise ExperimentError(
+                    f"population {label!r} failed after "
+                    f"{failed[label].attempts} attempts: {failed[label].error}"
+                )
             raise ExperimentError(
                 f"unknown population {label!r}; have {sorted(self.histories)}"
             )
@@ -59,17 +159,26 @@ class SeededPopulationResult:
         return ParetoFront(points=snap.front_points, label=label)
 
     def fronts_at(self, generation: int) -> dict[str, ParetoFront]:
-        """All populations' fronts at one checkpoint."""
+        """All surviving populations' fronts at one checkpoint."""
         return {
             label: self.front(label, generation) for label in self.histories
         }
 
     def combined_front(self) -> ParetoFront:
-        """Nondominated union of every population's final front."""
+        """Nondominated union of every surviving population's final front."""
+        if not self.histories:
+            raise ExperimentError(
+                "no population survived; cannot build a combined front"
+            )
         pts = np.vstack(
             [h.final.front_points for h in self.histories.values()]
         )
         return ParetoFront.from_points(pts, label="combined")
+
+    @property
+    def failed_labels(self) -> tuple[str, ...]:
+        """Labels of populations that exhausted their retry budget."""
+        return tuple(f.label for f in self.failures)
 
 
 def _run_one_population(
@@ -77,15 +186,26 @@ def _run_one_population(
     config: ExperimentConfig,
     label: str,
     seeds: list[ResourceAllocation],
+    attempt: int = 1,
+    fault_hook: Optional[Callable[[str, int], None]] = None,
+    evaluation_fault_hook: Optional[Callable[[], None]] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> tuple[str, RunHistory]:
     """Worker body: one population's full NSGA-II run.
 
     Module-level (picklable) so :func:`run_seeded_populations` can farm
     populations out to a process pool — the five populations share no
-    state and are embarrassingly parallel.
+    state and are embarrassingly parallel.  *fault_hook* (called with
+    ``(label, attempt)`` before any work) and *evaluation_fault_hook*
+    (threaded into the evaluator) exist for the deterministic
+    fault-injection harness.
     """
+    if fault_hook is not None:
+        fault_hook(label, attempt)
     evaluator = ScheduleEvaluator(dataset.system, dataset.trace,
-                                  check_feasibility=False)
+                                  check_feasibility=False,
+                                  fault_hook=evaluation_fault_hook)
     ga = NSGA2(
         evaluator,
         NSGA2Config(
@@ -99,7 +219,10 @@ def _run_one_population(
         label=label,
     )
     history = ga.run(
-        generations=config.generations, checkpoints=list(config.checkpoints)
+        generations=config.generations,
+        checkpoints=list(config.checkpoints),
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     return label, history
 
@@ -110,6 +233,14 @@ def run_seeded_populations(
     labels: Sequence[str] = POPULATION_LABELS,
     extra_seeds: Optional[Mapping[str, Sequence[ResourceAllocation]]] = None,
     workers: int = 0,
+    *,
+    retry: Optional[RetryPolicy] = None,
+    strict: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    fault_hook: Optional[Callable[[str, int], None]] = None,
+    evaluation_fault_hook: Optional[Callable[[], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> SeededPopulationResult:
     """Run the seeded-population experiment on *dataset*.
 
@@ -120,18 +251,54 @@ def run_seeded_populations(
     config:
         Population size, operators, checkpoints.
     labels:
-        Which populations to run.  Known labels: the four heuristic
-        names of :data:`repro.heuristics.SEEDING_HEURISTICS`,
-        ``"random"``, and ``"all-seeds"`` (all four heuristics in one
-        population — the paper's dropped variant, used by ablation A5).
+        Which populations to run (duplicates are rejected).  Known
+        labels: the four heuristic names of
+        :data:`repro.heuristics.SEEDING_HEURISTICS`, ``"random"``, and
+        ``"all-seeds"`` (all four heuristics in one population — the
+        paper's dropped variant, used by ablation A5).
     extra_seeds:
         Optional label → seed-allocation list for custom populations.
     workers:
         Process-pool size for running populations in parallel; 0 (the
         default) runs sequentially in-process.  Results are identical
         either way (each population's RNG stream is derived from the
-        config seed, not from execution order).
+        config seed, not from execution order).  Parallel results are
+        collected as they complete, so one slow population never
+        serializes the others.
+    retry:
+        Per-population :class:`RetryPolicy`; default
+        ``RetryPolicy()`` (3 attempts, exponential backoff).
+    strict:
+        When ``True``, a population that exhausts its attempts raises
+        :class:`~repro.errors.ExperimentError` immediately (fail-fast).
+        When ``False`` (default), it degrades to a
+        :class:`PopulationFailure` on the result and its siblings'
+        histories are preserved; only the loss of *every* population
+        raises.
+    checkpoint_dir:
+        Directory for durable NSGA-II checkpoints (one file per
+        population).  Retries after a mid-run crash resume from the
+        last checkpoint instead of starting over.
+    resume:
+        Resume every population from its checkpoint in
+        *checkpoint_dir* where one exists (first attempts included) —
+        the ``repro-analyze resume`` workflow.
+    fault_hook:
+        Test-only ``(label, attempt)`` hook invoked at the top of every
+        worker attempt (see :mod:`repro.testing.faults`).  Must be
+        picklable when ``workers > 1``.
+    evaluation_fault_hook:
+        Test-only zero-arg hook threaded into each worker's
+        :class:`~repro.sim.evaluator.ScheduleEvaluator`.
+    sleep:
+        Injectable sleep used for backoff waits (tests pass a recorder).
     """
+    labels = list(labels)
+    if len(set(labels)) != len(labels):
+        dupes = sorted({lb for lb in labels if labels.count(lb) > 1})
+        raise ExperimentError(f"duplicate population labels: {dupes}")
+    policy = retry if retry is not None else RetryPolicy()
+
     evaluator = ScheduleEvaluator(dataset.system, dataset.trace,
                                   check_feasibility=False)
 
@@ -166,29 +333,171 @@ def run_seeded_populations(
             return []
         return list(extra_seeds[label])  # type: ignore[index]
 
-    histories: dict[str, RunHistory] = {}
-    if workers and workers > 1 and len(labels) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    backoff_rngs: dict[str, np.random.Generator] = {}
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    _run_one_population, dataset, config, label, seeds_for(label)
-                )
-                for label in labels
-            ]
-            for future in futures:
-                label, history = future.result()
-                histories[label] = history
+    def backoff_for(label: str, attempt: int) -> float:
+        if label not in backoff_rngs:
+            backoff_rngs[label] = ensure_rng(
+                derive_seed(config.base_seed, "retry-backoff", label)
+            )
+        return policy.delay(attempt, backoff_rngs[label])
+
+    def resume_attempt(attempt: int) -> bool:
+        # Explicit resumes always; retries resume iff checkpoints exist.
+        return resume or (attempt > 1 and checkpoint_dir is not None)
+
+    histories: dict[str, RunHistory] = {}
+    failures: list[PopulationFailure] = []
+
+    def give_up(label: str, attempt: int, exc: BaseException) -> None:
+        if strict:
+            raise ExperimentError(
+                f"population {label!r} failed after {attempt} attempt(s): "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        failures.append(
+            PopulationFailure(
+                label=label,
+                attempts=attempt,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        )
+
+    if workers and workers > 1 and len(labels) > 1:
+        _run_parallel(
+            dataset, config, labels, seeds_for, workers, policy,
+            fault_hook, evaluation_fault_hook, checkpoint_dir,
+            resume_attempt, backoff_for, give_up, histories, sleep,
+        )
     else:
         for label in labels:
-            label, history = _run_one_population(
-                dataset, config, label, seeds_for(label)
-            )
-            histories[label] = history
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    _, history = _run_one_population(
+                        dataset, config, label, seeds_for(label),
+                        attempt=attempt,
+                        fault_hook=fault_hook,
+                        evaluation_fault_hook=evaluation_fault_hook,
+                        checkpoint_dir=checkpoint_dir,
+                        resume=resume_attempt(attempt),
+                    )
+                    histories[label] = history
+                    break
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    if attempt >= policy.max_attempts:
+                        give_up(label, attempt, exc)
+                        break
+                    sleep(backoff_for(label, attempt))
+
+    if labels and not histories:
+        summary = "; ".join(f"{f.label}: {f.error}" for f in failures)
+        raise ExperimentError(f"every population failed — {summary}")
     return SeededPopulationResult(
         dataset_name=dataset.name,
         config=config,
         histories=histories,
         seed_objectives=seed_objectives,
+        failures=tuple(failures),
     )
+
+
+def _run_parallel(
+    dataset: DatasetBundle,
+    config: ExperimentConfig,
+    labels: Sequence[str],
+    seeds_for: Callable[[str], list[ResourceAllocation]],
+    workers: int,
+    policy: RetryPolicy,
+    fault_hook: Optional[Callable[[str, int], None]],
+    evaluation_fault_hook: Optional[Callable[[], None]],
+    checkpoint_dir: Optional[str],
+    resume_attempt: Callable[[int], bool],
+    backoff_for: Callable[[str, int], float],
+    give_up: Callable[[str, int, BaseException], None],
+    histories: dict[str, RunHistory],
+    sleep: Callable[[float], None],
+) -> None:
+    """Process-pool orchestration: as-completed collection, per-attempt
+    deadlines, backoff-scheduled retries, clean interrupt shutdown.
+
+    Results are harvested with :func:`concurrent.futures.wait` as they
+    finish (never in submission order), so one slow population cannot
+    serialize the collection of the other four.  On
+    ``KeyboardInterrupt`` the pool is shut down with
+    ``cancel_futures=True`` so queued work is dropped immediately.
+    """
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+    #: Future → (label, attempt, deadline | None)
+    pending: dict = {}
+    #: (ready time, label, attempt) retries waiting out their backoff.
+    scheduled: list[tuple[float, str, int]] = []
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        def submit(label: str, attempt: int) -> None:
+            future = pool.submit(
+                _run_one_population, dataset, config, label, seeds_for(label),
+                attempt, fault_hook, evaluation_fault_hook, checkpoint_dir,
+                resume_attempt(attempt),
+            )
+            deadline = (
+                None if policy.timeout is None
+                else time.monotonic() + policy.timeout
+            )
+            pending[future] = (label, attempt, deadline)
+
+        def handle_failure(label: str, attempt: int, exc: BaseException) -> None:
+            if attempt >= policy.max_attempts:
+                give_up(label, attempt, exc)
+            else:
+                ready = time.monotonic() + backoff_for(label, attempt)
+                scheduled.append((ready, label, attempt + 1))
+
+        try:
+            for label in labels:
+                submit(label, 1)
+            while pending or scheduled:
+                now = time.monotonic()
+                due = [item for item in scheduled if item[0] <= now]
+                for item in due:
+                    scheduled.remove(item)
+                    submit(item[1], item[2])
+                if not pending:
+                    sleep(max(0.0, min(t for t, _, _ in scheduled) - now))
+                    continue
+                waits = [t - now for t, _, _ in scheduled]
+                waits += [
+                    d - now for _, _, d in pending.values() if d is not None
+                ]
+                wait_for = max(0.0, min(waits)) if waits else None
+                done, _ = wait(
+                    set(pending), timeout=wait_for, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    label, attempt, _ = pending.pop(future)
+                    try:
+                        finished_label, history = future.result()
+                        histories[finished_label] = history
+                    except Exception as exc:
+                        handle_failure(label, attempt, exc)
+                now = time.monotonic()
+                for future, (label, attempt, deadline) in list(pending.items()):
+                    if deadline is not None and now >= deadline:
+                        future.cancel()  # best effort; running tasks linger
+                        del pending[future]
+                        handle_failure(
+                            label, attempt,
+                            TimeoutError(
+                                f"attempt {attempt} exceeded the per-attempt "
+                                f"timeout of {policy.timeout}s"
+                            ),
+                        )
+        except BaseException:
+            # Fail-fast exit (strict mode) or KeyboardInterrupt: drop
+            # queued work now; the context exit joins running workers.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise

@@ -24,7 +24,7 @@ There is no Python-level loop over tasks anywhere on this path
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -145,6 +145,14 @@ class ScheduleEvaluator:
         this is how the DVFS extension models one physical processor
         exposed at several operating points.  Default: identity (every
         machine is its own queue).
+    fault_hook:
+        Optional zero-argument callable invoked at the top of every
+        :meth:`evaluate` / :meth:`evaluate_batch` call.  Exists for the
+        deterministic fault-injection harness
+        (:mod:`repro.testing.faults`): tests install a hook that
+        crashes or hangs at a chosen evaluation, exercising the
+        checkpoint/resume and retry recovery paths.  ``None`` (the
+        default) costs one predicate per call.
     """
 
     def __init__(
@@ -153,11 +161,13 @@ class ScheduleEvaluator:
         trace: Trace,
         check_feasibility: bool = True,
         queue_groups: Optional[IntArray] = None,
+        fault_hook: Optional[Callable[[], None]] = None,
     ) -> None:
         trace.validate_against(system.num_task_types)
         self.system = system
         self.trace = trace
         self.check_feasibility = check_feasibility
+        self.fault_hook = fault_hook
         self.num_tasks = trace.num_tasks
         self.num_machines = system.num_machines
 
@@ -193,6 +203,8 @@ class ScheduleEvaluator:
 
     def evaluate(self, allocation: ResourceAllocation) -> EvaluationResult:
         """Simulate one allocation and return the full result."""
+        if self.fault_hook is not None:
+            self.fault_hook()
         if allocation.num_tasks != self.num_tasks:
             raise ScheduleError(
                 f"allocation covers {allocation.num_tasks} tasks; trace has "
@@ -256,6 +268,8 @@ class ScheduleEvaluator:
         by ``row × num_machines`` so one segmented pass covers every
         queue of every chromosome simultaneously.
         """
+        if self.fault_hook is not None:
+            self.fault_hook()
         assignments = np.asarray(assignments, dtype=np.int64)
         orders = np.asarray(orders, dtype=np.int64)
         if assignments.ndim != 2 or assignments.shape != orders.shape:

@@ -1,0 +1,133 @@
+"""Durable JSON artifact IO.
+
+Long experiments write results and checkpoints that must survive the
+process dying at any instant.  Two failure modes matter:
+
+* **torn writes** — a crash mid-``write_text`` leaves a truncated file
+  where a valid artifact used to be.  :func:`atomic_write_json` writes
+  to a temporary file in the destination directory, fsyncs it, and
+  ``os.replace``\\ s it into place, so readers only ever observe the old
+  or the new complete artifact;
+* **silent corruption** — a complete-looking file whose payload was
+  scribbled over (bad disk, concurrent writer, manual edit).  Every
+  artifact carries a SHA-256 checksum of its serialized payload;
+  :func:`read_json_artifact` verifies it and raises
+  :class:`~repro.errors.CorruptArtifactError` on mismatch, keeping
+  "artifact is damaged" distinct from "artifact does not exist"
+  (``FileNotFoundError``, which callers translate into their own
+  missing-artifact errors).
+
+Legacy artifacts written before checksumming (a bare JSON document with
+no envelope) still load, unchecked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Union
+
+from repro.errors import CorruptArtifactError
+
+__all__ = [
+    "payload_checksum",
+    "atomic_write_json",
+    "read_json_artifact",
+]
+
+#: Envelope format tag; bump on incompatible envelope changes.
+ENVELOPE_FORMAT = "repro.artifact/1"
+
+
+def payload_checksum(payload_text: str) -> str:
+    """SHA-256 hex digest of the serialized payload."""
+    return hashlib.sha256(payload_text.encode("utf-8")).hexdigest()
+
+
+def _serialize_payload(payload: Any) -> str:
+    # allow_nan=False: NaN/Infinity are not valid JSON, and a payload
+    # containing them would not re-serialize identically on verify.
+    return json.dumps(payload, allow_nan=False)
+
+
+def atomic_write_json(path: Union[str, Path], payload: Any) -> None:
+    """Write *payload* as a checksummed JSON artifact, atomically.
+
+    The document on disk is an envelope
+    ``{"format": ..., "checksum": sha256(payload_json), "payload": ...}``
+    written via a same-directory temporary file and ``os.replace`` so a
+    crash never leaves a truncated artifact at *path*.
+    """
+    path = Path(path)
+    payload_text = _serialize_payload(payload)
+    doc = (
+        f'{{"format": "{ENVELOPE_FORMAT}", '
+        f'"checksum": "{payload_checksum(payload_text)}", '
+        f'"payload": {payload_text}}}'
+    )
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(doc)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    # Best-effort directory fsync so the rename itself is durable.
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def read_json_artifact(path: Union[str, Path]) -> Any:
+    """Load and verify an artifact written by :func:`atomic_write_json`.
+
+    Returns the payload.  Raises ``FileNotFoundError`` when *path* does
+    not exist and :class:`~repro.errors.CorruptArtifactError` when it
+    exists but is undecodable or fails its checksum.  Bare (legacy,
+    pre-envelope) JSON documents are returned as-is, unchecked.
+    """
+    path = Path(path)
+    text = path.read_text()  # FileNotFoundError propagates deliberately
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise CorruptArtifactError(
+            f"artifact {path} is not decodable JSON: {exc}"
+        ) from exc
+    if not isinstance(doc, dict) or "checksum" not in doc:
+        return doc  # legacy artifact without an integrity envelope
+    if "payload" not in doc:
+        raise CorruptArtifactError(
+            f"artifact {path} has a checksum but no payload"
+        )
+    payload = doc["payload"]
+    try:
+        actual = payload_checksum(_serialize_payload(payload))
+    except ValueError as exc:
+        raise CorruptArtifactError(
+            f"artifact {path} payload is not re-serializable: {exc}"
+        ) from exc
+    if actual != doc["checksum"]:
+        raise CorruptArtifactError(
+            f"artifact {path} failed its integrity check: stored checksum "
+            f"{doc['checksum']!r} != computed {actual!r}"
+        )
+    return payload

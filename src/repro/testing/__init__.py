@@ -1,0 +1,16 @@
+"""Deterministic test harnesses for the framework's recovery paths.
+
+:mod:`repro.testing.faults` injects crashes, hangs, transient failures,
+and artifact corruption at well-defined points of the execution layer,
+so checkpoint/resume and the retrying experiment runner are exercised
+by fast deterministic tests rather than luck.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    corrupt_artifact,
+)
+
+__all__ = ["FaultPlan", "FaultRule", "InjectedFault", "corrupt_artifact"]

@@ -1,0 +1,258 @@
+"""Deterministic fault injection for the execution layer.
+
+Fault-tolerance code is only trustworthy if every recovery path runs in
+CI.  A :class:`FaultPlan` is a declarative, seedable description of
+*where* and *when* faults fire:
+
+* ``crash`` — raise :class:`InjectedFault` (once at the N-th call of a
+  call site, or on every runner attempt up to a bound);
+* ``hang`` — sleep long enough to trip a per-attempt timeout;
+* ``transient`` — fail the first K calls/attempts, then succeed
+  (exercises retry-with-backoff);
+* ``corrupt-checkpoint`` — deterministically scribble over an on-disk
+  artifact at the N-th call (exercises checksum verification on
+  resume).
+
+Two hook shapes thread a plan into the framework:
+
+* :meth:`FaultPlan.evaluation_hook` — a zero-argument callable for
+  :class:`~repro.sim.evaluator.ScheduleEvaluator`'s ``fault_hook``;
+  fires by *call count* (stateful, in-process only);
+* :meth:`FaultPlan.on_attempt` — an ``(label, attempt)`` callable for
+  :func:`~repro.experiments.runner.run_seeded_populations`'s
+  ``fault_hook``; decisions depend only on the arguments, so the hook
+  survives pickling into worker processes.
+
+:class:`InjectedFault` deliberately derives from ``RuntimeError``, not
+:class:`~repro.errors.ReproError` — an injected fault must look exactly
+like the unexpected crash it simulates.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+__all__ = ["InjectedFault", "FaultRule", "FaultPlan", "corrupt_artifact"]
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected failure (looks like any other crash)."""
+
+
+_KINDS = ("crash", "hang", "transient", "corrupt-checkpoint")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault at one call site.
+
+    Attributes
+    ----------
+    site:
+        Call-site key: a population label for runner attempts, or any
+        agreed string (conventionally ``"evaluate"``) for evaluator
+        hooks.
+    kind:
+        One of ``crash``, ``hang``, ``transient``,
+        ``corrupt-checkpoint``.
+    at_call:
+        1-based call index at which a ``crash``/``hang``/
+        ``corrupt-checkpoint`` fires (count-based hooks).  For attempt
+        hooks, a ``crash`` fires on *every* attempt (a permanent
+        failure) regardless of this field.
+    failures:
+        ``transient``/``hang`` (attempt hooks): fail/hang this many
+        leading attempts, then behave normally.
+    hang_seconds:
+        Sleep duration of a ``hang``.
+    path:
+        Artifact to damage (``corrupt-checkpoint`` only).
+    message:
+        Text carried by the raised :class:`InjectedFault`.
+    """
+
+    site: str
+    kind: str
+    at_call: int = 1
+    failures: int = 1
+    hang_seconds: float = 0.05
+    path: Optional[str] = None
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; have {_KINDS}")
+        if self.at_call < 1:
+            raise ValueError(f"at_call must be >= 1, got {self.at_call}")
+        if self.failures < 1:
+            raise ValueError(f"failures must be >= 1, got {self.failures}")
+        if self.hang_seconds < 0:
+            raise ValueError(
+                f"hang_seconds must be >= 0, got {self.hang_seconds}"
+            )
+        if self.kind == "corrupt-checkpoint" and self.path is None:
+            raise ValueError("corrupt-checkpoint rules need a path")
+
+
+class FaultPlan:
+    """A seedable, deterministic schedule of injected faults.
+
+    Build one fluently::
+
+        plan = (FaultPlan(seed=7)
+                .crash("evaluate", at_call=12)
+                .transient("min-energy", failures=2)
+                .hang("random", seconds=0.5))
+
+    and thread its hooks into the evaluator and the runner.  The seed
+    only feeds byte-level corruption choices; firing logic is exact.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.rules: list[FaultRule] = []
+        self._counts: defaultdict[str, int] = defaultdict(int)
+
+    # -- fluent builders -----------------------------------------------------
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        """Append one rule (fluent)."""
+        self.rules.append(rule)
+        return self
+
+    def crash(
+        self, site: str, at_call: int = 1, message: str = "injected crash"
+    ) -> "FaultPlan":
+        """Raise at the *at_call*-th call (every attempt, for runners)."""
+        return self.add(
+            FaultRule(site=site, kind="crash", at_call=at_call, message=message)
+        )
+
+    def hang(
+        self, site: str, seconds: float = 0.05, failures: int = 1,
+        at_call: int = 1,
+    ) -> "FaultPlan":
+        """Sleep *seconds* (first *failures* attempts / *at_call*-th call)."""
+        return self.add(
+            FaultRule(
+                site=site, kind="hang", hang_seconds=seconds,
+                failures=failures, at_call=at_call,
+            )
+        )
+
+    def transient(self, site: str, failures: int = 1) -> "FaultPlan":
+        """Fail the first *failures* calls/attempts, then succeed."""
+        return self.add(
+            FaultRule(
+                site=site, kind="transient", failures=failures,
+                message=f"injected transient fault ({failures} failures)",
+            )
+        )
+
+    def corrupt_checkpoint(
+        self, site: str, path: Union[str, Path], at_call: int = 1
+    ) -> "FaultPlan":
+        """Scribble over *path* at the *at_call*-th call of *site*."""
+        return self.add(
+            FaultRule(
+                site=site, kind="corrupt-checkpoint", at_call=at_call,
+                path=str(path),
+            )
+        )
+
+    # -- count-based firing (in-process call sites) --------------------------
+
+    def calls(self, site: str) -> int:
+        """How many times *site* has fired so far."""
+        return self._counts[site]
+
+    def fire(self, site: str) -> None:
+        """Record one call of *site* and apply any matching rules."""
+        self._counts[site] += 1
+        n = self._counts[site]
+        for rule in self.rules:
+            if rule.site != site:
+                continue
+            if rule.kind == "corrupt-checkpoint" and n == rule.at_call:
+                corrupt_artifact(rule.path, seed=self.seed)
+            elif rule.kind == "hang" and n == rule.at_call:
+                time.sleep(rule.hang_seconds)
+            elif rule.kind == "crash" and n == rule.at_call:
+                raise InjectedFault(f"{rule.message} (site={site!r}, call={n})")
+            elif rule.kind == "transient" and n <= rule.failures:
+                raise InjectedFault(f"{rule.message} (site={site!r}, call={n})")
+
+    def evaluation_hook(self, site: str = "evaluate") -> Callable[[], None]:
+        """Zero-arg hook for ``ScheduleEvaluator(fault_hook=...)``.
+
+        Stateful (counts calls in this process); not picklable — use
+        :meth:`on_attempt` for process-pool workers.
+        """
+        def hook() -> None:
+            self.fire(site)
+
+        return hook
+
+    # -- attempt-based firing (runner workers, pickle-safe) ------------------
+
+    def on_attempt(self, label: str, attempt: int) -> None:
+        """Runner hook: apply rules keyed by population *label*.
+
+        Decisions depend only on ``(label, attempt)``, so this bound
+        method can be pickled into worker processes and remains
+        deterministic across retries.
+        """
+        for rule in self.rules:
+            if rule.site != label:
+                continue
+            if rule.kind == "hang" and attempt <= rule.failures:
+                time.sleep(rule.hang_seconds)
+            elif rule.kind == "crash":
+                raise InjectedFault(
+                    f"{rule.message} (label={label!r}, attempt={attempt})"
+                )
+            elif rule.kind == "transient" and attempt <= rule.failures:
+                raise InjectedFault(
+                    f"{rule.message} (label={label!r}, attempt={attempt})"
+                )
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rules": self.rules,
+            "counts": dict(self._counts),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.seed = state["seed"]
+        self.rules = list(state["rules"])
+        self._counts = defaultdict(int, state["counts"])
+
+
+def corrupt_artifact(
+    path: Union[str, Path], seed: int = 0, nbytes: int = 16
+) -> None:
+    """Deterministically damage an on-disk artifact.
+
+    Flips *nbytes* bytes at seed-chosen positions in the second half of
+    the file (past the envelope header, into the payload), so checksum
+    verification — not JSON parsing alone — must catch it.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return
+    rng = np.random.default_rng(seed)
+    lo = len(data) // 2
+    positions = rng.integers(lo, len(data), size=min(nbytes, len(data) - lo))
+    for pos in positions:
+        data[int(pos)] ^= 0x5A
+    path.write_bytes(bytes(data))

@@ -63,7 +63,8 @@ class TestCommands:
         assert "figure3" in out
         assert out_path.exists()
         saved = json.loads(out_path.read_text())
-        assert saved["name"] == "figure3"
+        assert saved["payload"]["name"] == "figure3"
+        assert "checksum" in saved
 
 
 class TestNewCommands:

@@ -17,8 +17,13 @@ def test_repro_error_is_exception():
         raise errors.ModelError("boom")
 
 
+#: The deliberate exceptions to the flat partition: IO-failure
+#: refinements that callers must be able to catch as ExperimentError.
+NESTED = {"CheckpointError", "CorruptArtifactError"}
+
+
 def test_subsystem_errors_are_distinct():
-    names = [n for n in errors.__all__ if n != "ReproError"]
+    names = [n for n in errors.__all__ if n != "ReproError" and n not in NESTED]
     classes = [getattr(errors, n) for n in names]
     assert len(set(classes)) == len(classes)
     # No subsystem error subclasses another (flat partition).
@@ -26,3 +31,8 @@ def test_subsystem_errors_are_distinct():
         for b in classes:
             if a is not b:
                 assert not issubclass(a, b)
+
+
+def test_io_errors_refine_experiment_error():
+    assert issubclass(errors.CheckpointError, errors.ExperimentError)
+    assert issubclass(errors.CorruptArtifactError, errors.ExperimentError)

@@ -1,0 +1,161 @@
+"""Error paths of the robustness extension.
+
+Companion to test_extensions_robustness.py: that file checks the happy
+Monte-Carlo statistics; this one pins down the failure contract —
+snapshots without chromosomes, allocation/trace mismatches, placements
+on infeasible machines, and constructor validation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.nsga2 import GenerationSnapshot
+from repro.errors import ScheduleError, WorkloadError
+from repro.extensions.robustness import (
+    NoiseModel,
+    RobustnessAnalyzer,
+    front_robustness,
+)
+from repro.model.machine import Machine, MachineCategory, MachineType
+from repro.model.matrices import EPCMatrix, ETCMatrix
+from repro.model.system import SystemModel
+from repro.model.task import TaskCategory, TaskType
+from repro.sim.schedule import ResourceAllocation
+from repro.utility.tuf import TimeUtilityFunction
+from repro.workload.trace import Trace
+
+INF = np.inf
+
+
+@pytest.fixture
+def special_system() -> SystemModel:
+    """2 task types x 2 machine types; machine type 1 is special-purpose
+    and executes only task type 1, so (task 0, machine 1) is infeasible."""
+    machine_types = (
+        MachineType(name="general", index=0),
+        MachineType(
+            name="accel",
+            index=1,
+            category=MachineCategory.SPECIAL_PURPOSE,
+            supported_task_types=frozenset({1}),
+        ),
+    )
+    machines = tuple(
+        Machine(name=f"{mt.name}#0", index=i, machine_type=mt)
+        for i, mt in enumerate(machine_types)
+    )
+    tuf = TimeUtilityFunction.linear(priority=10.0, urgency=0.01)
+    task_types = (
+        TaskType(name="plain", index=0, utility_function=tuf),
+        TaskType(
+            name="accelerated",
+            index=1,
+            category=TaskCategory.SPECIAL_PURPOSE,
+            special_machine_type=1,
+            utility_function=tuf,
+        ),
+    )
+    etc = np.array([[10.0, INF], [12.0, 2.0]])
+    epc = np.array([[100.0, INF], [90.0, 30.0]])
+    return SystemModel(
+        machine_types=machine_types,
+        machines=machines,
+        task_types=task_types,
+        etc=ETCMatrix(etc),
+        epc=EPCMatrix(epc),
+    )
+
+
+@pytest.fixture
+def special_trace() -> Trace:
+    return Trace(
+        task_types=np.array([0, 1, 0, 1]),
+        arrival_times=np.array([0.0, 2.0, 4.0, 6.0]),
+        window=10.0,
+    )
+
+
+class TestConstructorValidation:
+    def test_samples_lower_bound(self, small_system, small_trace):
+        with pytest.raises(ScheduleError, match="samples"):
+            RobustnessAnalyzer(small_system, small_trace, samples=0)
+        with pytest.raises(ScheduleError, match="samples"):
+            RobustnessAnalyzer(small_system, small_trace, samples=-3)
+
+    def test_tolerance_range(self, small_system, small_trace):
+        with pytest.raises(ScheduleError, match="tolerance"):
+            RobustnessAnalyzer(small_system, small_trace, tolerance=1.0)
+        with pytest.raises(ScheduleError, match="tolerance"):
+            RobustnessAnalyzer(small_system, small_trace, tolerance=-0.01)
+        # Boundary values inside [0, 1) are accepted.
+        RobustnessAnalyzer(small_system, small_trace, samples=1, tolerance=0.0)
+
+    def test_trace_system_mismatch(self, small_system):
+        """A trace naming task types the system lacks is a workload
+        contract violation, caught at construction."""
+        bad = Trace(
+            task_types=np.array([0, small_system.num_task_types]),
+            arrival_times=np.array([0.0, 1.0]),
+            window=5.0,
+        )
+        with pytest.raises(WorkloadError):
+            RobustnessAnalyzer(small_system, bad, samples=2)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ScheduleError, match="sigma"):
+            NoiseModel(sigma=-0.5)
+
+
+class TestAnalyzeValidation:
+    def test_task_count_mismatch(self, small_system, small_trace):
+        analyzer = RobustnessAnalyzer(small_system, small_trace, samples=2)
+        short = ResourceAllocation(
+            machine_assignment=np.zeros(3, dtype=np.int64),
+            scheduling_order=np.arange(3),
+        )
+        with pytest.raises(ScheduleError, match="tasks"):
+            analyzer.analyze(short)
+
+    def test_infeasible_machine_placement(self, special_system, special_trace):
+        """Assigning a plain task to the special-purpose machine hits an
+        inf ETC entry; analyze must refuse rather than propagate inf
+        through the queue recurrence."""
+        analyzer = RobustnessAnalyzer(
+            special_system, special_trace, samples=2, seed=1
+        )
+        bad = ResourceAllocation(
+            machine_assignment=np.array([1, 1, 0, 1]),  # task 0 -> accel
+            scheduling_order=np.arange(4),
+        )
+        with pytest.raises(ScheduleError, match="infeasible"):
+            analyzer.analyze(bad)
+
+    def test_feasible_placement_on_same_system_passes(
+        self, special_system, special_trace
+    ):
+        """Control: the same system accepts a placement respecting the
+        feasibility mask, and reports finite statistics."""
+        analyzer = RobustnessAnalyzer(
+            special_system, special_trace, samples=4, seed=2
+        )
+        ok = ResourceAllocation(
+            machine_assignment=np.array([0, 1, 0, 1]),
+            scheduling_order=np.arange(4),
+        )
+        report = analyzer.analyze(ok)
+        assert np.isfinite(report.nominal_energy)
+        assert np.isfinite(report.mean_utility)
+
+
+class TestFrontRobustnessValidation:
+    def test_snapshot_without_chromosomes(self, small_system, small_trace):
+        analyzer = RobustnessAnalyzer(small_system, small_trace, samples=2)
+        bare = GenerationSnapshot(
+            generation=3,
+            front_points=np.array([[1.0, 2.0]]),
+            front_assignments=None,
+            front_orders=None,
+            evaluations=40,
+        )
+        with pytest.raises(ScheduleError, match="chromosomes"):
+            front_robustness(analyzer, bare)

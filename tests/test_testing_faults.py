@@ -1,0 +1,116 @@
+"""Tests for the deterministic fault-injection harness itself."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.testing.faults import FaultPlan, FaultRule, InjectedFault, corrupt_artifact
+
+
+class TestCountBasedFiring:
+    def test_crash_fires_at_exact_call(self):
+        plan = FaultPlan().crash("site", at_call=3)
+        hook = plan.evaluation_hook("site")
+        hook()
+        hook()
+        with pytest.raises(InjectedFault):
+            hook()
+        hook()  # one-shot: later calls pass
+        assert plan.calls("site") == 4
+
+    def test_transient_fails_then_succeeds(self):
+        plan = FaultPlan().transient("site", failures=2)
+        hook = plan.evaluation_hook("site")
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                hook()
+        hook()
+        hook()
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan().crash("a", at_call=1)
+        plan.fire("b")
+        with pytest.raises(InjectedFault):
+            plan.fire("a")
+
+    def test_hang_sleeps(self):
+        plan = FaultPlan().hang("site", seconds=0.05)
+        t0 = time.perf_counter()
+        plan.fire("site")
+        assert time.perf_counter() - t0 >= 0.05
+        t0 = time.perf_counter()
+        plan.fire("site")  # only the configured call hangs
+        assert time.perf_counter() - t0 < 0.05
+
+
+class TestAttemptBasedFiring:
+    def test_crash_is_permanent(self):
+        plan = FaultPlan().crash("pop")
+        for attempt in (1, 2, 5):
+            with pytest.raises(InjectedFault):
+                plan.on_attempt("pop", attempt)
+
+    def test_transient_clears_after_failures(self):
+        plan = FaultPlan().transient("pop", failures=2)
+        with pytest.raises(InjectedFault):
+            plan.on_attempt("pop", 1)
+        with pytest.raises(InjectedFault):
+            plan.on_attempt("pop", 2)
+        plan.on_attempt("pop", 3)
+
+    def test_other_labels_unaffected(self):
+        plan = FaultPlan().crash("pop")
+        plan.on_attempt("other", 1)
+
+    def test_hook_survives_pickling(self):
+        plan = FaultPlan().transient("pop", failures=1)
+        hook = pickle.loads(pickle.dumps(plan.on_attempt))
+        with pytest.raises(InjectedFault):
+            hook("pop", 1)
+        hook("pop", 2)
+
+
+class TestRuleValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="s", kind="explode")
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="s", kind="crash", at_call=0)
+        with pytest.raises(ValueError):
+            FaultRule(site="s", kind="transient", failures=0)
+        with pytest.raises(ValueError):
+            FaultRule(site="s", kind="hang", hang_seconds=-1.0)
+
+    def test_corrupt_needs_path(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="s", kind="corrupt-checkpoint")
+
+
+class TestCorruptArtifact:
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        content = b'{"format": "x", "payload": ' + b"1234567890" * 20 + b"}"
+        a.write_bytes(content)
+        b.write_bytes(content)
+        corrupt_artifact(a, seed=7)
+        corrupt_artifact(b, seed=7)
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_bytes() != content
+
+    def test_different_seeds_differ(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        content = b"x" * 400
+        a.write_bytes(content)
+        b.write_bytes(content)
+        corrupt_artifact(a, seed=1)
+        corrupt_artifact(b, seed=2)
+        assert a.read_bytes() != b.read_bytes()
+
+    def test_empty_file_is_noop(self, tmp_path):
+        p = tmp_path / "empty"
+        p.write_bytes(b"")
+        corrupt_artifact(p)
+        assert p.read_bytes() == b""
