@@ -16,7 +16,7 @@ from repro.core.checkpoint import (
     restore_state,
 )
 from repro.core.chromosome import Chromosome, Gene
-from repro.core.crowding import crowding_distance
+from repro.core.crowding import crowding_by_front, crowding_distance
 from repro.core.dominance import (
     dominates,
     nondominated_mask,
@@ -28,7 +28,12 @@ from repro.core.operators import OperatorConfig, VariationOperators
 from repro.core.population import Population
 from repro.core.seeding import seeded_initial_population
 from repro.core.sorting import domination_count_ranks, fast_nondominated_sort
-from repro.core.telemetry import GenerationStats, TelemetryRecorder, compose
+from repro.core.telemetry import (
+    GenerationStats,
+    StageTimings,
+    TelemetryRecorder,
+    compose,
+)
 from repro.core.termination import (
     AnyOf,
     HypervolumeStagnation,
@@ -47,6 +52,7 @@ __all__ = [
     "fast_nondominated_sort",
     "domination_count_ranks",
     "crowding_distance",
+    "crowding_by_front",
     "Gene",
     "Chromosome",
     "Population",
@@ -70,5 +76,6 @@ __all__ = [
     "AnyOf",
     "TelemetryRecorder",
     "GenerationStats",
+    "StageTimings",
     "compose",
 ]

@@ -214,6 +214,10 @@ def restore_state(engine: "NSGA2", state: EngineState) -> None:
     )
     engine.generation = state.generation
     engine._evaluations = state.evaluations
+    # The rank cache is derived state; a fresh sort after resume yields
+    # the same ranks (they are a pure function of the objectives), so
+    # resumed runs stay bit-identical to uninterrupted ones.
+    engine._ranks = None
     try:
         engine._rng.bit_generator.state = state.rng_state
     except (KeyError, TypeError, ValueError) as exc:

@@ -14,7 +14,7 @@ import numpy as np
 from repro.errors import OptimizationError
 from repro.types import FloatArray
 
-__all__ = ["crowding_distance", "crowding_truncate"]
+__all__ = ["crowding_distance", "crowding_by_front", "crowding_truncate"]
 
 
 def crowding_distance(points: FloatArray) -> FloatArray:
@@ -46,6 +46,27 @@ def crowding_distance(points: FloatArray) -> FloatArray:
         gaps = (vals[2:] - vals[:-2]) / span
         distance[order[1:-1]] += gaps
     return distance
+
+
+def crowding_by_front(points: FloatArray, ranks) -> FloatArray:
+    """Per-point crowding distance, computed within each front of *ranks*.
+
+    The NSGA-II tournament comparator needs every point's crowding
+    distance relative to its own front.  Infinite boundary distances are
+    kept; NaNs (possible only with non-finite objectives) are mapped to
+    0 so the comparator stays total.  Equals, number for number, the
+    per-front ``crowding_distance`` calls the engine used before ranks
+    and crowding were shared across selection stages.
+    """
+    from repro.core.sorting import fronts_from_ranks
+
+    pts = np.asarray(points, dtype=np.float64)
+    crowding = np.zeros(pts.shape[0], dtype=np.float64)
+    for front in fronts_from_ranks(ranks):
+        crowding[front] = np.nan_to_num(
+            crowding_distance(pts[front]), posinf=np.inf
+        )
+    return crowding
 
 
 def crowding_truncate(points: FloatArray, keep: int) -> np.ndarray:

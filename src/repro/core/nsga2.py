@@ -27,7 +27,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.crowding import crowding_truncate
+from repro.core.crowding import crowding_by_front, crowding_truncate
 from repro.core.dominance import nondominated_mask
 from repro.core.operators import (
     FeasibleMachines,
@@ -37,6 +37,7 @@ from repro.core.operators import (
 from repro.core.population import Population
 from repro.core.seeding import seeded_initial_population
 from repro.core.sorting import fast_nondominated_sort, fronts_from_ranks
+from repro.core.telemetry import StageTimings
 from repro.errors import CheckpointError, OptimizationError
 from repro.rng import SeedLike, ensure_rng
 from repro.sim.evaluator import ScheduleEvaluator
@@ -60,16 +61,36 @@ class NSGA2Config:
         Keep the chromosomes (not just objective points) of each
         checkpoint front.  Off by default to bound memory for long
         runs; the final front's chromosomes are always kept.
+    fast_path:
+        Use the O(N log N) bi-objective machinery: sweep nondominated
+        sorting, vectorized environmental selection, and one shared
+        ranks computation per generation (tournament selection reuses
+        the ranks derived during the previous environmental selection).
+        ``False`` runs the O(N²) dominance-matrix reference path; both
+        produce bit-identical fronts for the same seed, asserted by
+        ``tests/test_core_nsga2_fastpath.py``.
+    order_sampling:
+        How the initial population draws scheduling orders: ``"legacy"``
+        (default) preserves the historical per-row ``rng.permutation``
+        stream (checkpoint/seed compatible); ``"vectorized"`` draws one
+        key matrix and argsorts it (faster, different stream).
     """
 
     population_size: int = 100
     operators: OperatorConfig = field(default_factory=OperatorConfig)
     store_front_solutions: bool = False
+    fast_path: bool = True
+    order_sampling: str = "legacy"
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
             raise OptimizationError(
                 f"population_size must be >= 2, got {self.population_size}"
+            )
+        if self.order_sampling not in ("legacy", "vectorized"):
+            raise OptimizationError(
+                "order_sampling must be 'legacy' or 'vectorized'; got "
+                f"{self.order_sampling!r}"
             )
 
 
@@ -171,32 +192,57 @@ class NSGA2:
         )
         self.operators = VariationOperators(self.feasible, config.operators)
         self.population = seeded_initial_population(
-            self.feasible, config.population_size, list(seeds), self._rng
+            self.feasible, config.population_size, list(seeds), self._rng,
+            order_sampling=config.order_sampling,
         )
         self.population.evaluate(evaluator)
         self._evaluations = self.population.size
         self.generation = 0
+        #: Cached front ranks of the current parent population, carried
+        #: over from the last environmental selection (fast path only);
+        #: ``None`` forces a fresh sort (initial population, resume).
+        self._ranks: Optional[IntArray] = None
+        #: Per-stage wall-clock accumulator (selection / variation /
+        #: evaluate / environmental), read by benchmarks and telemetry.
+        self.stage_timings = StageTimings()
 
     # -- one generation -------------------------------------------------------
 
+    def _parent_ranks(self) -> IntArray:
+        """Front ranks of the current parent population.
+
+        On the fast path the ranks computed during the previous
+        environmental selection are reused: the selected subset keeps
+        complete fronts 1..k plus part of front k+1, and every retained
+        point keeps all its dominators from lower fronts, so the
+        restriction of the meta-population ranks *is* the parent
+        population's front-peeling ranks.
+        """
+        if self.config.fast_path and self._ranks is not None:
+            if self._ranks.shape[0] == self.population.size:
+                return self._ranks
+        method = "auto" if self.config.fast_path else "matrix"
+        ranks = fast_nondominated_sort(self.population.objectives, method=method)
+        if self.config.fast_path:
+            self._ranks = ranks
+        return ranks
+
     def step(self) -> None:
         """Advance one generation (Algorithm 1 steps 3-11)."""
+        timings = self.stage_timings
         parents = self.population
         parent_pairs = None
+        t0 = time.perf_counter()
         if self.config.operators.parent_selection == "tournament":
-            from repro.core.crowding import crowding_distance
             from repro.core.operators import binary_tournament_pairs
 
             objectives = parents.objectives
-            ranks = fast_nondominated_sort(objectives)
-            crowding = np.zeros(parents.size)
-            for front in fronts_from_ranks(ranks):
-                crowding[front] = np.nan_to_num(
-                    crowding_distance(objectives[front]), posinf=np.inf
-                )
+            ranks = self._parent_ranks()
+            crowding = crowding_by_front(objectives, ranks)
             parent_pairs = binary_tournament_pairs(
                 ranks, crowding, parents.size // 2, self._rng
             )
+        t1 = time.perf_counter()
         child_assign, child_order = self.operators.crossover_population(
             parents.assignments, parents.orders, self._rng,
             parent_pairs=parent_pairs,
@@ -204,18 +250,44 @@ class NSGA2:
         child_assign, child_order = self.operators.mutate_population(
             child_assign, child_order, self._rng
         )
+        t2 = time.perf_counter()
         offspring = Population(assignments=child_assign, orders=child_order)
         offspring.evaluate(self.evaluator)
         self._evaluations += offspring.size
+        t3 = time.perf_counter()
 
         meta = parents.concatenate(offspring)
         self.population = self._environmental_selection(meta)
         self.generation += 1
+        t4 = time.perf_counter()
+        timings.record("selection", t1 - t0)
+        timings.record("variation", t2 - t1)
+        timings.record("evaluate", t3 - t2)
+        timings.record("environmental", t4 - t3)
 
     def _environmental_selection(self, meta: Population) -> Population:
-        """Pick the best N of the 2N meta-population (steps 7-10)."""
+        """Pick the best N of the 2N meta-population (steps 7-10).
+
+        Both paths return the same rows in the same order: complete
+        fronts in rank order (index-ascending within a front) followed
+        by the crowding-truncated boundary front.  The fast path also
+        caches the survivors' ranks for the next generation's
+        tournament.
+        """
         N = self.config.population_size
-        ranks = fast_nondominated_sort(meta.objectives)
+        if self.config.fast_path:
+            ranks = fast_nondominated_sort(meta.objectives)
+            # (rank, index)-ordered positions; the N-th one pins the
+            # boundary front r*: fronts < r* fit completely.
+            order = np.argsort(ranks, kind="stable")
+            r_star = int(ranks[order[N - 1]])
+            n_full = int(np.count_nonzero(ranks < r_star))
+            boundary = np.flatnonzero(ranks == r_star)
+            subset = crowding_truncate(meta.objectives[boundary], N - n_full)
+            indices = np.concatenate([order[:n_full], boundary[subset]])
+            self._ranks = ranks[indices]
+            return meta.select(indices)
+        ranks = fast_nondominated_sort(meta.objectives, method="matrix")
         selected: list[np.ndarray] = []
         count = 0
         for front in fronts_from_ranks(ranks):
@@ -231,6 +303,7 @@ class NSGA2:
                 count = N
                 break
         indices = np.concatenate(selected)
+        self._ranks = None
         return meta.select(indices)
 
     # -- snapshots -------------------------------------------------------------

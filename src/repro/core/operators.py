@@ -228,18 +228,16 @@ class VariationOperators:
         cuts = rng.integers(0, T + 1, size=(n_ops, 2))
         lo = np.minimum(cuts[:, 0], cuts[:, 1])
         hi = np.maximum(cuts[:, 0], cuts[:, 1])
-        for k in range(n_ops):  # loop over pairs; each body is O(T) slicing
-            pa, pb = parents[k]
-            a0, a1 = 2 * k, 2 * k + 1
-            child_assign[a0] = assignments[pa]
-            child_assign[a1] = assignments[pb]
-            child_order[a0] = orders[pa]
-            child_order[a1] = orders[pb]
-            s = slice(lo[k], hi[k])
-            child_assign[a0, s] = assignments[pb, s]
-            child_assign[a1, s] = assignments[pa, s]
-            child_order[a0, s] = orders[pb, s]
-            child_order[a1, s] = orders[pa, s]
+        # All n_ops swaps at once: a (n_ops, T) mask marks the swapped
+        # gene range of each operation, and np.where picks the donor.
+        pa = parents[:, 0]
+        pb = parents[:, 1]
+        cols = np.arange(T)[None, :]
+        swap = (cols >= lo[:, None]) & (cols < hi[:, None])
+        child_assign[0::2] = np.where(swap, assignments[pb], assignments[pa])
+        child_assign[1::2] = np.where(swap, assignments[pa], assignments[pb])
+        child_order[0::2] = np.where(swap, orders[pb], orders[pa])
+        child_order[1::2] = np.where(swap, orders[pa], orders[pb])
         if 2 * n_ops < N:
             # Odd population: clone one extra random parent unchanged.
             extra = int(rng.integers(0, N))

@@ -30,6 +30,7 @@ def seeded_initial_population(
     size: int,
     seeds: Sequence[ResourceAllocation],
     rng_seed: SeedLike = None,
+    order_sampling: str = "legacy",
 ) -> Population:
     """Random population of *size* with *seeds* occupying the first rows.
 
@@ -43,13 +44,16 @@ def seeded_initial_population(
         Heuristic allocations to inject (must fit: ``len(seeds) <= size``).
     rng_seed:
         Randomness for the non-seed rows.
+    order_sampling:
+        Passed through to :meth:`Population.random` — ``"legacy"``
+        (default, historical RNG stream) or ``"vectorized"``.
     """
     if len(seeds) > size:
         raise OptimizationError(
             f"{len(seeds)} seeds do not fit in a population of {size}"
         )
     rng = ensure_rng(rng_seed)
-    population = Population.random(feasible, size, rng)
+    population = Population.random(feasible, size, rng, order_sampling=order_sampling)
     for row, seed in enumerate(seeds):
         if seed.num_tasks != feasible.num_tasks:
             raise OptimizationError(

@@ -11,9 +11,22 @@ Two rankings are provided:
   that dominate it".  For two-objective populations both rankings agree
   on rank 1 (the Pareto set) but may differ beyond it; tests pin down
   the relationship (front rank <= domination-count rank).
+
+For two objectives the front-peeling ranks admit an O(N log N)
+sort-and-sweep formulation (Jensen 2003): sorted lexicographically on
+the minimization axes, an earlier point dominates a later one iff its
+second axis is <= the later point's, so each point's rank is the length
+of the longest weakly-increasing second-axis subsequence ending at it —
+a patience-sorting sweep.  :func:`fast_nondominated_sort` uses the
+sweep by default and keeps the O(N²) dominance-matrix path as a
+cross-checked reference (``method="matrix"``); both produce identical
+ranks (front peeling has a unique result), asserted by
+``tests/test_core_sorting_sweep.py``.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_right
 
 import numpy as np
 
@@ -25,25 +38,44 @@ from repro.types import FloatArray, IntArray
 __all__ = ["fast_nondominated_sort", "domination_count_ranks", "fronts_from_ranks"]
 
 
-def fast_nondominated_sort(
-    points: FloatArray, space: BiObjectiveSpace = ENERGY_UTILITY
-) -> IntArray:
-    """Front ranks (1-based) of *points* by Deb's fast nondominated sort.
+def _sweep_ranks(pts_min: FloatArray) -> IntArray:
+    """Front ranks of minimization-oriented ``(N, 2)`` points, O(N log N).
 
-    Returns
-    -------
-    ``(N,)`` int array; rank 1 is the current Pareto-optimal set.
-
-    Implementation: the O(N²) dominance matrix once (vectorized), then
-    iterative peeling with domination counts — the standard NSGA-II
-    bookkeeping, loop only over fronts.
+    Duplicate points never dominate each other, so exact duplicates are
+    collapsed first and share one rank.  For the deduplicated points in
+    lexicographic ``(x asc, y asc)`` order, an earlier point dominates a
+    later one iff its y is <= the later y; the rank of each point is
+    therefore ``1 + max(rank of earlier points with y <= its y)``,
+    computed by a patience sweep over ``front_min_y`` — the per-front
+    minimum y seen so far, which stays sorted ascending.
     """
-    pts = np.asarray(points, dtype=np.float64)
-    if pts.ndim != 2 or pts.shape[1] != 2:
-        raise OptimizationError(f"points must have shape (N, 2); got {pts.shape}")
+    n = pts_min.shape[0]
+    order = np.lexsort((pts_min[:, 1], pts_min[:, 0]))
+    sp = pts_min[order]
+    is_new = np.empty(n, dtype=bool)
+    is_new[0] = True
+    np.any(sp[1:] != sp[:-1], axis=1, out=is_new[1:])
+    uid = np.cumsum(is_new) - 1  # unique-point id per sorted position
+    y_unique = sp[is_new, 1].tolist()  # python floats: fast bisect
+    ranks_unique = np.empty(len(y_unique), dtype=np.int64)
+    front_min_y: list[float] = []
+    for i, yi in enumerate(y_unique):
+        # Number of fronts whose minimum y is <= yi == number of fronts
+        # containing a dominator of this point.
+        r = bisect_right(front_min_y, yi)
+        if r == len(front_min_y):
+            front_min_y.append(yi)
+        else:
+            front_min_y[r] = yi  # yi < current minimum of front r
+        ranks_unique[i] = r + 1
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = ranks_unique[uid]
+    return ranks
+
+
+def _matrix_ranks(pts: FloatArray, space: BiObjectiveSpace) -> IntArray:
+    """Front ranks via the O(N²) dominance matrix (reference path)."""
     n = pts.shape[0]
-    if n == 0:
-        return np.empty(0, dtype=np.int64)
     dom = dominance_matrix(pts, space)  # dom[i, j]: i dominates j
     counts = dom.sum(axis=0).astype(np.int64)  # dominators of each point
     ranks = np.zeros(n, dtype=np.int64)
@@ -66,6 +98,48 @@ def fast_nondominated_sort(
             f"({assigned}/{n}); this indicates a dominance-matrix bug"
         )
     return ranks
+
+
+def fast_nondominated_sort(
+    points: FloatArray,
+    space: BiObjectiveSpace = ENERGY_UTILITY,
+    method: str = "auto",
+) -> IntArray:
+    """Front ranks (1-based) of *points* by Deb's fast nondominated sort.
+
+    Parameters
+    ----------
+    points:
+        ``(N, 2)`` raw objective values.
+    space:
+        Axis senses (default: energy minimized, utility maximized).
+    method:
+        ``"auto"`` (default) — the O(N log N) bi-objective sweep, falling
+        back to the matrix for non-finite inputs; ``"sweep"`` — force
+        the sweep; ``"matrix"`` — the O(N²) dominance-matrix reference.
+
+    Returns
+    -------
+    ``(N,)`` int array; rank 1 is the current Pareto-optimal set.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise OptimizationError(f"points must have shape (N, 2); got {pts.shape}")
+    if method not in ("auto", "sweep", "matrix"):
+        raise OptimizationError(
+            f"method must be 'auto', 'sweep', or 'matrix'; got {method!r}"
+        )
+    n = pts.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if method == "matrix":
+        return _matrix_ranks(pts, space)
+    pts_min = space.to_minimization(pts)
+    if method == "auto" and np.isnan(pts_min).any():
+        # NaN has no lexicographic position; preserve the matrix path's
+        # (comparison-based) behaviour for degenerate inputs.
+        return _matrix_ranks(pts, space)
+    return _sweep_ranks(pts_min)
 
 
 def domination_count_ranks(

@@ -24,7 +24,52 @@ from repro.analysis.indicators import hypervolume
 from repro.errors import OptimizationError
 from repro.types import FloatArray
 
-__all__ = ["GenerationStats", "TelemetryRecorder", "compose"]
+__all__ = ["GenerationStats", "StageTimings", "TelemetryRecorder", "compose"]
+
+
+class StageTimings:
+    """Accumulated wall-clock per named hot-loop stage.
+
+    The engine records the duration of each generation stage
+    (``selection`` / ``variation`` / ``evaluate`` / ``environmental``)
+    into one of these; benchmarks and recorders read the aggregate.
+    Overhead is two ``perf_counter`` calls and one dict update per
+    stage per generation — negligible against the stages themselves.
+    """
+
+    __slots__ = ("totals", "counts")
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def record(self, stage: str, seconds: float) -> None:
+        """Add one timed occurrence of *stage*."""
+        self.totals[stage] = self.totals.get(stage, 0.0) + seconds
+        self.counts[stage] = self.counts.get(stage, 0) + 1
+
+    def mean_ms(self, stage: str) -> float:
+        """Mean duration of *stage* in milliseconds (0.0 if never seen)."""
+        count = self.counts.get(stage, 0)
+        if count == 0:
+            return 0.0
+        return self.totals[stage] / count * 1000.0
+
+    def as_dict(self) -> dict:
+        """``{stage: {"total_s", "count", "mean_ms"}}`` for serialization."""
+        return {
+            stage: {
+                "total_s": self.totals[stage],
+                "count": self.counts[stage],
+                "mean_ms": self.mean_ms(stage),
+            }
+            for stage in self.totals
+        }
+
+    def reset(self) -> None:
+        """Drop all accumulated timings."""
+        self.totals.clear()
+        self.counts.clear()
 
 
 @dataclass(frozen=True, slots=True)

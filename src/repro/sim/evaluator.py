@@ -14,16 +14,33 @@ Closed form used here: within one machine's queue, with arrivals
 
 so every queue is a segmented cumulative sum plus a segmented running
 maximum.  Tasks of all machines (and, in batch mode, all chromosomes)
-are processed in a single ``np.lexsort``; segments never interact
-because the running maximum is computed on keys offset by
-``segment_id × BIG`` with ``BIG`` exceeding the global key range.
+are sorted into queue order with one composite-key radix sort; the
+segmented running maximum uses the classic ``segment_id × BIG`` offset
+trick only after *validating elementwise that the offset addition is
+exact* (so results are provably the true within-segment running
+maxima), and otherwise falls back to an exact Hillis–Steele doubling
+scan.  Exactness matters beyond precision: it makes every chromosome's
+finish times independent of which batch it was evaluated in, which is
+what lets the evaluation cache return bit-identical objectives.
 There is no Python-level loop over tasks anywhere on this path
 (cf. the HPC guide's "vectorizing for loops").
+
+Batch evaluation adds two amortizations:
+
+* a :class:`_BatchWorkspace` holding the grow-only tiled arrival /
+  task-type / row-index / queue-offset buffers (tiling only depends on
+  the batch size, and a length-``N·T`` tiling is a prefix of any longer
+  one);
+* an :class:`EvaluationCache` keyed by a 128-bit digest of each
+  chromosome row's bytes, so rows already evaluated (survivors cloned
+  by crossover, re-discovered chromosomes in converged populations)
+  never hit the segmented kernel again.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from hashlib import blake2b
 from typing import Callable, Optional
 
 import numpy as np
@@ -35,7 +52,11 @@ from repro.types import FloatArray, IntArray
 from repro.utility.vectorized import TUFTable
 from repro.workload.trace import Trace
 
-__all__ = ["EvaluationResult", "ScheduleEvaluator"]
+__all__ = ["EvaluationResult", "EvaluationCache", "ScheduleEvaluator"]
+
+#: Default bound on cached chromosome evaluations (~15 MB at the
+#: default entry footprint; the cache clears itself when full).
+DEFAULT_CACHE_SIZE = 100_000
 
 
 @dataclass(frozen=True)
@@ -74,41 +95,267 @@ class EvaluationResult:
         return (self.energy, self.utility)
 
 
+class _KernelScratch:
+    """Grow-only temporaries for the segmented kernel.
+
+    At batch scale every per-call temporary is a few hundred KB; fresh
+    allocations of that size are served by ``mmap``, so each kernel call
+    would pay first-touch page faults across several MB — comparable to
+    the arithmetic itself.  One reusable, grow-only set of buffers keeps
+    the pages resident.  Buffers are handed out as ``[:n]`` views; the
+    evaluator is single-threaded per instance, so reuse is safe.
+    """
+
+    __slots__ = ("capacity", "arange", "i64", "f64", "boolean")
+
+    def __init__(self) -> None:
+        self.capacity = 0
+
+    def ensure(self, n: int) -> None:
+        """Grow the buffer pool to hold at least *n* elements."""
+        if n > self.capacity:
+            capacity = max(n, 2 * self.capacity)
+            self.arange = np.arange(capacity, dtype=np.int64)
+            self.i64 = [np.empty(capacity, dtype=np.int64) for _ in range(4)]
+            self.f64 = [np.empty(capacity, dtype=np.float64) for _ in range(8)]
+            self.boolean = [np.empty(capacity, dtype=bool) for _ in range(2)]
+            self.capacity = capacity
+
+
+def _queue_order(
+    group: IntArray,
+    order_key: IntArray,
+    scratch: Optional[_KernelScratch] = None,
+) -> IntArray:
+    """Stable sort positions by ``(group, order_key, input index)``.
+
+    Fast path: when ``group × key × index`` fits a single int64
+    composite key, the index is appended in the low bits, making every
+    key unique — the default introsort on unique keys yields exactly
+    the stable order while beating both the stable radix passes and the
+    multi-pass ``np.lexsort``.  All paths order ties identically.
+    """
+    n = group.shape[0]
+    gmin, gmax = int(group.min()), int(group.max())
+    omin, omax = int(order_key.min()), int(order_key.max())
+    key_range = omax - omin + 1
+    # Python-int arithmetic: no overflow while checking for overflow.
+    cmax = (gmax - gmin + 1) * key_range - 1
+    if cmax < 2**62:
+        shift = max(n - 1, 1).bit_length()
+        if (cmax << shift) | (n - 1) < 2**62:
+            if scratch is not None:
+                scratch.ensure(n)
+                comp = scratch.i64[0][:n]
+                tmp = scratch.i64[1][:n]
+                arange = scratch.arange[:n]
+            else:
+                comp = np.empty(n, dtype=np.int64)
+                tmp = np.empty(n, dtype=np.int64)
+                arange = np.arange(n, dtype=np.int64)
+            np.subtract(group, gmin, out=comp)
+            comp *= key_range
+            np.subtract(order_key, omin, out=tmp)
+            comp += tmp
+            comp <<= shift
+            comp |= arange
+            return np.argsort(comp)
+        composite = (group - gmin) * np.int64(key_range) + (order_key - omin)
+        return np.argsort(composite, kind="stable")
+    return np.lexsort((order_key, group))
+
+
+def _segmented_running_max_scan(
+    values: FloatArray, pos_in_seg: IntArray, max_seg_len: int
+) -> FloatArray:
+    """Exact within-segment running maximum via Hillis–Steele doubling.
+
+    ``pos_in_seg`` gives each element's offset from its segment start.
+    O(n log L) with L the longest segment; no magnitude tricks, so it is
+    correct for any value range (used when the offset fast path cannot
+    prove itself exact).
+    """
+    m = values.copy()
+    shift = 1
+    while shift < max_seg_len:
+        # Candidates read wholly from the previous iteration's array
+        # before any write (Hillis–Steele synchronous update).
+        candidate = np.maximum(m[shift:], m[:-shift])
+        within = pos_in_seg[shift:] >= shift
+        m[shift:][within] = candidate[within]
+        shift *= 2
+    return m
+
+
+def _segmented_running_max(
+    key: FloatArray,
+    seg_id: IntArray,
+    starts: IntArray,
+    buffers: Optional[tuple] = None,
+) -> FloatArray:
+    """Exact running maximum of *key* within each segment.
+
+    Fast path: shift each segment's values by ``seg_id × BIG`` so one
+    global ``np.maximum.accumulate`` never leaks across segments.  The
+    shift is trusted only when the addition round-trips elementwise
+    (``(key + offset) − offset == key``): round-trip equality implies
+    the shifted values are the exact real sums, hence order-preserving
+    within segments, separated across segments, and exactly
+    recoverable.  Otherwise (huge arrival spans × many batch segments —
+    the float-precision regression this guards against) the doubling
+    scan computes the same result without any offset.
+
+    *buffers*, when given, is ``(offset, shifted, vbuf, eq)`` scratch
+    views of the input's length; the result may alias ``shifted``.
+    """
+    n = key.shape[0]
+    if starts.shape[0] == 1:
+        return np.maximum.accumulate(key)
+    if buffers is None:
+        offset = np.empty(n, dtype=np.float64)
+        shifted = np.empty(n, dtype=np.float64)
+        vbuf = np.empty(n, dtype=np.float64)
+        eq = np.empty(n, dtype=bool)
+    else:
+        offset, shifted, vbuf, eq = buffers
+    span = float(key.max() - key.min())
+    big = span + 1.0
+    np.multiply(seg_id, big, out=offset)
+    np.add(key, offset, out=shifted)
+    np.subtract(shifted, offset, out=vbuf)
+    np.equal(vbuf, key, out=eq)
+    if eq.all():
+        np.maximum.accumulate(shifted, out=shifted)
+        shifted -= offset
+        return shifted
+    seg_len = np.diff(np.append(starts, n))
+    pos_in_seg = np.arange(n) - starts[seg_id]
+    return _segmented_running_max_scan(key, pos_in_seg, int(seg_len.max()))
+
+
 def _segmented_finish_times(
     group: IntArray,
     order_key: IntArray,
     arrivals: FloatArray,
     exec_times: FloatArray,
+    row_block: Optional[int] = None,
+    scratch: Optional[_KernelScratch] = None,
 ) -> FloatArray:
     """Finish times for tasks queued per *group*, ordered by *order_key*.
 
     *group* is any integer labeling such that tasks sharing a label
     share a queue (machine index, or machine ⊕ chromosome offset in
     batch mode).  Returns finish times aligned with the input arrays.
+
+    *row_block* declares that the input is ``k`` independent rows of
+    that many elements whose group ids strictly separate rows (batch
+    mode: ``group = queue + row × num_queues``), so after the sort each
+    row occupies one contiguous block.  The cumulative sums are then
+    computed per block, never across rows — combined with the exact
+    running maximum this makes each row's finish times bit-identical
+    no matter which batch it is evaluated in, the property the
+    evaluation cache and the retry runner's re-batching rely on.
+    ``None`` treats the whole input as one row.
+
+    *scratch*, when given, supplies the reusable temporaries (see
+    :class:`_KernelScratch`); results are identical with or without it.
     """
     n = group.shape[0]
-    # Queue layout: primary sort by group, then key, then task index
-    # (np.lexsort's last key is primary; ties fall through to earlier
-    # keys; the arange makes the tie-break explicit and stable).
+    if row_block is None:
+        row_block = n
+    elif n % row_block != 0:
+        raise ScheduleError(
+            f"input length {n} is not a multiple of row_block {row_block}"
+        )
+    idx = _queue_order(group, order_key, scratch)
+    if scratch is not None:
+        # _queue_order only allocates on its composite fast path; its
+        # lexsort fallback leaves the pool untouched, so ensure here.
+        scratch.ensure(n)
+        # i64[0]/i64[1] were _queue_order's work buffers; both are free
+        # again once the argsort has produced idx.
+        g = np.take(group, idx, out=scratch.i64[0][:n])
+        e = np.take(exec_times, idx, out=scratch.f64[0][:n])
+        a = np.take(arrivals, idx, out=scratch.f64[1][:n])
+        new_seg = scratch.boolean[0][:n]
+        seg_id = scratch.i64[1][:n]
+        cs = scratch.f64[2][:n]
+        tmp = scratch.f64[3][:n]
+        key = scratch.f64[4][:n]
+        buffers = (
+            scratch.f64[5][:n],  # offset
+            scratch.f64[6][:n],  # shifted
+            tmp,  # validation buffer; tmp is dead once key is built
+            scratch.boolean[1][:n],
+        )
+    else:
+        g = group[idx]
+        e = exec_times[idx]
+        a = arrivals[idx]
+        new_seg = np.empty(n, dtype=bool)
+        seg_id = np.empty(n, dtype=np.int64)
+        cs = np.empty(n, dtype=np.float64)
+        tmp = np.empty(n, dtype=np.float64)
+        key = np.empty(n, dtype=np.float64)
+        buffers = None
+
+    # Segment bookkeeping: seg_id increments at each group change.
+    new_seg[0] = True
+    np.not_equal(g[1:], g[:-1], out=new_seg[1:])
+    np.cumsum(new_seg, out=seg_id)
+    seg_id -= 1
+    starts = np.flatnonzero(new_seg)
+
+    # Row-local cumulative execution time: summing within rows only
+    # keeps each row's rounding independent of its batch neighbours.
+    np.cumsum(e.reshape(-1, row_block), axis=1, out=cs.reshape(-1, row_block))
+    seg_offset = np.zeros(starts.shape[0], dtype=np.float64)
+    interior = starts % row_block != 0  # segment starts inside a row
+    seg_offset[interior] = cs[starts[interior] - 1]
+    np.take(seg_offset, seg_id, out=tmp)
+    cs -= tmp  # cs now holds cse, the within-segment cumulative sum
+
+    # Segmented running maximum of (arrival − preceding work).
+    np.subtract(cs, e, out=tmp)
+    np.subtract(a, tmp, out=key)  # key = a − (cse − e)
+    runmax = _segmented_running_max(key, seg_id, starts, buffers)
+
+    cs += runmax  # finish times in sorted order
+    finish = np.empty(n, dtype=np.float64)
+    finish[idx] = cs
+    return finish
+
+
+def _segmented_finish_times_reference(
+    group: IntArray,
+    order_key: IntArray,
+    arrivals: FloatArray,
+    exec_times: FloatArray,
+) -> FloatArray:
+    """The pre-optimization kernel, kept verbatim as a reference.
+
+    Used by the hot-loop benchmark (baseline stage timings) and by the
+    precision regression tests: its unvalidated ``seg_id × BIG`` offset
+    loses low bits when huge arrival spans meet many batch segments,
+    which the production kernel now detects and avoids.
+    """
+    n = group.shape[0]
     idx = np.lexsort((np.arange(n), order_key, group))
     g = group[idx]
     e = exec_times[idx]
     a = arrivals[idx]
 
-    # Segment bookkeeping: seg_id increments at each group change.
     new_seg = np.empty(n, dtype=bool)
     new_seg[0] = True
     np.not_equal(g[1:], g[:-1], out=new_seg[1:])
     seg_id = np.cumsum(new_seg) - 1
     starts = np.flatnonzero(new_seg)
 
-    # Segmented cumulative execution time.
     cs = np.cumsum(e)
     seg_offset = np.zeros(starts.shape[0], dtype=np.float64)
     seg_offset[1:] = cs[starts[1:] - 1]
     cse = cs - seg_offset[seg_id]
 
-    # Segmented running maximum of (arrival − preceding work).
     key = a - (cse - e)
     span = float(key.max() - key.min()) if n > 1 else 0.0
     big = span + 1.0
@@ -119,6 +366,111 @@ def _segmented_finish_times(
     finish = np.empty(n, dtype=np.float64)
     finish[idx] = finish_sorted
     return finish
+
+
+class EvaluationCache:
+    """Content-addressed chromosome → objectives cache.
+
+    Keys are 128-bit BLAKE2b digests of a chromosome row's raw bytes
+    (assignments then orders, both int64) — collisions are negligible
+    (birthday bound ~2⁶⁴ entries) and the digest is ~250× smaller than
+    the row itself.  Values are the exact ``(energy, utility)`` floats
+    the kernel produced, so cache hits are bit-identical to fresh
+    evaluations.  When *max_entries* is reached the store is cleared
+    (O(1) bookkeeping beats LRU at GA access patterns, where the live
+    working set is the current population).
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "_store")
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+        if max_entries < 1:
+            raise ScheduleError(
+                f"cache max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._store: dict[bytes, tuple[float, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @staticmethod
+    def key(assignment_row: IntArray, order_row: IntArray) -> bytes:
+        """Digest of one chromosome row (dtype-stable: int64 bytes)."""
+        h = blake2b(digest_size=16)
+        h.update(assignment_row.tobytes())
+        h.update(order_row.tobytes())
+        return h.digest()
+
+    def get(self, key: bytes) -> Optional[tuple[float, float]]:
+        """Cached objectives for *key*, counting the hit/miss."""
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: bytes, energy: float, utility: float) -> None:
+        """Store one row's objectives, clearing first if at capacity."""
+        if len(self._store) >= self.max_entries:
+            self._store.clear()
+        self._store[key] = (energy, utility)
+
+    def clear(self) -> None:
+        """Drop all entries (hit/miss counters are kept)."""
+        self._store.clear()
+
+    @property
+    def stats(self) -> dict:
+        """``{"hits", "misses", "entries", "hit_rate"}`` snapshot."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._store),
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+
+class _BatchWorkspace:
+    """Grow-only tiled buffers for batch evaluation.
+
+    The tiled row-index / arrival / task-type / queue-offset arrays
+    depend only on the batch size ``N``, and (being whole-row
+    repetitions) a tiling for ``N`` rows is exactly the prefix of a
+    tiling for more rows — so one grow-only allocation serves every
+    batch size via views.
+    """
+
+    __slots__ = ("capacity", "_flat_rows", "_arrivals", "_task_types", "_offsets")
+
+    def __init__(self) -> None:
+        self.capacity = 0
+
+    def views(
+        self, evaluator: "ScheduleEvaluator", n_rows: int
+    ) -> tuple[IntArray, FloatArray, IntArray, IntArray]:
+        """(flat_rows, arrivals, task_types, queue_offsets) for *n_rows*."""
+        if n_rows > self.capacity:
+            capacity = max(n_rows, 2 * self.capacity)
+            T = evaluator.num_tasks
+            self._flat_rows = np.tile(evaluator._row_index, capacity)
+            self._arrivals = np.tile(evaluator._arrivals, capacity)
+            self._task_types = np.tile(evaluator._task_types, capacity)
+            self._offsets = np.repeat(
+                np.arange(capacity, dtype=np.int64) * evaluator._num_queues, T
+            )
+            self.capacity = capacity
+        n = n_rows * evaluator.num_tasks
+        return (
+            self._flat_rows[:n],
+            self._arrivals[:n],
+            self._task_types[:n],
+            self._offsets[:n],
+        )
 
 
 class ScheduleEvaluator:
@@ -153,6 +505,16 @@ class ScheduleEvaluator:
         crashes or hangs at a chosen evaluation, exercising the
         checkpoint/resume and retry recovery paths.  ``None`` (the
         default) costs one predicate per call.
+    cache_size:
+        Upper bound on the chromosome evaluation cache (see
+        :class:`EvaluationCache`); ``0`` disables caching.  Cached and
+        fresh evaluations are bit-identical (the kernel is exact and
+        batch-composition independent), so this only changes speed.
+    kernel_method:
+        ``"fast"`` (default) — composite-key radix sort + validated
+        exact segmented maximum; ``"reference"`` — the pre-optimization
+        lexsort/offset kernel, kept for benchmarking and precision
+        regression tests.
     """
 
     def __init__(
@@ -162,12 +524,26 @@ class ScheduleEvaluator:
         check_feasibility: bool = True,
         queue_groups: Optional[IntArray] = None,
         fault_hook: Optional[Callable[[], None]] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        kernel_method: str = "fast",
     ) -> None:
         trace.validate_against(system.num_task_types)
+        if kernel_method not in ("fast", "reference"):
+            raise ScheduleError(
+                f"kernel_method must be 'fast' or 'reference'; got "
+                f"{kernel_method!r}"
+            )
+        if cache_size < 0:
+            raise ScheduleError(f"cache_size must be >= 0, got {cache_size}")
         self.system = system
         self.trace = trace
         self.check_feasibility = check_feasibility
         self.fault_hook = fault_hook
+        self.kernel_method = kernel_method
+        self.cache = EvaluationCache(cache_size) if cache_size else None
+        self._workspace = _BatchWorkspace()
+        self._scratch = _KernelScratch()
+        self._packed32: Optional[np.ndarray] = None
         self.num_tasks = trace.num_tasks
         self.num_machines = system.num_machines
 
@@ -176,6 +552,9 @@ class ScheduleEvaluator:
         # Per-task rows of the machine-instance-expanded matrices.
         self._etc_rows = system.etc_task_machine[self._task_types]
         self._eec_rows = system.eec_task_machine[self._task_types]
+        # Flat copies for np.take-with-out gathers on the batch path.
+        self._etc_flat = np.ascontiguousarray(self._etc_rows).ravel()
+        self._eec_flat = np.ascontiguousarray(self._eec_rows).ravel()
         self._feasible_rows = system.feasible_task_machine[self._task_types]
         self._tuf_table = TUFTable.from_system(system)
         self._row_index = np.arange(self.num_tasks)
@@ -225,7 +604,7 @@ class ScheduleEvaluator:
                     "which cannot execute its task type"
                 )
         exec_times = self._etc_rows[self._row_index, assignment]
-        finish = _segmented_finish_times(
+        finish = self._finish_times(
             self._queue_groups[assignment],
             allocation.scheduling_order,
             self._arrivals,
@@ -248,6 +627,36 @@ class ScheduleEvaluator:
         """``(energy, utility)`` of one allocation."""
         return self.evaluate(allocation).objectives
 
+    def _finish_times(
+        self,
+        group: IntArray,
+        order_key: IntArray,
+        arrivals: FloatArray,
+        exec_times: FloatArray,
+        row_block: Optional[int] = None,
+    ) -> FloatArray:
+        """Dispatch to the configured segmented kernel."""
+        if self.kernel_method == "fast":
+            return _segmented_finish_times(
+                group, order_key, arrivals, exec_times, row_block,
+                self._scratch,
+            )
+        return _segmented_finish_times_reference(
+            group, order_key, arrivals, exec_times
+        )
+
+    @property
+    def cache_stats(self) -> dict:
+        """Evaluation-cache counters (all zero when caching is off)."""
+        if self.cache is None:
+            return {"hits": 0, "misses": 0, "entries": 0, "hit_rate": 0.0}
+        return self.cache.stats
+
+    def clear_cache(self) -> None:
+        """Drop all cached evaluations (no-op when caching is off)."""
+        if self.cache is not None:
+            self.cache.clear()
+
     # -- population batch ----------------------------------------------------
 
     def evaluate_batch(
@@ -265,8 +674,12 @@ class ScheduleEvaluator:
         ``(energies, utilities)`` — each ``(N,)`` float arrays.
 
         Implementation: rows are concatenated with machine labels offset
-        by ``row × num_machines`` so one segmented pass covers every
-        queue of every chromosome simultaneously.
+        by ``row × num_queues`` so one segmented pass covers every
+        queue of every chromosome simultaneously.  When the evaluation
+        cache is enabled, rows whose exact bytes were evaluated before
+        are answered from the cache and only the genuinely new rows hit
+        the kernel — bit-identical either way, because the kernel's
+        per-row results do not depend on the rest of the batch.
         """
         if self.fault_hook is not None:
             self.fault_hook()
@@ -296,21 +709,86 @@ class ScheduleEvaluator:
                     f"chromosome {int(row)}: task {int(col)} assigned to an "
                     "infeasible machine"
                 )
+        cache = self.cache
+        if cache is None:
+            return self._evaluate_batch_kernel(assignments, orders)
 
+        energies = np.empty(N, dtype=np.float64)
+        utilities = np.empty(N, dtype=np.float64)
+        # Digest fast path: when both gene arrays fit int32 (assignments
+        # always do — they are machine indices — and order keys start as
+        # permutation values), hash half the bytes per row.  The int32
+        # and int64 encodings have different lengths, so their digests
+        # can never alias each other.
+        if (
+            self.num_machines <= 2**31
+            and -(2**31) <= int(orders.min())
+            and int(orders.max()) < 2**31
+        ):
+            if self._packed32 is None or self._packed32.shape[0] < N:
+                self._packed32 = np.empty((N, 2 * T), dtype=np.int32)
+            packed = self._packed32[:N]
+            packed[:, :T] = assignments
+            packed[:, T:] = orders
+            keys = [
+                blake2b(packed[i].data, digest_size=16).digest()
+                for i in range(N)
+            ]
+        else:
+            keys = [
+                EvaluationCache.key(assignments[i], orders[i])
+                for i in range(N)
+            ]
+        miss_rows: list[int] = []
+        for i, key in enumerate(keys):  # dict probes; loop over N, not N×T
+            hit = cache.get(key)
+            if hit is None:
+                miss_rows.append(i)
+            else:
+                energies[i], utilities[i] = hit
+        if len(miss_rows) == N:  # nothing cached: skip the row gathers
+            energies, utilities = self._evaluate_batch_kernel(
+                assignments, orders
+            )
+            for i, key in enumerate(keys):
+                cache.put(key, float(energies[i]), float(utilities[i]))
+        elif miss_rows:
+            miss = np.array(miss_rows, dtype=np.int64)
+            miss_e, miss_u = self._evaluate_batch_kernel(
+                assignments[miss], orders[miss]
+            )
+            energies[miss] = miss_e
+            utilities[miss] = miss_u
+            for j, i in enumerate(miss_rows):
+                cache.put(keys[i], float(miss_e[j]), float(miss_u[j]))
+        return energies, utilities
+
+    def _evaluate_batch_kernel(
+        self, assignments: IntArray, orders: IntArray
+    ) -> tuple[FloatArray, FloatArray]:
+        """One segmented-kernel pass over already-validated rows."""
+        N, T = assignments.shape
+        n = N * T
+        flat_rows, arrivals, task_types, chrom_offset = self._workspace.views(
+            self, N
+        )
+        scratch = self._scratch
+        scratch.ensure(n)
         flat_assign = assignments.ravel()
         flat_order = orders.ravel()
-        flat_rows = np.tile(self._row_index, N)
-        exec_times = self._etc_rows[flat_rows, flat_assign]
-        arrivals = np.tile(self._arrivals, N)
-        chrom_offset = np.repeat(
-            np.arange(N, dtype=np.int64) * self._num_queues, T
-        )
-        group = self._queue_groups[flat_assign] + chrom_offset
+        # (task row, machine) → flat ETC/EEC index, reused for both.
+        lin = scratch.i64[2][:n]
+        np.multiply(flat_rows, self.num_machines, out=lin)
+        lin += flat_assign
+        exec_times = np.take(self._etc_flat, lin, out=scratch.f64[7][:n])
+        group = np.take(self._queue_groups, flat_assign, out=scratch.i64[3][:n])
+        group += chrom_offset
 
-        finish = _segmented_finish_times(group, flat_order, arrivals, exec_times)
-        elapsed = finish - arrivals
-        utilities = self._tuf_table.evaluate(
-            np.tile(self._task_types, N), elapsed
-        ).reshape(N, T)
-        energies = self._eec_rows[flat_rows, flat_assign].reshape(N, T)
-        return energies.sum(axis=1), utilities.sum(axis=1)
+        finish = self._finish_times(
+            group, flat_order, arrivals, exec_times, row_block=T
+        )
+        np.subtract(finish, arrivals, out=finish)  # now elapsed times
+        utilities = self._tuf_table.evaluate(task_types, finish).reshape(N, T)
+        # exec_times (f64[7]) is dead after the kernel; reuse it for EEC.
+        energies = np.take(self._eec_flat, lin, out=scratch.f64[7][:n])
+        return energies.reshape(N, T).sum(axis=1), utilities.sum(axis=1)

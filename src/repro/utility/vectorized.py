@@ -16,6 +16,7 @@ segment so the search below never indexes padding with smaller times.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Sequence
 
 import numpy as np
@@ -108,6 +109,48 @@ class TUFTable:
         """Number of task types in the table."""
         return self.breakpoints.shape[0]
 
+    @cached_property
+    def tail_floors(self) -> FloatArray:
+        """Per-type lower clamp: the tail value when positive, else 0."""
+        floors = np.where(self.tail_values > 0, self.tail_values, 0.0)
+        floors.setflags(write=False)
+        return floors
+
+    @cached_property
+    def _fast(self) -> tuple:
+        """Evaluation-ready layout with the tail folded in as a segment.
+
+        Appending a constant segment ``(end_time, tail_value)`` after
+        each type's real segments makes the tail a normal search result
+        — the separate ``t >= end_time`` overwrite disappears.  The
+        returned tuple holds per-column breakpoint arrays (for the
+        additive segment search; all-inf columns dropped) and flattened
+        parameter arrays indexed by ``type × Ke + segment``.
+        """
+        K = self.breakpoints.shape[1]
+        n = self.num_types
+        Ke = K + 1
+        bp = np.full((n, Ke), np.inf)
+        kd = np.full((n, Ke), -1, dtype=np.int64)  # -1 = constant
+        sv = np.empty((n, Ke))
+        rt = np.zeros((n, Ke))
+        for i in range(n):
+            pad = np.flatnonzero(np.isinf(self.breakpoints[i]))
+            k = int(pad[0]) if pad.size else K
+            bp[i, :k] = self.breakpoints[i, :k]
+            kd[i, :k] = self.kinds[i, :k]
+            sv[i, :k] = self.start_values[i, :k]
+            rt[i, :k] = self.rates[i, :k]
+            bp[i, k] = self.end_times[i]
+            sv[i, k:] = self.tail_values[i]
+        cols = []
+        for k in range(1, Ke):  # breakpoints are nondecreasing per row,
+            col = np.ascontiguousarray(bp[:, k])  # so inf columns trail
+            if np.isinf(col).all():
+                break
+            cols.append(col)
+        return (tuple(cols), Ke, bp.ravel(), sv.ravel(), rt.ravel(), kd.ravel())
+
     def evaluate(self, task_types: IntArray, elapsed: FloatArray) -> FloatArray:
         """Utility for each task given its type and elapsed completion time.
 
@@ -129,23 +172,28 @@ class TUFTable:
                 f"task_types shape {task_types.shape} does not match elapsed "
                 f"shape {t.shape}"
             )
-        rows = self.breakpoints[task_types]  # (T, K)
-        # Per-row searchsorted via broadcasting: count of breakpoints <= t.
-        seg = np.sum(rows <= t[:, None], axis=1) - 1
-        seg = np.clip(seg, 0, self.breakpoints.shape[1] - 1)
-        idx = (task_types, seg)
-        dt = t - self.breakpoints[idx]
-        kind = self.kinds[idx]
-        v0 = self.start_values[idx]
-        rate = self.rates[idx]
-        value = np.where(
-            kind == _KIND_EXP,
-            v0 * np.exp(-np.where(kind == _KIND_EXP, rate, 0.0) * dt),
-            np.where(kind == _KIND_LIN, v0 - rate * dt, v0),
-        )
-        tail = self.tail_values[task_types]
-        value = np.where(t >= self.end_times[task_types], tail, value)
-        return np.maximum(value, np.where(tail > 0, tail, 0.0))
+        cols, Ke, bp_flat, sv_flat, rt_flat, kd_flat = self._fast
+        # Segment index = count of breakpoints <= t, accumulated one
+        # (num_types,)-gathered column at a time — no (n, K) temporary.
+        # The folded-in tail segment makes end-of-life a search result.
+        seg = np.zeros(t.shape, dtype=np.int64)
+        for col in cols:
+            seg += np.take(col, task_types) <= t
+        lin = task_types * Ke + seg
+        dt = t - np.take(bp_flat, lin)
+        kind = np.take(kd_flat, lin)
+        v0 = np.take(sv_flat, lin)
+        rate = np.take(rt_flat, lin)
+        # Linear/constant first; the transcendental exp only where an
+        # exponential segment was actually selected (same values as the
+        # everywhere-exp formulation, element for element).
+        value = np.where(kind == _KIND_LIN, v0 - rate * dt, v0)
+        exp_mask = kind == _KIND_EXP
+        if exp_mask.any():
+            value[exp_mask] = v0[exp_mask] * np.exp(
+                -rate[exp_mask] * dt[exp_mask]
+            )
+        return np.maximum(value, np.take(self.tail_floors, task_types))
 
     def utility_upper_bound(self, task_types: IntArray) -> float:
         """Sum of maximum utilities — the unreachable ideal ``U``."""

@@ -1,0 +1,138 @@
+"""Equivalence of the O(N log N) sweep and O(N²) matrix sort paths.
+
+Front peeling has a unique result, so the Jensen-style sweep
+(``method="sweep"``) and the dominance-matrix reference
+(``method="matrix"``) must produce identical ranks on every input —
+these tests pin that down over random, duplicate-heavy, colinear, and
+adversarial populations, in both objective spaces, plus the NaN
+fallback and validation behaviour of ``method="auto"``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.objectives import (
+    ENERGY_UTILITY,
+    BiObjectiveSpace,
+    ObjectiveSense,
+)
+from repro.core.sorting import fast_nondominated_sort
+from repro.errors import OptimizationError
+
+BOTH_MINIMIZE = BiObjectiveSpace(
+    senses=(ObjectiveSense.MINIMIZE, ObjectiveSense.MINIMIZE)
+)
+SPACES = [ENERGY_UTILITY, BOTH_MINIMIZE]
+
+
+def assert_sweep_matches_matrix(pts, space):
+    sweep = fast_nondominated_sort(pts, space, method="sweep")
+    matrix = fast_nondominated_sort(pts, space, method="matrix")
+    np.testing.assert_array_equal(sweep, matrix)
+    auto = fast_nondominated_sort(pts, space, method="auto")
+    np.testing.assert_array_equal(auto, sweep)
+
+
+class TestSweepMatrixEquivalence:
+    @pytest.mark.parametrize("space", SPACES)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("n", [1, 2, 7, 50, 200])
+    def test_random_populations(self, space, seed, n):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0.0, 100.0, size=(n, 2))
+        assert_sweep_matches_matrix(pts, space)
+
+    @pytest.mark.parametrize("space", SPACES)
+    def test_duplicate_heavy(self, space):
+        """GA populations converge onto repeated points; duplicates must
+        share a rank and never dominate each other."""
+        rng = np.random.default_rng(7)
+        base = rng.uniform(0.0, 10.0, size=(8, 2))
+        pts = base[rng.integers(0, 8, size=120)]
+        assert_sweep_matches_matrix(pts, space)
+
+    @pytest.mark.parametrize("space", SPACES)
+    def test_colinear_points(self, space):
+        """Points on a line: ties on one axis exercise the weak-dominance
+        edge of the sweep."""
+        x = np.linspace(0.0, 9.0, 10)
+        for pts in (
+            np.column_stack([x, x]),  # diagonal
+            np.column_stack([x, np.full(10, 3.0)]),  # horizontal
+            np.column_stack([np.full(10, 3.0), x]),  # vertical
+        ):
+            assert_sweep_matches_matrix(pts, space)
+
+    def test_chain_is_fully_ranked(self):
+        """A dominance chain gives N distinct fronts."""
+        n = 40
+        x = np.arange(n, dtype=np.float64)
+        pts = np.column_stack([x, -x])  # energy up, utility down: chain
+        ranks = fast_nondominated_sort(pts, method="sweep")
+        np.testing.assert_array_equal(ranks, np.arange(1, n + 1))
+
+    def test_antichain_is_one_front(self):
+        n = 40
+        x = np.arange(n, dtype=np.float64)
+        pts = np.column_stack([x, x])  # energy up, utility up: no dominance
+        np.testing.assert_array_equal(
+            fast_nondominated_sort(pts, method="sweep"), 1
+        )
+
+    def test_quantized_grids(self):
+        """Small integer grids maximize ties on both axes."""
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            pts = rng.integers(0, 4, size=(60, 2)).astype(np.float64)
+            assert_sweep_matches_matrix(pts, ENERGY_UTILITY)
+
+    def test_infinities(self):
+        """±inf is ordered and must not trip the sweep (only NaN does)."""
+        pts = np.array(
+            [[1.0, 5.0], [np.inf, 5.0], [1.0, -np.inf], [2.0, np.inf]]
+        )
+        assert_sweep_matches_matrix(pts, ENERGY_UTILITY)
+
+
+class TestAutoFallbackAndValidation:
+    def test_nan_falls_back_to_matrix(self):
+        pts = np.array([[1.0, 2.0], [np.nan, 3.0], [2.0, 1.0]])
+        auto = fast_nondominated_sort(pts, method="auto")
+        matrix = fast_nondominated_sort(pts, method="matrix")
+        np.testing.assert_array_equal(auto, matrix)
+
+    def test_empty_input(self):
+        for method in ("auto", "sweep", "matrix"):
+            out = fast_nondominated_sort(np.empty((0, 2)), method=method)
+            assert out.shape == (0,)
+            assert out.dtype == np.int64
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(OptimizationError):
+            fast_nondominated_sort(np.ones((3, 2)), method="quantum")
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(OptimizationError):
+            fast_nondominated_sort(np.ones((3, 3)), method="sweep")
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    pts=st.lists(
+        st.tuples(
+            st.floats(-1e6, 1e6, allow_nan=False),
+            st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    space_index=st.integers(0, 1),
+)
+def test_property_sweep_equals_matrix(pts, space_index):
+    arr = np.asarray(pts, dtype=np.float64)
+    space = SPACES[space_index]
+    np.testing.assert_array_equal(
+        fast_nondominated_sort(arr, space, method="sweep"),
+        fast_nondominated_sort(arr, space, method="matrix"),
+    )

@@ -1,0 +1,345 @@
+"""Evaluation cache, batch-composition independence, and kernel exactness.
+
+The cache contract is that caching is invisible: any sequence of
+``evaluate_batch`` calls returns bit-identical objectives with the
+cache on, off, or pre-warmed, in any batch composition.  That only
+holds because the segmented kernel is *exact* — each row's finish
+times depend on that row alone (row-local cumulative sums) and the
+segmented running maximum is the true maximum, never an
+offset-approximation.  These tests pin down both halves, including a
+pure-Python bitwise mirror of the kernel at extreme magnitudes where
+the retired offset trick loses bits.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.operators import FeasibleMachines
+from repro.errors import ScheduleError
+from repro.sim.evaluator import (
+    EvaluationCache,
+    ScheduleEvaluator,
+    _segmented_finish_times,
+    _segmented_finish_times_reference,
+    _KernelScratch,
+)
+from repro.sim.schedule import ResourceAllocation
+
+
+def make_batch(system, trace, n_rows, seed):
+    """Random feasible (assignments, orders) rows for (system, trace)."""
+    rng = np.random.default_rng(seed)
+    feasible = FeasibleMachines.from_system_trace(system, trace)
+    assignments = feasible.sample_matrix(n_rows, rng)
+    orders = np.array(
+        [rng.permutation(trace.num_tasks) for _ in range(n_rows)]
+    )
+    return assignments, orders
+
+
+def make_evaluator(system, trace, **kwargs):
+    kwargs.setdefault("check_feasibility", False)
+    return ScheduleEvaluator(system, trace, **kwargs)
+
+
+# -- cache transparency -------------------------------------------------------
+
+
+class TestCacheTransparency:
+    def test_cache_on_off_bit_identical(self, small_system, small_trace):
+        assignments, orders = make_batch(small_system, small_trace, 40, 0)
+        cold = make_evaluator(small_system, small_trace, cache_size=0)
+        warm = make_evaluator(small_system, small_trace, cache_size=1000)
+        e0, u0 = cold.evaluate_batch(assignments, orders)
+        e1, u1 = warm.evaluate_batch(assignments, orders)
+        np.testing.assert_array_equal(e0, e1)
+        np.testing.assert_array_equal(u0, u1)
+        # Second pass: all hits, still bit-identical.
+        e2, u2 = warm.evaluate_batch(assignments, orders)
+        np.testing.assert_array_equal(e0, e2)
+        np.testing.assert_array_equal(u0, u2)
+        assert warm.cache_stats["hits"] == 40
+
+    def test_repeated_rows_within_a_batch(self, small_system, small_trace):
+        assignments, orders = make_batch(small_system, small_trace, 6, 1)
+        dup = np.array([0, 1, 0, 2, 1, 0, 5, 5])
+        cold = make_evaluator(small_system, small_trace, cache_size=0)
+        warm = make_evaluator(small_system, small_trace)
+        e0, u0 = cold.evaluate_batch(assignments[dup], orders[dup])
+        e1, u1 = warm.evaluate_batch(assignments[dup], orders[dup])
+        np.testing.assert_array_equal(e0, e1)
+        np.testing.assert_array_equal(u0, u1)
+
+    def test_partial_hit_batch(self, small_system, small_trace):
+        """A batch mixing cached and new rows must equal a cold pass."""
+        assignments, orders = make_batch(small_system, small_trace, 30, 2)
+        warm = make_evaluator(small_system, small_trace)
+        warm.evaluate_batch(assignments[:17], orders[:17])  # pre-warm a prefix
+        cold = make_evaluator(small_system, small_trace, cache_size=0)
+        e0, u0 = cold.evaluate_batch(assignments, orders)
+        e1, u1 = warm.evaluate_batch(assignments, orders)
+        np.testing.assert_array_equal(e0, e1)
+        np.testing.assert_array_equal(u0, u1)
+        stats = warm.cache_stats
+        assert stats["hits"] == 17 and stats["misses"] == 30
+
+    def test_batch_composition_independence(self, small_system, small_trace):
+        """Row-by-row evaluation equals one full batch, bit for bit —
+        the property that makes cache hits indistinguishable from
+        fresh kernel runs under any interleaving."""
+        assignments, orders = make_batch(small_system, small_trace, 25, 3)
+        ev = make_evaluator(small_system, small_trace, cache_size=0)
+        e_full, u_full = ev.evaluate_batch(assignments, orders)
+        for i in range(25):
+            e_i, u_i = ev.evaluate_batch(
+                assignments[i : i + 1], orders[i : i + 1]
+            )
+            assert e_i[0] == e_full[i]
+            assert u_i[0] == u_full[i]
+
+    def test_single_evaluate_matches_batch_row(self, small_system, small_trace):
+        assignments, orders = make_batch(small_system, small_trace, 8, 4)
+        ev = make_evaluator(small_system, small_trace, cache_size=0)
+        e_b, u_b = ev.evaluate_batch(assignments, orders)
+        for i in range(8):
+            result = ev.evaluate(
+                ResourceAllocation(
+                    machine_assignment=assignments[i],
+                    scheduling_order=orders[i],
+                )
+            )
+            assert result.energy == e_b[i]
+            assert result.utility == u_b[i]
+
+    def test_large_order_keys_use_int64_digest(self, small_system, small_trace):
+        """Order keys beyond int32 take the fallback digest path; results
+        stay identical to the uncached kernel (ordering is unchanged
+        by the constant shift)."""
+        assignments, orders = make_batch(small_system, small_trace, 10, 5)
+        big_orders = orders + 2**40
+        cold = make_evaluator(small_system, small_trace, cache_size=0)
+        warm = make_evaluator(small_system, small_trace)
+        e0, u0 = cold.evaluate_batch(assignments, big_orders)
+        e1, u1 = warm.evaluate_batch(assignments, big_orders)
+        np.testing.assert_array_equal(e0, e1)
+        np.testing.assert_array_equal(u0, u1)
+        e2, u2 = warm.evaluate_batch(assignments, big_orders)
+        np.testing.assert_array_equal(e0, e2)
+        np.testing.assert_array_equal(u0, u2)
+
+    def test_workspace_growth_across_batch_sizes(self, small_system, small_trace):
+        """Grow-only scratch/workspace buffers serve shrinking and
+        growing batches without contaminating results."""
+        assignments, orders = make_batch(small_system, small_trace, 32, 6)
+        ev = make_evaluator(small_system, small_trace, cache_size=0)
+        fresh = make_evaluator(small_system, small_trace, cache_size=0)
+        e_all, u_all = fresh.evaluate_batch(assignments, orders)
+        for lo, hi in [(0, 3), (3, 25), (25, 30), (0, 32), (30, 32)]:
+            e, u = ev.evaluate_batch(assignments[lo:hi], orders[lo:hi])
+            np.testing.assert_array_equal(e, e_all[lo:hi])
+            np.testing.assert_array_equal(u, u_all[lo:hi])
+
+
+# -- cache mechanics ----------------------------------------------------------
+
+
+class TestCacheMechanics:
+    def test_clear_on_full(self):
+        cache = EvaluationCache(max_entries=3)
+        rows = [np.array([i], dtype=np.int64) for i in range(5)]
+        keys = [EvaluationCache.key(r, r) for r in rows]
+        for i, k in enumerate(keys[:3]):
+            cache.put(k, float(i), float(i))
+        assert len(cache) == 3
+        cache.put(keys[3], 3.0, 3.0)  # at capacity: clears, then stores
+        assert len(cache) == 1
+        assert cache.get(keys[3]) == (3.0, 3.0)
+        assert cache.get(keys[0]) is None
+
+    def test_stats_and_clear(self, small_system, small_trace):
+        assignments, orders = make_batch(small_system, small_trace, 5, 7)
+        ev = make_evaluator(small_system, small_trace)
+        ev.evaluate_batch(assignments, orders)
+        ev.evaluate_batch(assignments, orders)
+        stats = ev.cache_stats
+        assert stats == {
+            "hits": 5,
+            "misses": 5,
+            "entries": 5,
+            "hit_rate": 0.5,
+        }
+        ev.clear_cache()
+        assert ev.cache_stats["entries"] == 0
+        # Counters survive a clear; a third pass misses again.
+        ev.evaluate_batch(assignments, orders)
+        assert ev.cache_stats["misses"] == 10
+
+    def test_disabled_cache_stats(self, small_system, small_trace):
+        ev = make_evaluator(small_system, small_trace, cache_size=0)
+        assert ev.cache is None
+        assert ev.cache_stats["hit_rate"] == 0.0
+        ev.clear_cache()  # no-op, must not raise
+
+    def test_distinct_chromosomes_distinct_keys(self):
+        a = np.arange(6, dtype=np.int64)
+        b = a.copy()
+        b[3] = 99
+        assert EvaluationCache.key(a, a) != EvaluationCache.key(b, a)
+        assert EvaluationCache.key(a, a) != EvaluationCache.key(a, b)
+
+    def test_invalid_construction(self, small_system, small_trace):
+        with pytest.raises(ScheduleError):
+            make_evaluator(small_system, small_trace, cache_size=-1)
+        with pytest.raises(ScheduleError):
+            make_evaluator(small_system, small_trace, kernel_method="turbo")
+        with pytest.raises(ScheduleError):
+            EvaluationCache(max_entries=0)
+
+
+# -- kernel exactness ---------------------------------------------------------
+
+
+def mirror_finish_times(group, order_key, arrivals, exec_times, row_block=None):
+    """Pure-Python bitwise mirror of ``_segmented_finish_times``.
+
+    Replays the kernel's exact floating-point operation order — stable
+    (group, order) sort, row-local sequential cumulative sum, segment
+    offset subtraction, ``a − (cse − e)`` keys, true running maximum —
+    one scalar at a time.
+    """
+    n = group.shape[0]
+    if row_block is None:
+        row_block = n
+    idx = np.lexsort((np.arange(n), order_key, group))
+    g = group[idx]
+    e = exec_times[idx]
+    a = arrivals[idx]
+    cs = np.empty(n, dtype=np.float64)
+    for r0 in range(0, n, row_block):
+        acc = 0.0
+        for i in range(r0, r0 + row_block):
+            acc = acc + float(e[i])
+            cs[i] = acc
+    finish_sorted = np.empty(n, dtype=np.float64)
+    offset = 0.0
+    runmax = -math.inf
+    for i in range(n):
+        if i == 0 or g[i] != g[i - 1]:
+            offset = 0.0 if i % row_block == 0 else float(cs[i - 1])
+            runmax = -math.inf
+        cse = float(cs[i]) - offset
+        key = float(a[i]) - (cse - float(e[i]))
+        runmax = max(runmax, key)
+        finish_sorted[i] = cse + runmax
+    finish = np.empty(n, dtype=np.float64)
+    finish[idx] = finish_sorted
+    return finish
+
+
+def random_kernel_inputs(rng, n, queues, arrival_scale=1.0, order_span=None):
+    group = rng.integers(0, queues, size=n)
+    span = order_span if order_span is not None else n
+    order_key = rng.integers(0, span, size=n)
+    arrivals = rng.uniform(0.0, 100.0, size=n) * arrival_scale
+    exec_times = rng.uniform(0.1, 30.0, size=n)
+    return group, order_key, arrivals, exec_times
+
+
+class TestKernelExactness:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("use_scratch", [False, True])
+    def test_fast_matches_python_mirror(self, seed, use_scratch):
+        rng = np.random.default_rng(seed)
+        inputs = random_kernel_inputs(rng, 200, queues=9)
+        scratch = _KernelScratch() if use_scratch else None
+        fast = _segmented_finish_times(*inputs, scratch=scratch)
+        np.testing.assert_array_equal(fast, mirror_finish_times(*inputs))
+
+    @pytest.mark.parametrize("row_block", [10, 50])
+    def test_row_block_matches_mirror(self, row_block):
+        """Batch mode: group ids strictly separate rows, cumsums reset
+        per row — exactly as ``evaluate_batch`` drives the kernel."""
+        rng = np.random.default_rng(10)
+        rows = 200 // row_block
+        group, order_key, arrivals, exec_times = random_kernel_inputs(
+            rng, 200, queues=5
+        )
+        group = group + np.repeat(np.arange(rows), row_block) * 5
+        fast = _segmented_finish_times(
+            group, order_key, arrivals, exec_times, row_block=row_block,
+            scratch=_KernelScratch(),
+        )
+        np.testing.assert_array_equal(
+            fast,
+            mirror_finish_times(
+                group, order_key, arrivals, exec_times, row_block=row_block
+            ),
+        )
+
+    def test_fast_close_to_reference_at_normal_magnitudes(self):
+        rng = np.random.default_rng(20)
+        inputs = random_kernel_inputs(rng, 300, queues=12)
+        fast = _segmented_finish_times(*inputs, scratch=_KernelScratch())
+        ref = _segmented_finish_times_reference(*inputs)
+        np.testing.assert_allclose(fast, ref, rtol=1e-12, atol=0.0)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_at_extreme_magnitudes(self, seed):
+        """Arrivals around 2⁴⁰ with full mantissas across many segments:
+        the regime where ``seg_id × big`` offsets round away low bits.
+        The production kernel must still match the scalar mirror bit
+        for bit (its offset trick is validated and falls back to the
+        exact scan when lossy)."""
+        rng = np.random.default_rng(100 + seed)
+        n = 400
+        group, order_key, _, _ = random_kernel_inputs(rng, n, queues=50)
+        arrivals = 2.0**40 + rng.uniform(0.0, 1.0, size=n)
+        exec_times = rng.uniform(1e-6, 1e-3, size=n)
+        fast = _segmented_finish_times(
+            group, order_key, arrivals, exec_times, scratch=_KernelScratch()
+        )
+        np.testing.assert_array_equal(
+            fast, mirror_finish_times(group, order_key, arrivals, exec_times)
+        )
+
+    def test_negative_and_huge_order_keys(self):
+        """The composite-key sort handles extreme int64 order keys (falls
+        back to lexsort past the overflow guard) without changing the
+        result."""
+        rng = np.random.default_rng(30)
+        group, _, arrivals, exec_times = random_kernel_inputs(rng, 64, queues=4)
+        order_key = rng.integers(-(2**62), 2**62, size=64)
+        fast = _segmented_finish_times(
+            group, order_key, arrivals, exec_times, scratch=_KernelScratch()
+        )
+        np.testing.assert_array_equal(
+            fast, mirror_finish_times(group, order_key, arrivals, exec_times)
+        )
+
+    def test_row_block_must_divide_input(self):
+        with pytest.raises(ScheduleError):
+            _segmented_finish_times(
+                np.zeros(5, dtype=np.int64),
+                np.arange(5),
+                np.zeros(5),
+                np.ones(5),
+                row_block=2,
+            )
+
+    def test_kernel_method_dispatch(self, small_system, small_trace):
+        """Both configured kernels agree on realistic workloads (to
+        float precision) while the engines stay bit-identical per
+        kernel."""
+        assignments, orders = make_batch(small_system, small_trace, 12, 8)
+        fast = make_evaluator(
+            small_system, small_trace, cache_size=0, kernel_method="fast"
+        )
+        ref = make_evaluator(
+            small_system, small_trace, cache_size=0, kernel_method="reference"
+        )
+        e0, u0 = fast.evaluate_batch(assignments, orders)
+        e1, u1 = ref.evaluate_batch(assignments, orders)
+        np.testing.assert_allclose(e0, e1, rtol=1e-12)
+        np.testing.assert_allclose(u0, u1, rtol=1e-9)
