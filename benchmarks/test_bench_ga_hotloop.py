@@ -22,6 +22,12 @@ optimization, loose enough to absorb machine-to-machine variance
 (the CI benchmark-smoke job does) for a reduced-step run that keeps
 the same population scale and all correctness/regression assertions
 but skips the absolute-speedup gate.
+
+Set ``REPRO_BENCH_OBS=1`` (the CI observability job does) to also run
+the fast engine with an **enabled** in-memory
+:class:`~repro.obs.context.RunContext` and hold it to the *same* 2×
+stage budget — the zero-overhead-by-default contract of
+``docs/observability.md``, measured rather than asserted.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from repro.sim.evaluator import ScheduleEvaluator
 
 REPO_ROOT = Path(__file__).parent.parent
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+OBS_BENCH = os.environ.get("REPRO_BENCH_OBS", "") not in ("", "0")
 
 WARMUP = 2 if SMOKE else 5
 STEPS = 5 if SMOKE else 30
@@ -76,24 +83,27 @@ FROZEN_BASELINE = {
 MIN_SPEEDUP = 2.0
 
 
-def build_engine(bundle, *, fast, kernel=None):
+def build_engine(bundle, *, fast, kernel=None, obs=None):
     """The production configuration (*fast*) or the pre-PR-shaped one.
 
     The slow configuration can run either kernel: ``"reference"`` (the
     verbatim pre-PR kernel — what the timing comparison wants) or
     ``"fast"`` (same exact kernel as production — what the bit-identity
     assertion wants, since the retired kernel's offset trick rounds
-    differently by design).
+    differently by design).  *obs* threads an observability context
+    into both the evaluator and the engine (the REPRO_BENCH_OBS gate).
     """
     if kernel is None:
         kernel = "fast" if fast else "reference"
     evaluator = ScheduleEvaluator(
         bundle.system, bundle.trace, check_feasibility=False,
         cache_size=100_000 if fast else 0, kernel_method=kernel,
+        obs=obs,
     )
     config = NSGA2Config(population_size=FIG3_POP, fast_path=fast)
     return NSGA2(evaluator, config, rng=BENCH_SEED,
-                 label="hotloop-fast" if fast else "hotloop-reference")
+                 label="hotloop-fast" if fast else "hotloop-reference",
+                 obs=obs)
 
 
 def timed_steps(engine, steps):
@@ -221,6 +231,45 @@ def test_speedup_vs_frozen_baseline(hotloop_report):
     assert report["speedup_vs_baseline"] >= MIN_SPEEDUP, (
         f"fast path is only {report['speedup_vs_baseline']:.2f}x the frozen "
         f"baseline; the acceptance floor is {MIN_SPEEDUP}x"
+    )
+
+
+@pytest.mark.skipif(not OBS_BENCH, reason="set REPRO_BENCH_OBS=1 to gate "
+                    "observability overhead")
+def test_observability_overhead_within_budget(hotloop_report, ds1):
+    """An enabled (info-level, in-memory) RunContext must keep every
+    stage inside the same 2× frozen-baseline budget the dark engine is
+    held to — and must not change the optimization results."""
+    from repro.obs import RunContext
+
+    obs = RunContext.create(level="info")
+    engine = build_engine(ds1, fast=True, obs=obs)
+    step_ms, stages = measure(engine)
+
+    base_step = FROZEN_BASELINE["step_ms"]
+    base = FROZEN_BASELINE["stages_ms"]
+    budgets = {
+        "selection": 0.0,
+        "variation": base["variation"],
+        "evaluate": base["evaluate"],
+        "environmental": base["nondominated_sort"]
+        + base["environmental_selection"],
+    }
+    for stage, measured in stages.items():
+        allowed = 2.0 * max(budgets[stage], 0.2 * base_step)
+        assert measured <= allowed, (
+            f"observability pushed stage {stage!r} over budget: "
+            f"{measured:.3f} ms > {allowed:.3f} ms allowed"
+        )
+    assert step_ms <= 2.0 * base_step
+    assert len(obs.tracer) > 0  # it really was recording
+
+    # Same seed, same generations, bit-identical objectives.
+    dark = build_engine(ds1, fast=True)
+    for _ in range(engine.generation):
+        dark.step()
+    np.testing.assert_array_equal(
+        engine.population.objectives, dark.population.objectives
     )
 
 

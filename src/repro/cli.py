@@ -14,6 +14,14 @@ Subcommands:
   attainment surfaces and hypervolume spread.
 * ``resume`` — continue an interrupted ``report`` experiment from its
   durable NSGA-II checkpoints (see docs/fault_tolerance.md).
+* ``trace`` — summarize a recorded observability directory (slowest
+  spans, GA stage breakdown, cache hit rate, retry/fault timeline; see
+  docs/observability.md).
+
+Execution subcommands (``report``, ``resume``, ``reproduce-all``,
+``repetitions``) accept ``--obs-dir`` to record a run-scoped trace /
+metrics / event-log directory, and ``--obs-level`` to pick its detail
+level (``debug`` adds per-generation stage spans).
 
 Examples::
 
@@ -21,6 +29,8 @@ Examples::
     repro-analyze figure --name figure3 --scale 0.01 --plot
     repro-analyze seeds --dataset 2
     repro-analyze datagen --new-task-types 25 --seed 7
+    repro-analyze report --dataset 1 --obs-dir obs/run1
+    repro-analyze trace obs/run1
 """
 
 from __future__ import annotations
@@ -46,6 +56,27 @@ __all__ = ["main"]
 
 _DATASETS = {"1": dataset1, "2": dataset2, "3": dataset3}
 _FIGURES = {"figure3": figure3, "figure4": figure4, "figure6": figure6}
+
+_OBS_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _obs_from_args(args: argparse.Namespace, **fields):
+    """Build a RunContext from ``--obs-dir``/``--obs-level`` (or None)."""
+    obs_dir = getattr(args, "obs_dir", None)
+    if obs_dir is None:
+        return None
+    from repro.obs import RunContext
+
+    return RunContext.create(
+        obs_dir=obs_dir, level=getattr(args, "obs_level", "info"), **fields
+    )
+
+
+def _flush_obs(obs) -> None:
+    if obs is not None:
+        out = obs.flush()
+        if out is not None:
+            print(f"observability artifacts: {out}")
 
 
 def _cmd_tables(_args: argparse.Namespace) -> int:
@@ -115,16 +146,22 @@ def _cmd_report(args: argparse.Namespace, resume: bool = False) -> int:
         population_size=args.population,
         base_seed=args.seed,
     )
-    result = run_seeded_populations(
-        bundle,
-        config,
-        workers=args.workers,
-        retry=RetryPolicy(max_attempts=args.max_attempts,
-                          timeout=args.timeout),
-        strict=args.strict,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-    )
+    obs = _obs_from_args(args, command="resume" if resume else "report",
+                         seed=args.seed)
+    try:
+        result = run_seeded_populations(
+            bundle,
+            config,
+            workers=args.workers,
+            retry=RetryPolicy(max_attempts=args.max_attempts,
+                              timeout=args.timeout),
+            strict=args.strict,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            obs=obs,
+        )
+    finally:
+        _flush_obs(obs)
     print(experiment_report(result))
     for failure in result.failures:
         print(
@@ -142,12 +179,17 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 def _cmd_reproduce_all(args: argparse.Namespace) -> int:
     from repro.experiments.reproduce import reproduce_all
 
-    reproduce_all(
-        args.output,
-        scale=args.scale,
-        base_seed=args.seed,
-        population_size=args.population,
-    )
+    obs = _obs_from_args(args, command="reproduce-all", seed=args.seed)
+    try:
+        reproduce_all(
+            args.output,
+            scale=args.scale,
+            base_seed=args.seed,
+            population_size=args.population,
+            obs=obs,
+        )
+    finally:
+        _flush_obs(obs)
     return 0
 
 
@@ -155,14 +197,19 @@ def _cmd_repetitions(args: argparse.Namespace) -> int:
     from repro.experiments.repetitions import run_repetitions
 
     bundle = _DATASETS[args.dataset](args.seed)
-    result = run_repetitions(
-        bundle,
-        repetitions=args.repetitions,
-        generations=args.generations,
-        population_size=args.population,
-        seed_label=args.population_label,
-        base_seed=args.seed,
-    )
+    obs = _obs_from_args(args, command="repetitions", seed=args.seed)
+    try:
+        result = run_repetitions(
+            bundle,
+            repetitions=args.repetitions,
+            generations=args.generations,
+            population_size=args.population,
+            seed_label=args.population_label,
+            base_seed=args.seed,
+            obs=obs,
+        )
+    finally:
+        _flush_obs(obs)
     rows = []
     for name in ("best", "median", "worst"):
         surface = result.attainment[name]
@@ -233,6 +280,26 @@ def _cmd_datagen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs import trace_report, validate_run_dir
+
+    if args.validate:
+        problems = validate_run_dir(args.run_dir)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        print(f"{args.run_dir}: valid observability directory")
+        return 0
+    try:
+        print(trace_report(args.run_dir, top=args.top))
+    except ObservabilityError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_system(args: argparse.Namespace) -> int:
     bundle = _DATASETS[args.dataset](args.seed)
     print(bundle.system.describe())
@@ -292,6 +359,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_gantt.add_argument("--width", type=int, default=100)
     p_gantt.add_argument("--max-machines", type=int, default=None)
 
+    def _add_obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--obs-dir", default=None,
+                       help="record a run-scoped observability directory "
+                       "(trace.jsonl, events.jsonl, metrics.json/.prom) "
+                       "readable by 'repro-analyze trace'")
+        p.add_argument("--obs-level", choices=_OBS_LEVELS, default="info",
+                       help="observability detail; 'debug' adds "
+                       "per-generation stage spans")
+
     def _add_execution_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--dataset", choices=["1", "2", "3"], default="1")
         p.add_argument("--scale", type=float, default=None)
@@ -310,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--strict", action="store_true",
                        help="fail fast on the first exhausted population "
                        "instead of degrading gracefully")
+        _add_obs_args(p)
 
     p_report = sub.add_parser(
         "report", help="full experiment report for one data set"
@@ -331,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="generation scale vs paper (1.0 = paper scale)")
     p_all.add_argument("--seed", type=int, default=2013)
     p_all.add_argument("--population", type=int, default=100)
+    _add_obs_args(p_all)
 
     p_rep = sub.add_parser(
         "repetitions", help="multi-repetition NSGA-II statistics"
@@ -345,6 +423,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["random", *sorted(SEEDING_HEURISTICS)],
     )
     p_rep.add_argument("--seed", type=int, default=2013)
+    _add_obs_args(p_rep)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="summarize a recorded observability directory",
+    )
+    p_trace.add_argument("run_dir",
+                         help="directory written via --obs-dir")
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="how many slowest spans to list")
+    p_trace.add_argument("--validate", action="store_true",
+                         help="only validate the artifacts against the "
+                         "repro.obs/1 schema")
 
     return parser
 
@@ -363,6 +454,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "reproduce-all": _cmd_reproduce_all,
         "report": _cmd_report,
         "resume": _cmd_resume,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

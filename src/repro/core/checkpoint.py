@@ -32,7 +32,8 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Mapping, Sequence, Union
+import time
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -44,6 +45,7 @@ from repro.types import FloatArray, IntArray
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.nsga2 import NSGA2
+    from repro.obs.context import RunContext
 
 __all__ = [
     "EngineState",
@@ -242,12 +244,28 @@ class CheckpointStore:
     ``<directory>/<label>.checkpoint.json`` that is atomically replaced
     on every save — parallel populations checkpoint into the same
     directory without contention.
+
+    When an enabled :class:`~repro.obs.context.RunContext` is attached,
+    every save records a ``checkpoint.save`` span, the bytes written and
+    fsync latency (from the :class:`~repro.storage.WriteReceipt`), and a
+    ``checkpoint.committed`` event.
     """
 
-    def __init__(self, directory: Union[str, Path], label: str) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        label: str,
+        *,
+        obs: Optional["RunContext"] = None,
+    ) -> None:
         self.directory = Path(directory)
         self.label = label
         self.path = self.directory / f"{_slug(label)}.checkpoint.json"
+        if obs is None:
+            from repro.obs.context import NULL_CONTEXT
+
+            obs = NULL_CONTEXT
+        self.obs = obs
 
     def exists(self) -> bool:
         """Whether a checkpoint for this label is on disk."""
@@ -256,7 +274,40 @@ class CheckpointStore:
     def save(self, state: EngineState) -> None:
         """Durably persist *state* (atomic replace + checksum)."""
         self.directory.mkdir(parents=True, exist_ok=True)
-        atomic_write_json(self.path, state.to_doc())
+        obs = self.obs
+        if not obs.enabled:
+            atomic_write_json(self.path, state.to_doc())
+            return
+        t0 = time.perf_counter()
+        receipt = atomic_write_json(self.path, state.to_doc())
+        seconds = time.perf_counter() - t0
+        obs.record_span(
+            "checkpoint.save",
+            seconds,
+            label=self.label,
+            generation=state.generation,
+            bytes=receipt.bytes_written,
+        )
+        obs.counter(
+            "checkpoint_saves_total", help="checkpoint files committed"
+        ).inc()
+        obs.counter(
+            "checkpoint_bytes_written_total",
+            help="cumulative checkpoint payload size",
+            unit="bytes",
+        ).inc(receipt.bytes_written)
+        obs.metrics.histogram(
+            "checkpoint_fsync_seconds",
+            help="time spent in fsync per checkpoint commit",
+            unit="seconds",
+        ).observe(receipt.fsync_seconds)
+        obs.event(
+            "checkpoint.committed",
+            label=self.label,
+            generation=state.generation,
+            bytes=receipt.bytes_written,
+            fsync_seconds=receipt.fsync_seconds,
+        )
 
     def load(self) -> EngineState:
         """Load the checkpoint.

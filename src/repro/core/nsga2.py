@@ -39,6 +39,7 @@ from repro.core.seeding import seeded_initial_population
 from repro.core.sorting import fast_nondominated_sort, fronts_from_ranks
 from repro.core.telemetry import StageTimings
 from repro.errors import CheckpointError, OptimizationError
+from repro.obs.context import NULL_CONTEXT, RunContext
 from repro.rng import SeedLike, ensure_rng
 from repro.sim.evaluator import ScheduleEvaluator
 from repro.sim.schedule import ResourceAllocation
@@ -173,6 +174,15 @@ class NSGA2:
         Seed or generator driving all stochastic choices of this run.
     label:
         Name used in reports (e.g. ``"min-energy seed"``).
+    obs:
+        Optional :class:`~repro.obs.context.RunContext`.  When enabled
+        the engine records spans around the run and its stages
+        (absorbing the :class:`~repro.core.telemetry.StageTimings`
+        measurements — the very same ``perf_counter`` deltas, so trace
+        totals reconcile with ``stage_timings`` exactly), emits
+        run/generation/checkpoint events, and feeds the metrics
+        registry.  When disabled (default) the hot loop pays one
+        predicate per generation; RNG streams are untouched either way.
     """
 
     def __init__(
@@ -182,20 +192,23 @@ class NSGA2:
         seeds: Sequence[ResourceAllocation] = (),
         rng: SeedLike = None,
         label: str = "nsga2",
+        obs: Optional[RunContext] = None,
     ) -> None:
         self.evaluator = evaluator
         self.config = config
         self.label = label
+        self.obs = (obs if obs is not None else NULL_CONTEXT).bind(label=label)
         self._rng = ensure_rng(rng)
         self.feasible = FeasibleMachines.from_system_trace(
             evaluator.system, evaluator.trace
         )
         self.operators = VariationOperators(self.feasible, config.operators)
-        self.population = seeded_initial_population(
-            self.feasible, config.population_size, list(seeds), self._rng,
-            order_sampling=config.order_sampling,
-        )
-        self.population.evaluate(evaluator)
+        with self.obs.span("ga.initial_population", seeds=len(seeds)):
+            self.population = seeded_initial_population(
+                self.feasible, config.population_size, list(seeds), self._rng,
+                order_sampling=config.order_sampling,
+            )
+            self.population.evaluate(evaluator)
         self._evaluations = self.population.size
         self.generation = 0
         #: Cached front ranks of the current parent population, carried
@@ -264,6 +277,24 @@ class NSGA2:
         timings.record("variation", t2 - t1)
         timings.record("evaluate", t3 - t2)
         timings.record("environmental", t4 - t3)
+        obs = self.obs
+        if obs.enabled:
+            # The generation span reuses the stage perf_counter deltas —
+            # no extra clock reads on the hot path.
+            obs.record_span(
+                "ga.generation", t4 - t0, generation=self.generation
+            )
+            if obs.debug:
+                gen = self.generation
+                obs.record_span("ga.stage.selection", t1 - t0, generation=gen)
+                obs.record_span("ga.stage.variation", t2 - t1, generation=gen)
+                obs.record_span("ga.stage.evaluate", t3 - t2, generation=gen)
+                obs.record_span(
+                    "ga.stage.environmental", t4 - t3, generation=gen
+                )
+            obs.metrics.counter(
+                "ga_generations_total", help="NSGA-II generations advanced"
+            ).inc()
 
     def _environmental_selection(self, meta: Population) -> Population:
         """Pick the best N of the 2N meta-population (steps 7-10).
@@ -323,6 +354,16 @@ class NSGA2:
         if store_solutions:
             assignments = self.population.assignments[rows].copy()
             orders = self.population.orders[rows].copy()
+        if self.obs.enabled:
+            self.obs.metrics.gauge(
+                "ga_front_size", help="rank-1 front size at last snapshot"
+            ).set(pts.shape[0])
+            self.obs.event(
+                "generation.sampled",
+                generation=self.generation,
+                front_size=int(pts.shape[0]),
+                evaluations=self._evaluations,
+            )
         return GenerationSnapshot(
             generation=self.generation,
             front_points=pts,
@@ -389,7 +430,7 @@ class NSGA2:
                 )
             from repro.core.checkpoint import CheckpointStore
 
-            store = CheckpointStore(checkpoint_dir, self.label)
+            store = CheckpointStore(checkpoint_dir, self.label, obs=self.obs)
         run_params = {
             "generations": int(generations),
             "checkpoints": [int(c) for c in wanted],
@@ -397,6 +438,8 @@ class NSGA2:
         }
         snapshots: list[GenerationSnapshot] = []
         elapsed_before = 0.0
+        obs = self.obs
+        resumed = False
         if store is not None and resume and store.exists():
             from repro.core.checkpoint import restore_state
 
@@ -410,34 +453,72 @@ class NSGA2:
             restore_state(self, state)
             snapshots = list(state.snapshots)
             elapsed_before = state.elapsed_seconds
+            resumed = True
+        if obs.enabled:
+            # Stage totals accumulated before this run (resume of the
+            # same engine): subtracted when emitting this run's
+            # aggregate spans so trace totals reconcile per run.
+            stage_base = dict(self.stage_timings.totals)
+            count_base = dict(self.stage_timings.counts)
+            obs.event(
+                "run.resumed" if resumed else "run.started",
+                generation=self.generation,
+                generations=generations,
+                evaluations=self._evaluations,
+            )
         t0 = time.perf_counter()
-        if self.generation == 0 and 0 in wanted and generations > 0:
-            snapshots.append(self._snapshot(self.config.store_front_solutions))
-        while self.generation < generations:
-            self.step()
-            if self.generation in wanted and self.generation != generations:
+        with obs.span("ga.run", generations=generations, resumed=resumed):
+            if self.generation == 0 and 0 in wanted and generations > 0:
                 snapshots.append(
                     self._snapshot(self.config.store_front_solutions)
                 )
-            if progress is not None:
-                progress(self.generation, self)
-            if store is not None and (
-                self.generation % checkpoint_every == 0
-                or self.generation == generations
-            ):
-                from repro.core.checkpoint import capture_state
-
-                store.save(
-                    capture_state(
-                        self,
-                        snapshots,
-                        elapsed_before + (time.perf_counter() - t0),
-                        run_params,
+            while self.generation < generations:
+                self.step()
+                if self.generation in wanted and self.generation != generations:
+                    snapshots.append(
+                        self._snapshot(self.config.store_front_solutions)
                     )
-                )
-        # Final snapshot always, always with solutions.
-        snapshots.append(self._snapshot(store_solutions=True))
+                if progress is not None:
+                    progress(self.generation, self)
+                if store is not None and (
+                    self.generation % checkpoint_every == 0
+                    or self.generation == generations
+                ):
+                    from repro.core.checkpoint import capture_state
+
+                    store.save(
+                        capture_state(
+                            self,
+                            snapshots,
+                            elapsed_before + (time.perf_counter() - t0),
+                            run_params,
+                        )
+                    )
+            # Final snapshot always, always with solutions.
+            snapshots.append(self._snapshot(store_solutions=True))
         wall = elapsed_before + (time.perf_counter() - t0)
+        if obs.enabled:
+            for stage in sorted(self.stage_timings.totals):
+                delta = (
+                    self.stage_timings.totals[stage]
+                    - stage_base.get(stage, 0.0)
+                )
+                count = (
+                    self.stage_timings.counts[stage]
+                    - count_base.get(stage, 0)
+                )
+                if count:
+                    obs.record_span(
+                        f"ga.stage_total.{stage}", delta, count=count,
+                        aggregate=True,
+                    )
+            obs.event(
+                "run.finished",
+                generation=self.generation,
+                evaluations=self._evaluations,
+                wall_seconds=wall,
+            )
+            obs.sample_rss()
         return RunHistory(
             label=self.label,
             snapshots=tuple(snapshots),

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import csv
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
@@ -56,14 +56,18 @@ class StageTimings:
         return self.totals[stage] / count * 1000.0
 
     def as_dict(self) -> dict:
-        """``{stage: {"total_s", "count", "mean_ms"}}`` for serialization."""
+        """``{stage: {"total_s", "count", "mean_ms"}}`` for serialization.
+
+        Keys are sorted by stage name so serialized timings are stable
+        across runs (diff-friendly artifacts, deterministic JSON).
+        """
         return {
             stage: {
                 "total_s": self.totals[stage],
                 "count": self.counts[stage],
                 "mean_ms": self.mean_ms(stage),
             }
-            for stage in self.totals
+            for stage in sorted(self.totals)
         }
 
     def reset(self) -> None:
@@ -96,20 +100,34 @@ class TelemetryRecorder:
         anything reachable.
     every:
         Sample every this-many generations (1 = all).
+    start:
+        Epoch for ``seconds_since_start`` as a ``time.perf_counter()``
+        value; defaults to construction time.  Pass the original
+        recorder's ``started_at`` when rebuilding one mid-run (e.g.
+        around a checkpoint resume) so the pacing column stays on one
+        clock instead of silently re-anchoring at the first callback.
     """
 
-    def __init__(self, reference: tuple[float, float], every: int = 1) -> None:
+    def __init__(
+        self,
+        reference: tuple[float, float],
+        every: int = 1,
+        start: Optional[float] = None,
+    ) -> None:
         if every < 1:
             raise OptimizationError(f"every must be >= 1, got {every}")
         self.reference = reference
         self.every = every
         self.rows: list[GenerationStats] = []
-        self._t0: Optional[float] = None
+        self._t0: float = time.perf_counter() if start is None else start
+
+    @property
+    def started_at(self) -> float:
+        """The ``perf_counter`` epoch pacing is measured from."""
+        return self._t0
 
     def __call__(self, generation: int, engine) -> None:
         """The progress-callback protocol: (generation, engine)."""
-        if self._t0 is None:
-            self._t0 = time.perf_counter()
         if generation % self.every != 0:
             return
         pts, _ = engine.current_front()
@@ -139,23 +157,30 @@ class TelemetryRecorder:
         try:
             return np.array([getattr(r, field) for r in self.rows])
         except AttributeError as exc:
+            available = [f.name for f in fields(GenerationStats)]
             raise OptimizationError(
-                f"unknown telemetry field {field!r}; available: "
-                f"{[f for f in GenerationStats.__slots__]}"
+                f"unknown telemetry field {field!r}; available: {available}"
             ) from exc
 
     def to_csv(self, path: Union[str, Path]) -> None:
         """Write all rows as CSV."""
-        fields = list(GenerationStats.__slots__)
+        names = [f.name for f in fields(GenerationStats)]
         with open(path, "w", newline="") as fh:
             writer = csv.writer(fh)
-            writer.writerow(fields)
+            writer.writerow(names)
             for row in self.rows:
-                writer.writerow([getattr(row, f) for f in fields])
+                writer.writerow([getattr(row, f) for f in names])
 
 
 def compose(*callbacks: Callable[[int, object], None]):
-    """Combine several progress callbacks into one."""
+    """Combine several progress callbacks into one.
+
+    Callbacks run in the order given and the combination is
+    **fail-fast**: if one raises, the exception propagates to the
+    engine's loop and the *remaining* callbacks are skipped for that
+    generation.  A telemetry sink that should never abort a run must
+    catch its own exceptions.
+    """
     if not callbacks:
         raise OptimizationError("compose requires at least one callback")
 

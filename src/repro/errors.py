@@ -24,6 +24,9 @@ NumPy, etc.).  The subclasses partition failures by subsystem:
   its integrity check (undecodable JSON or checksum mismatch).  Kept
   distinct from the missing-artifact case so callers can decide between
   "restart from scratch" and "refuse to silently discard data".
+* :class:`ObservabilityError` — the observability layer was misused
+  (duplicate metric registered under a different type, unreadable or
+  schema-invalid trace/event artifacts).
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ __all__ = [
     "ExperimentError",
     "CheckpointError",
     "CorruptArtifactError",
+    "ObservabilityError",
 ]
 
 
@@ -85,3 +89,7 @@ class CheckpointError(ExperimentError):
 
 class CorruptArtifactError(ExperimentError):
     """An on-disk artifact failed its integrity (checksum/decode) check."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was misconfigured or fed invalid data."""

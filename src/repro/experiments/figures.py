@@ -14,7 +14,7 @@ checkpoints are passed; set ``REPRO_SCALE=1`` for paper scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -28,6 +28,9 @@ from repro.experiments.runner import (
     SeededPopulationResult,
     run_seeded_populations,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.context import RunContext
 
 __all__ = [
     "PAPER_CHECKPOINTS",
@@ -117,6 +120,7 @@ def _run_figure(
     mutation_probability: float,
     base_seed: int,
     scale: Optional[float],
+    obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     paper = PAPER_CHECKPOINTS[name]
     if checkpoints is None:
@@ -136,7 +140,12 @@ def _run_figure(
             checkpoints=cps,
             base_seed=base_seed,
         )
-    result = run_seeded_populations(dataset, config)
+    if obs is not None and obs.enabled:
+        obs = obs.bind(figure=name)
+        with obs.span("figure.run", figure=name):
+            result = run_seeded_populations(dataset, config, obs=obs)
+    else:
+        result = run_seeded_populations(dataset, config)
     return FigureResult(name=name, result=result, paper_checkpoints=paper)
 
 
@@ -147,12 +156,13 @@ def figure3(
     base_seed: int = 2013,
     scale: Optional[float] = None,
     dataset: Optional[DatasetBundle] = None,
+    obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 3: the real historical data set (data set 1)."""
     ds = dataset if dataset is not None else dataset1(base_seed)
     return _run_figure(
         "figure3", ds, checkpoints, population_size,
-        mutation_probability, base_seed, scale,
+        mutation_probability, base_seed, scale, obs=obs,
     )
 
 
@@ -163,12 +173,13 @@ def figure4(
     base_seed: int = 2013,
     scale: Optional[float] = None,
     dataset: Optional[DatasetBundle] = None,
+    obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 4: the 1000-task synthetic data set (data set 2)."""
     ds = dataset if dataset is not None else dataset2(base_seed)
     return _run_figure(
         "figure4", ds, checkpoints, population_size,
-        mutation_probability, base_seed, scale,
+        mutation_probability, base_seed, scale, obs=obs,
     )
 
 
@@ -179,12 +190,13 @@ def figure6(
     base_seed: int = 2013,
     scale: Optional[float] = None,
     dataset: Optional[DatasetBundle] = None,
+    obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 6: the 4000-task synthetic data set (data set 3)."""
     ds = dataset if dataset is not None else dataset3(base_seed)
     return _run_figure(
         "figure6", ds, checkpoints, population_size,
-        mutation_probability, base_seed, scale,
+        mutation_probability, base_seed, scale, obs=obs,
     )
 
 

@@ -16,7 +16,7 @@ Used by the statistics example and available for paper-scale studies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.heuristics import SEEDING_HEURISTICS
 from repro.rng import derive_seed
 from repro.sim.evaluator import ScheduleEvaluator
 from repro.types import FloatArray
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.context import RunContext
 
 __all__ = ["HypervolumeStats", "RepetitionResult", "run_repetitions"]
 
@@ -83,6 +86,7 @@ def run_repetitions(
     mutation_probability: float = 0.25,
     seed_label: str = "random",
     base_seed: int = 2013,
+    obs: Optional["RunContext"] = None,
 ) -> RepetitionResult:
     """Run R independent NSGA-II repetitions of one population setup.
 
@@ -101,6 +105,11 @@ def run_repetitions(
         per repetition.
     base_seed:
         Master seed; repetition r uses ``derive_seed(base, label, r)``.
+    obs:
+        Optional :class:`~repro.obs.context.RunContext` threaded into
+        the evaluator and every repetition's engine; adds a
+        ``repetition.run`` span per repetition and a final hypervolume
+        gauge.
     """
     if repetitions < 1:
         raise ExperimentError(f"repetitions must be >= 1, got {repetitions}")
@@ -109,12 +118,18 @@ def run_repetitions(
             f"unknown seed label {seed_label!r}; expected 'random' or one of "
             f"{sorted(SEEDING_HEURISTICS)}"
         )
+    if obs is None:
+        from repro.obs.context import NULL_CONTEXT
+
+        obs = NULL_CONTEXT
+    obs = obs.bind(dataset=dataset.name, seed_label=seed_label)
     evaluator = ScheduleEvaluator(dataset.system, dataset.trace,
-                                  check_feasibility=False)
+                                  check_feasibility=False, obs=obs)
     seeds = []
     if seed_label != "random":
-        seeds = [SEEDING_HEURISTICS[seed_label]().build(dataset.system,
-                                                        dataset.trace)]
+        with obs.span("seeding.build", heuristic=seed_label):
+            seeds = [SEEDING_HEURISTICS[seed_label]().build(dataset.system,
+                                                            dataset.trace)]
 
     fronts: list[FloatArray] = []
     for r in range(repetitions):
@@ -129,15 +144,23 @@ def run_repetitions(
             seeds=seeds,
             rng=derive_seed(base_seed, dataset.name, seed_label, r),
             label=f"{seed_label}#{r}",
+            obs=obs,
         )
-        fronts.append(ga.run(generations).final.front_points)
+        with obs.span("repetition.run", repetition=r):
+            fronts.append(ga.run(generations).final.front_points)
 
     all_pts = np.vstack(fronts)
     reference = (float(all_pts[:, 0].max() * 1.01),
                  float(all_pts[:, 1].min() * 0.99))
+    stats = HypervolumeStats.from_fronts(fronts, reference)
+    if obs.enabled:
+        obs.metrics.gauge(
+            "repetitions_hypervolume_mean",
+            help="mean final-front hypervolume over repetitions",
+        ).set(stats.mean)
     return RepetitionResult(
         label=seed_label,
         fronts=tuple(fronts),
         attainment=attainment_summary(fronts),
-        hypervolume=HypervolumeStats.from_fronts(fronts, reference),
+        hypervolume=stats,
     )

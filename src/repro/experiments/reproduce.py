@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Callable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.experiments.figures import figure3, figure4, figure5, figure6
 from repro.experiments.io import save_figure_result
 from repro.experiments.tables import render_table1, render_table2, render_table3
 from repro.utility.tuf import TimeUtilityFunction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.context import RunContext
 
 __all__ = ["reproduce_all"]
 
@@ -69,6 +72,7 @@ def reproduce_all(
     base_seed: int = 2013,
     population_size: int = 100,
     progress: Optional[Callable[[str], None]] = print,
+    obs: Optional["RunContext"] = None,
 ) -> Path:
     """Run the full reproduction and write artifacts to *output_dir*.
 
@@ -85,11 +89,19 @@ def reproduce_all(
         NSGA-II N for the figure runs.
     progress:
         Callable receiving status lines (``None`` silences).
+    obs:
+        Optional :class:`~repro.obs.context.RunContext` threaded into
+        every figure's populations (spans, metrics, events); flushed by
+        the caller.
 
     Returns
     -------
     The output directory path.
     """
+    if obs is None:
+        from repro.obs.context import NULL_CONTEXT
+
+        obs = NULL_CONTEXT
     out = Path(output_dir)
     out.mkdir(parents=True, exist_ok=True)
     say = progress if progress is not None else (lambda _msg: None)
@@ -104,9 +116,12 @@ def reproduce_all(
     ]
 
     say("tables I-III ...")
-    (out / "tables.txt").write_text(
-        "\n\n".join([render_table1(), render_table2(), render_table3()]) + "\n"
-    )
+    with obs.span("reproduce.tables"):
+        (out / "tables.txt").write_text(
+            "\n\n".join(
+                [render_table1(), render_table2(), render_table3()]
+            ) + "\n"
+        )
     manifest.append("tables.txt: Tables I, II, III")
 
     say("figure 1 (time-utility function) ...")
@@ -125,6 +140,7 @@ def reproduce_all(
             scale=effective_scale,
             base_seed=base_seed,
             population_size=population_size,
+            obs=obs,
         )
         if name == "figure4":
             fig4_result = result

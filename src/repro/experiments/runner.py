@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from repro.heuristics import SEEDING_HEURISTICS
 from repro.rng import derive_seed, ensure_rng
 from repro.sim.evaluator import ScheduleEvaluator
 from repro.sim.schedule import ResourceAllocation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.context import RunContext
 
 __all__ = [
     "PopulationFailure",
@@ -191,6 +194,7 @@ def _run_one_population(
     evaluation_fault_hook: Optional[Callable[[], None]] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    obs: Optional["RunContext"] = None,
 ) -> tuple[str, RunHistory]:
     """Worker body: one population's full NSGA-II run.
 
@@ -199,13 +203,17 @@ def _run_one_population(
     state and are embarrassingly parallel.  *fault_hook* (called with
     ``(label, attempt)`` before any work) and *evaluation_fault_hook*
     (threaded into the evaluator) exist for the deterministic
-    fault-injection harness.
+    fault-injection harness.  *obs* is only threaded through on the
+    sequential path — a :class:`~repro.obs.context.RunContext` is not
+    picklable into pool workers, so parallel runs record coordinator-side
+    telemetry (retries, failures, timings) only.
     """
     if fault_hook is not None:
         fault_hook(label, attempt)
     evaluator = ScheduleEvaluator(dataset.system, dataset.trace,
                                   check_feasibility=False,
-                                  fault_hook=evaluation_fault_hook)
+                                  fault_hook=evaluation_fault_hook,
+                                  obs=obs)
     ga = NSGA2(
         evaluator,
         NSGA2Config(
@@ -217,6 +225,7 @@ def _run_one_population(
         seeds=seeds,
         rng=derive_seed(config.base_seed, dataset.name, label),
         label=label,
+        obs=obs,
     )
     history = ga.run(
         generations=config.generations,
@@ -241,6 +250,7 @@ def run_seeded_populations(
     fault_hook: Optional[Callable[[str, int], None]] = None,
     evaluation_fault_hook: Optional[Callable[[], None]] = None,
     sleep: Callable[[float], None] = time.sleep,
+    obs: Optional["RunContext"] = None,
 ) -> SeededPopulationResult:
     """Run the seeded-population experiment on *dataset*.
 
@@ -292,12 +302,22 @@ def run_seeded_populations(
         :class:`~repro.sim.evaluator.ScheduleEvaluator`.
     sleep:
         Injectable sleep used for backoff waits (tests pass a recorder).
+    obs:
+        Optional :class:`~repro.obs.context.RunContext`.  Records
+        heuristic-seeding spans, retry/failure events and counters, and
+        (sequentially only — contexts don't cross process boundaries)
+        the full per-population GA/evaluator/checkpoint telemetry.
     """
     labels = list(labels)
     if len(set(labels)) != len(labels):
         dupes = sorted({lb for lb in labels if labels.count(lb) > 1})
         raise ExperimentError(f"duplicate population labels: {dupes}")
     policy = retry if retry is not None else RetryPolicy()
+    if obs is None:
+        from repro.obs.context import NULL_CONTEXT
+
+        obs = NULL_CONTEXT
+    obs = obs.bind(dataset=dataset.name)
 
     evaluator = ScheduleEvaluator(dataset.system, dataset.trace,
                                   check_feasibility=False)
@@ -315,9 +335,10 @@ def run_seeded_populations(
         elif extra_seeds is None or label not in extra_seeds:
             raise ExperimentError(f"unknown population label {label!r}")
     for name in sorted(needed):
-        heuristic_allocs[name] = SEEDING_HEURISTICS[name]().build(
-            dataset.system, dataset.trace
-        )
+        with obs.span("seeding.build", heuristic=name):
+            heuristic_allocs[name] = SEEDING_HEURISTICS[name]().build(
+                dataset.system, dataset.trace
+            )
 
     seed_objectives = {
         name: evaluator.objectives(alloc)
@@ -340,7 +361,18 @@ def run_seeded_populations(
             backoff_rngs[label] = ensure_rng(
                 derive_seed(config.base_seed, "retry-backoff", label)
             )
-        return policy.delay(attempt, backoff_rngs[label])
+        delay = policy.delay(attempt, backoff_rngs[label])
+        # backoff_for is called exactly once per scheduled retry, on
+        # both the sequential and the process-pool paths.
+        if obs.enabled:
+            obs.counter(
+                "runner_retries_total", help="population attempts retried"
+            ).inc()
+            obs.event(
+                "retry.scheduled", level="warning",
+                label=label, failed_attempt=attempt, delay_seconds=delay,
+            )
+        return delay
 
     def resume_attempt(attempt: int) -> bool:
         # Explicit resumes always; retries resume iff checkpoints exist.
@@ -350,6 +382,16 @@ def run_seeded_populations(
     failures: list[PopulationFailure] = []
 
     def give_up(label: str, attempt: int, exc: BaseException) -> None:
+        if obs.enabled:
+            obs.counter(
+                "runner_failures_total",
+                help="populations that exhausted their retry budget",
+            ).inc()
+            obs.event(
+                "population.failed", level="error",
+                label=label, attempts=attempt,
+                error=f"{type(exc).__name__}: {exc}",
+            )
         if strict:
             raise ExperimentError(
                 f"population {label!r} failed after {attempt} attempt(s): "
@@ -382,6 +424,7 @@ def run_seeded_populations(
                         evaluation_fault_hook=evaluation_fault_hook,
                         checkpoint_dir=checkpoint_dir,
                         resume=resume_attempt(attempt),
+                        obs=obs,
                     )
                     histories[label] = history
                     break

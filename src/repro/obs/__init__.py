@@ -1,0 +1,47 @@
+"""Unified observability: run-scoped tracing, metrics, and event logs.
+
+The subsystem is dependency-free and zero-overhead-by-default: every
+instrumented layer accepts an optional
+:class:`~repro.obs.context.RunContext` and guards all recording behind
+one ``if obs.enabled`` branch, so dark runs pay a single predicate.
+Enabling observability never touches any seeded RNG stream — fronts and
+checkpoints stay bit-identical with it on or off.
+
+Layout:
+
+* :mod:`repro.obs.context` — :class:`RunContext` (the facade all layers
+  accept) and the shared :data:`NULL_CONTEXT`;
+* :mod:`repro.obs.trace` — :class:`Span` / :class:`Tracer`, JSONL
+  export, text flame summary;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters /
+  gauges / histograms with JSON and Prometheus-text exporters;
+* :mod:`repro.obs.events` — leveled structured :class:`EventLog`;
+* :mod:`repro.obs.schema` — validators for the on-disk artifacts;
+* :mod:`repro.obs.report` — the ``repro-analyze trace`` summary
+  renderer.
+
+See ``docs/observability.md`` for the span taxonomy, metric names, and
+event schema.
+"""
+
+from repro.obs.context import NULL_CONTEXT, RunContext
+from repro.obs.events import EventLog
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import trace_report
+from repro.obs.schema import check_run_dir, validate_run_dir
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "RunContext",
+    "NULL_CONTEXT",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EventLog",
+    "trace_report",
+    "validate_run_dir",
+    "check_run_dir",
+]

@@ -1,0 +1,244 @@
+"""The run-scoped observability context.
+
+A :class:`RunContext` bundles the three telemetry channels — tracer,
+metrics registry, event log — with run identity (run id, dataset, seed,
+population label, ...) and a destination directory.  Every instrumented
+layer (`NSGA2`, the evaluator, the checkpoint store, the runner, the
+fault harness) accepts one and treats it uniformly:
+
+* **disabled** (the default, :data:`NULL_CONTEXT`): every hook is a
+  no-op behind a single ``if obs.enabled`` predicate, so the hot loop
+  pays one branch and nothing else — the zero-overhead-by-default
+  contract asserted by the benchmark's observability budget;
+* **enabled**: spans/metrics/events accumulate in memory and are
+  flushed to ``obs_dir`` as ``trace.jsonl`` / ``events.jsonl`` /
+  ``metrics.json`` / ``metrics.prom`` / ``meta.json``.
+
+Determinism contract: nothing in this module draws from NumPy RNG or
+mutates any stochastic stream; enabling observability changes *only*
+wall-clock-derived telemetry values, never optimization results —
+asserted by ``tests/test_obs_integration.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.events import LEVELS, EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["RunContext", "NULL_CONTEXT"]
+
+#: Observability artifact format tag (stamped into ``meta.json``).
+OBS_FORMAT = "repro.obs/1"
+
+
+class _NullSpan:
+    """A reusable no-op context manager (the disabled ``span()``)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class RunContext:
+    """One run's observability state (or the shared disabled stand-in).
+
+    Build an enabled context with :meth:`create`; pass
+    :data:`NULL_CONTEXT` (or ``None`` at any instrumented call site) to
+    run dark.  Instrumented code follows one discipline::
+
+        if obs.enabled:                      # the only cost when dark
+            obs.record_span("ga.stage.evaluate", seconds, generation=g)
+
+    Attributes
+    ----------
+    enabled:
+        ``False`` only on :data:`NULL_CONTEXT`.
+    run_id:
+        Caller-chosen or wall-clock/pid-derived identifier (never
+        RNG-derived — observability must not touch seeded streams).
+    fields:
+        Run-scoped identity merged into every event (dataset, seed,
+        label, generation, ...).
+    tracer, metrics, events:
+        The three channels (shared, not copied, by :meth:`bind`).
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool,
+        run_id: str = "",
+        level: str = "info",
+        obs_dir: Optional[Path] = None,
+        fields: Optional[dict] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.run_id = run_id
+        self.level = level
+        self.obs_dir = obs_dir
+        self.fields = dict(fields or {})
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EventLog(level=level)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        obs_dir: Optional[Union[str, Path]] = None,
+        run_id: Optional[str] = None,
+        level: str = "info",
+        **fields,
+    ) -> "RunContext":
+        """An enabled context writing to *obs_dir* (``None``: in-memory).
+
+        *level* gates both the event log and per-generation stage spans
+        (``debug`` records one span per stage per generation; ``info``
+        and above keep only aggregate stage spans plus block spans).
+        """
+        if level not in LEVELS:
+            raise ObservabilityError(
+                f"unknown observability level {level!r}; have {sorted(LEVELS)}"
+            )
+        if run_id is None:
+            # Wall clock + pid, not RNG: ids must never consume from any
+            # seeded stream.
+            run_id = f"run-{int(time.time())}-{os.getpid()}"
+        return cls(
+            enabled=True,
+            run_id=run_id,
+            level=level,
+            obs_dir=None if obs_dir is None else Path(obs_dir),
+            fields=fields,
+        )
+
+    @classmethod
+    def disabled(cls) -> "RunContext":
+        """The shared no-op context."""
+        return NULL_CONTEXT
+
+    def bind(self, **fields) -> "RunContext":
+        """A view of this context with extra run-scoped *fields*.
+
+        Channels are shared (spans/metrics/events all land in the same
+        buffers); only the identity fields differ.  Binding the disabled
+        context returns it unchanged.
+        """
+        if not self.enabled:
+            return self
+        merged = dict(self.fields)
+        merged.update(fields)
+        return RunContext(
+            enabled=True,
+            run_id=self.run_id,
+            level=self.level,
+            obs_dir=self.obs_dir,
+            fields=merged,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            events=self.events,
+        )
+
+    # -- channel facade ------------------------------------------------------
+
+    @property
+    def debug(self) -> bool:
+        """Whether per-generation (high-volume) recording is on."""
+        return self.enabled and self.level == "debug"
+
+    def span(self, name: str, **attrs):
+        """Context manager timing a block (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def record_span(self, name: str, seconds: float, **attrs) -> None:
+        """File an externally timed span (no-op when disabled)."""
+        if self.enabled:
+            self.tracer.record(name, seconds, **attrs)
+
+    def event(self, name: str, level: str = "info", **fields) -> None:
+        """Emit a structured event with the bound fields merged in."""
+        if self.enabled:
+            self.events.emit(name, level=level, **{**self.fields, **fields})
+
+    def counter(self, name: str, help: str = "", unit: str = ""):
+        """Shortcut for ``metrics.counter`` (``None`` when disabled)."""
+        return self.metrics.counter(name, help=help, unit=unit) if self.enabled else None
+
+    def sample_rss(self) -> None:
+        """Record the process's peak RSS as a gauge (best effort)."""
+        if not self.enabled:
+            return
+        try:
+            import resource
+
+            rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        except (ImportError, OSError):  # pragma: no cover - non-POSIX
+            return
+        # Linux reports KiB; macOS reports bytes.
+        scale = 1 if sys.platform == "darwin" else 1024
+        self.metrics.gauge(
+            "process_max_rss_bytes",
+            help="peak resident set size of this process",
+            unit="bytes",
+        ).set(rss * scale)
+
+    # -- persistence ---------------------------------------------------------
+
+    def flush(self) -> Optional[Path]:
+        """Write all channels to ``obs_dir``; returns the directory.
+
+        Idempotent (later flushes overwrite with the fuller state); a
+        context created without an ``obs_dir`` flushes nowhere and
+        returns ``None``.
+        """
+        if not self.enabled or self.obs_dir is None:
+            return None
+        self.sample_rss()
+        out = self.obs_dir
+        out.mkdir(parents=True, exist_ok=True)
+        self.tracer.to_jsonl(out / "trace.jsonl")
+        self.events.to_jsonl(out / "events.jsonl")
+        self.metrics.to_json(out / "metrics.json")
+        (out / "metrics.prom").write_text(self.metrics.to_prometheus_text())
+        (out / "meta.json").write_text(
+            json.dumps(
+                {
+                    "format": OBS_FORMAT,
+                    "run_id": self.run_id,
+                    "level": self.level,
+                    "fields": self.fields,
+                    "spans": len(self.tracer),
+                    "events": len(self.events),
+                },
+                indent=2,
+                allow_nan=False,
+            )
+            + "\n"
+        )
+        return out
+
+
+#: The process-wide disabled context: every hook no-ops behind one branch.
+NULL_CONTEXT = RunContext(enabled=False)

@@ -1,0 +1,76 @@
+"""Leveled structured event log with a JSONL export.
+
+Events are the "what happened" channel (run started, retry scheduled,
+fault injected, checkpoint committed) — discrete facts with structured
+fields, complementing spans (where time went) and metrics (how much of
+everything).  Each event carries:
+
+* ``t_s`` — seconds since the log's epoch (monotonic, not wall clock,
+  for the same determinism-safety reasons as the tracer);
+* ``level`` — ``debug`` / ``info`` / ``warning`` / ``error``; events
+  below the configured threshold are dropped at emit time (zero
+  retained cost);
+* ``event`` — a dotted name (``run.started``, ``retry.scheduled``);
+* ``fields`` — the event's structured payload, merged with the bound
+  run-scoped fields of the emitting :class:`~repro.obs.context.RunContext`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Union
+
+from repro.errors import ObservabilityError
+
+__all__ = ["LEVELS", "EventLog"]
+
+#: Level name → numeric severity (higher = more severe).
+LEVELS: dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class EventLog:
+    """Collects one run's events in memory; exports JSONL."""
+
+    def __init__(
+        self,
+        level: str = "info",
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if level not in LEVELS:
+            raise ObservabilityError(
+                f"unknown event level {level!r}; have {sorted(LEVELS)}"
+            )
+        self.level = level
+        self._threshold = LEVELS[level]
+        self._clock = clock
+        self._epoch = clock()
+        self.events: list[dict] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(self, event: str, level: str = "info", **fields) -> None:
+        """Record *event* unless *level* is below the configured threshold."""
+        severity = LEVELS.get(level)
+        if severity is None:
+            raise ObservabilityError(
+                f"unknown event level {level!r}; have {sorted(LEVELS)}"
+            )
+        if severity < self._threshold:
+            return
+        self.events.append(
+            {
+                "t_s": self._clock() - self._epoch,
+                "level": level,
+                "event": event,
+                "fields": fields,
+            }
+        )
+
+    def to_jsonl(self, path: Union[str, Path]) -> None:
+        """Write every retained event as one JSON object per line."""
+        with open(path, "w") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event, allow_nan=False) + "\n")

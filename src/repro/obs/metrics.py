@@ -1,0 +1,236 @@
+"""A registry of counters, gauges, and histograms.
+
+Instruments are registered (get-or-create) by name; re-registering a
+name under a different instrument type raises
+:class:`~repro.errors.ObservabilityError` — silent type drift would
+make dashboards lie.  Exports are deterministic (name-sorted) so
+metrics snapshots diff cleanly across runs:
+
+* :meth:`MetricsRegistry.as_dict` — a JSON-ready snapshot;
+* :meth:`MetricsRegistry.to_prometheus_text` — the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` / samples, histograms with
+  cumulative ``le`` buckets), so a scrape endpoint or a push gateway
+  can serve paper-scale campaign metrics without new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.errors import ObservabilityError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket upper bounds (seconds-flavoured: from 100 µs
+#: to ~100 s in half-decade steps — covers fsync latencies through
+#: full-generation times).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "help", "unit", "value")
+
+    def __init__(self, name: str, help: str = "", unit: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0) to the total."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """JSON-ready state."""
+        return {"type": "counter", "help": self.help, "unit": self.unit,
+                "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (front size, RSS, hit rate)."""
+
+    __slots__ = ("name", "help", "unit", "value")
+
+    def __init__(self, name: str, help: str = "", unit: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the current value by *amount* (may be negative)."""
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """JSON-ready state."""
+        return {"type": "gauge", "help": self.help, "unit": self.unit,
+                "value": self.value}
+
+
+class Histogram:
+    """A distribution summarized by cumulative-style buckets.
+
+    Bucket counts are stored per-interval and cumulated at export (the
+    Prometheus convention); ``sum``/``count`` give the mean.
+    """
+
+    __slots__ = ("name", "help", "unit", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+        unit: str = "",
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be strictly increasing; "
+                f"got {list(buckets)}"
+            )
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: the +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        if math.isnan(value):
+            raise ObservabilityError(
+                f"histogram {self.name!r} cannot observe NaN"
+            )
+        i = 0
+        for bound in self.buckets:
+            if value <= bound:
+                break
+            i += 1
+        self.counts[i] += 1
+        self.sum += value
+        self.count += 1
+
+    def snapshot(self) -> dict:
+        """JSON-ready state (cumulative bucket counts, Prometheus-style)."""
+        cumulative = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            cumulative.append({"le": bound, "count": running})
+        return {
+            "type": "histogram",
+            "help": self.help,
+            "unit": self.unit,
+            "buckets": cumulative,
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create registration."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def _get_or_create(self, cls, name: str, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, **kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise ObservabilityError(
+                f"metric {name!r} is already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "", unit: str = "") -> Counter:
+        """The counter *name* (created on first use)."""
+        return self._get_or_create(Counter, name, help=help, unit=unit)
+
+    def gauge(self, name: str, help: str = "", unit: str = "") -> Gauge:
+        """The gauge *name* (created on first use)."""
+        return self._get_or_create(Gauge, name, help=help, unit=unit)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+        unit: str = "",
+    ) -> Histogram:
+        """The histogram *name* (created on first use)."""
+        return self._get_or_create(
+            Histogram, name, buckets=buckets, help=help, unit=unit
+        )
+
+    # -- export --------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Name-sorted JSON-ready snapshot of every instrument."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        """Write the snapshot as a JSON document."""
+        Path(path).write_text(
+            json.dumps(self.as_dict(), indent=2, allow_nan=False) + "\n"
+        )
+
+    def to_prometheus_text(self) -> str:
+        """The Prometheus text exposition format (name-sorted)."""
+        lines: list[str] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {_fmt(instrument.value)}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_fmt(instrument.value)}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                running = 0
+                for bound, count in zip(instrument.buckets, instrument.counts):
+                    running += count
+                    lines.append(
+                        f'{name}_bucket{{le="{_fmt(bound)}"}} {running}'
+                    )
+                lines.append(
+                    f'{name}_bucket{{le="+Inf"}} {instrument.count}'
+                )
+                lines.append(f"{name}_sum {_fmt(instrument.sum)}")
+                lines.append(f"{name}_count {instrument.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample formatting: integers without a trailing .0."""
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)

@@ -1,0 +1,210 @@
+"""Run-scoped tracing: nestable spans with a JSONL export.
+
+A :class:`Tracer` records :class:`Span`\\ s — named, timed regions of
+one run with parent/child structure.  Two recording styles cover every
+call site in the framework:
+
+* ``with tracer.span("checkpoint.save", label=...):`` — wrap a block;
+  the span's duration is measured by the tracer and the span nests
+  under whatever span is currently open;
+* ``tracer.record("ga.stage.evaluate", seconds, generation=g)`` — the
+  caller already measured the duration (the engine's hot loop times its
+  stages with two ``perf_counter`` calls regardless of observability);
+  the tracer just files the finished span under the open parent.
+
+All timestamps are seconds relative to the tracer's epoch (its creation
+``perf_counter``), so exported traces are machine-relocatable and never
+consult the wall clock or any RNG — enabling tracing cannot perturb a
+seeded run's stochastic streams.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One finished (or open) timed region of a run."""
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "start_s", "duration_s", "status",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start_s: float,
+        duration_s: float,
+        status: str,
+        attrs: dict,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.status = status
+        self.attrs = attrs
+
+    def to_doc(self) -> dict:
+        """JSONL-ready document (one trace-file line)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+
+class _OpenSpan:
+    """Context manager for one in-flight span (``Tracer.span``)."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span_id", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_OpenSpan":
+        self._span_id = self._tracer._open()
+        self._t0 = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = self._tracer._clock() - self._t0
+        self._tracer._close(
+            self._span_id, self._name, self._t0, duration,
+            "error" if exc_type is not None else "ok", self._attrs,
+        )
+
+
+class Tracer:
+    """Collects one run's spans in memory; exports JSONL and a summary.
+
+    Single-threaded by design (one tracer per process, like the engine
+    and evaluator it instruments); the open-span stack is plain list
+    push/pop.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self.spans: list[Span] = []
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _OpenSpan:
+        """Context manager: measure a block as one span."""
+        return _OpenSpan(self, name, attrs)
+
+    def record(self, name: str, seconds: float, **attrs) -> None:
+        """File an externally timed span ending now, under the open parent."""
+        end = self._clock()
+        parent = self._stack[-1] if self._stack else None
+        self.spans.append(
+            Span(
+                span_id=self._next_id,
+                parent_id=parent,
+                name=name,
+                start_s=(end - seconds) - self._epoch,
+                duration_s=seconds,
+                status="ok",
+                attrs=attrs,
+            )
+        )
+        self._next_id += 1
+
+    def _open(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        self._stack.append(span_id)
+        return span_id
+
+    def _close(
+        self,
+        span_id: int,
+        name: str,
+        t0: float,
+        duration: float,
+        status: str,
+        attrs: dict,
+    ) -> None:
+        self._stack.pop()
+        parent = self._stack[-1] if self._stack else None
+        self.spans.append(
+            Span(
+                span_id=span_id,
+                parent_id=parent,
+                name=name,
+                start_s=t0 - self._epoch,
+                duration_s=duration,
+                status=status,
+                attrs=attrs,
+            )
+        )
+
+    # -- export --------------------------------------------------------------
+
+    def to_jsonl(self, path: Union[str, Path]) -> None:
+        """Write every finished span as one JSON object per line."""
+        with open(path, "w") as fh:
+            for span in self.spans:
+                fh.write(json.dumps(span.to_doc(), allow_nan=False) + "\n")
+
+    def totals_by_name(self) -> dict[str, tuple[float, int]]:
+        """``{span name: (total seconds, count)}``, sorted by name."""
+        agg: dict[str, tuple[float, int]] = {}
+        for span in self.spans:
+            total, count = agg.get(span.name, (0.0, 0))
+            agg[span.name] = (total + span.duration_s, count + 1)
+        return dict(sorted(agg.items()))
+
+    def flame_summary(self, width: int = 60) -> str:
+        """Text flame summary: per-name totals as proportional bars."""
+        return render_flame(
+            [s.to_doc() for s in self.spans], width=width
+        )
+
+
+def render_flame(span_docs: list[dict], width: int = 60) -> str:
+    """Render span documents as a text flame summary.
+
+    Spans are grouped by name, sorted by total time descending, each
+    with a bar proportional to its share of the largest total.  Module
+    function so the ``repro-analyze trace`` CLI can render a flame from
+    a trace file without reconstructing a :class:`Tracer`.
+    """
+    agg: dict[str, tuple[float, int]] = {}
+    for doc in span_docs:
+        total, count = agg.get(doc["name"], (0.0, 0))
+        agg[doc["name"]] = (total + doc["duration_s"], count + 1)
+    if not agg:
+        return "(no spans recorded)"
+    ordered = sorted(agg.items(), key=lambda kv: (-kv[1][0], kv[0]))
+    top = ordered[0][1][0] or 1.0
+    name_w = max(len(name) for name, _ in ordered)
+    lines = []
+    for name, (total, count) in ordered:
+        bar = "#" * max(1, int(round(width * total / top)))
+        lines.append(
+            f"{name.ljust(name_w)}  {total * 1000.0:10.3f} ms  "
+            f"x{count:<6d} {bar}"
+        )
+    return "\n".join(lines)

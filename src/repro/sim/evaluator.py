@@ -39,9 +39,10 @@ Batch evaluation adds two amortizations:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from hashlib import blake2b
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
@@ -51,6 +52,9 @@ from repro.sim.schedule import ResourceAllocation
 from repro.types import FloatArray, IntArray
 from repro.utility.vectorized import TUFTable
 from repro.workload.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.context import RunContext
 
 __all__ = ["EvaluationResult", "EvaluationCache", "ScheduleEvaluator"]
 
@@ -381,7 +385,7 @@ class EvaluationCache:
     working set is the current population).
     """
 
-    __slots__ = ("max_entries", "hits", "misses", "_store")
+    __slots__ = ("max_entries", "hits", "misses", "evictions", "_store")
 
     def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
         if max_entries < 1:
@@ -391,6 +395,7 @@ class EvaluationCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._store: dict[bytes, tuple[float, float]] = {}
 
     def __len__(self) -> int:
@@ -416,21 +421,23 @@ class EvaluationCache:
     def put(self, key: bytes, energy: float, utility: float) -> None:
         """Store one row's objectives, clearing first if at capacity."""
         if len(self._store) >= self.max_entries:
+            self.evictions += len(self._store)
             self._store.clear()
         self._store[key] = (energy, utility)
 
     def clear(self) -> None:
-        """Drop all entries (hit/miss counters are kept)."""
+        """Drop all entries (hit/miss/eviction counters are kept)."""
         self._store.clear()
 
     @property
     def stats(self) -> dict:
-        """``{"hits", "misses", "entries", "hit_rate"}`` snapshot."""
+        """``{"hits", "misses", "entries", "evictions", "hit_rate"}``."""
         total = self.hits + self.misses
         return {
             "hits": self.hits,
             "misses": self.misses,
             "entries": len(self._store),
+            "evictions": self.evictions,
             "hit_rate": (self.hits / total) if total else 0.0,
         }
 
@@ -515,6 +522,13 @@ class ScheduleEvaluator:
         exact segmented maximum; ``"reference"`` — the pre-optimization
         lexsort/offset kernel, kept for benchmarking and precision
         regression tests.
+    obs:
+        Optional :class:`~repro.obs.context.RunContext`.  When enabled,
+        each batch evaluation records an ``evaluator.batch`` span and
+        feeds the chromosome / cache-hit / cache-miss / eviction
+        counters; when disabled (default), evaluation pays exactly one
+        predicate — the kernel itself is untouched either way, so
+        objectives are bit-identical with observability on or off.
     """
 
     def __init__(
@@ -526,6 +540,7 @@ class ScheduleEvaluator:
         fault_hook: Optional[Callable[[], None]] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         kernel_method: str = "fast",
+        obs: Optional["RunContext"] = None,
     ) -> None:
         trace.validate_against(system.num_task_types)
         if kernel_method not in ("fast", "reference"):
@@ -540,6 +555,11 @@ class ScheduleEvaluator:
         self.check_feasibility = check_feasibility
         self.fault_hook = fault_hook
         self.kernel_method = kernel_method
+        if obs is None:
+            from repro.obs.context import NULL_CONTEXT
+
+            obs = NULL_CONTEXT
+        self.obs = obs
         self.cache = EvaluationCache(cache_size) if cache_size else None
         self._workspace = _BatchWorkspace()
         self._scratch = _KernelScratch()
@@ -649,7 +669,8 @@ class ScheduleEvaluator:
     def cache_stats(self) -> dict:
         """Evaluation-cache counters (all zero when caching is off)."""
         if self.cache is None:
-            return {"hits": 0, "misses": 0, "entries": 0, "hit_rate": 0.0}
+            return {"hits": 0, "misses": 0, "entries": 0, "evictions": 0,
+                    "hit_rate": 0.0}
         return self.cache.stats
 
     def clear_cache(self) -> None:
@@ -681,6 +702,51 @@ class ScheduleEvaluator:
         the kernel — bit-identical either way, because the kernel's
         per-row results do not depend on the rest of the batch.
         """
+        obs = self.obs
+        if not obs.enabled:
+            return self._evaluate_batch_impl(assignments, orders)
+        cache = self.cache
+        hits0, misses0 = (cache.hits, cache.misses) if cache else (0, 0)
+        evict0 = cache.evictions if cache else 0
+        t0 = time.perf_counter()
+        result = self._evaluate_batch_impl(assignments, orders)
+        seconds = time.perf_counter() - t0
+        rows = int(result[0].shape[0])
+        hits = (cache.hits - hits0) if cache else 0
+        misses = (cache.misses - misses0) if cache else rows
+        obs.record_span(
+            "evaluator.batch", seconds, rows=rows, cache_hits=hits,
+            cache_misses=misses,
+        )
+        metrics = obs.metrics
+        metrics.counter(
+            "evaluator_chromosomes_total",
+            help="chromosome rows evaluated (cache hits included)",
+        ).inc(rows)
+        metrics.counter(
+            "evaluator_cache_hits_total",
+            help="batch rows answered from the evaluation cache",
+        ).inc(hits)
+        metrics.counter(
+            "evaluator_cache_misses_total",
+            help="batch rows that hit the segmented kernel",
+        ).inc(misses)
+        if cache and cache.evictions != evict0:
+            metrics.counter(
+                "evaluator_cache_evictions_total",
+                help="cached entries dropped by capacity clears",
+            ).inc(cache.evictions - evict0)
+        metrics.histogram(
+            "evaluator_batch_seconds",
+            help="wall-clock per evaluate_batch call",
+            unit="seconds",
+        ).observe(seconds)
+        return result
+
+    def _evaluate_batch_impl(
+        self, assignments: IntArray, orders: IntArray
+    ) -> tuple[FloatArray, FloatArray]:
+        """The uninstrumented batch path (see :meth:`evaluate_batch`)."""
         if self.fault_hook is not None:
             self.fault_hook()
         assignments = np.asarray(assignments, dtype=np.int64)

@@ -27,12 +27,15 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Union
 
 from repro.errors import CorruptArtifactError
 
 __all__ = [
+    "WriteReceipt",
     "payload_checksum",
     "atomic_write_json",
     "read_json_artifact",
@@ -53,13 +56,23 @@ def _serialize_payload(payload: Any) -> str:
     return json.dumps(payload, allow_nan=False)
 
 
-def atomic_write_json(path: Union[str, Path], payload: Any) -> None:
+@dataclass(frozen=True, slots=True)
+class WriteReceipt:
+    """What one durable write cost: envelope bytes and fsync latency."""
+
+    bytes_written: int
+    fsync_seconds: float
+
+
+def atomic_write_json(path: Union[str, Path], payload: Any) -> WriteReceipt:
     """Write *payload* as a checksummed JSON artifact, atomically.
 
     The document on disk is an envelope
     ``{"format": ..., "checksum": sha256(payload_json), "payload": ...}``
     written via a same-directory temporary file and ``os.replace`` so a
-    crash never leaves a truncated artifact at *path*.
+    crash never leaves a truncated artifact at *path*.  Returns a
+    :class:`WriteReceipt` so callers (checkpoint metrics) can account
+    for bytes written and fsync latency without re-statting the file.
     """
     path = Path(path)
     payload_text = _serialize_payload(payload)
@@ -75,7 +88,9 @@ def atomic_write_json(path: Union[str, Path], payload: Any) -> None:
         with os.fdopen(fd, "w") as handle:
             handle.write(doc)
             handle.flush()
+            t0 = time.perf_counter()
             os.fsync(handle.fileno())
+            fsync_seconds = time.perf_counter() - t0
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -83,17 +98,26 @@ def atomic_write_json(path: Union[str, Path], payload: Any) -> None:
         except OSError:
             pass
         raise
+    receipt = WriteReceipt(
+        bytes_written=len(doc.encode("utf-8")), fsync_seconds=fsync_seconds
+    )
     # Best-effort directory fsync so the rename itself is durable.
     try:
         dir_fd = os.open(path.parent, os.O_RDONLY)
     except OSError:
-        return
+        return receipt
     try:
+        t0 = time.perf_counter()
         os.fsync(dir_fd)
+        receipt = WriteReceipt(
+            bytes_written=receipt.bytes_written,
+            fsync_seconds=fsync_seconds + (time.perf_counter() - t0),
+        )
     except OSError:
         pass
     finally:
         os.close(dir_fd)
+    return receipt
 
 
 def read_json_artifact(path: Union[str, Path]) -> Any:

@@ -34,9 +34,12 @@ import time
 from collections import defaultdict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.context import RunContext
 
 __all__ = ["InjectedFault", "FaultRule", "FaultPlan", "corrupt_artifact"]
 
@@ -114,10 +117,35 @@ class FaultPlan:
     only feeds byte-level corruption choices; firing logic is exact.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self, seed: int = 0, obs: Optional["RunContext"] = None
+    ) -> None:
         self.seed = int(seed)
         self.rules: list[FaultRule] = []
         self._counts: defaultdict[str, int] = defaultdict(int)
+        self._obs = obs
+
+    def observe(self, obs: Optional["RunContext"]) -> "FaultPlan":
+        """Attach a :class:`~repro.obs.context.RunContext` (fluent).
+
+        Every fault that actually fires then emits a ``fault.injected``
+        event and bumps ``faults_injected_total``.  The context is
+        dropped on pickling (worker-process copies inject silently; the
+        coordinator still sees the resulting retries).
+        """
+        self._obs = obs
+        return self
+
+    def _record(self, site: str, rule: FaultRule, occurrence: int) -> None:
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.counter(
+                "faults_injected_total", help="deliberately injected faults"
+            ).inc()
+            obs.event(
+                "fault.injected", level="warning",
+                site=site, kind=rule.kind, occurrence=occurrence,
+            )
 
     # -- fluent builders -----------------------------------------------------
 
@@ -180,12 +208,16 @@ class FaultPlan:
             if rule.site != site:
                 continue
             if rule.kind == "corrupt-checkpoint" and n == rule.at_call:
+                self._record(site, rule, n)
                 corrupt_artifact(rule.path, seed=self.seed)
             elif rule.kind == "hang" and n == rule.at_call:
+                self._record(site, rule, n)
                 time.sleep(rule.hang_seconds)
             elif rule.kind == "crash" and n == rule.at_call:
+                self._record(site, rule, n)
                 raise InjectedFault(f"{rule.message} (site={site!r}, call={n})")
             elif rule.kind == "transient" and n <= rule.failures:
+                self._record(site, rule, n)
                 raise InjectedFault(f"{rule.message} (site={site!r}, call={n})")
 
     def evaluation_hook(self, site: str = "evaluate") -> Callable[[], None]:
@@ -212,12 +244,15 @@ class FaultPlan:
             if rule.site != label:
                 continue
             if rule.kind == "hang" and attempt <= rule.failures:
+                self._record(label, rule, attempt)
                 time.sleep(rule.hang_seconds)
             elif rule.kind == "crash":
+                self._record(label, rule, attempt)
                 raise InjectedFault(
                     f"{rule.message} (label={label!r}, attempt={attempt})"
                 )
             elif rule.kind == "transient" and attempt <= rule.failures:
+                self._record(label, rule, attempt)
                 raise InjectedFault(
                     f"{rule.message} (label={label!r}, attempt={attempt})"
                 )
@@ -225,6 +260,9 @@ class FaultPlan:
     # -- pickling ------------------------------------------------------------
 
     def __getstate__(self) -> dict:
+        # The observability context is deliberately dropped: it is not
+        # picklable into worker processes, and telemetry channels must
+        # stay coordinator-side.
         return {
             "seed": self.seed,
             "rules": self.rules,
@@ -235,6 +273,7 @@ class FaultPlan:
         self.seed = state["seed"]
         self.rules = list(state["rules"])
         self._counts = defaultdict(int, state["counts"])
+        self._obs = None
 
 
 def corrupt_artifact(

@@ -1,12 +1,19 @@
 """Tests for the telemetry recorder and the parallel population runner."""
 
 import csv
+import dataclasses
+import time
 
 import numpy as np
 import pytest
 
 from repro.core.nsga2 import NSGA2, NSGA2Config
-from repro.core.telemetry import GenerationStats, TelemetryRecorder, compose
+from repro.core.telemetry import (
+    GenerationStats,
+    StageTimings,
+    TelemetryRecorder,
+    compose,
+)
 from repro.errors import OptimizationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.datasets import dataset1
@@ -73,6 +80,76 @@ class TestTelemetry:
     def test_every_validation(self):
         with pytest.raises(OptimizationError):
             TelemetryRecorder(reference=(1.0, 0.0), every=0)
+
+    def test_series_unknown_field_message_lists_dataclass_fields(self):
+        """The error names every GenerationStats field, derived from
+        dataclasses.fields (not __slots__)."""
+        recorder = TelemetryRecorder(reference=(1.0, 0.0))
+        recorder.rows.append(
+            GenerationStats(
+                generation=1, front_size=2, hypervolume=0.5,
+                min_energy=1.0, max_utility=2.0, mean_energy=1.5,
+                mean_utility=1.0, seconds_since_start=0.0,
+            )
+        )
+        with pytest.raises(OptimizationError) as excinfo:
+            recorder.series("does_not_exist")
+        message = str(excinfo.value)
+        for field in dataclasses.fields(GenerationStats):
+            assert field.name in message
+
+    def test_t0_anchored_at_construction(self, small_evaluator):
+        """Pacing starts at construction, not lazily at the first
+        callback — the column includes setup time before generation 1."""
+        recorder = TelemetryRecorder(reference=(1e12, 0.0))
+        anchor = recorder.started_at
+        assert anchor <= time.perf_counter()
+        ga = NSGA2(small_evaluator, NSGA2Config(population_size=12), rng=7)
+        ga.run(2, progress=recorder)
+        assert recorder.started_at == anchor  # never re-anchored
+        assert all(r.seconds_since_start > 0.0 for r in recorder.rows)
+
+    def test_explicit_start_survives_resume(self, small_evaluator):
+        """A recorder rebuilt with the original epoch keeps one clock:
+        its samples continue strictly after the pre-resume samples."""
+        ga = NSGA2(small_evaluator, NSGA2Config(population_size=12), rng=8)
+        first = TelemetryRecorder(reference=(1e12, 0.0))
+        ga.run(2, progress=first)
+        resumed = TelemetryRecorder(
+            reference=(1e12, 0.0), start=first.started_at
+        )
+        assert resumed.started_at == first.started_at
+        ga.run(4, progress=resumed)
+        assert (
+            resumed.rows[0].seconds_since_start
+            > first.rows[-1].seconds_since_start
+        )
+
+    def test_stage_timings_as_dict_sorted(self):
+        timings = StageTimings()
+        for stage in ("variation", "selection", "evaluate", "environmental"):
+            timings.record(stage, 0.5)
+        assert list(timings.as_dict()) == sorted(timings.totals)
+        assert timings.as_dict()["selection"]["count"] == 1
+
+    def test_compose_is_fail_fast(self, small_evaluator):
+        """A raising callback aborts that generation's remaining
+        callbacks and propagates out of the run (documented contract)."""
+        calls = []
+
+        def first(gen, eng):
+            calls.append(("first", gen))
+
+        def boom(gen, eng):
+            raise RuntimeError("telemetry sink exploded")
+
+        def never(gen, eng):  # pragma: no cover - must not run
+            calls.append(("never", gen))
+
+        ga = NSGA2(small_evaluator, NSGA2Config(population_size=12), rng=9)
+        with pytest.raises(RuntimeError, match="telemetry sink exploded"):
+            ga.run(3, progress=compose(first, boom, never))
+        assert calls == [("first", 1)]
 
 
 class TestParallelRunner:

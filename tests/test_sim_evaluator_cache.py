@@ -167,6 +167,7 @@ class TestCacheMechanics:
         assert stats == {
             "hits": 5,
             "misses": 5,
+            "evictions": 0,
             "entries": 5,
             "hit_rate": 0.5,
         }

@@ -1,0 +1,29 @@
+"""Tests for the durable-write receipt returned by atomic_write_json."""
+
+import json
+
+from repro.storage import WriteReceipt, atomic_write_json, read_json_artifact
+
+
+class TestWriteReceipt:
+    def test_receipt_reports_bytes_and_fsync(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        receipt = atomic_write_json(path, {"rows": list(range(50))})
+        assert isinstance(receipt, WriteReceipt)
+        assert receipt.bytes_written == path.stat().st_size
+        assert receipt.fsync_seconds >= 0.0
+        assert read_json_artifact(path) == {"rows": list(range(50))}
+
+    def test_receipt_tracks_payload_size(self, tmp_path):
+        small = atomic_write_json(tmp_path / "s.json", {"k": 1})
+        large = atomic_write_json(tmp_path / "l.json", {"k": "x" * 4096})
+        assert large.bytes_written > small.bytes_written
+
+    def test_receipt_is_frozen(self, tmp_path):
+        receipt = atomic_write_json(tmp_path / "a.json", {})
+        try:
+            receipt.bytes_written = 0
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
