@@ -1,0 +1,188 @@
+"""Parallel experiment-grid benchmark with a regression-tracked report.
+
+Times a repetition grid (R independent NSGA-II runs on data set 1)
+executed serially and through the zero-copy shared-memory engine, and
+measures the two properties the engine exists for:
+
+* **Bit-identity** — the parallel fronts equal the serial fronts
+  exactly, every repetition, so the speedup is free (asserted in both
+  smoke and full runs).
+* **O(1) submission payload** — the pickled
+  :class:`~repro.parallel.descriptors.SharedDatasetHandle` carries
+  system metadata only: going from 250 tasks (data set 1) to 4000
+  (data set 3) grows the shared arrays ~50× but the handle only ~4×
+  (the larger system definition), keeping it under 2% of the segment
+  it stands in for.  The handle ships once per worker; per-cell
+  submissions carry just a repetition index.
+
+Results are written to ``BENCH_parallel_grid.json`` at the repo root
+(``.smoke.json`` under ``REPRO_BENCH_SMOKE=1``, which shrinks R /
+generations / population but keeps every correctness assertion).
+
+The absolute wall-clock gate — parallel must beat serial by
+``MIN_SPEEDUP`` with 4 workers — only runs on machines that can
+express it (``os.cpu_count() >= 4`` and not smoke); CI containers with
+one core still check identity, payload scaling, and write the report.
+
+The report also carries the Min-Min stage-1 cache counters on the
+4000-task data set (see ``tests/test_min_min_scaling.py`` for the
+hard ceiling): seeding cost rides along with every paper-scale grid,
+so its scaling is tracked in the same artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_SEED
+from repro.experiments.repetitions import run_repetitions
+from repro.heuristics.min_min import MinMinCompletionTime
+from repro.parallel import descriptors, shm
+
+REPO_ROOT = Path(__file__).parent.parent
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+REPETITIONS = 4 if SMOKE else 8
+GENERATIONS = 6 if SMOKE else 40
+POPULATION = 16 if SMOKE else 60
+WORKERS = 2 if SMOKE else 4
+REPORT = REPO_ROOT / (
+    "BENCH_parallel_grid.smoke.json" if SMOKE else "BENCH_parallel_grid.json"
+)
+
+#: Minimum serial/parallel wall-clock ratio with 4 workers (full runs
+#: on >= 4 cores only; the grid is embarrassingly parallel, so the
+#: remaining gap is publish + attach + result pickling overhead).
+MIN_SPEEDUP = 2.0
+
+#: Ceiling on the pickled handle size — O(system metadata: machine
+#: definitions and TUF parameters), not O(trace length).  Data set 3's
+#: expanded 30-machine system serializes to ~17 KB of metadata while
+#: its 4000-task arrays occupy megabytes of segment.
+MAX_HANDLE_BYTES = 32_768
+
+
+def _grid(ds, *, workers):
+    t0 = time.perf_counter()
+    result = run_repetitions(
+        ds, repetitions=REPETITIONS, generations=GENERATIONS,
+        population_size=POPULATION, base_seed=BENCH_SEED, workers=workers,
+    )
+    return result, time.perf_counter() - t0
+
+
+@pytest.fixture(scope="module")
+def grid_report(ds1, ds3):
+    serial, serial_s = _grid(ds1, workers=0)
+    parallel, parallel_s = _grid(ds1, workers=WORKERS)
+
+    payload = {}
+    for name, ds in (("dataset1", ds1), ("dataset3", ds3)):
+        with descriptors.publish_dataset(ds) as published:
+            payload[name] = {
+                "handle_bytes": len(pickle.dumps(published.handle)),
+                "segment_bytes": published.nbytes,
+                "transport": published.transport,
+            }
+
+    minmin = MinMinCompletionTime()
+    t0 = time.perf_counter()
+    minmin.build(ds3.system, ds3.trace)
+    minmin_s = time.perf_counter() - t0
+
+    report = {
+        "description": (
+            f"{REPETITIONS}-repetition NSGA-II grid on dataset1, serial vs "
+            f"{WORKERS} shared-memory pool workers"
+        ),
+        "protocol": {
+            "repetitions": REPETITIONS,
+            "generations": GENERATIONS,
+            "population": POPULATION,
+            "workers": WORKERS,
+            "seed": BENCH_SEED,
+            "smoke": SMOKE,
+        },
+        "environment": {
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "wallclock": {
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "speedup": round(serial_s / parallel_s, 4),
+        },
+        "payload": payload,
+        "minmin_dataset3": {
+            "build_s": round(minmin_s, 4),
+            **minmin.last_stats,
+        },
+    }
+    REPORT.write_text(json.dumps(report, indent=2) + "\n")
+    return report, serial, parallel
+
+
+def test_parallel_fronts_bit_identical(grid_report):
+    """The speedup must be free: every repetition's front matches the
+    serial run exactly, whatever the completion order."""
+    _, serial, parallel = grid_report
+    assert len(parallel.fronts) == REPETITIONS
+    for s, p in zip(serial.fronts, parallel.fronts):
+        np.testing.assert_array_equal(s, p)
+    assert serial.hypervolume == parallel.hypervolume
+
+
+def test_no_segments_leaked(grid_report):
+    assert shm.owned_segments() == ()
+    assert shm.leaked_segments() == ()
+
+
+def test_submission_payload_is_o1_in_dataset_size(grid_report):
+    """The handle is O(metadata): it barely grows from 250 to 4000
+    tasks while the shared arrays grow ~10x."""
+    report, _, _ = grid_report
+    small = report["payload"]["dataset1"]
+    large = report["payload"]["dataset3"]
+    assert small["handle_bytes"] <= MAX_HANDLE_BYTES
+    assert large["handle_bytes"] <= MAX_HANDLE_BYTES
+    if small["transport"] == "shm" and large["transport"] == "shm":
+        # Arrays blow up ~50x (250 -> 4000 tasks on a 2x-wider system);
+        # the handle only tracks the system metadata (~4x) and stays a
+        # rounding error next to the segment it stands in for.
+        array_growth = large["segment_bytes"] / small["segment_bytes"]
+        handle_growth = large["handle_bytes"] / small["handle_bytes"]
+        assert array_growth > 5 * handle_growth
+        assert large["handle_bytes"] < 0.02 * large["segment_bytes"]
+
+
+def test_minmin_cache_work_tracked(grid_report):
+    report, _, _ = grid_report
+    stats = report["minmin_dataset3"]
+    naive_rows = stats["tasks"] * (stats["tasks"] - 1) // 2
+    assert stats["recomputed_rows"] < naive_rows / 5
+
+
+@pytest.mark.skipif(
+    SMOKE or (os.cpu_count() or 1) < 4,
+    reason="absolute speedup needs a full run on >= 4 cores",
+)
+def test_parallel_speedup(grid_report):
+    report, _, _ = grid_report
+    assert report["wallclock"]["speedup"] >= MIN_SPEEDUP
+
+
+def test_report_written(grid_report):
+    report, _, _ = grid_report
+    on_disk = json.loads(REPORT.read_text())
+    assert on_disk["wallclock"] == report["wallclock"]
+    assert set(on_disk["payload"]) == {"dataset1", "dataset3"}

@@ -153,6 +153,7 @@ def _cmd_report(args: argparse.Namespace, resume: bool = False) -> int:
             bundle,
             config,
             workers=args.workers,
+            transport=args.transport,
             retry=RetryPolicy(max_attempts=args.max_attempts,
                               timeout=args.timeout),
             strict=args.strict,
@@ -186,6 +187,8 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
             scale=args.scale,
             base_seed=args.seed,
             population_size=args.population,
+            workers=args.workers,
+            transport=args.transport,
             obs=obs,
         )
     finally:
@@ -206,6 +209,8 @@ def _cmd_repetitions(args: argparse.Namespace) -> int:
             population_size=args.population,
             seed_label=args.population_label,
             base_seed=args.seed,
+            workers=args.workers,
+            transport=args.transport,
             obs=obs,
         )
     finally:
@@ -368,12 +373,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="observability detail; 'debug' adds "
                        "per-generation stage spans")
 
+    def _add_workers_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=0,
+                       help="process-pool size (0 = sequential); parallel "
+                       "runs share dataset arrays zero-copy and are "
+                       "bit-identical to sequential ones")
+        p.add_argument("--transport", choices=["auto", "shm", "pickle"],
+                       default="auto",
+                       help="parallel array transport: shared memory when "
+                       "available (auto), forced shm, or pickle fallback")
+
     def _add_execution_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--dataset", choices=["1", "2", "3"], default="1")
         p.add_argument("--scale", type=float, default=None)
         p.add_argument("--population", type=int, default=60)
-        p.add_argument("--workers", type=int, default=0,
-                       help="process-pool size (0 = sequential)")
+        _add_workers_args(p)
         p.add_argument("--seed", type=int, default=2013)
         p.add_argument("--checkpoint-dir", default=None,
                        help="durable NSGA-II checkpoints (one file per "
@@ -408,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="generation scale vs paper (1.0 = paper scale)")
     p_all.add_argument("--seed", type=int, default=2013)
     p_all.add_argument("--population", type=int, default=100)
+    _add_workers_args(p_all)
     _add_obs_args(p_all)
 
     p_rep = sub.add_parser(
@@ -423,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["random", *sorted(SEEDING_HEURISTICS)],
     )
     p_rep.add_argument("--seed", type=int, default=2013)
+    _add_workers_args(p_rep)
     _add_obs_args(p_rep)
 
     p_trace = sub.add_parser(

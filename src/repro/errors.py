@@ -27,6 +27,11 @@ NumPy, etc.).  The subclasses partition failures by subsystem:
 * :class:`ObservabilityError` — the observability layer was misused
   (duplicate metric registered under a different type, unreadable or
   schema-invalid trace/event artifacts).
+* :class:`ParallelExecutionError` — the shared-memory parallel
+  execution engine failed (segment creation/attachment, engine misuse).
+  Like the checkpoint/artifact errors it refines
+  :class:`ExperimentError`, since parallel execution is an experiment
+  concern.
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ __all__ = [
     "CheckpointError",
     "CorruptArtifactError",
     "ObservabilityError",
+    "ParallelExecutionError",
 ]
 
 
@@ -93,3 +99,7 @@ class CorruptArtifactError(ExperimentError):
 
 class ObservabilityError(ReproError):
     """The observability layer was misconfigured or fed invalid data."""
+
+
+class ParallelExecutionError(ExperimentError):
+    """The shared-memory parallel execution engine failed."""

@@ -89,6 +89,19 @@ class DatasetBundle:
         """Tasks in the trace."""
         return self.trace.num_tasks
 
+    def share(self, transport: str = "auto", obs=None):
+        """Publish this bundle's arrays for zero-copy parallel workers.
+
+        Convenience for
+        :func:`repro.parallel.descriptors.publish_dataset`; returns the
+        owning :class:`~repro.parallel.descriptors.PublishedDataset`
+        (use as a context manager, or ``close()`` it after the pool
+        shuts down).
+        """
+        from repro.parallel.descriptors import publish_dataset
+
+        return publish_dataset(self, transport=transport, obs=obs)
+
 
 def dataset1(seed: int = 2013) -> DatasetBundle:
     """Data set 1: real 5×9 data, 250 tasks over 15 minutes."""

@@ -120,6 +120,8 @@ def _run_figure(
     mutation_probability: float,
     base_seed: int,
     scale: Optional[float],
+    workers: int = 0,
+    transport: str = "auto",
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     paper = PAPER_CHECKPOINTS[name]
@@ -143,9 +145,13 @@ def _run_figure(
     if obs is not None and obs.enabled:
         obs = obs.bind(figure=name)
         with obs.span("figure.run", figure=name):
-            result = run_seeded_populations(dataset, config, obs=obs)
+            result = run_seeded_populations(
+                dataset, config, workers=workers, transport=transport, obs=obs
+            )
     else:
-        result = run_seeded_populations(dataset, config)
+        result = run_seeded_populations(
+            dataset, config, workers=workers, transport=transport
+        )
     return FigureResult(name=name, result=result, paper_checkpoints=paper)
 
 
@@ -156,13 +162,16 @@ def figure3(
     base_seed: int = 2013,
     scale: Optional[float] = None,
     dataset: Optional[DatasetBundle] = None,
+    workers: int = 0,
+    transport: str = "auto",
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 3: the real historical data set (data set 1)."""
     ds = dataset if dataset is not None else dataset1(base_seed)
     return _run_figure(
         "figure3", ds, checkpoints, population_size,
-        mutation_probability, base_seed, scale, obs=obs,
+        mutation_probability, base_seed, scale,
+        workers=workers, transport=transport, obs=obs,
     )
 
 
@@ -173,13 +182,16 @@ def figure4(
     base_seed: int = 2013,
     scale: Optional[float] = None,
     dataset: Optional[DatasetBundle] = None,
+    workers: int = 0,
+    transport: str = "auto",
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 4: the 1000-task synthetic data set (data set 2)."""
     ds = dataset if dataset is not None else dataset2(base_seed)
     return _run_figure(
         "figure4", ds, checkpoints, population_size,
-        mutation_probability, base_seed, scale, obs=obs,
+        mutation_probability, base_seed, scale,
+        workers=workers, transport=transport, obs=obs,
     )
 
 
@@ -190,13 +202,16 @@ def figure6(
     base_seed: int = 2013,
     scale: Optional[float] = None,
     dataset: Optional[DatasetBundle] = None,
+    workers: int = 0,
+    transport: str = "auto",
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 6: the 4000-task synthetic data set (data set 3)."""
     ds = dataset if dataset is not None else dataset3(base_seed)
     return _run_figure(
         "figure6", ds, checkpoints, population_size,
-        mutation_probability, base_seed, scale, obs=obs,
+        mutation_probability, base_seed, scale,
+        workers=workers, transport=transport, obs=obs,
     )
 
 

@@ -28,11 +28,12 @@ from repro.core.operators import OperatorConfig
 from repro.errors import ExperimentError
 from repro.experiments.datasets import DatasetBundle
 from repro.heuristics import SEEDING_HEURISTICS
-from repro.rng import derive_seed
+from repro.rng import derive_seed, ensure_rng
 from repro.sim.evaluator import ScheduleEvaluator
 from repro.types import FloatArray
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.runner import RetryPolicy
     from repro.obs.context import RunContext
 
 __all__ = ["HypervolumeStats", "RepetitionResult", "run_repetitions"]
@@ -78,6 +79,42 @@ class RepetitionResult:
         return len(self.fronts)
 
 
+#: Per-worker memo of evaluators by dataset id — one NSGA-II evaluation
+#: cache per (worker, dataset), shared by every repetition cell the
+#: worker executes.  Cache hits are bit-identical to fresh evaluations,
+#: so sharing never perturbs results.
+_CELL_EVALUATORS: dict[str, ScheduleEvaluator] = {}
+
+
+def _repetition_cell(restored, extra: dict, r: int, attempt: int, payload) -> FloatArray:
+    """Engine cell body: one repetition's full NSGA-II run (pool worker).
+
+    The RNG stream is ``derive_seed(base_seed, dataset, label, r)`` —
+    exactly the serial derivation — so fronts are bit-identical to a
+    sequential run regardless of worker count, scheduling order, or
+    transport.
+    """
+    evaluator = _CELL_EVALUATORS.get(restored.handle.dataset_id)
+    if evaluator is None:
+        evaluator = restored.make_evaluator(check_feasibility=False)
+        _CELL_EVALUATORS[restored.handle.dataset_id] = evaluator
+    dataset = restored.bundle
+    seed_label = extra["seed_label"]
+    ga = NSGA2(
+        evaluator,
+        NSGA2Config(
+            population_size=extra["population_size"],
+            operators=OperatorConfig(
+                mutation_probability=extra["mutation_probability"]
+            ),
+        ),
+        seeds=extra["seeds"],
+        rng=derive_seed(extra["base_seed"], dataset.name, seed_label, r),
+        label=f"{seed_label}#{r}",
+    )
+    return ga.run(extra["generations"]).final.front_points
+
+
 def run_repetitions(
     dataset: DatasetBundle,
     repetitions: int,
@@ -86,6 +123,9 @@ def run_repetitions(
     mutation_probability: float = 0.25,
     seed_label: str = "random",
     base_seed: int = 2013,
+    workers: int = 0,
+    transport: str = "auto",
+    retry: Optional["RetryPolicy"] = None,
     obs: Optional["RunContext"] = None,
 ) -> RepetitionResult:
     """Run R independent NSGA-II repetitions of one population setup.
@@ -105,11 +145,31 @@ def run_repetitions(
         per repetition.
     base_seed:
         Master seed; repetition r uses ``derive_seed(base, label, r)``.
+    workers:
+        Process-pool size for fanning the R repetitions out in
+        parallel; 0 (default) runs sequentially in-process.  The
+        dataset's arrays are published once into shared memory (see
+        :mod:`repro.parallel`) and workers attach zero-copy; each cell
+        submission carries only the repetition index.  Fronts are
+        reassembled in repetition order and are bit-identical to a
+        sequential run (per-repetition RNG streams are derived from the
+        seed, never from execution order).
+    transport:
+        Array transport for the parallel path: ``"auto"`` (shared
+        memory when available, else pickle), ``"shm"``, or
+        ``"pickle"``.  Results are bit-identical across transports.
+    retry:
+        Per-repetition :class:`~repro.experiments.runner.RetryPolicy`
+        for the parallel path (default: 3 attempts, exponential
+        backoff).  A repetition that exhausts its budget raises — a
+        missing sample would silently bias the aggregate statistics.
     obs:
         Optional :class:`~repro.obs.context.RunContext` threaded into
         the evaluator and every repetition's engine; adds a
         ``repetition.run`` span per repetition and a final hypervolume
-        gauge.
+        gauge.  Parallel runs record coordinator-side telemetry
+        (spans from worker-reported timings, queue-wait histograms,
+        attach counters).
     """
     if repetitions < 1:
         raise ExperimentError(f"repetitions must be >= 1, got {repetitions}")
@@ -123,31 +183,38 @@ def run_repetitions(
 
         obs = NULL_CONTEXT
     obs = obs.bind(dataset=dataset.name, seed_label=seed_label)
-    evaluator = ScheduleEvaluator(dataset.system, dataset.trace,
-                                  check_feasibility=False, obs=obs)
     seeds = []
     if seed_label != "random":
         with obs.span("seeding.build", heuristic=seed_label):
             seeds = [SEEDING_HEURISTICS[seed_label]().build(dataset.system,
                                                             dataset.trace)]
 
-    fronts: list[FloatArray] = []
-    for r in range(repetitions):
-        ga = NSGA2(
-            evaluator,
-            NSGA2Config(
-                population_size=population_size,
-                operators=OperatorConfig(
-                    mutation_probability=mutation_probability
-                ),
-            ),
-            seeds=seeds,
-            rng=derive_seed(base_seed, dataset.name, seed_label, r),
-            label=f"{seed_label}#{r}",
-            obs=obs,
+    if workers and workers > 1 and repetitions > 1:
+        fronts = _run_repetitions_parallel(
+            dataset, repetitions, generations, population_size,
+            mutation_probability, seed_label, base_seed, workers,
+            transport, retry, seeds, obs,
         )
-        with obs.span("repetition.run", repetition=r):
-            fronts.append(ga.run(generations).final.front_points)
+    else:
+        evaluator = ScheduleEvaluator(dataset.system, dataset.trace,
+                                      check_feasibility=False, obs=obs)
+        fronts = []
+        for r in range(repetitions):
+            ga = NSGA2(
+                evaluator,
+                NSGA2Config(
+                    population_size=population_size,
+                    operators=OperatorConfig(
+                        mutation_probability=mutation_probability
+                    ),
+                ),
+                seeds=seeds,
+                rng=derive_seed(base_seed, dataset.name, seed_label, r),
+                label=f"{seed_label}#{r}",
+                obs=obs,
+            )
+            with obs.span("repetition.run", repetition=r):
+                fronts.append(ga.run(generations).final.front_points)
 
     all_pts = np.vstack(fronts)
     reference = (float(all_pts[:, 0].max() * 1.01),
@@ -164,3 +231,87 @@ def run_repetitions(
         attainment=attainment_summary(fronts),
         hypervolume=stats,
     )
+
+
+def _run_repetitions_parallel(
+    dataset: DatasetBundle,
+    repetitions: int,
+    generations: int,
+    population_size: int,
+    mutation_probability: float,
+    seed_label: str,
+    base_seed: int,
+    workers: int,
+    transport: str,
+    retry: Optional["RetryPolicy"],
+    seeds: list,
+    obs: "RunContext",
+) -> list[FloatArray]:
+    """Fan the R×1 repetition grid out over the parallel engine.
+
+    Publishes the dataset once, ships the heuristic seed allocation
+    once per worker via the pool initializer, and submits only the
+    repetition index per cell.  Fronts are returned in repetition
+    order, whatever order the cells completed in.
+    """
+    from repro.experiments.runner import RetryPolicy
+    from repro.parallel.descriptors import publish_dataset
+    from repro.parallel.engine import CellReply, ParallelEngine
+
+    policy = retry if retry is not None else RetryPolicy()
+    extra = {
+        "generations": generations,
+        "population_size": population_size,
+        "mutation_probability": mutation_probability,
+        "seed_label": seed_label,
+        "base_seed": base_seed,
+        "seeds": seeds,
+    }
+    fronts_by_r: dict[int, FloatArray] = {}
+    backoff_rngs: dict[int, np.random.Generator] = {}
+
+    def backoff_for(r: int, attempt: int) -> float:
+        if r not in backoff_rngs:
+            backoff_rngs[r] = ensure_rng(
+                derive_seed(base_seed, "repetition-backoff", seed_label, r)
+            )
+        delay = policy.delay(attempt, backoff_rngs[r])
+        if obs.enabled:
+            obs.counter(
+                "runner_retries_total", help="population attempts retried"
+            ).inc()
+            obs.event(
+                "retry.scheduled", level="warning",
+                label=f"{seed_label}#{r}", failed_attempt=attempt,
+                delay_seconds=delay,
+            )
+        return delay
+
+    def give_up(r: int, attempt: int, exc: BaseException) -> None:
+        raise ExperimentError(
+            f"repetition {r} failed after {attempt} attempt(s): "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+    def on_result(reply: CellReply) -> None:
+        fronts_by_r[reply.key] = reply.result
+        if obs.enabled:
+            obs.record_span(
+                "repetition.run", reply.elapsed,
+                repetition=reply.key, attempt=reply.attempt,
+            )
+
+    with publish_dataset(dataset, transport=transport, obs=obs) as published:
+        with ParallelEngine(
+            workers, handle=published.handle, extra=extra, obs=obs,
+        ) as engine:
+            engine.run(
+                _repetition_cell,
+                list(range(repetitions)),
+                payload_for=lambda r, attempt: None,
+                policy=policy,
+                backoff_for=backoff_for,
+                give_up=give_up,
+                on_result=on_result,
+            )
+    return [fronts_by_r[r] for r in range(repetitions)]

@@ -243,6 +243,7 @@ def run_seeded_populations(
     extra_seeds: Optional[Mapping[str, Sequence[ResourceAllocation]]] = None,
     workers: int = 0,
     *,
+    transport: str = "auto",
     retry: Optional[RetryPolicy] = None,
     strict: bool = False,
     checkpoint_dir: Optional[str] = None,
@@ -274,7 +275,14 @@ def run_seeded_populations(
         either way (each population's RNG stream is derived from the
         config seed, not from execution order).  Parallel results are
         collected as they complete, so one slow population never
-        serializes the others.
+        serializes the others.  The dataset's arrays are published once
+        into shared memory and workers attach zero-copy (see
+        :mod:`repro.parallel`); per-cell submissions carry only a few
+        bytes of descriptors.
+    transport:
+        Array transport for the parallel path: ``"auto"`` (shared
+        memory when available, else pickle), ``"shm"``, or
+        ``"pickle"``.  Results are bit-identical across transports.
     retry:
         Per-population :class:`RetryPolicy`; default
         ``RetryPolicy()`` (3 attempts, exponential backoff).
@@ -410,7 +418,14 @@ def run_seeded_populations(
             dataset, config, labels, seeds_for, workers, policy,
             fault_hook, evaluation_fault_hook, checkpoint_dir,
             resume_attempt, backoff_for, give_up, histories, sleep,
+            obs=obs, transport=transport,
         )
+        # Cells land in completion order; restore label order so every
+        # downstream iteration (reports, dominance tables) is identical
+        # to a serial run.
+        histories = {
+            label: histories[label] for label in labels if label in histories
+        }
     else:
         for label in labels:
             attempt = 0
@@ -448,6 +463,52 @@ def run_seeded_populations(
     )
 
 
+def _population_cell(
+    restored,
+    extra: dict,
+    label: str,
+    attempt: int,
+    resume: bool,
+) -> tuple[str, RunHistory]:
+    """Engine cell body: one population attempt on the shared dataset.
+
+    Runs in a pool worker.  *restored* is the worker's memoized
+    :class:`~repro.parallel.descriptors.RestoredDataset` — the
+    evaluator is built over its zero-copy shared views, so per-attempt
+    setup does no O(tasks × machines) array work.  The RNG stream is
+    derived exactly as on the sequential path, so results are
+    bit-identical regardless of execution order or transport.
+    """
+    fault_hook = extra["fault_hook"]
+    if fault_hook is not None:
+        fault_hook(label, attempt)
+    config: ExperimentConfig = extra["config"]
+    dataset = restored.bundle
+    evaluator = restored.make_evaluator(
+        check_feasibility=False,
+        fault_hook=extra["evaluation_fault_hook"],
+    )
+    ga = NSGA2(
+        evaluator,
+        NSGA2Config(
+            population_size=config.population_size,
+            operators=OperatorConfig(
+                mutation_probability=config.mutation_probability
+            ),
+        ),
+        seeds=extra["seeds"][label],
+        rng=derive_seed(config.base_seed, dataset.name, label),
+        label=label,
+    )
+    history = ga.run(
+        generations=config.generations,
+        checkpoints=list(config.checkpoints),
+        checkpoint_dir=extra["checkpoint_dir"],
+        resume=resume,
+    )
+    return label, history
+
+
 def _run_parallel(
     dataset: DatasetBundle,
     config: ExperimentConfig,
@@ -463,84 +524,50 @@ def _run_parallel(
     give_up: Callable[[str, int, BaseException], None],
     histories: dict[str, RunHistory],
     sleep: Callable[[float], None],
+    obs: Optional["RunContext"] = None,
+    transport: str = "auto",
 ) -> None:
-    """Process-pool orchestration: as-completed collection, per-attempt
-    deadlines, backoff-scheduled retries, clean interrupt shutdown.
+    """Zero-copy process-pool orchestration via the parallel engine.
 
-    Results are harvested with :func:`concurrent.futures.wait` as they
-    finish (never in submission order), so one slow population cannot
-    serialize the collection of the other four.  On
-    ``KeyboardInterrupt`` the pool is shut down with
-    ``cancel_futures=True`` so queued work is dropped immediately.
+    The dataset's arrays are published once into shared memory (see
+    :mod:`repro.parallel`); workers attach zero-copy through the pool
+    initializer, so each cell submission carries only ``(label,
+    attempt, resume)``.  The engine provides as-completed collection,
+    heap-scheduled backoff retries, per-attempt timeouts with cell
+    leases (a timed-out attempt and its retry never run concurrently),
+    and clean ``KeyboardInterrupt`` shutdown.
     """
-    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from repro.parallel.descriptors import publish_dataset
+    from repro.parallel.engine import CellReply, ParallelEngine
 
-    #: Future → (label, attempt, deadline | None)
-    pending: dict = {}
-    #: (ready time, label, attempt) retries waiting out their backoff.
-    scheduled: list[tuple[float, str, int]] = []
+    extra = {
+        "config": config,
+        "seeds": {label: seeds_for(label) for label in labels},
+        "fault_hook": fault_hook,
+        "evaluation_fault_hook": evaluation_fault_hook,
+        "checkpoint_dir": checkpoint_dir,
+    }
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        def submit(label: str, attempt: int) -> None:
-            future = pool.submit(
-                _run_one_population, dataset, config, label, seeds_for(label),
-                attempt, fault_hook, evaluation_fault_hook, checkpoint_dir,
-                resume_attempt(attempt),
+    def on_result(reply: CellReply) -> None:
+        finished_label, history = reply.result
+        histories[finished_label] = history
+        if obs is not None and obs.enabled:
+            obs.record_span(
+                "population.run", reply.elapsed,
+                label=finished_label, attempt=reply.attempt,
             )
-            deadline = (
-                None if policy.timeout is None
-                else time.monotonic() + policy.timeout
+
+    with publish_dataset(dataset, transport=transport, obs=obs) as published:
+        with ParallelEngine(
+            workers, handle=published.handle, extra=extra, obs=obs,
+        ) as engine:
+            engine.run(
+                _population_cell,
+                labels,
+                payload_for=lambda label, attempt: resume_attempt(attempt),
+                policy=policy,
+                backoff_for=backoff_for,
+                give_up=give_up,
+                on_result=on_result,
+                sleep=sleep,
             )
-            pending[future] = (label, attempt, deadline)
-
-        def handle_failure(label: str, attempt: int, exc: BaseException) -> None:
-            if attempt >= policy.max_attempts:
-                give_up(label, attempt, exc)
-            else:
-                ready = time.monotonic() + backoff_for(label, attempt)
-                scheduled.append((ready, label, attempt + 1))
-
-        try:
-            for label in labels:
-                submit(label, 1)
-            while pending or scheduled:
-                now = time.monotonic()
-                due = [item for item in scheduled if item[0] <= now]
-                for item in due:
-                    scheduled.remove(item)
-                    submit(item[1], item[2])
-                if not pending:
-                    sleep(max(0.0, min(t for t, _, _ in scheduled) - now))
-                    continue
-                waits = [t - now for t, _, _ in scheduled]
-                waits += [
-                    d - now for _, _, d in pending.values() if d is not None
-                ]
-                wait_for = max(0.0, min(waits)) if waits else None
-                done, _ = wait(
-                    set(pending), timeout=wait_for, return_when=FIRST_COMPLETED
-                )
-                for future in done:
-                    label, attempt, _ = pending.pop(future)
-                    try:
-                        finished_label, history = future.result()
-                        histories[finished_label] = history
-                    except Exception as exc:
-                        handle_failure(label, attempt, exc)
-                now = time.monotonic()
-                for future, (label, attempt, deadline) in list(pending.items()):
-                    if deadline is not None and now >= deadline:
-                        future.cancel()  # best effort; running tasks linger
-                        del pending[future]
-                        handle_failure(
-                            label, attempt,
-                            TimeoutError(
-                                f"attempt {attempt} exceeded the per-attempt "
-                                f"timeout of {policy.timeout}s"
-                            ),
-                        )
-        except BaseException:
-            # Fail-fast exit (strict mode) or KeyboardInterrupt: drop
-            # queued work now; the context exit joins running workers.
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise

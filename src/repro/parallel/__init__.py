@@ -1,0 +1,63 @@
+"""Zero-copy shared-memory parallel execution for experiment grids.
+
+Layered bottom-up:
+
+* :mod:`repro.parallel.shm` — packed shared-memory segments, attach
+  registries, leak detection, lifecycle hooks.
+* :mod:`repro.parallel.descriptors` — publishing a
+  :class:`~repro.experiments.datasets.DatasetBundle` once per
+  experiment and reconstructing zero-copy evaluators worker-side from
+  a tiny picklable handle (with an inline pickle fallback for
+  platforms without shared memory).
+* :mod:`repro.parallel.engine` — the persistent worker pool and the
+  retry/collect loop (heap-scheduled backoff, per-attempt timeouts
+  with cell leases, coordinator-side observability).
+
+See ``docs/performance.md`` for the architecture discussion and
+``benchmarks/test_bench_parallel_grid.py`` for the measured speedups.
+"""
+
+from repro.parallel.descriptors import (
+    PublishedDataset,
+    RestoredDataset,
+    SharedDatasetHandle,
+    dataset_arrays,
+    publish_dataset,
+)
+from repro.parallel.engine import CellReply, ParallelEngine
+from repro.parallel.shm import (
+    SEGMENT_PREFIX,
+    SHARED_MEMORY_AVAILABLE,
+    ArrayPackSpec,
+    ArraySpec,
+    SharedArrayPack,
+    SharedMemoryUnavailable,
+    attach,
+    detach_all,
+    leaked_segments,
+    owned_segments,
+    publish,
+    unlink_segments,
+)
+
+__all__ = [
+    "SHARED_MEMORY_AVAILABLE",
+    "SEGMENT_PREFIX",
+    "SharedMemoryUnavailable",
+    "ArraySpec",
+    "ArrayPackSpec",
+    "SharedArrayPack",
+    "publish",
+    "attach",
+    "detach_all",
+    "owned_segments",
+    "leaked_segments",
+    "unlink_segments",
+    "dataset_arrays",
+    "publish_dataset",
+    "PublishedDataset",
+    "SharedDatasetHandle",
+    "RestoredDataset",
+    "CellReply",
+    "ParallelEngine",
+]

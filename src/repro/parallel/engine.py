@@ -1,0 +1,388 @@
+"""The persistent worker-pool engine for experiment-grid cells.
+
+:class:`ParallelEngine` owns one :class:`~concurrent.futures.\
+ProcessPoolExecutor` whose workers are initialized **once** with a
+:class:`~repro.parallel.descriptors.SharedDatasetHandle` (attached
+zero-copy on first use) plus a driver-supplied ``extra`` payload
+(heuristic seed allocations, experiment config, fault hooks).  After
+that, every grid-cell submission carries only ``(key, attempt,
+payload)`` — a few hundred bytes regardless of dataset size.
+
+:meth:`ParallelEngine.run` is the generic retry/collect loop shared by
+the seeded-population runner and the repetition-grid driver:
+
+* **as-completed harvesting** — results are collected the moment they
+  finish, never in submission order;
+* **heap-scheduled backoff** — retries waiting out their backoff sit in
+  a :mod:`heapq` priority queue, popped in ready-time order (O(log n)
+  per retry instead of a linear scan-and-remove);
+* **cell leases for timeouts** — ``Future.cancel`` cannot stop a task
+  that is already running, so a timed-out attempt becomes a *zombie*:
+  it keeps both its pool slot and its **cell lease** until it actually
+  finishes.  A retry of the same cell is held until the lease is
+  released, so a timed-out attempt and its retry can never run
+  concurrently (they would race on checkpoint files and, previously,
+  silently double-consumed pool slots);
+* **coordinator-side observability** — queue-wait histograms, attach
+  counters (first reply from each worker pid), cell counters, and
+  timeout/zombie events on the driver's
+  :class:`~repro.obs.context.RunContext`.  Contexts are not picklable,
+  so workers stay obs-free by design.
+
+The engine is transport-agnostic: it neither publishes nor unlinks
+shared memory.  Drivers publish via
+:func:`repro.parallel.descriptors.publish_dataset` and pass the
+resulting handle in; the pickle-fallback handle works identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Hashable, Optional, Sequence
+
+from repro.errors import ParallelExecutionError
+from repro.parallel import shm as shm_transport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.context import RunContext
+    from repro.parallel.descriptors import RestoredDataset, SharedDatasetHandle
+
+__all__ = ["CellReply", "ParallelEngine"]
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Per-worker state installed by the pool initializer.
+_WORKER_HANDLE: Optional["SharedDatasetHandle"] = None
+_WORKER_EXTRA: object = None
+
+
+def _worker_init(handle: Optional["SharedDatasetHandle"], extra: object) -> None:
+    """Pool initializer: install the dataset handle + driver payload.
+
+    Runs exactly once per worker process.  Under the ``fork`` start
+    method the worker may have inherited the coordinator's shared-
+    memory ownership registry; that is dropped first so a worker can
+    never unlink the coordinator's segments.  The dataset is restored
+    (segment attached, views built) eagerly so the first cell pays no
+    attach latency.
+    """
+    global _WORKER_HANDLE, _WORKER_EXTRA
+    shm_transport.forget_owned()
+    _WORKER_HANDLE = handle
+    _WORKER_EXTRA = extra
+    if handle is not None:
+        handle.restore()
+
+
+@dataclass(frozen=True)
+class CellReply:
+    """One completed grid cell, as returned to the coordinator.
+
+    Attributes
+    ----------
+    key:
+        The cell's identity (population label, repetition index, ...).
+    attempt:
+        Which attempt produced this reply (1-based).
+    pid:
+        The worker process id — lets the coordinator count distinct
+        attaching workers.
+    queue_wait:
+        Seconds the submission sat in the pool queue before a worker
+        picked it up (coordinator/worker monotonic-clock delta; the
+        clocks are system-wide on Linux, and the value is clamped to
+        ``>= 0`` elsewhere).
+    elapsed:
+        Seconds the cell body ran in the worker.
+    result:
+        Whatever the driver's cell function returned.
+    """
+
+    key: Hashable
+    attempt: int
+    pid: int
+    queue_wait: float
+    elapsed: float
+    result: object
+
+
+def _execute_cell(
+    fn: Callable[..., object],
+    key: Hashable,
+    attempt: int,
+    payload: object,
+    submitted_at: float,
+) -> CellReply:
+    """Worker-side cell wrapper: restore, run, wrap timing metadata."""
+    started = time.monotonic()
+    restored: Optional["RestoredDataset"] = (
+        _WORKER_HANDLE.restore() if _WORKER_HANDLE is not None else None
+    )
+    result = fn(restored, _WORKER_EXTRA, key, attempt, payload)
+    return CellReply(
+        key=key,
+        attempt=attempt,
+        pid=os.getpid(),
+        queue_wait=max(0.0, started - submitted_at),
+        elapsed=time.monotonic() - started,
+        result=result,
+    )
+
+
+# -- coordinator side --------------------------------------------------------
+
+
+class ParallelEngine:
+    """A persistent pool of dataset-attached workers plus the retry loop.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (>= 1).
+    handle:
+        Optional :class:`~repro.parallel.descriptors.SharedDatasetHandle`
+        shipped to each worker once via the pool initializer; cells
+        receive the restored dataset as their first argument (or
+        ``None`` when no handle is given).
+    extra:
+        Arbitrary picklable payload also shipped once per worker —
+        put per-experiment constants here (seed allocations, config,
+        hooks), never in per-cell payloads.
+    obs:
+        Optional :class:`~repro.obs.context.RunContext` for
+        coordinator-side metrics and events.
+    mp_context:
+        Optional :mod:`multiprocessing` context (e.g.
+        ``multiprocessing.get_context("spawn")``); default is the
+        platform default (``fork`` on Linux).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        handle: Optional["SharedDatasetHandle"] = None,
+        extra: object = None,
+        obs: Optional["RunContext"] = None,
+        mp_context=None,
+    ) -> None:
+        if workers < 1:
+            raise ParallelExecutionError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.handle = handle
+        self._obs = obs
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=mp_context,
+            initializer=_worker_init,
+            initargs=(handle, extra),
+        )
+        self._closed = False
+        #: Worker pids that have sent at least one reply (attach count).
+        self.seen_pids: set[int] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, *, cancel: bool = False) -> None:
+        """Shut the pool down (idempotent).
+
+        ``cancel=True`` drops queued work and does not join running
+        workers — the interrupt/fail-fast path.  The default joins
+        workers, which waits out any still-running zombie attempts.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=not cancel, cancel_futures=cancel)
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(cancel=exc_type is not None)
+
+    # -- the retry/collect loop --------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., object],
+        keys: Sequence[Hashable],
+        payload_for: Callable[[Hashable, int], object],
+        *,
+        policy,
+        backoff_for: Callable[[Hashable, int], float],
+        give_up: Callable[[Hashable, int, BaseException], None],
+        on_result: Callable[[CellReply], None],
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        """Run every cell in *keys* under the retry *policy*.
+
+        Parameters
+        ----------
+        fn:
+            Module-level (picklable) cell body
+            ``fn(restored, extra, key, attempt, payload) -> result``.
+        keys:
+            Cell identities; each is attempted until it succeeds or
+            exhausts ``policy.max_attempts``.
+        payload_for:
+            ``(key, attempt) -> picklable per-cell payload``.  Keep it
+            O(1)-sized — everything large belongs in ``extra`` or the
+            shared segment.
+        policy:
+            A :class:`~repro.experiments.runner.RetryPolicy`-shaped
+            object (``max_attempts`` and ``timeout`` are read here;
+            backoff delays come from *backoff_for*).
+        backoff_for:
+            ``(key, failed_attempt) -> delay seconds`` — called exactly
+            once per scheduled retry, so drivers can hang determinism
+            and telemetry off it.
+        give_up:
+            Called when a cell exhausts its attempts.  May raise to
+            fail fast (the pool is then shut down with queued work
+            cancelled).
+        on_result:
+            Called with each successful :class:`CellReply`, in
+            completion order.
+        sleep:
+            Injectable sleep for the idle branch (tests pass stubs).
+        """
+        obs = self._obs
+        if self._closed:
+            raise ParallelExecutionError("engine is closed")
+        #: Future → (key, attempt, deadline | None)
+        pending: dict[Future, tuple[Hashable, int, Optional[float]]] = {}
+        #: Timed-out futures still running — each holds its cell lease.
+        zombies: dict[Future, Hashable] = {}
+        leased: set[Hashable] = set()
+        #: key → attempt for retries whose backoff expired while the
+        #: cell lease was still held by a zombie.
+        held: dict[Hashable, int] = {}
+        #: (ready time, seq, key, attempt) min-heap of pending retries.
+        heap: list[tuple[float, int, Hashable, int]] = []
+        seq = itertools.count()
+
+        def submit(key: Hashable, attempt: int) -> None:
+            submitted_at = time.monotonic()
+            future = self._pool.submit(
+                _execute_cell, fn, key, attempt,
+                payload_for(key, attempt), submitted_at,
+            )
+            deadline = (
+                None if policy.timeout is None
+                else submitted_at + policy.timeout
+            )
+            pending[future] = (key, attempt, deadline)
+
+        def handle_failure(key: Hashable, attempt: int, exc: BaseException) -> None:
+            if attempt >= policy.max_attempts:
+                give_up(key, attempt, exc)
+            else:
+                ready = time.monotonic() + backoff_for(key, attempt)
+                heapq.heappush(heap, (ready, next(seq), key, attempt + 1))
+
+        def record_reply(reply: CellReply) -> None:
+            new_pid = reply.pid not in self.seen_pids
+            self.seen_pids.add(reply.pid)
+            if obs is None or not obs.enabled:
+                return
+            if new_pid and self.handle is not None:
+                obs.counter(
+                    "parallel_attach_total",
+                    help="worker processes that attached the published dataset",
+                ).inc()
+            obs.counter(
+                "parallel_cells_total", help="grid cells completed"
+            ).inc()
+            obs.metrics.histogram(
+                "parallel_queue_wait_seconds",
+                help="pool queue wait per cell submission",
+                unit="seconds",
+            ).observe(reply.queue_wait)
+
+        try:
+            for key in keys:
+                submit(key, 1)
+            while pending or zombies or heap or held:
+                now = time.monotonic()
+                while heap and heap[0][0] <= now:
+                    _, _, key, attempt = heapq.heappop(heap)
+                    if key in leased:
+                        held[key] = attempt
+                    else:
+                        submit(key, attempt)
+                if not pending and not zombies:
+                    # Only backoff timers remain; idle until the next one.
+                    sleep(max(0.0, heap[0][0] - now))
+                    continue
+                waits = []
+                if heap:
+                    waits.append(heap[0][0] - now)
+                waits += [
+                    d - now for (_, _, d) in pending.values() if d is not None
+                ]
+                wait_for = max(0.0, min(waits)) if waits else None
+                done, _ = wait(
+                    set(pending) | set(zombies),
+                    timeout=wait_for, return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    if future in zombies:
+                        key = zombies.pop(future)
+                        leased.discard(key)
+                        future.exception()  # reap; result is discarded
+                        if obs is not None and obs.enabled:
+                            obs.event(
+                                "parallel.zombie_reaped", level="warning",
+                                key=str(key),
+                            )
+                        if key in held:
+                            heapq.heappush(
+                                heap,
+                                (time.monotonic(), next(seq), key,
+                                 held.pop(key)),
+                            )
+                        continue
+                    key, attempt, _ = pending.pop(future)
+                    try:
+                        reply = future.result()
+                    except Exception as exc:
+                        handle_failure(key, attempt, exc)
+                    else:
+                        record_reply(reply)
+                        on_result(reply)
+                now = time.monotonic()
+                for future, (key, attempt, deadline) in list(pending.items()):
+                    if deadline is not None and now >= deadline:
+                        del pending[future]
+                        if not future.cancel():
+                            # Already running: cannot be pre-empted.  It
+                            # keeps its pool slot and its cell lease
+                            # until it finishes, so the retry below can
+                            # never run concurrently with it.
+                            zombies[future] = key
+                            leased.add(key)
+                            if obs is not None and obs.enabled:
+                                obs.event(
+                                    "parallel.timeout", level="warning",
+                                    key=str(key), attempt=attempt,
+                                    timeout_seconds=policy.timeout,
+                                )
+                        handle_failure(
+                            key, attempt,
+                            TimeoutError(
+                                f"attempt {attempt} exceeded the per-attempt "
+                                f"timeout of {policy.timeout}s"
+                            ),
+                        )
+        except BaseException:
+            # Fail-fast exit (strict mode) or KeyboardInterrupt: drop
+            # queued work immediately; running workers are abandoned.
+            self.close(cancel=True)
+            raise

@@ -1,0 +1,347 @@
+"""Zero-copy array transport over ``multiprocessing.shared_memory``.
+
+The experiment grid is embarrassingly parallel, but every cell of the
+grid reads the *same* few hundred kilobytes of read-only arrays (per-
+task ETC/EEC gathers, arrivals, TUF parameter tables).  Re-pickling
+those into every process-pool submission makes the per-cell cost
+O(dataset); this module publishes them **once per experiment** into a
+single named shared-memory segment and hands workers an
+:class:`ArrayPackSpec` — a few hundred bytes of metadata — from which
+they attach zero-copy NumPy views.
+
+Design points:
+
+* **One segment per pack.**  All arrays are packed back-to-back (64-
+  byte aligned) into one segment, so the whole data set costs one
+  ``shm_open`` + one ``mmap`` per worker, not one per array.
+* **Attach-once registry.**  :func:`attach` memoizes attachments by
+  segment name in a module-level registry, so a pool worker that
+  receives many cells for the same experiment maps the segment exactly
+  once.  Attached views are read-only.
+* **Deterministic lifecycle.**  The publishing process owns the
+  segment: :class:`SharedArrayPack` is a context manager, registers an
+  ``atexit`` unlink, and :func:`owned_segments` / :func:`leaked_segments`
+  make leak detection testable.  Workers only ever *close* their
+  mapping — they never unlink.
+* **Graceful degradation.**  :data:`SHARED_MEMORY_AVAILABLE` is probed
+  at import; :func:`publish` raises :class:`SharedMemoryUnavailable`
+  when the platform cannot serve segments so callers can fall back to
+  pickle transport (see :mod:`repro.parallel.descriptors`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ParallelExecutionError
+
+__all__ = [
+    "SHARED_MEMORY_AVAILABLE",
+    "SEGMENT_PREFIX",
+    "SharedMemoryUnavailable",
+    "ArraySpec",
+    "ArrayPackSpec",
+    "SharedArrayPack",
+    "publish",
+    "attach",
+    "detach_all",
+    "forget_owned",
+    "owned_segments",
+    "leaked_segments",
+    "unlink_segments",
+]
+
+try:  # pragma: no cover - import probe
+    from multiprocessing import shared_memory as _shm_module
+
+    SHARED_MEMORY_AVAILABLE = True
+except ImportError:  # pragma: no cover - exotic platforms only
+    _shm_module = None  # type: ignore[assignment]
+    SHARED_MEMORY_AVAILABLE = False
+
+#: Prefix of every segment this module creates — the handle for leak
+#: detection (``/dev/shm/<prefix>*`` on Linux).
+SEGMENT_PREFIX = "repro-shm-"
+
+#: Byte alignment of each packed array (cache-line friendly; keeps
+#: every view's base aligned for vectorized loads).
+_ALIGN = 64
+
+
+class SharedMemoryUnavailable(ParallelExecutionError):
+    """Shared-memory segments cannot be served on this platform."""
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one array inside a packed segment (picklable)."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class ArrayPackSpec:
+    """Everything a worker needs to attach a pack (picklable, tiny).
+
+    The spec is a few hundred bytes no matter how large the arrays are
+    — this is the object that rides in every pool submission instead of
+    the arrays themselves.
+    """
+
+    segment: str
+    total_bytes: int
+    arrays: tuple[ArraySpec, ...]
+
+    def keys(self) -> tuple[str, ...]:
+        """The packed array names, in pack order."""
+        return tuple(spec.key for spec in self.arrays)
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+#: Packs created (and therefore owned) by this process, by segment name.
+_OWNED: dict[str, "SharedArrayPack"] = {}
+
+#: Segments attached (not owned) by this process: name → (shm, views).
+_ATTACHED: dict[str, tuple[object, dict[str, np.ndarray]]] = {}
+
+
+class SharedArrayPack:
+    """Owner handle of one published segment (publishing process only).
+
+    Create via :func:`publish`.  The owner must eventually call
+    :meth:`close` (or use the pack as a context manager); an ``atexit``
+    hook unlinks anything still owned at interpreter exit so crashed
+    coordinators do not strand segments.
+    """
+
+    def __init__(self, shm, spec: ArrayPackSpec) -> None:
+        self._shm = shm
+        self.spec = spec
+        self.closed = False
+        _OWNED[spec.segment] = self
+
+    @property
+    def nbytes(self) -> int:
+        """Published payload size (sum of aligned array extents)."""
+        return self.spec.total_bytes
+
+    def close(self) -> None:
+        """Release the mapping and unlink the segment (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        _OWNED.pop(self.spec.segment, None)
+        try:
+            self._shm.close()
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # already unlinked externally
+                pass
+
+    def __enter__(self) -> "SharedArrayPack":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def publish(arrays: Mapping[str, np.ndarray]) -> SharedArrayPack:
+    """Copy *arrays* into one fresh shared-memory segment.
+
+    Returns the owning :class:`SharedArrayPack`; its ``spec`` attribute
+    is the picklable attachment descriptor.  Raises
+    :class:`SharedMemoryUnavailable` when segments cannot be created,
+    so callers can fall back to pickle transport.
+    """
+    if not arrays:
+        raise ParallelExecutionError("cannot publish an empty array pack")
+    if not SHARED_MEMORY_AVAILABLE:
+        raise SharedMemoryUnavailable(
+            "multiprocessing.shared_memory is not importable on this platform"
+        )
+    specs: list[ArraySpec] = []
+    offset = 0
+    prepared: list[np.ndarray] = []
+    for key, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        specs.append(
+            ArraySpec(
+                key=key,
+                dtype=arr.dtype.str,
+                shape=tuple(arr.shape),
+                offset=offset,
+                nbytes=arr.nbytes,
+            )
+        )
+        prepared.append(arr)
+        offset += _align(arr.nbytes)
+    total = max(offset, 1)
+    name = f"{SEGMENT_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
+    try:
+        shm = _shm_module.SharedMemory(name=name, create=True, size=total)
+    except (OSError, ValueError) as exc:
+        raise SharedMemoryUnavailable(
+            f"cannot create a {total}-byte shared-memory segment: {exc}"
+        ) from exc
+    for spec, arr in zip(specs, prepared):
+        dst = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf,
+            offset=spec.offset,
+        )
+        dst[...] = arr
+    return SharedArrayPack(
+        shm, ArrayPackSpec(segment=name, total_bytes=total, arrays=tuple(specs))
+    )
+
+
+def attach(spec: ArrayPackSpec) -> Mapping[str, np.ndarray]:
+    """Map *spec*'s segment and return read-only zero-copy views.
+
+    Memoized by segment name: a process attaches each segment once, no
+    matter how many cells reference it.  The returned views alias the
+    shared mapping directly — no bytes are copied.
+
+    Attaching registers the segment with the :mod:`multiprocessing`
+    resource tracker, which pool workers (fork or spawn) share with
+    the coordinator: the registration set is idempotent, the owner's
+    ``unlink`` unregisters exactly once, and the tracker still reclaims
+    the segment if the whole process tree dies uncleanly.  (Only a
+    process with a *separate* tracker could destroy the segment at
+    exit; the engine never attaches from one.)
+    """
+    cached = _ATTACHED.get(spec.segment)
+    if cached is not None:
+        return cached[1]
+    owned = _OWNED.get(spec.segment)
+    if owned is not None:
+        # The publishing process can "attach" its own pack without a
+        # second mapping (used by in-process fallbacks and tests).
+        views = _views_over(owned._shm, spec)
+        _ATTACHED[spec.segment] = (None, views)
+        return views
+    if not SHARED_MEMORY_AVAILABLE:
+        raise SharedMemoryUnavailable(
+            "multiprocessing.shared_memory is not importable on this platform"
+        )
+    try:
+        shm = _shm_module.SharedMemory(name=spec.segment, create=False)
+    except FileNotFoundError as exc:
+        raise ParallelExecutionError(
+            f"shared segment {spec.segment!r} does not exist (published "
+            "pack closed too early, or leaked-segment cleanup ran?)"
+        ) from exc
+    views = _views_over(shm, spec)
+    _ATTACHED[spec.segment] = (shm, views)
+    return views
+
+
+def _views_over(shm, spec: ArrayPackSpec) -> dict[str, np.ndarray]:
+    views: dict[str, np.ndarray] = {}
+    for aspec in spec.arrays:
+        view = np.ndarray(
+            aspec.shape, dtype=np.dtype(aspec.dtype), buffer=shm.buf,
+            offset=aspec.offset,
+        )
+        view.setflags(write=False)
+        views[aspec.key] = view
+    return views
+
+
+def detach_all() -> None:
+    """Drop every attachment held by this process (worker cleanup).
+
+    Views handed out earlier keep the underlying ``mmap`` alive through
+    their buffer reference, so closing here is safe even if stale views
+    linger; the OS reclaims the mapping when the last reference dies.
+    """
+    while _ATTACHED:
+        _, (shm, views) = _ATTACHED.popitem()
+        views.clear()
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - views still exported
+                pass
+
+
+def forget_owned() -> None:
+    """Drop ownership records without closing or unlinking anything.
+
+    Called from pool-worker initializers: under the ``fork`` start
+    method a worker inherits the coordinator's ``_OWNED`` registry, and
+    must never treat those segments as its own to unlink.
+    """
+    _OWNED.clear()
+
+
+def owned_segments() -> tuple[str, ...]:
+    """Names of the packs this process has published and not yet closed."""
+    return tuple(sorted(_OWNED))
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX) -> tuple[str, ...]:
+    """Repro-owned segment files present system-wide (Linux: /dev/shm).
+
+    A segment is *leaked* when it exists on disk but is not owned by
+    this process — e.g. a coordinator SIGKILLed between publish and
+    unlink.  On platforms without a ``/dev/shm`` view this returns the
+    empty tuple (detection unavailable, not an error).
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return ()
+    names = tuple(
+        sorted(
+            entry
+            for entry in os.listdir(shm_dir)
+            if entry.startswith(prefix) and entry not in _OWNED
+        )
+    )
+    return names
+
+
+def unlink_segments(names: Iterable[str]) -> int:
+    """Unlink the named segments (leaked-segment cleanup); returns count."""
+    removed = 0
+    if not SHARED_MEMORY_AVAILABLE:  # pragma: no cover - exotic platforms
+        return removed
+    for name in names:
+        try:
+            shm = _shm_module.SharedMemory(name=name, create=False)
+        except FileNotFoundError:
+            continue
+        shm.close()
+        try:
+            shm.unlink()
+            removed += 1
+        except FileNotFoundError:  # pragma: no cover - raced cleanup
+            pass
+    return removed
+
+
+@atexit.register
+def _cleanup_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    """Unlink everything still owned; close every attachment."""
+    for pack in list(_OWNED.values()):
+        try:
+            pack.close()
+        except Exception:
+            pass
+    try:
+        detach_all()
+    except Exception:
+        pass

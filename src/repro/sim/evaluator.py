@@ -49,14 +49,19 @@ import numpy as np
 from repro.errors import ScheduleError
 from repro.model.system import SystemModel
 from repro.sim.schedule import ResourceAllocation
-from repro.types import FloatArray, IntArray
+from repro.types import BoolArray, FloatArray, IntArray
 from repro.utility.vectorized import TUFTable
 from repro.workload.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.context import RunContext
 
-__all__ = ["EvaluationResult", "EvaluationCache", "ScheduleEvaluator"]
+__all__ = [
+    "EvaluationResult",
+    "EvaluationCache",
+    "EvaluatorArrays",
+    "ScheduleEvaluator",
+]
 
 #: Default bound on cached chromosome evaluations (~15 MB at the
 #: default entry footprint; the cache clears itself when full).
@@ -97,6 +102,37 @@ class EvaluationResult:
     def objectives(self) -> tuple[float, float]:
         """``(energy, utility)`` pair for the optimizer."""
         return (self.energy, self.utility)
+
+
+@dataclass(frozen=True)
+class EvaluatorArrays:
+    """The evaluator's precomputed per-task gathers, supplied externally.
+
+    Normally :class:`ScheduleEvaluator` derives these from the system
+    and trace at construction — a fancy-indexing copy of O(tasks ×
+    machines) per array.  The shared-memory parallel engine
+    (:mod:`repro.parallel`) computes them once per experiment, publishes
+    them into a shared segment, and hands every worker zero-copy views
+    wrapped in this container, so evaluator construction in a pool
+    worker costs no array materialization at all.  Arrays must match
+    what the evaluator would have computed itself — bit for bit — which
+    :func:`repro.parallel.descriptors.dataset_arrays` guarantees by
+    running the same expressions.
+
+    Attributes
+    ----------
+    etc_rows, eec_rows:
+        ``(T, M)`` per-task ETC / EEC rows (task *i* × machine *m*).
+    feasible_rows:
+        ``(T, M)`` boolean feasibility per task and machine.
+    tuf_table:
+        The stacked :class:`~repro.utility.vectorized.TUFTable`.
+    """
+
+    etc_rows: FloatArray
+    eec_rows: FloatArray
+    feasible_rows: BoolArray
+    tuf_table: TUFTable
 
 
 class _KernelScratch:
@@ -529,6 +565,14 @@ class ScheduleEvaluator:
         counters; when disabled (default), evaluation pays exactly one
         predicate — the kernel itself is untouched either way, so
         objectives are bit-identical with observability on or off.
+    precomputed:
+        Optional :class:`EvaluatorArrays` carrying the per-task
+        ETC/EEC/feasibility gathers and the TUF table, e.g. zero-copy
+        views of a shared-memory segment (see :mod:`repro.parallel`).
+        When given, construction performs no array materialization and
+        the system's task types need not carry utility functions (the
+        table is taken as supplied).  Results are bit-identical to a
+        self-computed evaluator because the arrays are the same values.
     """
 
     def __init__(
@@ -541,6 +585,7 @@ class ScheduleEvaluator:
         cache_size: int = DEFAULT_CACHE_SIZE,
         kernel_method: str = "fast",
         obs: Optional["RunContext"] = None,
+        precomputed: Optional[EvaluatorArrays] = None,
     ) -> None:
         trace.validate_against(system.num_task_types)
         if kernel_method not in ("fast", "reference"):
@@ -569,14 +614,28 @@ class ScheduleEvaluator:
 
         self._task_types = trace.task_types
         self._arrivals = trace.arrival_times
-        # Per-task rows of the machine-instance-expanded matrices.
-        self._etc_rows = system.etc_task_machine[self._task_types]
-        self._eec_rows = system.eec_task_machine[self._task_types]
-        # Flat copies for np.take-with-out gathers on the batch path.
-        self._etc_flat = np.ascontiguousarray(self._etc_rows).ravel()
-        self._eec_flat = np.ascontiguousarray(self._eec_rows).ravel()
-        self._feasible_rows = system.feasible_task_machine[self._task_types]
-        self._tuf_table = TUFTable.from_system(system)
+        if precomputed is not None:
+            expected = (self.num_tasks, self.num_machines)
+            if precomputed.etc_rows.shape != expected:
+                raise ScheduleError(
+                    f"precomputed etc_rows shape {precomputed.etc_rows.shape} "
+                    f"does not match (tasks, machines) = {expected}"
+                )
+            self._etc_rows = precomputed.etc_rows
+            self._eec_rows = precomputed.eec_rows
+            self._feasible_rows = precomputed.feasible_rows
+            self._tuf_table = precomputed.tuf_table
+        else:
+            # Per-task rows of the machine-instance-expanded matrices.
+            self._etc_rows = system.etc_task_machine[self._task_types]
+            self._eec_rows = system.eec_task_machine[self._task_types]
+            self._feasible_rows = system.feasible_task_machine[self._task_types]
+            self._tuf_table = TUFTable.from_system(system)
+        # Flat views/copies for np.take-with-out gathers on the batch
+        # path (a ravel of a C-contiguous array — the shared-view case —
+        # is zero-copy).
+        self._etc_flat = np.ascontiguousarray(self._etc_rows).reshape(-1)
+        self._eec_flat = np.ascontiguousarray(self._eec_rows).reshape(-1)
         self._row_index = np.arange(self.num_tasks)
         if queue_groups is None:
             self._queue_groups = np.arange(self.num_machines, dtype=np.int64)

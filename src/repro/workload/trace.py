@@ -76,10 +76,16 @@ class Trace:
             )
         if np.any(task_types < 0):
             raise WorkloadError("task type indices must be >= 0")
-        task_types = task_types.copy()
-        arrivals = arrivals.copy()
-        task_types.setflags(write=False)
-        arrivals.setflags(write=False)
+        # Defensive copy for writable inputs only: an already-read-only
+        # array (e.g. a shared-memory view published by repro.parallel)
+        # is adopted as-is, keeping trace reconstruction zero-copy.  The
+        # caller owning such an array promises not to re-enable writes.
+        if task_types.flags.writeable:
+            task_types = task_types.copy()
+            task_types.setflags(write=False)
+        if arrivals.flags.writeable:
+            arrivals = arrivals.copy()
+            arrivals.setflags(write=False)
         object.__setattr__(self, "task_types", task_types)
         object.__setattr__(self, "arrival_times", arrivals)
 

@@ -17,9 +17,9 @@ def test_repro_error_is_exception():
         raise errors.ModelError("boom")
 
 
-#: The deliberate exceptions to the flat partition: IO-failure
+#: The deliberate exceptions to the flat partition: experiment-failure
 #: refinements that callers must be able to catch as ExperimentError.
-NESTED = {"CheckpointError", "CorruptArtifactError"}
+NESTED = {"CheckpointError", "CorruptArtifactError", "ParallelExecutionError"}
 
 
 def test_subsystem_errors_are_distinct():
@@ -36,3 +36,4 @@ def test_subsystem_errors_are_distinct():
 def test_io_errors_refine_experiment_error():
     assert issubclass(errors.CheckpointError, errors.ExperimentError)
     assert issubclass(errors.CorruptArtifactError, errors.ExperimentError)
+    assert issubclass(errors.ParallelExecutionError, errors.ExperimentError)
