@@ -6,10 +6,13 @@ for Investigating the Trade-offs Between System Performance and Energy
 Consumption in a Heterogeneous Computing Environment"* (IPDPSW 2013):
 heterogeneous system model with ETC/EPC matrices, time-utility
 functions, heterogeneity-preserving synthetic data generation
-(Gram-Charlier), a vectorized schedule simulator, an adapted NSGA-II
-with the paper's chromosome/operators, the four seeding heuristics,
-Pareto-front analysis (including the max utility-per-energy region
-method of Figure 5), and drivers reproducing every table and figure.
+(Gram-Charlier), a vectorized schedule simulator, a pluggable MOEA
+portfolio (the paper's adapted NSGA-II plus steady-state NSGA-II,
+SPEA2, MOEA/D, and an ε-archive variant behind one ``Algorithm`` API),
+the four seeding heuristics, exact contention-free baselines for
+distance-to-optimal reporting, Pareto-front analysis (including the
+max utility-per-energy region method of Figure 5), and drivers
+reproducing every table and figure.
 
 Quickstart::
 
@@ -29,12 +32,27 @@ from repro.analysis import (
     max_utility_per_energy_region,
 )
 from repro.core import (
+    ALGORITHMS,
     NSGA2,
+    MOEAD,
+    SPEA2,
+    Algorithm,
+    AlgorithmConfig,
+    EpsilonArchiveNSGA2,
+    EvolutionaryAlgorithm,
     NSGA2Config,
     OperatorConfig,
     ParetoArchive,
+    available_algorithms,
     dominates,
     fast_nondominated_sort,
+    make_algorithm,
+)
+from repro.exact import (
+    ExactFront,
+    distance_to_exact,
+    exact_energy_makespan_front,
+    exact_energy_utility_front,
 )
 from repro.data import (
     GramCharlierPDF,
@@ -54,6 +72,7 @@ from repro.experiments import (
     figure4,
     figure5,
     figure6,
+    run_portfolio,
     run_seeded_populations,
     table1,
     table2,
@@ -100,13 +119,27 @@ __all__ = [
     "ScheduleEvaluator",
     "EvaluationResult",
     "simulate_reference",
-    # optimization
+    # optimization portfolio
+    "Algorithm",
+    "AlgorithmConfig",
+    "EvolutionaryAlgorithm",
     "NSGA2",
     "NSGA2Config",
+    "SPEA2",
+    "MOEAD",
+    "EpsilonArchiveNSGA2",
+    "ALGORITHMS",
+    "available_algorithms",
+    "make_algorithm",
     "OperatorConfig",
     "ParetoArchive",
     "dominates",
     "fast_nondominated_sort",
+    # exact baselines
+    "ExactFront",
+    "exact_energy_utility_front",
+    "exact_energy_makespan_front",
+    "distance_to_exact",
     # heuristics
     "SEEDING_HEURISTICS",
     "MinEnergy",
@@ -123,6 +156,7 @@ __all__ = [
     "dataset2",
     "dataset3",
     "run_seeded_populations",
+    "run_portfolio",
     "figure3",
     "figure4",
     "figure5",

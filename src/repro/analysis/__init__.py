@@ -10,6 +10,9 @@
   additive epsilon, IGD.
 * :mod:`repro.analysis.convergence` — indicator series across
   checkpoint generations.
+* :mod:`repro.analysis.portfolio` — cross-algorithm indicator
+  comparison with optional distance-to-optimal columns against the
+  exact baselines of :mod:`repro.exact`.
 * :mod:`repro.analysis.report` — ASCII tables and scatter plots used
   by the CLI, examples, and benchmark output.
 """
@@ -32,6 +35,11 @@ from repro.analysis.indicators import (
     spread,
 )
 from repro.analysis.pareto_front import ParetoFront
+from repro.analysis.portfolio import (
+    AlgorithmScore,
+    PortfolioComparison,
+    compare_portfolio,
+)
 from repro.analysis.summary import experiment_report
 
 __all__ = [
@@ -54,4 +62,7 @@ __all__ = [
     "experiment_report",
     "compare_runs",
     "render_comparison",
+    "AlgorithmScore",
+    "PortfolioComparison",
+    "compare_portfolio",
 ]

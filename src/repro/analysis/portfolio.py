@@ -1,0 +1,154 @@
+"""Cross-algorithm indicator comparison for the MOEA portfolio.
+
+Given each algorithm's final front over the same (system, trace), this
+module scores them with the standard quality indicators — hypervolume,
+IGD, additive ε, spacing, spread — against a shared reference front
+(the nondominated union of all fronts), and, when an exact
+contention-free baseline (:mod:`repro.exact`) is supplied, adds
+distance-to-optimal columns so the evolved fronts are positioned
+against a provable outer bound rather than only against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.analysis.indicators import (
+    additive_epsilon,
+    hypervolume,
+    igd,
+    spacing,
+    spread,
+)
+from repro.analysis.report import format_table
+from repro.core.dominance import nondominated_mask
+from repro.core.objectives import ENERGY_UTILITY
+from repro.errors import AnalysisError
+from repro.exact.baselines import ExactFront, distance_to_exact
+from repro.types import FloatArray
+
+__all__ = ["AlgorithmScore", "PortfolioComparison", "compare_portfolio"]
+
+
+@dataclass(frozen=True)
+class AlgorithmScore:
+    """Indicator values of one algorithm's front.
+
+    ``igd`` / ``additive_epsilon`` are measured against the portfolio's
+    combined reference front; ``igd_to_exact`` / ``epsilon_to_exact``
+    (``None`` without an exact baseline) against the exact
+    contention-free front — upper bounds on the true optimality gap.
+    """
+
+    algorithm: str
+    front_size: int
+    hypervolume: float
+    igd: float
+    additive_epsilon: float
+    spacing: float
+    spread: float
+    igd_to_exact: Optional[float] = None
+    epsilon_to_exact: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class PortfolioComparison:
+    """Scores of every algorithm plus the shared reference data."""
+
+    scores: tuple[AlgorithmScore, ...]
+    reference_front: FloatArray
+    reference_point: tuple[float, float]
+    exact: Optional[ExactFront] = None
+
+    def best_by_hypervolume(self) -> AlgorithmScore:
+        """The score with the largest hypervolume."""
+        return max(self.scores, key=lambda s: s.hypervolume)
+
+    def render(self) -> str:
+        """Aligned text table, one row per algorithm."""
+        headers = ["algorithm", "front", "hypervolume", "igd", "eps",
+                   "spacing", "spread"]
+        with_exact = self.exact is not None
+        if with_exact:
+            headers += ["igd-to-exact", "eps-to-exact"]
+        rows = []
+        for s in self.scores:
+            row = [
+                s.algorithm,
+                s.front_size,
+                f"{s.hypervolume:.4g}",
+                f"{s.igd:.4g}",
+                f"{s.additive_epsilon:.4g}",
+                f"{s.spacing:.4g}",
+                f"{s.spread:.4g}",
+            ]
+            if with_exact:
+                row += [f"{s.igd_to_exact:.4g}", f"{s.epsilon_to_exact:.4g}"]
+            rows.append(row)
+        title = "algorithm portfolio comparison"
+        if with_exact:
+            title += (
+                f" (exact baseline: {self.exact.size} points, "
+                f"epsilon={self.exact.epsilon:g})"
+            )
+        return format_table(headers, rows, title=title)
+
+
+def compare_portfolio(
+    fronts: Mapping[str, FloatArray],
+    exact: Optional[ExactFront] = None,
+) -> PortfolioComparison:
+    """Score each algorithm's *front* against the portfolio reference.
+
+    Parameters
+    ----------
+    fronts:
+        Algorithm name → ``(F, 2)`` (energy, utility) final front.
+    exact:
+        Optional exact contention-free baseline; adds the
+        distance-to-optimal columns.
+
+    The shared reference front is the nondominated union of all input
+    fronts; the hypervolume reference point is the nadir of the union,
+    padded by 1 % so extreme points contribute volume.
+    """
+    if not fronts:
+        raise AnalysisError("portfolio comparison needs at least one front")
+    stacked = np.vstack([np.asarray(f, dtype=np.float64) for f in fronts.values()])
+    reference = stacked[nondominated_mask(stacked)]
+    order = np.lexsort((reference[:, 1], reference[:, 0]))
+    reference = reference[order]
+    # Nadir in raw space: worst energy (max), worst utility (min).
+    ref_point = (
+        float(stacked[:, 0].max() * 1.01),
+        float(stacked[:, 1].min() * 0.99),
+    )
+    scores = []
+    for name, front in fronts.items():
+        pts = np.asarray(front, dtype=np.float64)
+        gap = (
+            distance_to_exact(pts, exact) if exact is not None else
+            {"igd": None, "additive_epsilon": None}
+        )
+        scores.append(
+            AlgorithmScore(
+                algorithm=name,
+                front_size=int(pts.shape[0]),
+                hypervolume=hypervolume(pts, ref_point),
+                igd=igd(pts, reference),
+                additive_epsilon=additive_epsilon(pts, reference),
+                spacing=spacing(pts),
+                spread=spread(pts, ENERGY_UTILITY),
+                igd_to_exact=gap["igd"],
+                epsilon_to_exact=gap["additive_epsilon"],
+            )
+        )
+    return PortfolioComparison(
+        scores=tuple(scores),
+        reference_front=reference,
+        reference_point=ref_point,
+        exact=exact,
+    )

@@ -10,18 +10,22 @@ Subcommands:
   heterogeneity preservation (mvsk of real vs synthetic).
 * ``system`` — describe a data set's system and save it as JSON.
 * ``gantt`` — render a heuristic's schedule as a text Gantt chart.
-* ``repetitions`` — run R independent NSGA-II repetitions and report
+* ``repetitions`` — run R independent optimizer repetitions and report
   attainment surfaces and hypervolume spread.
 * ``resume`` — continue an interrupted ``report`` experiment from its
-  durable NSGA-II checkpoints (see docs/fault_tolerance.md).
+  durable optimizer checkpoints (see docs/fault_tolerance.md).
+* ``portfolio`` — run every registered algorithm head-to-head on one
+  data set and score the fronts against the exact contention-free
+  baseline (see docs/algorithms.md).
 * ``trace`` — summarize a recorded observability directory (slowest
   spans, GA stage breakdown, cache hit rate, retry/fault timeline; see
   docs/observability.md).
 
 Execution subcommands (``report``, ``resume``, ``reproduce-all``,
 ``repetitions``) accept ``--obs-dir`` to record a run-scoped trace /
-metrics / event-log directory, and ``--obs-level`` to pick its detail
-level (``debug`` adds per-generation stage spans).
+metrics / event-log directory, ``--obs-level`` to pick its detail
+level (``debug`` adds per-generation stage spans), and ``--algorithm``
+to choose the optimizer from the portfolio registry.
 
 Examples::
 
@@ -30,6 +34,8 @@ Examples::
     repro-analyze seeds --dataset 2
     repro-analyze datagen --new-task-types 25 --seed 7
     repro-analyze report --dataset 1 --obs-dir obs/run1
+    repro-analyze report --dataset 1 --algorithm spea2
+    repro-analyze portfolio --dataset 1 --generations 20
     repro-analyze trace obs/run1
 """
 
@@ -41,6 +47,7 @@ from typing import Optional, Sequence
 
 
 from repro.analysis.report import format_table
+from repro.core.registry import available_algorithms
 from repro.data.heterogeneity import mvsk
 from repro.data.historical import HISTORICAL_EPC, HISTORICAL_ETC
 from repro.data.synthetic import expand_matrix_pair
@@ -145,6 +152,7 @@ def _cmd_report(args: argparse.Namespace, resume: bool = False) -> int:
         scale=args.scale,
         population_size=args.population,
         base_seed=args.seed,
+        algorithm=args.algorithm,
     )
     obs = _obs_from_args(args, command="resume" if resume else "report",
                          seed=args.seed)
@@ -189,6 +197,7 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
             population_size=args.population,
             workers=args.workers,
             transport=args.transport,
+            algorithm=args.algorithm,
             obs=obs,
         )
     finally:
@@ -211,6 +220,7 @@ def _cmd_repetitions(args: argparse.Namespace) -> int:
             base_seed=args.seed,
             workers=args.workers,
             transport=args.transport,
+            algorithm=args.algorithm,
             obs=obs,
         )
     finally:
@@ -232,7 +242,7 @@ def _cmd_repetitions(args: argparse.Namespace) -> int:
         format_table(
             ["attainment", "points", "energy (MJ)", "utility"],
             rows,
-            title=f"{args.repetitions} repetitions of the "
+            title=f"{args.repetitions} {args.algorithm} repetitions of the "
             f"'{args.population_label}' population on {bundle.name}",
         )
     )
@@ -241,6 +251,34 @@ def _cmd_repetitions(args: argparse.Namespace) -> int:
         f"hypervolume: mean {hv.mean:.4g} +- {hv.std:.2g} "
         f"(range {hv.minimum:.4g}..{hv.maximum:.4g})"
     )
+    return 0
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.portfolio import run_portfolio
+
+    bundle = _DATASETS[args.dataset](args.seed)
+    config = ExperimentConfig(
+        population_size=args.population,
+        generations=args.generations,
+        checkpoints=(args.generations,),
+        base_seed=args.seed,
+    )
+    obs = _obs_from_args(args, command="portfolio", seed=args.seed)
+    try:
+        result = run_portfolio(
+            bundle,
+            config,
+            algorithms=args.algorithms,
+            exact_epsilon=None if args.no_exact else args.exact_epsilon,
+            obs=obs,
+        )
+    finally:
+        _flush_obs(obs)
+    print(result.render())
+    best = result.comparison.best_by_hypervolume()
+    print(f"best hypervolume: {best.algorithm} ({best.hypervolume:.4g})")
     return 0
 
 
@@ -373,6 +411,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="observability detail; 'debug' adds "
                        "per-generation stage spans")
 
+    def _add_algorithm_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--algorithm", choices=available_algorithms(),
+                       default="nsga2",
+                       help="optimizer from the portfolio registry "
+                       "(default: nsga2)")
+
     def _add_workers_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=int, default=0,
                        help="process-pool size (0 = sequential); parallel "
@@ -400,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--strict", action="store_true",
                        help="fail fast on the first exhausted population "
                        "instead of degrading gracefully")
+        _add_algorithm_arg(p)
         _add_obs_args(p)
 
     p_report = sub.add_parser(
@@ -423,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--seed", type=int, default=2013)
     p_all.add_argument("--population", type=int, default=100)
     _add_workers_args(p_all)
+    _add_algorithm_arg(p_all)
     _add_obs_args(p_all)
 
     p_rep = sub.add_parser(
@@ -439,7 +485,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rep.add_argument("--seed", type=int, default=2013)
     _add_workers_args(p_rep)
+    _add_algorithm_arg(p_rep)
     _add_obs_args(p_rep)
+
+    p_port = sub.add_parser(
+        "portfolio",
+        help="head-to-head algorithm comparison with distance-to-optimal",
+    )
+    p_port.add_argument("--dataset", choices=["1", "2", "3"], default="1")
+    p_port.add_argument("--generations", type=int, default=20)
+    p_port.add_argument("--population", type=int, default=50)
+    p_port.add_argument("--seed", type=int, default=2013)
+    p_port.add_argument(
+        "--algorithms", nargs="+", choices=available_algorithms(),
+        default=None, metavar="NAME",
+        help=f"subset to run (default: all of {', '.join(available_algorithms())})",
+    )
+    p_port.add_argument("--exact-epsilon", type=float, default=0.05,
+                        help="utility resolution of the exact baseline "
+                        "(relative; bounds its error — see docs/algorithms.md)")
+    p_port.add_argument("--no-exact", action="store_true",
+                        help="skip the exact baseline and its "
+                        "distance-to-optimal columns")
+    _add_obs_args(p_port)
 
     p_trace = sub.add_parser(
         "trace",
@@ -468,6 +536,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "gantt": _cmd_gantt,
         "repetitions": _cmd_repetitions,
         "reproduce-all": _cmd_reproduce_all,
+        "portfolio": _cmd_portfolio,
         "report": _cmd_report,
         "resume": _cmd_resume,
         "trace": _cmd_trace,

@@ -8,7 +8,14 @@ elitist generational loop (Algorithm 1), seeded initial populations,
 and an all-time external Pareto archive.
 """
 
-from repro.core.archive import ParetoArchive
+from repro.core.algorithm import (
+    Algorithm,
+    AlgorithmConfig,
+    EvolutionaryAlgorithm,
+    GenerationSnapshot,
+    RunHistory,
+)
+from repro.core.archive import EpsilonParetoArchive, ParetoArchive
 from repro.core.checkpoint import (
     CheckpointStore,
     EngineState,
@@ -22,11 +29,18 @@ from repro.core.dominance import (
     nondominated_mask,
     pareto_filter,
 )
-from repro.core.nsga2 import NSGA2, NSGA2Config, GenerationSnapshot, RunHistory
+from repro.core.moead import MOEAD
+from repro.core.nsga2 import NSGA2, EpsilonArchiveNSGA2, NSGA2Config
 from repro.core.objectives import BiObjectiveSpace, ObjectiveSense
 from repro.core.operators import OperatorConfig, VariationOperators
 from repro.core.population import Population
+from repro.core.registry import (
+    ALGORITHMS,
+    available_algorithms,
+    make_algorithm,
+)
 from repro.core.seeding import seeded_initial_population
+from repro.core.spea2 import SPEA2, spea2_fitness
 from repro.core.sorting import domination_count_ranks, fast_nondominated_sort
 from repro.core.telemetry import (
     GenerationStats,
@@ -58,11 +72,22 @@ __all__ = [
     "Population",
     "OperatorConfig",
     "VariationOperators",
+    "Algorithm",
+    "AlgorithmConfig",
+    "EvolutionaryAlgorithm",
     "NSGA2",
     "NSGA2Config",
+    "SPEA2",
+    "spea2_fitness",
+    "MOEAD",
+    "EpsilonArchiveNSGA2",
+    "ALGORITHMS",
+    "available_algorithms",
+    "make_algorithm",
     "GenerationSnapshot",
     "RunHistory",
     "ParetoArchive",
+    "EpsilonParetoArchive",
     "CheckpointStore",
     "EngineState",
     "capture_state",

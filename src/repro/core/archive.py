@@ -19,7 +19,7 @@ from repro.core.objectives import BiObjectiveSpace, ENERGY_UTILITY
 from repro.errors import OptimizationError
 from repro.types import FloatArray
 
-__all__ = ["ParetoArchive"]
+__all__ = ["ParetoArchive", "EpsilonParetoArchive"]
 
 
 class ParetoArchive:
@@ -94,3 +94,109 @@ class ParetoArchive:
         at_least = self.space.better_or_equal(self._points, p[None, :])
         strictly = self.space.strictly_better(self._points, p[None, :])
         return bool(np.any(at_least.all(axis=1) & strictly.any(axis=1)))
+
+
+class EpsilonParetoArchive:
+    """Bounded ε-dominance archive (Laumanns et al. 2002).
+
+    Objective space is partitioned into axis-aligned ε-boxes (in
+    minimization coordinates, box index ``floor(f / ε)`` per axis); the
+    archive keeps at most one representative per box, and only boxes
+    that are not dominated by another occupied box.  Within a box the
+    point closer to the box's utopia corner wins (Pareto-dominance
+    first, corner distance as the tiebreak).  This yields the two
+    ε-approximation guarantees the analyses rely on: every point ever
+    offered is ε-dominated by some archived point, and archived points
+    are mutually non-ε-dominated — so the archive size is bounded by
+    the objective ranges divided by ε, independent of run length.
+    """
+
+    def __init__(
+        self,
+        epsilons: Sequence[float],
+        space: BiObjectiveSpace = ENERGY_UTILITY,
+    ) -> None:
+        eps = tuple(float(e) for e in epsilons)
+        if len(eps) != 2 or any(e <= 0 for e in eps):
+            raise OptimizationError(
+                f"epsilons must be two positive box sizes; got {epsilons!r}"
+            )
+        self.epsilons = eps
+        self.space = space
+        # box index -> (minimization point, raw point, payload)
+        self._boxes: dict[tuple[int, int], tuple[np.ndarray, np.ndarray, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    @property
+    def points(self) -> FloatArray:
+        """``(K, 2)`` archived raw objective points."""
+        if not self._boxes:
+            return np.empty((0, 2), dtype=np.float64)
+        return np.stack([raw for _, raw, _ in self._boxes.values()])
+
+    @property
+    def payloads(self) -> list[Any]:
+        """Payloads aligned with :attr:`points`."""
+        return [payload for _, _, payload in self._boxes.values()]
+
+    def _box(self, fmin: np.ndarray) -> tuple[int, int]:
+        eps = self.epsilons
+        return (int(np.floor(fmin[0] / eps[0])), int(np.floor(fmin[1] / eps[1])))
+
+    def update(
+        self,
+        points: FloatArray,
+        payloads: Optional[Sequence[Any]] = None,
+    ) -> int:
+        """Offer *points* to the archive; returns the new archive size."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise OptimizationError(f"points must have shape (N, 2); got {pts.shape}")
+        if payloads is None:
+            payloads = [None] * pts.shape[0]
+        if len(payloads) != pts.shape[0]:
+            raise OptimizationError(
+                f"{len(payloads)} payloads for {pts.shape[0]} points"
+            )
+        fmins = self.space.to_minimization(pts)
+        for fmin, raw, payload in zip(fmins, pts, payloads):
+            self._offer(fmin, raw.copy(), payload)
+        return len(self)
+
+    def _offer(self, fmin: np.ndarray, raw: np.ndarray, payload: Any) -> None:
+        box = self._box(fmin)
+        incumbent = self._boxes.get(box)
+        if incumbent is not None:
+            inc_fmin = incumbent[0]
+            if (inc_fmin <= fmin).all():
+                return  # incumbent Pareto-dominates (or equals) the candidate
+            if not (fmin <= inc_fmin).all():
+                # Incomparable within the box: closer to the box corner wins.
+                eps = np.asarray(self.epsilons)
+                corner = np.floor(fmin / eps) * eps
+                if np.linalg.norm(fmin - corner) >= np.linalg.norm(
+                    inc_fmin - corner
+                ):
+                    return
+            self._boxes[box] = (fmin, raw, payload)
+            return
+        # New box: reject if any occupied box dominates it; otherwise
+        # evict every box it dominates.
+        for other, entry in list(self._boxes.items()):
+            if other == box:
+                continue
+            if other[0] <= box[0] and other[1] <= box[1]:
+                return
+            if box[0] <= other[0] and box[1] <= other[1]:
+                del self._boxes[other]
+        self._boxes[box] = (fmin, raw, payload)
+
+    def front(self) -> FloatArray:
+        """Archive points sorted by the first axis (ascending)."""
+        pts = self.points
+        if pts.shape[0] == 0:
+            return pts
+        order = np.lexsort((pts[:, 1], pts[:, 0]))
+        return pts[order]

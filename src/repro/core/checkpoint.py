@@ -30,21 +30,21 @@ garbage.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 import time
 from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.nsga2 import GenerationSnapshot
+from repro.core.algorithm import GenerationSnapshot
 from repro.core.population import Population
 from repro.errors import CheckpointError
 from repro.storage import atomic_write_json, read_json_artifact
 from repro.types import FloatArray, IntArray
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.nsga2 import NSGA2
+    from repro.core.algorithm import Algorithm
     from repro.obs.context import RunContext
 
 __all__ = [
@@ -60,7 +60,14 @@ CHECKPOINT_FORMAT = "repro.checkpoint/1"
 
 @dataclass(frozen=True)
 class EngineState:
-    """A complete, resumable snapshot of one NSGA-II run in flight."""
+    """A complete, resumable snapshot of one algorithm run in flight.
+
+    ``algo_state`` carries whatever the algorithm's
+    :meth:`~repro.core.algorithm.Algorithm._capture_algo_state` hook
+    reported (MOEA/D's ideal point, the ε-archive's contents, ...);
+    algorithms without auxiliary state leave it empty, which keeps the
+    document byte-compatible with pre-redesign checkpoints.
+    """
 
     label: str
     generation: int
@@ -73,12 +80,13 @@ class EngineState:
     snapshots: tuple[GenerationSnapshot, ...]
     elapsed_seconds: float
     run_params: Mapping[str, Any]
+    algo_state: Mapping[str, Any] = field(default_factory=dict)
 
     # -- serialization -------------------------------------------------------
 
     def to_doc(self) -> dict:
         """JSON-serializable document (floats round-trip exactly)."""
-        return {
+        doc = {
             "format": CHECKPOINT_FORMAT,
             "label": self.label,
             "generation": self.generation,
@@ -92,6 +100,9 @@ class EngineState:
             "elapsed_seconds": self.elapsed_seconds,
             "run_params": dict(self.run_params),
         }
+        if self.algo_state:
+            doc["algo_state"] = dict(self.algo_state)
+        return doc
 
     @classmethod
     def from_doc(cls, doc: Any) -> "EngineState":
@@ -124,6 +135,9 @@ class EngineState:
                 ),
                 elapsed_seconds=float(doc["elapsed_seconds"]),
                 run_params=doc["run_params"],
+                # Absent in pre-redesign checkpoints: default to "no
+                # auxiliary algorithm state".
+                algo_state=doc.get("algo_state", {}),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(
@@ -169,7 +183,7 @@ def _snapshot_from_doc(doc: dict) -> GenerationSnapshot:
 
 
 def capture_state(
-    engine: "NSGA2",
+    engine: "Algorithm",
     snapshots: Sequence[GenerationSnapshot],
     elapsed_seconds: float,
     run_params: Mapping[str, Any],
@@ -192,15 +206,19 @@ def capture_state(
         snapshots=tuple(snapshots),
         elapsed_seconds=float(elapsed_seconds),
         run_params=dict(run_params),
+        algo_state=engine._capture_algo_state(),
     )
 
 
-def restore_state(engine: "NSGA2", state: EngineState) -> None:
+def restore_state(engine: "Algorithm", state: EngineState) -> None:
     """Overwrite *engine*'s mutable run state with *state*.
 
     The engine must have been constructed against the same problem
     (population size and task count are validated; the evaluator is
     trusted to match — objectives are restored, not recomputed).
+    Auxiliary algorithm state flows through the engine's
+    ``_restore_algo_state`` hook; ``_on_restore`` then invalidates any
+    derived caches (e.g. NSGA-II's carried-over ranks).
     """
     expected = (engine.config.population_size, engine.population.num_tasks)
     if state.assignments.shape != expected:
@@ -216,10 +234,8 @@ def restore_state(engine: "NSGA2", state: EngineState) -> None:
     )
     engine.generation = state.generation
     engine._evaluations = state.evaluations
-    # The rank cache is derived state; a fresh sort after resume yields
-    # the same ranks (they are a pure function of the objectives), so
-    # resumed runs stay bit-identical to uninterrupted ones.
-    engine._ranks = None
+    engine._restore_algo_state(dict(state.algo_state))
+    engine._on_restore()
     try:
         engine._rng.bit_generator.state = state.rng_state
     except (KeyError, TypeError, ValueError) as exc:

@@ -17,209 +17,101 @@ The run records :class:`GenerationSnapshot`\\ s of the rank-1 front at
 requested checkpoint generations — the paper's "Pareto fronts through
 various number of iterations" (Figures 3, 4, 6) fall straight out of
 one run per seeded population.
+
+Since the :mod:`repro.core.algorithm` redesign, :class:`NSGA2` is one
+composition of the :class:`~repro.core.algorithm.EvolutionaryAlgorithm`
+template: crowded binary tournament (or the paper's uniform draws) for
+mating selection, the default range-swap crossover + mutation for
+variation, and rank/crowding environmental selection for replacement.
+Steady-state NSGA-II is the same class with
+``AlgorithmConfig(offspring_size=1)``.  The composition draws from the
+RNG in exactly the pre-refactor order, so fronts and checkpoints are
+bit-identical to the monolithic engine (asserted against golden
+artifacts by ``tests/test_core_algorithm.py``).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+import warnings
+from typing import Any, Optional
 
 import numpy as np
 
+from repro.core.algorithm import (
+    Algorithm,
+    AlgorithmConfig,
+    EvolutionaryAlgorithm,
+    GenerationSnapshot,
+    RunHistory,
+)
+from repro.core.archive import EpsilonParetoArchive
 from repro.core.crowding import crowding_by_front, crowding_truncate
 from repro.core.dominance import nondominated_mask
-from repro.core.operators import (
-    FeasibleMachines,
-    OperatorConfig,
-    VariationOperators,
-)
+from repro.core.operators import OperatorConfig, binary_tournament_pairs
 from repro.core.population import Population
-from repro.core.seeding import seeded_initial_population
 from repro.core.sorting import fast_nondominated_sort, fronts_from_ranks
-from repro.core.telemetry import StageTimings
-from repro.errors import CheckpointError, OptimizationError
-from repro.obs.context import NULL_CONTEXT, RunContext
-from repro.rng import SeedLike, ensure_rng
-from repro.sim.evaluator import ScheduleEvaluator
-from repro.sim.schedule import ResourceAllocation
 from repro.types import FloatArray, IntArray
 
-__all__ = ["NSGA2Config", "GenerationSnapshot", "RunHistory", "NSGA2"]
+__all__ = [
+    "NSGA2Config",
+    "AlgorithmConfig",
+    "GenerationSnapshot",
+    "RunHistory",
+    "NSGA2",
+    "EpsilonArchiveNSGA2",
+]
 
 
-@dataclass(frozen=True, slots=True)
-class NSGA2Config:
-    """Engine parameters.
+def NSGA2Config(
+    population_size: int = 100,
+    operators: Optional[OperatorConfig] = None,
+    store_front_solutions: bool = False,
+    fast_path: bool = True,
+    order_sampling: str = "legacy",
+) -> AlgorithmConfig:
+    """Deprecated alias for :class:`~repro.core.algorithm.AlgorithmConfig`.
 
-    Attributes
-    ----------
-    population_size:
-        N — parent population size (paper example: 100).
-    operators:
-        Crossover/mutation configuration.
-    store_front_solutions:
-        Keep the chromosomes (not just objective points) of each
-        checkpoint front.  Off by default to bound memory for long
-        runs; the final front's chromosomes are always kept.
-    fast_path:
-        Use the O(N log N) bi-objective machinery: sweep nondominated
-        sorting, vectorized environmental selection, and one shared
-        ranks computation per generation (tournament selection reuses
-        the ranks derived during the previous environmental selection).
-        ``False`` runs the O(N²) dominance-matrix reference path; both
-        produce bit-identical fronts for the same seed, asserted by
-        ``tests/test_core_nsga2_fastpath.py``.
-    order_sampling:
-        How the initial population draws scheduling orders: ``"legacy"``
-        (default) preserves the historical per-row ``rng.permutation``
-        stream (checkpoint/seed compatible); ``"vectorized"`` draws one
-        key matrix and argsorts it (faster, different stream).
+    Kept (positional-argument compatible) so pre-redesign scripts keep
+    running; new code should construct ``AlgorithmConfig`` directly
+    with keyword arguments.
+    """
+    warnings.warn(
+        "NSGA2Config is deprecated; use "
+        "repro.core.AlgorithmConfig(population_size=..., ...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return AlgorithmConfig(
+        population_size=population_size,
+        operators=operators if operators is not None else OperatorConfig(),
+        store_front_solutions=store_front_solutions,
+        fast_path=fast_path,
+        order_sampling=order_sampling,
+    )
+
+
+class NSGA2(EvolutionaryAlgorithm):
+    """NSGA-II as a composition of the evolutionary template.
+
+    Mating selection is the paper's uniform random draw (crossover
+    draws parents itself) or Deb's crowded binary tournament when
+    ``config.operators.parent_selection == "tournament"``; replacement
+    is elitist rank/crowding environmental selection over the combined
+    parent+offspring meta-population.  See
+    :class:`~repro.core.algorithm.Algorithm` for constructor
+    parameters.
     """
 
-    population_size: int = 100
-    operators: OperatorConfig = field(default_factory=OperatorConfig)
-    store_front_solutions: bool = False
-    fast_path: bool = True
-    order_sampling: str = "legacy"
+    name = "nsga2"
 
-    def __post_init__(self) -> None:
-        if self.population_size < 2:
-            raise OptimizationError(
-                f"population_size must be >= 2, got {self.population_size}"
-            )
-        if self.order_sampling not in ("legacy", "vectorized"):
-            raise OptimizationError(
-                "order_sampling must be 'legacy' or 'vectorized'; got "
-                f"{self.order_sampling!r}"
-            )
-
-
-@dataclass(frozen=True)
-class GenerationSnapshot:
-    """The rank-1 (Pareto) front of the population at one checkpoint.
-
-    Attributes
-    ----------
-    generation:
-        Generation count at the snapshot (0 = initial population).
-    front_points:
-        ``(F, 2)`` (energy, utility) points, sorted by energy.
-    front_assignments, front_orders:
-        ``(F, T)`` chromosome arrays when stored, else ``None``.
-    evaluations:
-        Cumulative chromosome evaluations at the snapshot.
-    """
-
-    generation: int
-    front_points: FloatArray
-    front_assignments: Optional[IntArray]
-    front_orders: Optional[IntArray]
-    evaluations: int
-
-    @property
-    def front_size(self) -> int:
-        """Number of points on the snapshot front."""
-        return int(self.front_points.shape[0])
-
-    def best_utility_point(self) -> tuple[float, float]:
-        """The (energy, utility) point with maximum utility."""
-        i = int(np.argmax(self.front_points[:, 1]))
-        return tuple(self.front_points[i])  # type: ignore[return-value]
-
-    def best_energy_point(self) -> tuple[float, float]:
-        """The (energy, utility) point with minimum energy."""
-        i = int(np.argmin(self.front_points[:, 0]))
-        return tuple(self.front_points[i])  # type: ignore[return-value]
-
-
-@dataclass(frozen=True)
-class RunHistory:
-    """Everything one NSGA-II run produced."""
-
-    label: str
-    snapshots: tuple[GenerationSnapshot, ...]
-    total_generations: int
-    total_evaluations: int
-    wall_seconds: float
-
-    def snapshot_at(self, generation: int) -> GenerationSnapshot:
-        """The snapshot recorded at exactly *generation*."""
-        for snap in self.snapshots:
-            if snap.generation == generation:
-                return snap
-        raise OptimizationError(
-            f"no snapshot at generation {generation}; available: "
-            f"{[s.generation for s in self.snapshots]}"
-        )
-
-    @property
-    def final(self) -> GenerationSnapshot:
-        """The last snapshot (the run's final Pareto front)."""
-        return self.snapshots[-1]
-
-
-class NSGA2:
-    """One NSGA-II optimization bound to an evaluator.
-
-    Parameters
-    ----------
-    evaluator:
-        The (system, trace) schedule evaluator.
-    config:
-        Engine parameters.
-    seeds:
-        Heuristic seed allocations injected into the initial population.
-    rng:
-        Seed or generator driving all stochastic choices of this run.
-    label:
-        Name used in reports (e.g. ``"min-energy seed"``).
-    obs:
-        Optional :class:`~repro.obs.context.RunContext`.  When enabled
-        the engine records spans around the run and its stages
-        (absorbing the :class:`~repro.core.telemetry.StageTimings`
-        measurements — the very same ``perf_counter`` deltas, so trace
-        totals reconcile with ``stage_timings`` exactly), emits
-        run/generation/checkpoint events, and feeds the metrics
-        registry.  When disabled (default) the hot loop pays one
-        predicate per generation; RNG streams are untouched either way.
-    """
-
-    def __init__(
-        self,
-        evaluator: ScheduleEvaluator,
-        config: NSGA2Config = NSGA2Config(),
-        seeds: Sequence[ResourceAllocation] = (),
-        rng: SeedLike = None,
-        label: str = "nsga2",
-        obs: Optional[RunContext] = None,
-    ) -> None:
-        self.evaluator = evaluator
-        self.config = config
-        self.label = label
-        self.obs = (obs if obs is not None else NULL_CONTEXT).bind(label=label)
-        self._rng = ensure_rng(rng)
-        self.feasible = FeasibleMachines.from_system_trace(
-            evaluator.system, evaluator.trace
-        )
-        self.operators = VariationOperators(self.feasible, config.operators)
-        with self.obs.span("ga.initial_population", seeds=len(seeds)):
-            self.population = seeded_initial_population(
-                self.feasible, config.population_size, list(seeds), self._rng,
-                order_sampling=config.order_sampling,
-            )
-            self.population.evaluate(evaluator)
-        self._evaluations = self.population.size
-        self.generation = 0
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
         #: Cached front ranks of the current parent population, carried
         #: over from the last environmental selection (fast path only);
         #: ``None`` forces a fresh sort (initial population, resume).
         self._ranks: Optional[IntArray] = None
-        #: Per-stage wall-clock accumulator (selection / variation /
-        #: evaluate / environmental), read by benchmarks and telemetry.
-        self.stage_timings = StageTimings()
 
-    # -- one generation -------------------------------------------------------
+    # -- hooks -----------------------------------------------------------------
 
     def _parent_ranks(self) -> IntArray:
         """Front ranks of the current parent population.
@@ -240,64 +132,32 @@ class NSGA2:
             self._ranks = ranks
         return ranks
 
-    def step(self) -> None:
-        """Advance one generation (Algorithm 1 steps 3-11)."""
-        timings = self.stage_timings
-        parents = self.population
-        parent_pairs = None
-        t0 = time.perf_counter()
-        if self.config.operators.parent_selection == "tournament":
-            from repro.core.operators import binary_tournament_pairs
-
-            objectives = parents.objectives
-            ranks = self._parent_ranks()
-            crowding = crowding_by_front(objectives, ranks)
-            parent_pairs = binary_tournament_pairs(
-                ranks, crowding, parents.size // 2, self._rng
-            )
-        t1 = time.perf_counter()
-        child_assign, child_order = self.operators.crossover_population(
-            parents.assignments, parents.orders, self._rng,
-            parent_pairs=parent_pairs,
+    def _mating_selection(self, parents: Population) -> Optional[IntArray]:
+        if self.config.operators.parent_selection != "tournament":
+            return None
+        objectives = parents.objectives
+        ranks = self._parent_ranks()
+        crowding = crowding_by_front(objectives, ranks)
+        return binary_tournament_pairs(
+            ranks, crowding, self._offspring_pairs(), self._rng
         )
-        child_assign, child_order = self.operators.mutate_population(
-            child_assign, child_order, self._rng
-        )
-        t2 = time.perf_counter()
-        offspring = Population(assignments=child_assign, orders=child_order)
-        offspring.evaluate(self.evaluator)
-        self._evaluations += offspring.size
-        t3 = time.perf_counter()
 
+    def _replacement(
+        self, parents: Population, offspring: Population
+    ) -> Population:
         meta = parents.concatenate(offspring)
-        self.population = self._environmental_selection(meta)
-        self.generation += 1
-        t4 = time.perf_counter()
-        timings.record("selection", t1 - t0)
-        timings.record("variation", t2 - t1)
-        timings.record("evaluate", t3 - t2)
-        timings.record("environmental", t4 - t3)
-        obs = self.obs
-        if obs.enabled:
-            # The generation span reuses the stage perf_counter deltas —
-            # no extra clock reads on the hot path.
-            obs.record_span(
-                "ga.generation", t4 - t0, generation=self.generation
-            )
-            if obs.debug:
-                gen = self.generation
-                obs.record_span("ga.stage.selection", t1 - t0, generation=gen)
-                obs.record_span("ga.stage.variation", t2 - t1, generation=gen)
-                obs.record_span("ga.stage.evaluate", t3 - t2, generation=gen)
-                obs.record_span(
-                    "ga.stage.environmental", t4 - t3, generation=gen
-                )
-            obs.metrics.counter(
-                "ga_generations_total", help="NSGA-II generations advanced"
-            ).inc()
+        return self._environmental_selection(meta)
+
+    def _on_restore(self) -> None:
+        # The rank cache is derived state; a fresh sort after resume
+        # yields the same ranks (they are a pure function of the
+        # objectives), so resumed runs stay bit-identical.
+        self._ranks = None
+
+    # -- environmental selection -----------------------------------------------
 
     def _environmental_selection(self, meta: Population) -> Population:
-        """Pick the best N of the 2N meta-population (steps 7-10).
+        """Pick the best N of the meta-population (steps 7-10).
 
         Both paths return the same rows in the same order: complete
         fronts in rank order (index-ascending within a front) followed
@@ -337,245 +197,100 @@ class NSGA2:
         self._ranks = None
         return meta.select(indices)
 
-    # -- snapshots -------------------------------------------------------------
+
+class EpsilonArchiveNSGA2(NSGA2):
+    """NSGA-II with an external ε-dominance archive (Laumanns et al. 2002).
+
+    The generational loop is exactly :class:`NSGA2` (same RNG stream,
+    same population trajectory); in addition every generation's
+    nondominated meta-population points are folded into an
+    :class:`~repro.core.archive.EpsilonParetoArchive`, and snapshots
+    report the *archive* front instead of the population front.  The
+    archive guarantees a bounded, well-spread approximation set: no two
+    reported points are within one ε-box of each other, and every point
+    ever visited is ε-dominated by some reported point.
+
+    Parameters
+    ----------
+    epsilon:
+        Relative ε resolution: absolute per-axis box sizes are
+        ``epsilon`` times the initial population's objective ranges
+        (degenerate ranges fall back to 1.0).  Default ``1e-3``.
+    Other parameters are those of :class:`~repro.core.algorithm.Algorithm`.
+    """
+
+    name = "eps-archive"
+
+    def __init__(self, *args, epsilon: float = 1e-3, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if epsilon <= 0:
+            from repro.errors import OptimizationError
+
+            raise OptimizationError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+        objectives = self.population.objectives
+        span = objectives.max(axis=0) - objectives.min(axis=0)
+        span = np.where(span > 0, span, 1.0)
+        self.archive = EpsilonParetoArchive(
+            epsilons=(self.epsilon * span[0], self.epsilon * span[1])
+        )
+        self._archive_population(self.population)
+
+    def _archive_population(self, population: Population) -> None:
+        """Fold *population*'s nondominated points into the archive."""
+        objectives = population.objectives
+        rows = np.flatnonzero(nondominated_mask(objectives))
+        payloads = [
+            (population.assignments[i].copy(), population.orders[i].copy())
+            for i in rows
+        ]
+        self.archive.update(objectives[rows], payloads)
+
+    def _replacement(
+        self, parents: Population, offspring: Population
+    ) -> Population:
+        meta = parents.concatenate(offspring)
+        self._archive_population(meta)
+        return self._environmental_selection(meta)
+
+    # -- snapshots report the archive front ------------------------------------
 
     def current_front(self) -> tuple[FloatArray, np.ndarray]:
-        """Current rank-1 points (sorted by energy) and their row indices."""
-        objectives = self.population.objectives
-        mask = nondominated_mask(objectives)
-        rows = np.flatnonzero(mask)
-        pts = objectives[rows]
+        """Archive points (sorted by energy) and their archive rows."""
+        pts = self.archive.points
         order = np.lexsort((pts[:, 1], pts[:, 0]))
-        return pts[order], rows[order]
+        return pts[order], order
 
-    def _snapshot(self, store_solutions: bool) -> GenerationSnapshot:
-        pts, rows = self.current_front()
-        assignments = orders = None
-        if store_solutions:
-            assignments = self.population.assignments[rows].copy()
-            orders = self.population.orders[rows].copy()
-        if self.obs.enabled:
-            self.obs.metrics.gauge(
-                "ga_front_size", help="rank-1 front size at last snapshot"
-            ).set(pts.shape[0])
-            self.obs.event(
-                "generation.sampled",
-                generation=self.generation,
-                front_size=int(pts.shape[0]),
-                evaluations=self._evaluations,
-            )
-        return GenerationSnapshot(
-            generation=self.generation,
-            front_points=pts,
-            front_assignments=assignments,
-            front_orders=orders,
-            evaluations=self._evaluations,
-        )
+    def _front_solutions(self, rows: np.ndarray) -> tuple[IntArray, IntArray]:
+        payloads = self.archive.payloads
+        assignments = np.stack([payloads[i][0] for i in rows])
+        orders = np.stack([payloads[i][1] for i in rows])
+        return assignments, orders
 
-    # -- full run ---------------------------------------------------------------
+    # -- checkpointing ---------------------------------------------------------
 
-    def run(
-        self,
-        generations: int,
-        checkpoints: Optional[Sequence[int]] = None,
-        progress: Optional[Callable[[int, "NSGA2"], None]] = None,
-        *,
-        checkpoint_dir: Optional[str] = None,
-        checkpoint_every: int = 1,
-        resume: bool = False,
-    ) -> RunHistory:
-        """Run for *generations*, snapshotting at *checkpoints*.
-
-        Parameters
-        ----------
-        generations:
-            Total generations to run ("iterations" in the paper's
-            figures).
-        checkpoints:
-            Sorted generation counts to snapshot; the final generation
-            is always snapshotted (with solutions).  Defaults to just
-            the final generation.
-        progress:
-            Optional callback invoked after every generation.
-        checkpoint_dir:
-            When set, the full engine state is durably persisted into
-            this directory (one atomically replaced file per run label)
-            so a killed process can resume without losing progress.
-        checkpoint_every:
-            Persist every this-many generations (default 1: at most one
-            generation of work is ever lost).  Raise it when disk IO is
-            a measurable fraction of generation time.
-        resume:
-            Load the label's checkpoint from *checkpoint_dir* (if one
-            exists) and continue from it.  The resumed run's objective
-            points are bit-identical to an uninterrupted run with the
-            same seed.  A checkpoint saved under different run
-            parameters raises :class:`~repro.errors.CheckpointError`;
-            a damaged checkpoint raises
-            :class:`~repro.errors.CorruptArtifactError`.
-        """
-        if generations < 0:
-            raise OptimizationError(f"generations must be >= 0, got {generations}")
-        wanted = sorted(set(checkpoints or [])) if checkpoints else []
-        for c in wanted:
-            if c < 0 or c > generations:
-                raise OptimizationError(
-                    f"checkpoint {c} outside [0, {generations}]"
-                )
-        store = None
-        if checkpoint_dir is not None:
-            if checkpoint_every < 1:
-                raise OptimizationError(
-                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
-                )
-            from repro.core.checkpoint import CheckpointStore
-
-            store = CheckpointStore(checkpoint_dir, self.label, obs=self.obs)
-        run_params = {
-            "generations": int(generations),
-            "checkpoints": [int(c) for c in wanted],
-            "population_size": int(self.config.population_size),
+    def _capture_algo_state(self) -> dict[str, Any]:
+        payloads = self.archive.payloads
+        return {
+            "epsilons": list(self.archive.epsilons),
+            "points": self.archive.points.tolist(),
+            "assignments": [p[0].tolist() for p in payloads],
+            "orders": [p[1].tolist() for p in payloads],
         }
-        snapshots: list[GenerationSnapshot] = []
-        elapsed_before = 0.0
-        obs = self.obs
-        resumed = False
-        if store is not None and resume and store.exists():
-            from repro.core.checkpoint import restore_state
 
-            state = store.load()
-            if dict(state.run_params) != run_params:
-                raise CheckpointError(
-                    f"checkpoint for {self.label!r} was saved under run "
-                    f"parameters {dict(state.run_params)}; this run asked for "
-                    f"{run_params}"
-                )
-            restore_state(self, state)
-            snapshots = list(state.snapshots)
-            elapsed_before = state.elapsed_seconds
-            resumed = True
-        if obs.enabled:
-            # Stage totals accumulated before this run (resume of the
-            # same engine): subtracted when emitting this run's
-            # aggregate spans so trace totals reconcile per run.
-            stage_base = dict(self.stage_timings.totals)
-            count_base = dict(self.stage_timings.counts)
-            obs.event(
-                "run.resumed" if resumed else "run.started",
-                generation=self.generation,
-                generations=generations,
-                evaluations=self._evaluations,
-            )
-        t0 = time.perf_counter()
-        with obs.span("ga.run", generations=generations, resumed=resumed):
-            if self.generation == 0 and 0 in wanted and generations > 0:
-                snapshots.append(
-                    self._snapshot(self.config.store_front_solutions)
-                )
-            while self.generation < generations:
-                self.step()
-                if self.generation in wanted and self.generation != generations:
-                    snapshots.append(
-                        self._snapshot(self.config.store_front_solutions)
-                    )
-                if progress is not None:
-                    progress(self.generation, self)
-                if store is not None and (
-                    self.generation % checkpoint_every == 0
-                    or self.generation == generations
-                ):
-                    from repro.core.checkpoint import capture_state
-
-                    store.save(
-                        capture_state(
-                            self,
-                            snapshots,
-                            elapsed_before + (time.perf_counter() - t0),
-                            run_params,
-                        )
-                    )
-            # Final snapshot always, always with solutions.
-            snapshots.append(self._snapshot(store_solutions=True))
-        wall = elapsed_before + (time.perf_counter() - t0)
-        if obs.enabled:
-            for stage in sorted(self.stage_timings.totals):
-                delta = (
-                    self.stage_timings.totals[stage]
-                    - stage_base.get(stage, 0.0)
-                )
-                count = (
-                    self.stage_timings.counts[stage]
-                    - count_base.get(stage, 0)
-                )
-                if count:
-                    obs.record_span(
-                        f"ga.stage_total.{stage}", delta, count=count,
-                        aggregate=True,
-                    )
-            obs.event(
-                "run.finished",
-                generation=self.generation,
-                evaluations=self._evaluations,
-                wall_seconds=wall,
-            )
-            obs.sample_rss()
-        return RunHistory(
-            label=self.label,
-            snapshots=tuple(snapshots),
-            total_generations=self.generation,
-            total_evaluations=self._evaluations,
-            wall_seconds=wall,
+    def _restore_algo_state(self, doc: dict[str, Any]) -> None:
+        if not doc:
+            return  # pre-archive checkpoint: keep the freshly built archive
+        self.archive = EpsilonParetoArchive(
+            epsilons=tuple(float(e) for e in doc["epsilons"])
         )
-
-    def run_until(
-        self,
-        criterion,
-        snapshot_every: int = 0,
-        max_generations: int = 1_000_000,
-    ) -> RunHistory:
-        """Run until a :class:`~repro.core.termination.TerminationCriterion`
-        fires (Algorithm 1's "while termination criterion is not met").
-
-        Parameters
-        ----------
-        criterion:
-            The stopping rule; consulted after every generation with a
-            :class:`~repro.core.termination.TerminationContext`.
-        snapshot_every:
-            Record a front snapshot every this-many generations
-            (0 = final only).
-        max_generations:
-            Hard safety bound.
-        """
-        from repro.core.termination import TerminationContext
-
-        criterion.reset()
-        snapshots: list[GenerationSnapshot] = []
-        t0 = time.perf_counter()
-        start_generation = self.generation
-        while self.generation - start_generation < max_generations:
-            self.step()
-            completed = self.generation - start_generation
-            if snapshot_every and completed % snapshot_every == 0:
-                snapshots.append(
-                    self._snapshot(self.config.store_front_solutions)
-                )
-            pts, _ = self.current_front()
-            context = TerminationContext(
-                generation=completed,
-                evaluations=self._evaluations,
-                elapsed_seconds=time.perf_counter() - t0,
-                front_points=pts,
+        points = np.asarray(doc["points"], dtype=np.float64)
+        payloads = [
+            (
+                np.asarray(a, dtype=np.int64),
+                np.asarray(o, dtype=np.int64),
             )
-            if criterion.should_stop(context):
-                break
-        if snapshots and snapshots[-1].generation == self.generation:
-            snapshots.pop()  # replace with a solutions-bearing snapshot
-        snapshots.append(self._snapshot(store_solutions=True))
-        return RunHistory(
-            label=self.label,
-            snapshots=tuple(snapshots),
-            total_generations=self.generation,
-            total_evaluations=self._evaluations,
-            wall_seconds=time.perf_counter() - t0,
-        )
+            for a, o in zip(doc["assignments"], doc["orders"])
+        ]
+        if points.size:
+            self.archive.update(points, payloads)

@@ -198,19 +198,28 @@ class VariationOperators:
         orders: IntArray,
         rng: np.random.Generator,
         parent_pairs: IntArray | None = None,
+        n_offspring: int | None = None,
     ) -> tuple[IntArray, IntArray]:
-        """Produce an offspring population of the parents' size.
+        """Produce an offspring population via range-swap crossover.
 
-        ``N/2`` crossover operations, each on two parents, each
-        producing two children (Algorithm 1, steps 3-4).  Parents
-        default to uniform random draws (the paper's selection); the
-        engine passes *parent_pairs* of shape ``(N//2, 2)`` when
-        tournament selection is configured.
+        With *n_offspring* ``None`` (the default), ``N/2`` crossover
+        operations, each on two parents, each producing two children
+        (Algorithm 1, steps 3-4) — the legacy generational behaviour on
+        the historical RNG stream, completed by one cloned parent when
+        N is odd.  An explicit *n_offspring* k runs ``ceil(k / 2)``
+        operations and truncates to exactly k children (steady-state
+        NSGA-II uses k = 1).  Parents default to uniform random draws
+        (the paper's selection); the engine passes *parent_pairs* of
+        one row per operation when tournament selection is configured.
         """
         N, T = assignments.shape
         if N < 2:
             return assignments.copy(), orders.copy()
-        n_ops = N // 2
+        if n_offspring is not None and n_offspring < 1:
+            raise OptimizationError(
+                f"n_offspring must be >= 1, got {n_offspring}"
+            )
+        n_ops = N // 2 if n_offspring is None else (n_offspring + 1) // 2
         child_assign = np.empty((2 * n_ops, T), dtype=np.int64)
         child_order = np.empty((2 * n_ops, T), dtype=np.int64)
         if parent_pairs is None:
@@ -238,7 +247,10 @@ class VariationOperators:
         child_assign[1::2] = np.where(swap, assignments[pa], assignments[pb])
         child_order[0::2] = np.where(swap, orders[pb], orders[pa])
         child_order[1::2] = np.where(swap, orders[pa], orders[pb])
-        if 2 * n_ops < N:
+        if n_offspring is not None:
+            child_assign = child_assign[:n_offspring]
+            child_order = child_order[:n_offspring]
+        elif 2 * n_ops < N:
             # Odd population: clone one extra random parent unchanged.
             extra = int(rng.integers(0, N))
             child_assign = np.vstack([child_assign, assignments[extra][None, :]])

@@ -1,0 +1,88 @@
+"""Algorithm registry: name → factory for the MOEA portfolio.
+
+Experiment drivers and the CLI select optimizers by name —
+``"nsga2"``, ``"nsga2-ss"`` (steady-state), ``"spea2"``, ``"moead"``,
+``"eps-archive"`` — and :func:`make_algorithm` builds the engine.
+Registry names are plain strings, so the choice travels to parallel
+pool workers inside the pickled cell extras alongside the dataset
+handle; a caller may also pass its own factory callable (anything with
+the :class:`~repro.core.algorithm.Algorithm` constructor signature)
+for algorithms that are not registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional, Sequence, Union
+
+from repro.core.algorithm import Algorithm, AlgorithmConfig
+from repro.core.moead import MOEAD
+from repro.core.nsga2 import NSGA2, EpsilonArchiveNSGA2
+from repro.core.spea2 import SPEA2
+from repro.errors import AlgorithmLookupError
+from repro.obs.context import RunContext
+from repro.rng import SeedLike
+from repro.sim.evaluator import ScheduleEvaluator
+from repro.sim.schedule import ResourceAllocation
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmFactory",
+    "available_algorithms",
+    "make_algorithm",
+]
+
+#: Anything that builds an Algorithm from (evaluator, config, ...).
+AlgorithmFactory = Callable[..., Algorithm]
+
+
+def _make_steady_state_nsga2(evaluator, config, **kwargs) -> NSGA2:
+    """Steady-state NSGA-II: the generational engine with one child/step."""
+    return NSGA2(evaluator, replace(config, offspring_size=1), **kwargs)
+
+
+#: Registered algorithm factories by CLI/driver name.
+ALGORITHMS: dict[str, AlgorithmFactory] = {
+    "nsga2": NSGA2,
+    "nsga2-ss": _make_steady_state_nsga2,
+    "spea2": SPEA2,
+    "moead": MOEAD,
+    "eps-archive": EpsilonArchiveNSGA2,
+}
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Registered algorithm names, sorted."""
+    return tuple(sorted(ALGORITHMS))
+
+
+def make_algorithm(
+    algorithm: Union[str, AlgorithmFactory],
+    evaluator: ScheduleEvaluator,
+    config: Optional[AlgorithmConfig] = None,
+    *,
+    seeds: Sequence[ResourceAllocation] = (),
+    rng: SeedLike = None,
+    label: Optional[str] = None,
+    obs: Optional[RunContext] = None,
+) -> Algorithm:
+    """Build the engine for *algorithm* (registry name or factory).
+
+    Raises :class:`~repro.errors.AlgorithmLookupError` for unknown
+    names, listing what is registered.
+    """
+    if callable(algorithm):
+        factory: AlgorithmFactory = algorithm
+    else:
+        try:
+            factory = ALGORITHMS[algorithm]
+        except KeyError:
+            raise AlgorithmLookupError(
+                f"unknown algorithm {algorithm!r}; registered: "
+                f"{', '.join(available_algorithms())}"
+            ) from None
+    if config is None:
+        config = AlgorithmConfig()
+    return factory(
+        evaluator, config, seeds=list(seeds), rng=rng, label=label, obs=obs
+    )

@@ -13,8 +13,10 @@ NumPy, etc.).  The subclasses partition failures by subsystem:
 * :class:`WorkloadError` — trace generation parameters are infeasible.
 * :class:`ScheduleError` — an allocation references unknown tasks or
   infeasible machines.
-* :class:`OptimizationError` — the NSGA-II engine was configured
+* :class:`OptimizationError` — an optimization engine was configured
   inconsistently (population size, operator probabilities, ...).
+* :class:`AlgorithmLookupError` — a requested algorithm name is not in
+  the portfolio registry (see :mod:`repro.core.registry`).
 * :class:`AnalysisError` — a Pareto-front analysis was asked of an
   empty or degenerate front.
 * :class:`ExperimentError` — experiment configuration/IO failures.
@@ -44,6 +46,7 @@ __all__ = [
     "WorkloadError",
     "ScheduleError",
     "OptimizationError",
+    "AlgorithmLookupError",
     "AnalysisError",
     "ExperimentError",
     "CheckpointError",
@@ -79,6 +82,10 @@ class ScheduleError(ReproError):
 
 class OptimizationError(ReproError):
     """The bi-objective optimizer was configured or used incorrectly."""
+
+
+class AlgorithmLookupError(OptimizationError):
+    """A requested algorithm name is not registered in the portfolio."""
 
 
 class AnalysisError(ReproError):

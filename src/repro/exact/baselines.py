@@ -1,0 +1,305 @@
+"""Exact Pareto fronts of the contention-free scheduling relaxation.
+
+**The relaxation.**  Drop queueing: every task starts the moment it
+arrives, so its elapsed time on machine *m* is exactly ``ETC(τ, m)``
+and its utility is ``Υ_τ(ETC(τ, m))`` — the best any schedule can do,
+since waiting only increases elapsed time and every TUF is monotone
+non-increasing.  Energy is queue-independent (``EEC = ETC · EPC``), so
+the relaxed energy of an assignment equals its true energy.  The tasks
+then decouple: each independently picks one feasible machine, and the
+relaxed objective is the sum of per-task ``(energy, utility)`` options.
+Consequently, for every feasible schedule's true point ``(E, U)`` the
+relaxation admits a point ``(E, U')`` with ``U' >= U`` — the exact
+relaxed front weakly dominates everything achievable, making it a valid
+reference front for optimality-gap indicators.
+
+**The algorithm.**  The Pareto front of a sum of independent option
+sets is a Minkowski-sum front, computed by dynamic programming: merge
+one task's (pruned) options at a time into a running nondominated list.
+The list is optionally ε-thinned on the utility axis after each merge —
+keeping one representative per utility cell of width
+``epsilon · utility_scale / T`` — which bounds both the list length and
+the total utility error of the final front by ``epsilon ·
+utility_scale`` (each of the T merges forfeits at most one cell).
+``epsilon=0`` is fully exact and is validated against brute-force
+enumeration on tiny instances by ``tests/test_exact_baselines.py``.
+
+An (energy, makespan) variant does the same for the second trade-off
+axis studied in the Khaleghzadeh line of work: sweep the candidate
+completion-time thresholds in ascending order, and at each threshold
+give every task its cheapest machine that still meets it (per-task
+prefix-minimum energies over completion-sorted options make the whole
+sweep O(T·M log(T·M))).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.analysis.indicators import additive_epsilon, igd
+from repro.core.dominance import nondominated_mask
+from repro.core.objectives import ENERGY_UTILITY, BiObjectiveSpace, ObjectiveSense
+from repro.errors import AnalysisError, OptimizationError
+from repro.types import FloatArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.evaluator import ScheduleEvaluator
+
+__all__ = [
+    "ExactFront",
+    "brute_force_energy_utility_front",
+    "contention_free_options",
+    "distance_to_exact",
+    "exact_energy_makespan_front",
+    "exact_energy_utility_front",
+]
+
+#: (minimize energy, minimize makespan) — the objective space of the
+#: second exact baseline.
+ENERGY_MAKESPAN = BiObjectiveSpace(
+    senses=(ObjectiveSense.MINIMIZE, ObjectiveSense.MINIMIZE),
+    names=("energy", "makespan"),
+)
+
+#: Guard on the brute-force enumerator: ``prod(options per task)``.
+_BRUTE_FORCE_LIMIT = 2_000_000
+
+#: Guard on the unthinned (epsilon=0) DP front length — beyond this the
+#: instance needs ε-thinning to stay tractable.
+_EXACT_DP_LIMIT = 200_000
+
+
+@dataclass(frozen=True)
+class ExactFront:
+    """An exactly computed reference front.
+
+    Attributes
+    ----------
+    points:
+        ``(F, 2)`` front points, sorted ascending by the first
+        objective.
+    space:
+        The objective space the points live in.
+    epsilon:
+        The ε-thinning parameter the front was computed with (0 =
+        provably exact; positive values bound the utility error by
+        ``epsilon × utility_scale``).
+    """
+
+    points: FloatArray
+    space: BiObjectiveSpace
+    epsilon: float = 0.0
+
+    @property
+    def size(self) -> int:
+        """Number of points on the front."""
+        return int(self.points.shape[0])
+
+
+def contention_free_options(
+    evaluator: "ScheduleEvaluator",
+) -> list[FloatArray]:
+    """Per-task nondominated ``(energy, utility)`` options.
+
+    For each task, one row per feasible machine: energy
+    ``EEC(τ, m)`` and the utility upper bound ``Υ_τ(ETC(τ, m))``
+    (elapsed time without any queueing).  Options dominated within a
+    task — at least as much energy for at most as much utility — are
+    pruned; they can never appear in any relaxed Pareto-optimal sum.
+    """
+    etc = np.asarray(evaluator._etc_rows, dtype=np.float64)
+    eec = np.asarray(evaluator._eec_rows, dtype=np.float64)
+    feasible = np.asarray(evaluator._feasible_rows, dtype=bool)
+    task_types = evaluator._task_types
+    table = evaluator.tuf_table
+    T, M = etc.shape
+    # Utility of each (task, machine) at zero waiting time: evaluate
+    # the TUF of each task's type at its ETC column by column.
+    util = np.empty((T, M), dtype=np.float64)
+    for m in range(M):
+        util[:, m] = table.evaluate(task_types, etc[:, m])
+    options: list[FloatArray] = []
+    for t in range(T):
+        ok = np.flatnonzero(feasible[t])
+        if ok.size == 0:
+            raise AnalysisError(
+                f"task {t} has no feasible machine; the relaxation is empty"
+            )
+        pts = np.column_stack([eec[t, ok], util[t, ok]])
+        keep = nondominated_mask(pts, space=ENERGY_UTILITY)
+        options.append(pts[keep])
+    return options
+
+
+def _pareto_sorted(
+    points: FloatArray, space: BiObjectiveSpace
+) -> FloatArray:
+    """Nondominated subset of *points*, sorted by the first objective."""
+    keep = nondominated_mask(points, space=space)
+    pts = points[keep]
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    return pts[order]
+
+
+def _thin_by_utility(points: FloatArray, du: float) -> FloatArray:
+    """Keep one representative per utility cell of width *du*.
+
+    *points* must be a nondominated (energy, utility) front.  Within a
+    cell the representative is the highest-utility point (which, on a
+    front, is also the most expensive — the error is one cell of
+    utility, never energy infeasibility: every kept point is a genuine
+    achievable sum).
+    """
+    if du <= 0 or points.shape[0] <= 2:
+        return points
+    cells = np.floor(points[:, 1] / du).astype(np.int64)
+    # Front sorted ascending by energy has ascending utility too; the
+    # last point of each cell run has that cell's max utility.
+    last_of_cell = np.ones(points.shape[0], dtype=bool)
+    last_of_cell[:-1] = cells[:-1] != cells[1:]
+    return points[last_of_cell]
+
+
+def exact_energy_utility_front(
+    evaluator: "ScheduleEvaluator",
+    epsilon: float = 0.0,
+) -> ExactFront:
+    """Exact (energy, utility) front of the contention-free relaxation.
+
+    Parameters
+    ----------
+    evaluator:
+        The (system, trace) evaluator whose relaxation to solve.
+    epsilon:
+        Relative utility resolution of the ε-thinned DP.  ``0``
+        (default) computes the provably exact front — exponential in
+        the worst case, fine for the paper's instance sizes; ``1e-3``
+        bounds the front's utility error by 0.1 % of the total utility
+        upper bound while keeping the DP list roughly ``T / epsilon``
+        entries.
+    """
+    if epsilon < 0:
+        raise OptimizationError(f"epsilon must be >= 0, got {epsilon}")
+    options = contention_free_options(evaluator)
+    utility_scale = float(
+        evaluator.tuf_table.utility_upper_bound(evaluator._task_types)
+    )
+    du = (
+        epsilon * utility_scale / max(len(options), 1)
+        if epsilon > 0 and utility_scale > 0
+        else 0.0
+    )
+    # DP merge: front ⊕ options[t], pruned (and thinned) every step.
+    front = np.zeros((1, 2), dtype=np.float64)
+    for opts in options:
+        combined = (front[:, None, :] + opts[None, :, :]).reshape(-1, 2)
+        front = _pareto_sorted(combined, ENERGY_UTILITY)
+        front = _thin_by_utility(front, du)
+        if du == 0.0 and front.shape[0] > _EXACT_DP_LIMIT:
+            raise AnalysisError(
+                f"exact DP front exceeded {_EXACT_DP_LIMIT:,} points; "
+                "this instance needs epsilon > 0 (the error stays "
+                "bounded by epsilon × total utility upper bound)"
+            )
+    return ExactFront(points=front, space=ENERGY_UTILITY, epsilon=epsilon)
+
+
+def exact_energy_makespan_front(
+    evaluator: "ScheduleEvaluator",
+) -> ExactFront:
+    """Exact (energy, makespan) front of the contention-free relaxation.
+
+    Task *t* on machine *m* completes at ``arrival_t + ETC(τ_t, m)``;
+    the relaxed makespan of an assignment is the max of those.  Sweeping
+    the candidate makespan thresholds in ascending order and giving
+    every task its cheapest option that meets the threshold yields the
+    minimum energy at each makespan — the exact front of this
+    bi-objective relaxation (cf. the heterogeneous energy/performance
+    baselines of Khaleghzadeh et al.).
+    """
+    etc = np.asarray(evaluator._etc_rows, dtype=np.float64)
+    eec = np.asarray(evaluator._eec_rows, dtype=np.float64)
+    feasible = np.asarray(evaluator._feasible_rows, dtype=bool)
+    arrivals = np.asarray(evaluator._arrivals, dtype=np.float64)
+    T = etc.shape[0]
+    completions: list[FloatArray] = []
+    prefix_energy: list[FloatArray] = []
+    for t in range(T):
+        ok = np.flatnonzero(feasible[t])
+        if ok.size == 0:
+            raise AnalysisError(
+                f"task {t} has no feasible machine; the relaxation is empty"
+            )
+        c = arrivals[t] + etc[t, ok]
+        e = eec[t, ok]
+        order = np.argsort(c, kind="stable")
+        completions.append(c[order])
+        prefix_energy.append(np.minimum.accumulate(e[order]))
+    # Feasible thresholds: at least every task's fastest completion.
+    lower = max(float(c[0]) for c in completions)
+    candidates = np.unique(np.concatenate(completions))
+    candidates = candidates[candidates >= lower]
+    points = np.empty((candidates.shape[0], 2), dtype=np.float64)
+    for i, tau in enumerate(candidates):
+        total = 0.0
+        for c, pe in zip(completions, prefix_energy):
+            j = int(np.searchsorted(c, tau, side="right")) - 1
+            total += float(pe[j])
+        points[i] = (total, float(tau))
+    return ExactFront(
+        points=_pareto_sorted(points, ENERGY_MAKESPAN),
+        space=ENERGY_MAKESPAN,
+    )
+
+
+def brute_force_energy_utility_front(
+    evaluator: "ScheduleEvaluator",
+) -> ExactFront:
+    """Enumerate every relaxed assignment (validation oracle).
+
+    Walks the full cross product of per-task nondominated options —
+    only viable on tiny instances (guarded at 2,000,000 combinations) —
+    and Pareto-filters the sums.  Exists to validate
+    :func:`exact_energy_utility_front` with ``epsilon=0``.
+    """
+    options = contention_free_options(evaluator)
+    combos = 1
+    for opts in options:
+        combos *= opts.shape[0]
+        if combos > _BRUTE_FORCE_LIMIT:
+            raise AnalysisError(
+                f"brute force would enumerate > {_BRUTE_FORCE_LIMIT:,} "
+                "assignments; use exact_energy_utility_front instead"
+            )
+    sums = np.array(
+        [np.sum(choice, axis=0) for choice in product(*options)],
+        dtype=np.float64,
+    )
+    return ExactFront(
+        points=_pareto_sorted(sums, ENERGY_UTILITY), space=ENERGY_UTILITY
+    )
+
+
+def distance_to_exact(
+    front_points: FloatArray,
+    exact: ExactFront,
+    space: Optional[BiObjectiveSpace] = None,
+) -> dict[str, float]:
+    """Optimality-gap indicators of an evolved front against *exact*.
+
+    Returns ``{"igd", "additive_epsilon"}`` — both 0 when the evolved
+    front reaches the exact one, positive otherwise.  Because the exact
+    front outer-bounds everything achievable, these are upper bounds on
+    the true optimality gap.
+    """
+    sp = space if space is not None else exact.space
+    return {
+        "igd": igd(front_points, exact.points, space=sp),
+        "additive_epsilon": additive_epsilon(
+            front_points, exact.points, space=sp
+        ),
+    }

@@ -3,7 +3,11 @@
 * :mod:`repro.experiments.datasets` — data sets 1, 2, and 3 exactly as
   Section V-A specifies them (machine breakups, task counts, windows).
 * :mod:`repro.experiments.runner` — run the five seeded populations
-  (four heuristic seeds + all-random) with checkpointed NSGA-II.
+  (four heuristic seeds + all-random) with any checkpointed portfolio
+  algorithm (NSGA-II by default).
+* :mod:`repro.experiments.portfolio` — head-to-head runs of every
+  registered algorithm on one dataset, scored against the exact
+  contention-free baseline.
 * :mod:`repro.experiments.figures` — one driver per paper figure.
 * :mod:`repro.experiments.tables` — Tables I, II, III.
 * :mod:`repro.experiments.io` — result serialization.
@@ -31,6 +35,7 @@ from repro.experiments.figures import (
     figure6,
 )
 from repro.experiments.claims import ClaimResult, verify_paper_claims
+from repro.experiments.portfolio import PortfolioResult, run_portfolio
 from repro.experiments.reproduce import reproduce_all
 from repro.experiments.sweep import LoadPoint, offered_load, oversubscription_sweep
 from repro.experiments.repetitions import (
@@ -69,4 +74,6 @@ __all__ = [
     "reproduce_all",
     "ClaimResult",
     "verify_paper_claims",
+    "PortfolioResult",
+    "run_portfolio",
 ]

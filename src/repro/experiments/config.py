@@ -61,14 +61,16 @@ def scaled_checkpoints(
     return out
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, kw_only=True)
 class ExperimentConfig:
     """Parameters of one seeded-population experiment.
+
+    Keyword-only: every field must be named at the call site.
 
     Attributes
     ----------
     population_size:
-        NSGA-II N (paper example: 100).
+        Population size N (paper example: 100).
     mutation_probability:
         Per-offspring mutation probability.
     generations:
@@ -77,6 +79,12 @@ class ExperimentConfig:
         Snapshot generations (ascending, last == generations).
     base_seed:
         Master seed; per-population streams are derived from it.
+    algorithm:
+        Which optimizer runs the experiment — a name registered in
+        :data:`repro.core.registry.ALGORITHMS` (``"nsga2"``,
+        ``"nsga2-ss"``, ``"spea2"``, ``"moead"``, ``"eps-archive"``).
+        A plain string so the choice travels to parallel pool workers
+        inside pickled cell extras.
     """
 
     population_size: int = 100
@@ -84,6 +92,7 @@ class ExperimentConfig:
     generations: int = 200
     checkpoints: tuple[int, ...] = (1, 2, 20, 200)
     base_seed: int = 2013
+    algorithm: str = "nsga2"
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -102,6 +111,20 @@ class ExperimentConfig:
                 f"generations {self.generations}"
             )
 
+    def algorithm_config(self):
+        """The engine-level config this experiment config implies.
+
+        Collapses the knobs previously duplicated between
+        ``NSGA2Config`` and driver kwargs into one
+        :class:`~repro.core.algorithm.AlgorithmConfig`.
+        """
+        from repro.core.algorithm import AlgorithmConfig
+
+        return AlgorithmConfig(
+            population_size=self.population_size,
+            mutation_probability=self.mutation_probability,
+        )
+
     @classmethod
     def for_paper_checkpoints(
         cls,
@@ -110,6 +133,7 @@ class ExperimentConfig:
         population_size: int = 100,
         mutation_probability: float = 0.25,
         base_seed: int = 2013,
+        algorithm: str = "nsga2",
     ) -> "ExperimentConfig":
         """Config with scaled versions of the paper's checkpoints."""
         cps = scaled_checkpoints(paper_checkpoints, scale)
@@ -119,4 +143,5 @@ class ExperimentConfig:
             generations=cps[-1],
             checkpoints=tuple(cps),
             base_seed=base_seed,
+            algorithm=algorithm,
         )

@@ -122,6 +122,7 @@ def _run_figure(
     scale: Optional[float],
     workers: int = 0,
     transport: str = "auto",
+    algorithm: str = "nsga2",
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     paper = PAPER_CHECKPOINTS[name]
@@ -132,6 +133,7 @@ def _run_figure(
             population_size=population_size,
             mutation_probability=mutation_probability,
             base_seed=base_seed,
+            algorithm=algorithm,
         )
     else:
         cps = tuple(checkpoints)
@@ -141,6 +143,7 @@ def _run_figure(
             generations=cps[-1],
             checkpoints=cps,
             base_seed=base_seed,
+            algorithm=algorithm,
         )
     if obs is not None and obs.enabled:
         obs = obs.bind(figure=name)
@@ -164,6 +167,7 @@ def figure3(
     dataset: Optional[DatasetBundle] = None,
     workers: int = 0,
     transport: str = "auto",
+    algorithm: str = "nsga2",
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 3: the real historical data set (data set 1)."""
@@ -171,7 +175,7 @@ def figure3(
     return _run_figure(
         "figure3", ds, checkpoints, population_size,
         mutation_probability, base_seed, scale,
-        workers=workers, transport=transport, obs=obs,
+        workers=workers, transport=transport, algorithm=algorithm, obs=obs,
     )
 
 
@@ -184,6 +188,7 @@ def figure4(
     dataset: Optional[DatasetBundle] = None,
     workers: int = 0,
     transport: str = "auto",
+    algorithm: str = "nsga2",
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 4: the 1000-task synthetic data set (data set 2)."""
@@ -191,7 +196,7 @@ def figure4(
     return _run_figure(
         "figure4", ds, checkpoints, population_size,
         mutation_probability, base_seed, scale,
-        workers=workers, transport=transport, obs=obs,
+        workers=workers, transport=transport, algorithm=algorithm, obs=obs,
     )
 
 
@@ -204,6 +209,7 @@ def figure6(
     dataset: Optional[DatasetBundle] = None,
     workers: int = 0,
     transport: str = "auto",
+    algorithm: str = "nsga2",
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 6: the 4000-task synthetic data set (data set 3)."""
@@ -211,7 +217,7 @@ def figure6(
     return _run_figure(
         "figure6", ds, checkpoints, population_size,
         mutation_probability, base_seed, scale,
-        workers=workers, transport=transport, obs=obs,
+        workers=workers, transport=transport, algorithm=algorithm, obs=obs,
     )
 
 

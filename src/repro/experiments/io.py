@@ -46,6 +46,7 @@ def save_figure_result(result: FigureResult, path: Union[str, Path]) -> None:
             "generations": result.result.config.generations,
             "checkpoints": list(result.result.config.checkpoints),
             "base_seed": result.result.config.base_seed,
+            "algorithm": result.result.config.algorithm,
         },
         "seed_objectives": {
             k: list(v) for k, v in result.result.seed_objectives.items()
@@ -97,6 +98,9 @@ def load_figure_result(path: Union[str, Path]) -> FigureResult:
         generations=doc["config"]["generations"],
         checkpoints=tuple(doc["config"]["checkpoints"]),
         base_seed=doc["config"]["base_seed"],
+        # Results saved before the portfolio redesign carry no
+        # algorithm field; they were all NSGA-II runs.
+        algorithm=doc["config"].get("algorithm", "nsga2"),
     )
     histories = {}
     for label, h in doc["histories"].items():

@@ -16,15 +16,15 @@ Used by the statistics example and available for paper-scale studies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.analysis.attainment import attainment_summary
 from repro.analysis.indicators import hypervolume
 from repro.analysis.pareto_front import ParetoFront
-from repro.core.nsga2 import NSGA2, NSGA2Config
-from repro.core.operators import OperatorConfig
+from repro.core.algorithm import AlgorithmConfig
+from repro.core.registry import AlgorithmFactory, make_algorithm
 from repro.errors import ExperimentError
 from repro.experiments.datasets import DatasetBundle
 from repro.heuristics import SEEDING_HEURISTICS
@@ -87,12 +87,14 @@ _CELL_EVALUATORS: dict[str, ScheduleEvaluator] = {}
 
 
 def _repetition_cell(restored, extra: dict, r: int, attempt: int, payload) -> FloatArray:
-    """Engine cell body: one repetition's full NSGA-II run (pool worker).
+    """Engine cell body: one repetition's full optimizer run (pool worker).
 
-    The RNG stream is ``derive_seed(base_seed, dataset, label, r)`` —
-    exactly the serial derivation — so fronts are bit-identical to a
-    sequential run regardless of worker count, scheduling order, or
-    transport.
+    The engine comes from the portfolio registry — ``extra["algorithm"]``
+    ships the choice (a registry name, or a picklable factory) to the
+    worker alongside the dataset handle.  The RNG stream is
+    ``derive_seed(base_seed, dataset, label, r)`` — exactly the serial
+    derivation — so fronts are bit-identical to a sequential run
+    regardless of worker count, scheduling order, or transport.
     """
     evaluator = _CELL_EVALUATORS.get(restored.handle.dataset_id)
     if evaluator is None:
@@ -100,13 +102,12 @@ def _repetition_cell(restored, extra: dict, r: int, attempt: int, payload) -> Fl
         _CELL_EVALUATORS[restored.handle.dataset_id] = evaluator
     dataset = restored.bundle
     seed_label = extra["seed_label"]
-    ga = NSGA2(
+    ga = make_algorithm(
+        extra["algorithm"],
         evaluator,
-        NSGA2Config(
+        AlgorithmConfig(
             population_size=extra["population_size"],
-            operators=OperatorConfig(
-                mutation_probability=extra["mutation_probability"]
-            ),
+            mutation_probability=extra["mutation_probability"],
         ),
         seeds=extra["seeds"],
         rng=derive_seed(extra["base_seed"], dataset.name, seed_label, r),
@@ -126,9 +127,10 @@ def run_repetitions(
     workers: int = 0,
     transport: str = "auto",
     retry: Optional["RetryPolicy"] = None,
+    algorithm: Union[str, AlgorithmFactory] = "nsga2",
     obs: Optional["RunContext"] = None,
 ) -> RepetitionResult:
-    """Run R independent NSGA-II repetitions of one population setup.
+    """Run R independent optimizer repetitions of one population setup.
 
     Parameters
     ----------
@@ -163,6 +165,11 @@ def run_repetitions(
         for the parallel path (default: 3 attempts, exponential
         backoff).  A repetition that exhausts its budget raises — a
         missing sample would silently bias the aggregate statistics.
+    algorithm:
+        Registry name (``"nsga2"``, ``"spea2"``, ...) or a factory
+        callable with the :class:`~repro.core.algorithm.Algorithm`
+        constructor signature.  Parallel runs require the value to be
+        picklable (registry names always are).
     obs:
         Optional :class:`~repro.obs.context.RunContext` threaded into
         the evaluator and every repetition's engine; adds a
@@ -193,20 +200,19 @@ def run_repetitions(
         fronts = _run_repetitions_parallel(
             dataset, repetitions, generations, population_size,
             mutation_probability, seed_label, base_seed, workers,
-            transport, retry, seeds, obs,
+            transport, retry, seeds, obs, algorithm,
         )
     else:
         evaluator = ScheduleEvaluator(dataset.system, dataset.trace,
                                       check_feasibility=False, obs=obs)
         fronts = []
         for r in range(repetitions):
-            ga = NSGA2(
+            ga = make_algorithm(
+                algorithm,
                 evaluator,
-                NSGA2Config(
+                AlgorithmConfig(
                     population_size=population_size,
-                    operators=OperatorConfig(
-                        mutation_probability=mutation_probability
-                    ),
+                    mutation_probability=mutation_probability,
                 ),
                 seeds=seeds,
                 rng=derive_seed(base_seed, dataset.name, seed_label, r),
@@ -246,6 +252,7 @@ def _run_repetitions_parallel(
     retry: Optional["RetryPolicy"],
     seeds: list,
     obs: "RunContext",
+    algorithm: Union[str, AlgorithmFactory] = "nsga2",
 ) -> list[FloatArray]:
     """Fan the R×1 repetition grid out over the parallel engine.
 
@@ -266,6 +273,7 @@ def _run_repetitions_parallel(
         "seed_label": seed_label,
         "base_seed": base_seed,
         "seeds": seeds,
+        "algorithm": algorithm,
     }
     fronts_by_r: dict[int, FloatArray] = {}
     backoff_rngs: dict[int, np.random.Generator] = {}

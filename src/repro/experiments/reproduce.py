@@ -73,6 +73,7 @@ def reproduce_all(
     population_size: int = 100,
     workers: int = 0,
     transport: str = "auto",
+    algorithm: str = "nsga2",
     progress: Optional[Callable[[str], None]] = print,
     obs: Optional["RunContext"] = None,
 ) -> Path:
@@ -96,6 +97,9 @@ def reproduce_all(
         results are bit-identical to sequential runs.
     transport:
         Parallel array transport (``"auto"``/``"shm"``/``"pickle"``).
+    algorithm:
+        Registered optimizer name driving every figure run (default
+        ``"nsga2"``; see :func:`repro.core.registry.available_algorithms`).
     progress:
         Callable receiving status lines (``None`` silences).
     obs:
@@ -121,6 +125,7 @@ def reproduce_all(
         f"scale: {effective_scale} (1.0 = paper generation counts)",
         f"base seed: {base_seed}",
         f"population size: {population_size}",
+        f"algorithm: {algorithm}",
         "",
     ]
 
@@ -144,13 +149,14 @@ def reproduce_all(
     drivers = (("figure3", figure3), ("figure4", figure4), ("figure6", figure6))
     fig4_result = None
     for name, driver in drivers:
-        say(f"{name} (5 seeded NSGA-II populations) ...")
+        say(f"{name} (5 seeded {algorithm} populations) ...")
         result = driver(
             scale=effective_scale,
             base_seed=base_seed,
             population_size=population_size,
             workers=workers,
             transport=transport,
+            algorithm=algorithm,
             obs=obs,
         )
         if name == "figure4":

@@ -28,8 +28,8 @@ from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.analysis.pareto_front import ParetoFront
-from repro.core.nsga2 import NSGA2, NSGA2Config, RunHistory
-from repro.core.operators import OperatorConfig
+from repro.core.algorithm import RunHistory
+from repro.core.registry import make_algorithm
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.datasets import DatasetBundle
@@ -196,17 +196,20 @@ def _run_one_population(
     resume: bool = False,
     obs: Optional["RunContext"] = None,
 ) -> tuple[str, RunHistory]:
-    """Worker body: one population's full NSGA-II run.
+    """Worker body: one population's full optimizer run.
 
-    Module-level (picklable) so :func:`run_seeded_populations` can farm
-    populations out to a process pool — the five populations share no
-    state and are embarrassingly parallel.  *fault_hook* (called with
-    ``(label, attempt)`` before any work) and *evaluation_fault_hook*
-    (threaded into the evaluator) exist for the deterministic
-    fault-injection harness.  *obs* is only threaded through on the
-    sequential path — a :class:`~repro.obs.context.RunContext` is not
-    picklable into pool workers, so parallel runs record coordinator-side
-    telemetry (retries, failures, timings) only.
+    The engine is looked up from ``config.algorithm`` through the
+    portfolio registry, so the same worker serves NSGA-II, SPEA2,
+    MOEA/D, and the archive variants.  Module-level (picklable) so
+    :func:`run_seeded_populations` can farm populations out to a
+    process pool — the five populations share no state and are
+    embarrassingly parallel.  *fault_hook* (called with ``(label,
+    attempt)`` before any work) and *evaluation_fault_hook* (threaded
+    into the evaluator) exist for the deterministic fault-injection
+    harness.  *obs* is only threaded through on the sequential path — a
+    :class:`~repro.obs.context.RunContext` is not picklable into pool
+    workers, so parallel runs record coordinator-side telemetry
+    (retries, failures, timings) only.
     """
     if fault_hook is not None:
         fault_hook(label, attempt)
@@ -214,14 +217,10 @@ def _run_one_population(
                                   check_feasibility=False,
                                   fault_hook=evaluation_fault_hook,
                                   obs=obs)
-    ga = NSGA2(
+    ga = make_algorithm(
+        config.algorithm,
         evaluator,
-        NSGA2Config(
-            population_size=config.population_size,
-            operators=OperatorConfig(
-                mutation_probability=config.mutation_probability
-            ),
-        ),
+        config.algorithm_config(),
         seeds=seeds,
         rng=derive_seed(config.base_seed, dataset.name, label),
         label=label,
@@ -488,14 +487,10 @@ def _population_cell(
         check_feasibility=False,
         fault_hook=extra["evaluation_fault_hook"],
     )
-    ga = NSGA2(
+    ga = make_algorithm(
+        config.algorithm,
         evaluator,
-        NSGA2Config(
-            population_size=config.population_size,
-            operators=OperatorConfig(
-                mutation_probability=config.mutation_probability
-            ),
-        ),
+        config.algorithm_config(),
         seeds=extra["seeds"][label],
         rng=derive_seed(config.base_seed, dataset.name, label),
         label=label,

@@ -24,7 +24,8 @@ from typing import Sequence
 
 from repro.analysis.efficiency import max_utility_per_energy_region
 from repro.analysis.pareto_front import ParetoFront
-from repro.core.nsga2 import NSGA2, NSGA2Config
+from repro.core.algorithm import AlgorithmConfig
+from repro.core.nsga2 import NSGA2
 from repro.errors import ExperimentError
 from repro.heuristics import MinMinCompletionTime
 from repro.model.system import SystemModel
@@ -102,7 +103,7 @@ def oversubscription_sweep(
         seed_alloc = MinMinCompletionTime().build(system, trace)
         ga = NSGA2(
             evaluator,
-            NSGA2Config(population_size=population_size),
+            AlgorithmConfig(population_size=population_size),
             seeds=[seed_alloc],
             rng=derive_seed(base_seed, "sweep-ga", count),
         )

@@ -1,0 +1,132 @@
+"""ε-dominance archive and the archive-reporting NSGA-II variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import AlgorithmConfig
+from repro.core.archive import EpsilonParetoArchive
+from repro.core.dominance import nondominated_mask
+from repro.core.nsga2 import NSGA2, EpsilonArchiveNSGA2
+from repro.errors import OptimizationError
+from repro.sim.evaluator import ScheduleEvaluator
+
+
+class TestEpsilonParetoArchive:
+    def test_one_representative_per_box(self):
+        archive = EpsilonParetoArchive(epsilons=(1.0, 1.0))
+        # Two points in the same ε-box: only one survives.
+        archive.update(np.array([[0.2, 10.2], [0.4, 10.4]]))
+        assert len(archive) == 1
+
+    def test_box_dominance_prunes(self):
+        archive = EpsilonParetoArchive(epsilons=(1.0, 1.0))
+        # (energy, utility): box (0, 10) dominates box (5, 3).
+        archive.update(np.array([[0.5, 10.5], [5.5, 3.5]]))
+        assert len(archive) == 1
+        np.testing.assert_allclose(archive.points, [[0.5, 10.5]])
+
+    def test_incomparable_boxes_coexist(self):
+        archive = EpsilonParetoArchive(epsilons=(1.0, 1.0))
+        archive.update(np.array([[0.5, 3.5], [5.5, 10.5]]))
+        assert len(archive) == 2
+
+    def test_epsilons_validated(self):
+        with pytest.raises(OptimizationError):
+            EpsilonParetoArchive(epsilons=(0.0, 1.0))
+        with pytest.raises(OptimizationError):
+            EpsilonParetoArchive(epsilons=(1.0,))
+
+    def test_size_stays_bounded(self):
+        """The Laumanns guarantee: archive size is bounded by the
+        objective ranges over ε, no matter how many points stream in."""
+        rng = np.random.default_rng(0)
+        archive = EpsilonParetoArchive(epsilons=(0.1, 0.1))
+        for _ in range(50):
+            pts = np.column_stack([rng.random(40), rng.random(40)])
+            archive.update(pts)
+        assert len(archive) <= (1.0 / 0.1 + 1) ** 2
+
+
+class TestEpsilonArchiveNSGA2:
+    def make_engine(self, evaluator, rng=0, pop=16, epsilon=1e-3):
+        return EpsilonArchiveNSGA2(
+            evaluator,
+            AlgorithmConfig(population_size=pop, mutation_probability=0.5),
+            rng=rng,
+            epsilon=epsilon,
+        )
+
+    def test_epsilon_validated(self, small_evaluator):
+        with pytest.raises(OptimizationError):
+            self.make_engine(small_evaluator, epsilon=0.0)
+
+    def test_population_trajectory_matches_plain_nsga2(self, small_system,
+                                                       small_trace):
+        """The archive is an observer: the generational loop draws the
+        same RNG stream as plain NSGA-II, so the *populations* evolve
+        bit-identically."""
+        def run(cls):
+            ev = ScheduleEvaluator(small_system, small_trace,
+                                   check_feasibility=False)
+            ga = cls(ev, AlgorithmConfig(population_size=16,
+                                         mutation_probability=0.5), rng=8)
+            for _ in range(5):
+                ga.step()
+            return ga.population
+
+        plain = run(NSGA2)
+        archived = run(EpsilonArchiveNSGA2)
+        np.testing.assert_array_equal(plain.assignments,
+                                      archived.assignments)
+        np.testing.assert_array_equal(plain.orders, archived.orders)
+
+    def test_snapshots_report_the_archive_front(self, small_evaluator):
+        ga = self.make_engine(small_evaluator, rng=1)
+        history = ga.run(5, checkpoints=[5])
+        pts = history.final.front_points
+        assert pts.shape[0] == len(ga.archive)
+        assert nondominated_mask(pts).all()
+
+    def test_archive_front_covers_population_front(self, small_evaluator):
+        """Every population-front point is ε-dominated by (or coincides
+        with) an archived point — the archive never loses the front."""
+        ga = self.make_engine(small_evaluator, rng=2, epsilon=1e-6)
+        for _ in range(5):
+            ga.step()
+        pop_front = ga.population.objectives[
+            nondominated_mask(ga.population.objectives)
+        ]
+        archived = ga.archive.points
+        eps_e, eps_u = ga.archive.epsilons
+        for energy, utility in pop_front:
+            covered = (
+                (archived[:, 0] <= energy + eps_e)
+                & (archived[:, 1] >= utility - eps_u)
+            ).any()
+            assert covered, (energy, utility)
+
+    def test_checkpoint_resume_restores_archive(self, small_system,
+                                                small_trace, tmp_path):
+        from repro.testing.faults import FaultPlan, InjectedFault
+
+        def engine(fault_hook=None):
+            ev = ScheduleEvaluator(small_system, small_trace,
+                                   check_feasibility=False,
+                                   fault_hook=fault_hook)
+            return EpsilonArchiveNSGA2(
+                ev, AlgorithmConfig(population_size=12,
+                                    mutation_probability=0.5),
+                rng=6, label="eps-ckpt",
+            )
+
+        straight = engine().run(6, checkpoints=[3, 6])
+        plan = FaultPlan().crash("evaluate", at_call=5)
+        with pytest.raises(InjectedFault):
+            engine(plan.evaluation_hook()).run(
+                6, checkpoints=[3, 6], checkpoint_dir=str(tmp_path)
+            )
+        resumed = engine().run(6, checkpoints=[3, 6],
+                               checkpoint_dir=str(tmp_path), resume=True)
+        np.testing.assert_array_equal(
+            straight.final.front_points, resumed.final.front_points
+        )

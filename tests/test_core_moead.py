@@ -1,0 +1,129 @@
+"""MOEA/D tests: decomposition machinery and engine behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import AlgorithmConfig
+from repro.core.dominance import nondominated_mask
+from repro.core.moead import MOEAD
+from repro.errors import OptimizationError
+from repro.sim.evaluator import ScheduleEvaluator
+
+
+def make_engine(evaluator, rng=0, pop=16, **kwargs):
+    return MOEAD(
+        evaluator,
+        AlgorithmConfig(population_size=pop, mutation_probability=0.5),
+        rng=rng,
+        **kwargs,
+    )
+
+
+class TestDecomposition:
+    def test_offspring_size_pinned_to_population(self, small_evaluator):
+        ga = make_engine(small_evaluator, pop=14)
+        assert ga.config.offspring_size == 14
+
+    def test_weights_uniform_and_positive(self, small_evaluator):
+        ga = make_engine(small_evaluator, pop=11)
+        assert ga.weights.shape == (11, 2)
+        assert (ga.weights > 0).all()
+        # Rows sweep the simplex ends (up to the 1e-6 floor).
+        np.testing.assert_allclose(ga.weights[0], [1e-6, 1.0])
+        np.testing.assert_allclose(ga.weights[-1], [1.0, 1e-6])
+
+    def test_neighborhoods_contain_self_and_are_local(self, small_evaluator):
+        ga = make_engine(small_evaluator, pop=16, neighborhood_size=4)
+        for i in range(16):
+            assert i in ga.neighborhoods[i]
+        # Neighbours of the extreme subproblems stay near the extremes.
+        assert set(ga.neighborhoods[0]) <= set(range(4))
+        assert set(ga.neighborhoods[15]) <= set(range(12, 16))
+
+    def test_tchebycheff_prefers_points_nearer_the_ideal(self,
+                                                         small_evaluator):
+        ga = make_engine(small_evaluator, pop=8)
+        ga._ideal = np.array([0.0, 0.0])
+        near = np.array([[1.0, 1.0]])
+        far = np.array([[5.0, 5.0]])
+        sub = np.array([4])
+        assert ga._tchebycheff(near, sub) < ga._tchebycheff(far, sub)
+
+    def test_replace_limit_validated(self, small_evaluator):
+        with pytest.raises(OptimizationError):
+            make_engine(small_evaluator, replace_limit=0)
+
+
+class TestEngine:
+    def test_population_size_constant(self, small_evaluator):
+        ga = make_engine(small_evaluator)
+        for _ in range(5):
+            ga.step()
+            assert ga.population.size == 16
+
+    def test_run_is_deterministic(self, small_system, small_trace):
+        def run():
+            ev = ScheduleEvaluator(small_system, small_trace,
+                                   check_feasibility=False)
+            return make_engine(ev, rng=9).run(5, checkpoints=[5])
+
+        a, b = run(), run()
+        np.testing.assert_array_equal(
+            a.final.front_points, b.final.front_points
+        )
+
+    def test_front_is_nondominated(self, small_evaluator):
+        ga = make_engine(small_evaluator, rng=2)
+        history = ga.run(5, checkpoints=[5])
+        assert nondominated_mask(history.final.front_points).all()
+
+    def test_ideal_point_only_improves(self, small_evaluator):
+        ga = make_engine(small_evaluator, rng=3)
+        before = ga._ideal.copy()
+        for _ in range(8):
+            ga.step()
+            assert (ga._ideal <= before + 1e-12).all()
+            before = ga._ideal.copy()
+
+    def test_front_quality_improves_over_random_start(self, small_system,
+                                                      small_trace):
+        from repro.analysis.indicators import hypervolume
+
+        ev = ScheduleEvaluator(small_system, small_trace,
+                               check_feasibility=False)
+        ga = make_engine(ev, rng=4)
+        ref = (1e9, 0.0)
+        pts0, _ = ga.current_front()
+        hv0 = hypervolume(pts0, ref)
+        ga.run(15, checkpoints=[15])
+        pts1, _ = ga.current_front()
+        assert hypervolume(pts1, ref) > hv0
+
+    def test_checkpoint_resume_restores_ideal_point(self, small_system,
+                                                    small_trace, tmp_path):
+        """The running ideal point rides in ``algo_state``: a crashed
+        run resumes bit-identically, which can only happen when z* is
+        restored rather than rebuilt from the population."""
+        from repro.testing.faults import FaultPlan, InjectedFault
+
+        def engine(fault_hook=None):
+            ev = ScheduleEvaluator(small_system, small_trace,
+                                   check_feasibility=False,
+                                   fault_hook=fault_hook)
+            return MOEAD(
+                ev, AlgorithmConfig(population_size=12,
+                                    mutation_probability=0.5),
+                rng=6, label="moead-ckpt",
+            )
+
+        straight = engine().run(6, checkpoints=[3, 6])
+        plan = FaultPlan().crash("evaluate", at_call=5)
+        with pytest.raises(InjectedFault):
+            engine(plan.evaluation_hook()).run(
+                6, checkpoints=[3, 6], checkpoint_dir=str(tmp_path)
+            )
+        resumed = engine().run(6, checkpoints=[3, 6],
+                               checkpoint_dir=str(tmp_path), resume=True)
+        np.testing.assert_array_equal(
+            straight.final.front_points, resumed.final.front_points
+        )

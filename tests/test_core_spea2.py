@@ -1,0 +1,136 @@
+"""SPEA2 tests: fitness semantics, truncation, and engine behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import AlgorithmConfig
+from repro.core.dominance import nondominated_mask
+from repro.core.objectives import ENERGY_UTILITY
+from repro.core.spea2 import SPEA2, _truncate_by_nearest_neighbor, spea2_fitness
+from repro.errors import OptimizationError
+from repro.sim.evaluator import ScheduleEvaluator
+
+
+def make_engine(evaluator, rng=0, pop=16):
+    return SPEA2(
+        evaluator,
+        AlgorithmConfig(population_size=pop, mutation_probability=0.5),
+        rng=rng,
+    )
+
+
+class TestFitness:
+    def test_nondominated_points_score_below_one(self):
+        # (energy, utility): lower energy / higher utility is better.
+        pts = np.array([
+            [1.0, 10.0],   # nondominated
+            [2.0, 20.0],   # nondominated
+            [2.0, 5.0],    # dominated by both
+            [3.0, 20.0],   # dominated by (2, 20)
+        ])
+        fitness = spea2_fitness(pts)
+        assert (fitness[:2] < 1.0).all()
+        assert (fitness[2:] >= 1.0).all()
+
+    def test_more_dominated_points_score_worse(self):
+        pts = np.array([
+            [1.0, 30.0],
+            [2.0, 20.0],   # dominated by 1 point
+            [3.0, 10.0],   # dominated by 2 points
+        ])
+        fitness = spea2_fitness(pts)
+        assert fitness[0] < fitness[1] < fitness[2]
+
+    def test_shape_validated(self):
+        with pytest.raises(OptimizationError):
+            spea2_fitness(np.zeros((3, 3)))
+
+    def test_empty_input(self):
+        assert spea2_fitness(np.empty((0, 2))).size == 0
+
+
+class TestTruncation:
+    def test_keeps_boundary_points(self):
+        """The canonical SPEA2 rule removes crowded interior points
+        first; the extremes of the front survive truncation."""
+        pts = np.array([
+            [1.0, 10.0],
+            [1.5, 10.5],   # crowded cluster
+            [1.55, 10.6],
+            [1.6, 10.7],
+            [5.0, 40.0],
+        ])
+        survivors = _truncate_by_nearest_neighbor(pts, 3, ENERGY_UTILITY)
+        assert 0 in survivors and 4 in survivors
+        assert survivors.size == 3
+
+    def test_truncates_to_requested_size(self):
+        rng = np.random.default_rng(3)
+        pts = np.column_stack([rng.random(20), rng.random(20)])
+        assert _truncate_by_nearest_neighbor(pts, 7, ENERGY_UTILITY).size == 7
+
+
+class TestEngine:
+    def test_population_size_constant(self, small_evaluator):
+        ga = make_engine(small_evaluator)
+        for _ in range(5):
+            ga.step()
+            assert ga.population.size == 16
+
+    def test_run_is_deterministic(self, small_system, small_trace):
+        def run():
+            ev = ScheduleEvaluator(small_system, small_trace,
+                                   check_feasibility=False)
+            return make_engine(ev, rng=9).run(5, checkpoints=[5])
+
+        a, b = run(), run()
+        np.testing.assert_array_equal(
+            a.final.front_points, b.final.front_points
+        )
+
+    def test_front_is_nondominated(self, small_evaluator):
+        ga = make_engine(small_evaluator, rng=2)
+        history = ga.run(5, checkpoints=[5])
+        assert nondominated_mask(history.final.front_points).all()
+
+    def test_front_quality_improves_over_random_start(self, small_system,
+                                                      small_trace):
+        """Indicator-dominance sanity: after some generations the front's
+        hypervolume strictly exceeds the initial population's."""
+        from repro.analysis.indicators import hypervolume
+
+        ev = ScheduleEvaluator(small_system, small_trace,
+                               check_feasibility=False)
+        ga = make_engine(ev, rng=4)
+        ref = (1e9, 0.0)
+        pts0, _ = ga.current_front()
+        hv0 = hypervolume(pts0, ref)
+        ga.run(15, checkpoints=[15])
+        pts1, _ = ga.current_front()
+        assert hypervolume(pts1, ref) > hv0
+
+    def test_checkpoint_resume_bit_identical(self, small_system, small_trace,
+                                             tmp_path):
+        from repro.testing.faults import FaultPlan, InjectedFault
+
+        def engine(fault_hook=None):
+            ev = ScheduleEvaluator(small_system, small_trace,
+                                   check_feasibility=False,
+                                   fault_hook=fault_hook)
+            return SPEA2(
+                ev, AlgorithmConfig(population_size=12,
+                                    mutation_probability=0.5),
+                rng=6, label="spea2-ckpt",
+            )
+
+        straight = engine().run(6, checkpoints=[3, 6])
+        plan = FaultPlan().crash("evaluate", at_call=5)
+        with pytest.raises(InjectedFault):
+            engine(plan.evaluation_hook()).run(
+                6, checkpoints=[3, 6], checkpoint_dir=str(tmp_path)
+            )
+        resumed = engine().run(6, checkpoints=[3, 6],
+                               checkpoint_dir=str(tmp_path), resume=True)
+        np.testing.assert_array_equal(
+            straight.final.front_points, resumed.final.front_points
+        )

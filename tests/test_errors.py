@@ -17,9 +17,14 @@ def test_repro_error_is_exception():
         raise errors.ModelError("boom")
 
 
-#: The deliberate exceptions to the flat partition: experiment-failure
-#: refinements that callers must be able to catch as ExperimentError.
-NESTED = {"CheckpointError", "CorruptArtifactError", "ParallelExecutionError"}
+#: The deliberate exceptions to the flat partition: refinements that
+#: callers must be able to catch under their subsystem base class.
+NESTED = {
+    "CheckpointError",
+    "CorruptArtifactError",
+    "ParallelExecutionError",
+    "AlgorithmLookupError",
+}
 
 
 def test_subsystem_errors_are_distinct():
@@ -37,3 +42,7 @@ def test_io_errors_refine_experiment_error():
     assert issubclass(errors.CheckpointError, errors.ExperimentError)
     assert issubclass(errors.CorruptArtifactError, errors.ExperimentError)
     assert issubclass(errors.ParallelExecutionError, errors.ExperimentError)
+
+
+def test_algorithm_lookup_refines_optimization_error():
+    assert issubclass(errors.AlgorithmLookupError, errors.OptimizationError)

@@ -1,0 +1,200 @@
+"""Exact contention-free baseline tests.
+
+The central validation: the Minkowski-sum DP with ``epsilon=0`` must
+reproduce the brute-force enumeration of every relaxed assignment
+exactly, and the relaxed front must outer-bound everything the GA
+achieves on the same instance.
+"""
+
+import numpy as np
+import pytest
+
+import repro.exact.baselines as baselines
+from repro.core.algorithm import AlgorithmConfig
+from repro.core.dominance import nondominated_mask
+from repro.core.nsga2 import NSGA2
+from repro.core.objectives import ENERGY_UTILITY
+from repro.errors import AnalysisError, OptimizationError
+from repro.exact import (
+    ExactFront,
+    brute_force_energy_utility_front,
+    contention_free_options,
+    distance_to_exact,
+    exact_energy_makespan_front,
+    exact_energy_utility_front,
+)
+
+
+@pytest.fixture
+def tradeoff_evaluator():
+    """A 2-type / 2-machine instance with a real energy/utility trade-off.
+
+    Machine 0 is fast but power-hungry, machine 1 slow but frugal, so
+    every task has two nondominated options and the relaxed front has
+    many points — unlike the ``tiny_*`` fixtures, where one machine
+    dominates per task.
+    """
+    from repro.model.system import SystemModel
+    from repro.sim.evaluator import ScheduleEvaluator
+    from repro.utility.tuf import TimeUtilityFunction
+    from repro.workload.trace import Trace
+
+    etc = np.array([[5.0, 40.0], [8.0, 60.0]])
+    epc = np.array([[200.0, 10.0], [150.0, 8.0]])
+    system = SystemModel.from_matrices(etc, epc).with_utility_functions([
+        TimeUtilityFunction.linear(priority=10.0, urgency=1.0 / 100.0),
+        TimeUtilityFunction.linear(priority=8.0, urgency=1.0 / 120.0),
+    ])
+    trace = Trace(
+        task_types=np.array([0, 1, 0, 1]),
+        arrival_times=np.array([0.0, 10.0, 20.0, 30.0]),
+        window=60.0,
+    )
+    return ScheduleEvaluator(system, trace)
+
+
+class TestContentionFreeOptions:
+    def test_one_option_set_per_task(self, tiny_evaluator, tiny_trace):
+        options = contention_free_options(tiny_evaluator)
+        assert len(options) == tiny_trace.num_tasks
+        for opts in options:
+            assert opts.ndim == 2 and opts.shape[1] == 2
+            assert opts.shape[0] >= 1
+
+    def test_per_task_options_are_nondominated(self, tiny_evaluator):
+        for opts in contention_free_options(tiny_evaluator):
+            assert nondominated_mask(opts, space=ENERGY_UTILITY).all()
+
+    def test_utilities_are_queue_free_upper_bounds(self, tiny_evaluator):
+        """Every option's utility equals the task's TUF at its raw ETC
+        — the best any schedule with waiting can do."""
+        table = tiny_evaluator.tuf_table
+        etc = np.asarray(tiny_evaluator._etc_rows)
+        task_types = tiny_evaluator._task_types
+        upper = np.array([
+            table.evaluate(task_types, etc[:, m])
+            for m in range(etc.shape[1])
+        ]).max(axis=0)
+        for t, opts in enumerate(contention_free_options(tiny_evaluator)):
+            assert opts[:, 1].max() <= upper[t] + 1e-9
+
+
+class TestExactEqualsBruteForce:
+    def test_dp_matches_enumeration_on_tiny_instance(self, tiny_evaluator):
+        dp = exact_energy_utility_front(tiny_evaluator, epsilon=0.0)
+        brute = brute_force_energy_utility_front(tiny_evaluator)
+        np.testing.assert_allclose(dp.points, brute.points, rtol=1e-12)
+        assert dp.epsilon == 0.0
+
+    def test_dp_matches_enumeration_on_tradeoff_instance(
+        self, tradeoff_evaluator
+    ):
+        """With two nondominated options per task the relaxed front is
+        genuinely multi-point; the DP must still enumerate it exactly."""
+        options = contention_free_options(tradeoff_evaluator)
+        assert all(opts.shape[0] == 2 for opts in options)
+        dp = exact_energy_utility_front(tradeoff_evaluator, epsilon=0.0)
+        brute = brute_force_energy_utility_front(tradeoff_evaluator)
+        assert dp.size > 1
+        np.testing.assert_allclose(dp.points, brute.points, rtol=1e-12)
+
+    def test_thinned_front_stays_within_its_error_bound(self, tiny_evaluator):
+        """Every exact-front point is utility-covered by a thinned-front
+        point within ``epsilon × utility_scale``, at no extra energy."""
+        exact = exact_energy_utility_front(tiny_evaluator, epsilon=0.0)
+        eps = 0.1
+        thinned = exact_energy_utility_front(tiny_evaluator, epsilon=eps)
+        scale = float(tiny_evaluator.tuf_table.utility_upper_bound(
+            tiny_evaluator._task_types
+        ))
+        assert thinned.size <= exact.size
+        for energy, utility in exact.points:
+            ok = (
+                (thinned.points[:, 0] <= energy + 1e-9)
+                & (thinned.points[:, 1] >= utility - eps * scale - 1e-9)
+            ).any()
+            assert ok, (energy, utility)
+
+
+class TestExactProperties:
+    def test_front_is_nondominated_and_sorted(self, tiny_evaluator):
+        front = exact_energy_utility_front(tiny_evaluator, epsilon=0.0)
+        assert nondominated_mask(front.points, space=ENERGY_UTILITY).all()
+        assert np.all(np.diff(front.points[:, 0]) >= 0)
+        # On an (energy, utility) front, utility rises with energy.
+        assert np.all(np.diff(front.points[:, 1]) >= 0)
+
+    def test_outer_bounds_the_evolved_front(self, tiny_evaluator, tiny_system,
+                                            tiny_trace):
+        """No GA point may dominate any exact relaxed point — the
+        relaxation weakly dominates everything achievable."""
+        from repro.core.dominance import dominates
+
+        exact = exact_energy_utility_front(tiny_evaluator, epsilon=0.0)
+        ga = NSGA2(
+            tiny_evaluator,
+            AlgorithmConfig(population_size=12, mutation_probability=0.5),
+            rng=5,
+        )
+        history = ga.run(10, checkpoints=[10])
+        for ga_point in history.final.front_points:
+            for exact_point in exact.points:
+                assert not dominates(tuple(ga_point), tuple(exact_point))
+
+    def test_negative_epsilon_rejected(self, tiny_evaluator):
+        with pytest.raises(OptimizationError):
+            exact_energy_utility_front(tiny_evaluator, epsilon=-0.1)
+
+    def test_dp_limit_guard(self, tiny_evaluator, monkeypatch):
+        monkeypatch.setattr(baselines, "_EXACT_DP_LIMIT", 0)
+        with pytest.raises(AnalysisError, match="epsilon"):
+            exact_energy_utility_front(tiny_evaluator, epsilon=0.0)
+
+    def test_brute_force_limit_guard(self, small_evaluator, monkeypatch):
+        monkeypatch.setattr(baselines, "_BRUTE_FORCE_LIMIT", 10)
+        with pytest.raises(AnalysisError, match="brute force"):
+            brute_force_energy_utility_front(small_evaluator)
+
+
+class TestEnergyMakespanFront:
+    def test_front_shape_and_tradeoff(self, tiny_evaluator):
+        front = exact_energy_makespan_front(tiny_evaluator)
+        assert front.size >= 1
+        assert nondominated_mask(front.points, space=front.space).all()
+        # Both objectives minimized: energy falls as makespan is relaxed.
+        assert np.all(np.diff(front.points[:, 0]) <= 0) or front.size == 1
+
+    def test_cheapest_point_uses_min_energy_everywhere(self, tiny_evaluator):
+        """With an unbounded makespan every task takes its cheapest
+        machine, so the front's minimum energy is the sum of per-task
+        minima."""
+        front = exact_energy_makespan_front(tiny_evaluator)
+        eec = np.asarray(tiny_evaluator._eec_rows)
+        feasible = np.asarray(tiny_evaluator._feasible_rows, dtype=bool)
+        best = sum(
+            eec[t, feasible[t]].min() for t in range(eec.shape[0])
+        )
+        assert front.points[:, 0].min() == pytest.approx(best)
+
+
+class TestDistanceToExact:
+    def test_zero_distance_to_itself(self, tiny_evaluator):
+        exact = exact_energy_utility_front(tiny_evaluator, epsilon=0.0)
+        gap = distance_to_exact(exact.points, exact)
+        assert gap["igd"] == pytest.approx(0.0, abs=1e-12)
+        assert gap["additive_epsilon"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_worse_front_has_positive_distance(self, tiny_evaluator):
+        exact = exact_energy_utility_front(tiny_evaluator, epsilon=0.0)
+        # Shift the front strictly worse on both axes.
+        worse = exact.points + np.array([10.0, -5.0])
+        gap = distance_to_exact(worse, exact)
+        assert gap["igd"] > 0
+        assert gap["additive_epsilon"] > 0
+
+    def test_exact_front_dataclass(self):
+        front = ExactFront(
+            points=np.array([[1.0, 2.0]]), space=ENERGY_UTILITY
+        )
+        assert front.size == 1
+        assert front.epsilon == 0.0

@@ -50,3 +50,27 @@ class TestRoundTrip:
         path.write_text('{"format": "nope"}')
         with pytest.raises(ExperimentError):
             load_figure_result(path)
+
+
+class TestAlgorithmField:
+    def test_algorithm_roundtrips(self, tmp_path):
+        fig = figure3(checkpoints=[2], population_size=10, base_seed=3,
+                      algorithm="spea2")
+        path = tmp_path / "fig.json"
+        save_figure_result(fig, path)
+        assert load_figure_result(path).result.config.algorithm == "spea2"
+
+    def test_legacy_file_defaults_to_nsga2(self, small_fig, tmp_path):
+        """Results saved before the portfolio redesign carry no
+        algorithm field; loading treats them as the NSGA-II runs they
+        were."""
+        import json
+
+        path = tmp_path / "fig.json"
+        save_figure_result(small_fig, path)
+        # Strip the integrity envelope and the algorithm field, as a
+        # pre-redesign writer would have produced.
+        payload = json.loads(path.read_text())["payload"]
+        del payload["config"]["algorithm"]
+        path.write_text(json.dumps(payload))
+        assert load_figure_result(path).result.config.algorithm == "nsga2"

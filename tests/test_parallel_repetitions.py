@@ -142,3 +142,53 @@ class TestSeededPopulationsBitIdentity:
         assert snap["parallel_segment_bytes"]["value"] > 0
         assert snap["parallel_cells_total"]["value"] == 2
         assert snap["parallel_queue_wait_seconds"]["count"] == 2
+
+
+class TestAlgorithmChoiceShipsToWorkers:
+    """The portfolio redesign's parallel contract: the algorithm name
+    travels to pool workers inside the pickled cell extras, and a
+    non-NSGA-II parallel run is bit-identical to its serial twin."""
+
+    def test_repetitions_spea2_parallel_matches_serial(self, bundle):
+        serial = run_repetitions(
+            bundle, repetitions=2, generations=3, population_size=10,
+            algorithm="spea2",
+        )
+        parallel = run_repetitions(
+            bundle, repetitions=2, generations=3, population_size=10,
+            workers=2, algorithm="spea2",
+        )
+        for s, p in zip(serial.fronts, parallel.fronts):
+            np.testing.assert_array_equal(s, p)
+
+    def test_seeded_populations_moead_parallel_matches_serial(self, bundle):
+        cfg = ExperimentConfig(
+            population_size=10, generations=4, checkpoints=(2, 4),
+            base_seed=5, algorithm="moead",
+        )
+        serial = run_seeded_populations(
+            bundle, cfg, labels=["random", "min-energy"]
+        )
+        parallel = run_seeded_populations(
+            bundle, cfg, labels=["random", "min-energy"], workers=2
+        )
+        for label in ("random", "min-energy"):
+            np.testing.assert_array_equal(
+                serial.histories[label].final.front_points,
+                parallel.histories[label].final.front_points,
+            )
+
+    def test_algorithm_changes_the_run(self, bundle):
+        """Sanity that the flag is honoured, not silently ignored: two
+        algorithms on identical seeds/config produce different fronts."""
+        nsga = run_repetitions(
+            bundle, repetitions=1, generations=4, population_size=10,
+        )
+        spea = run_repetitions(
+            bundle, repetitions=1, generations=4, population_size=10,
+            algorithm="spea2",
+        )
+        assert not (
+            nsga.fronts[0].shape == spea.fronts[0].shape
+            and np.array_equal(nsga.fronts[0], spea.fronts[0])
+        )

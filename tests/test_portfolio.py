@@ -1,0 +1,168 @@
+"""Portfolio comparison tests: analysis scoring, the driver, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.portfolio import compare_portfolio
+from repro.errors import AnalysisError
+from repro.exact import ExactFront
+from repro.core.objectives import ENERGY_UTILITY
+
+
+class TestComparePortfolio:
+    FRONTS = {
+        # (energy, utility): "good" dominates part of "bad".
+        "good": np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 25.0]]),
+        "bad": np.array([[2.0, 8.0], [3.0, 15.0]]),
+    }
+
+    def test_requires_fronts(self):
+        with pytest.raises(AnalysisError):
+            compare_portfolio({})
+
+    def test_reference_front_is_nondominated_union(self):
+        comparison = compare_portfolio(self.FRONTS)
+        # "bad" is fully dominated by "good" here.
+        np.testing.assert_allclose(
+            comparison.reference_front, self.FRONTS["good"]
+        )
+
+    def test_dominating_front_scores_better(self):
+        comparison = compare_portfolio(self.FRONTS)
+        by_name = {s.algorithm: s for s in comparison.scores}
+        assert by_name["good"].hypervolume > by_name["bad"].hypervolume
+        assert by_name["good"].igd < by_name["bad"].igd
+        assert by_name["good"].additive_epsilon < by_name["bad"].additive_epsilon
+        assert comparison.best_by_hypervolume().algorithm == "good"
+
+    def test_distance_columns_absent_without_exact(self):
+        comparison = compare_portfolio(self.FRONTS)
+        assert comparison.exact is None
+        for score in comparison.scores:
+            assert score.igd_to_exact is None
+            assert score.epsilon_to_exact is None
+        assert "igd-to-exact" not in comparison.render()
+
+    def test_distance_columns_with_exact(self):
+        exact = ExactFront(
+            points=np.array([[0.5, 12.0], [1.5, 22.0], [2.5, 30.0]]),
+            space=ENERGY_UTILITY,
+        )
+        comparison = compare_portfolio(self.FRONTS, exact=exact)
+        by_name = {s.algorithm: s for s in comparison.scores}
+        assert by_name["good"].igd_to_exact < by_name["bad"].igd_to_exact
+        rendered = comparison.render()
+        assert "igd-to-exact" in rendered and "exact baseline: 3 points" in rendered
+
+    def test_front_reaching_exact_has_zero_gap(self):
+        pts = np.array([[1.0, 10.0], [2.0, 20.0]])
+        exact = ExactFront(points=pts.copy(), space=ENERGY_UTILITY)
+        comparison = compare_portfolio({"perfect": pts}, exact=exact)
+        assert comparison.scores[0].igd_to_exact == pytest.approx(0.0,
+                                                                  abs=1e-12)
+
+
+class TestRunPortfolio:
+    @pytest.fixture(scope="class")
+    def result(self, ds1_bundle):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.portfolio import run_portfolio
+
+        config = ExperimentConfig(
+            population_size=12, generations=3, checkpoints=(3,),
+            base_seed=2013,
+        )
+        return run_portfolio(
+            ds1_bundle, config,
+            algorithms=["nsga2", "spea2", "moead"],
+            exact_epsilon=0.05,
+        )
+
+    def test_runs_requested_algorithms(self, result):
+        assert sorted(result.histories) == ["moead", "nsga2", "spea2"]
+        for history in result.histories.values():
+            assert history.total_generations == 3
+
+    def test_scores_include_distance_to_exact(self, result):
+        assert result.exact is not None and result.exact.size >= 1
+        for score in result.comparison.scores:
+            assert score.igd_to_exact is not None
+            assert score.igd_to_exact >= 0
+            # The relaxed front outer-bounds the GA: the gap is real.
+            assert score.epsilon_to_exact >= 0
+
+    def test_render_lists_every_algorithm(self, result):
+        rendered = result.render()
+        for name in ("nsga2", "spea2", "moead"):
+            assert name in rendered
+
+    def test_unknown_algorithm_fails_lookup(self, ds1_bundle):
+        from repro.errors import AlgorithmLookupError
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.portfolio import run_portfolio
+
+        config = ExperimentConfig(
+            population_size=8, generations=1, checkpoints=(1,),
+        )
+        with pytest.raises(AlgorithmLookupError):
+            run_portfolio(ds1_bundle, config, algorithms=["simulated-annealing"],
+                          exact_epsilon=None)
+
+    def test_duplicate_algorithms_rejected(self, ds1_bundle):
+        from repro.errors import ExperimentError
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.portfolio import run_portfolio
+
+        config = ExperimentConfig(
+            population_size=8, generations=1, checkpoints=(1,),
+        )
+        with pytest.raises(ExperimentError):
+            run_portfolio(ds1_bundle, config, algorithms=["nsga2", "nsga2"])
+
+
+class TestPortfolioCLI:
+    def test_portfolio_command(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "portfolio", "--dataset", "1", "--generations", "2",
+            "--population", "10", "--algorithms", "nsga2", "spea2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "portfolio comparison" in out
+        assert "igd-to-exact" in out
+        assert "best hypervolume:" in out
+
+    def test_portfolio_no_exact(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "portfolio", "--dataset", "1", "--generations", "1",
+            "--population", "8", "--algorithms", "nsga2", "--no-exact",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "igd-to-exact" not in out
+
+    def test_rejects_unknown_algorithm_name(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["portfolio", "--algorithms", "tabu"])
+
+    def test_execution_commands_expose_algorithm_flag(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for argv in (
+            ["report", "--algorithm", "spea2"],
+            ["resume", "--algorithm", "moead"],
+            ["repetitions", "--algorithm", "eps-archive"],
+            ["reproduce-all", "--algorithm", "nsga2-ss"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.algorithm == argv[2]
+
+        with pytest.raises(SystemExit):
+            parser.parse_args(["report", "--algorithm", "hill-climb"])
