@@ -20,12 +20,18 @@ Subcommands:
 * ``trace`` — summarize a recorded observability directory (slowest
   spans, GA stage breakdown, cache hit rate, retry/fault timeline; see
   docs/observability.md).
+* ``grid`` — inspect (``status``) or re-drive (``resume``,
+  ``retry-quarantined``) a durable grid directory written via
+  ``--grid-dir`` (see docs/fault_tolerance.md).
 
 Execution subcommands (``report``, ``resume``, ``reproduce-all``,
 ``repetitions``) accept ``--obs-dir`` to record a run-scoped trace /
 metrics / event-log directory, ``--obs-level`` to pick its detail
 level (``debug`` adds per-generation stage spans), and ``--algorithm``
-to choose the optimizer from the portfolio registry.
+to choose the optimizer from the portfolio registry.  ``report``,
+``repetitions``, and ``portfolio`` accept ``--grid-dir`` to journal
+every cell into a durable manifest so an interrupted sweep can be
+re-driven with ``repro-analyze grid resume``.
 
 Examples::
 
@@ -36,6 +42,9 @@ Examples::
     repro-analyze report --dataset 1 --obs-dir obs/run1
     repro-analyze report --dataset 1 --algorithm spea2
     repro-analyze portfolio --dataset 1 --generations 20
+    repro-analyze repetitions --dataset 1 --workers 4 --grid-dir grids/r1
+    repro-analyze grid status grids/r1
+    repro-analyze grid resume grids/r1 --workers 4
     repro-analyze trace obs/run1
 """
 
@@ -143,8 +152,10 @@ def _cmd_report(args: argparse.Namespace, resume: bool = False) -> int:
     from repro.experiments.runner import RetryPolicy, run_seeded_populations
 
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
-    if resume and checkpoint_dir is None:
-        print("resume requires --checkpoint-dir", file=sys.stderr)
+    grid_dir = getattr(args, "grid_dir", None)
+    if resume and checkpoint_dir is None and grid_dir is None:
+        print("resume requires --checkpoint-dir or --grid-dir",
+              file=sys.stderr)
         return 2
     bundle = _DATASETS[args.dataset](args.seed)
     config = ExperimentConfig.for_paper_checkpoints(
@@ -167,6 +178,7 @@ def _cmd_report(args: argparse.Namespace, resume: bool = False) -> int:
             strict=args.strict,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            grid_dir=grid_dir,
             obs=obs,
         )
     finally:
@@ -221,6 +233,7 @@ def _cmd_repetitions(args: argparse.Namespace) -> int:
             workers=args.workers,
             transport=args.transport,
             algorithm=args.algorithm,
+            grid_dir=getattr(args, "grid_dir", None),
             obs=obs,
         )
     finally:
@@ -272,6 +285,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
             config,
             algorithms=args.algorithms,
             exact_epsilon=None if args.no_exact else args.exact_epsilon,
+            grid_dir=getattr(args, "grid_dir", None),
             obs=obs,
         )
     finally:
@@ -280,6 +294,37 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     best = result.comparison.best_by_hypervolume()
     print(f"best hypervolume: {best.algorithm} ({best.hypervolume:.4g})")
     return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from repro.errors import GridManifestError
+    from repro.experiments.grid import grid_status, render_status, resume_grid
+
+    try:
+        if args.grid_command == "status":
+            print(render_status(grid_status(args.grid_dir)))
+            return 0
+        from repro.experiments.runner import RetryPolicy
+
+        obs = _obs_from_args(args, command=f"grid-{args.grid_command}")
+        try:
+            resume_grid(
+                args.grid_dir,
+                workers=args.workers,
+                transport=args.transport,
+                retry=RetryPolicy(max_attempts=args.max_attempts,
+                                  timeout=args.timeout),
+                retry_quarantined=args.grid_command == "retry-quarantined",
+                obs=obs,
+            )
+        finally:
+            _flush_obs(obs)
+        status = grid_status(args.grid_dir)
+        print(render_status(status))
+        return 0 if status.complete else 1
+    except GridManifestError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
 
 def _cmd_seeds(args: argparse.Namespace) -> int:
@@ -427,6 +472,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel array transport: shared memory when "
                        "available (auto), forced shm, or pickle fallback")
 
+    def _add_grid_dir_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--grid-dir", default=None,
+                       help="durable grid directory (manifest + result "
+                       "store); interrupted runs continue with "
+                       "'repro-analyze grid resume'")
+
     def _add_execution_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--dataset", choices=["1", "2", "3"], default="1")
         p.add_argument("--scale", type=float, default=None)
@@ -436,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--checkpoint-dir", default=None,
                        help="durable NSGA-II checkpoints (one file per "
                        "population) for crash recovery")
+        _add_grid_dir_arg(p)
         p.add_argument("--max-attempts", type=int, default=3,
                        help="attempts per population before recording a "
                        "failure")
@@ -486,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--seed", type=int, default=2013)
     _add_workers_args(p_rep)
     _add_algorithm_arg(p_rep)
+    _add_grid_dir_arg(p_rep)
     _add_obs_args(p_rep)
 
     p_port = sub.add_parser(
@@ -507,7 +560,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_port.add_argument("--no-exact", action="store_true",
                         help="skip the exact baseline and its "
                         "distance-to-optimal columns")
+    _add_grid_dir_arg(p_port)
     _add_obs_args(p_port)
+
+    p_grid = sub.add_parser(
+        "grid",
+        help="inspect or re-drive a durable grid directory "
+        "(see docs/fault_tolerance.md)",
+    )
+    grid_sub = p_grid.add_subparsers(dest="grid_command", required=True)
+    g_status = grid_sub.add_parser(
+        "status", help="cell lifecycle counts and quarantined cells"
+    )
+    g_status.add_argument("grid_dir", help="directory holding manifest.jsonl")
+    for verb, verb_help in (
+        ("resume", "re-drive every unfinished cell of an interrupted grid"),
+        ("retry-quarantined", "requeue quarantined cells, then resume"),
+    ):
+        g_run = grid_sub.add_parser(verb, help=verb_help)
+        g_run.add_argument("grid_dir",
+                           help="directory holding manifest.jsonl")
+        _add_workers_args(g_run)
+        g_run.add_argument("--max-attempts", type=int, default=3,
+                           help="attempts per cell before recording a "
+                           "failure")
+        g_run.add_argument("--timeout", type=float, default=None,
+                           help="per-attempt timeout in seconds "
+                           "(parallel only)")
+        _add_obs_args(g_run)
 
     p_trace = sub.add_parser(
         "trace",
@@ -540,6 +620,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _cmd_report,
         "resume": _cmd_resume,
         "trace": _cmd_trace,
+        "grid": _cmd_grid,
     }
     return handlers[args.command](args)
 

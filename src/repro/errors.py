@@ -33,10 +33,26 @@ NumPy, etc.).  The subclasses partition failures by subsystem:
   execution engine failed (segment creation/attachment, engine misuse).
   Like the checkpoint/artifact errors it refines
   :class:`ExperimentError`, since parallel execution is an experiment
-  concern.
+  concern.  It carries a structured failure taxonomy: every instance
+  has a ``kind`` drawn from :data:`FAILURE_KINDS` (``worker-death``,
+  ``timeout``, ``cell-exception``, ``corrupt-result``) plus the ``cell``
+  and ``attempt`` it concerns, so supervisors and the grid manifest can
+  journal *why* a cell failed without parsing messages.  The refinements
+  :class:`WorkerCrashError`, :class:`CellTimeoutError` (also a
+  ``TimeoutError``), and :class:`CorruptResultError` pre-bind their
+  kinds; :func:`classify_failure` maps arbitrary exceptions onto the
+  taxonomy.
+* :class:`GridManifestError` — the durable grid manifest was misused
+  (unloadable directory, spec mismatch on resume).  Replay itself is
+  total and never raises this for damaged journal *content* — torn
+  tails and duplicate transitions are tolerated by design (see
+  :mod:`repro.parallel.manifest`).
 """
 
 from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+from typing import Any, Optional
 
 __all__ = [
     "ReproError",
@@ -53,6 +69,12 @@ __all__ = [
     "CorruptArtifactError",
     "ObservabilityError",
     "ParallelExecutionError",
+    "WorkerCrashError",
+    "CellTimeoutError",
+    "CorruptResultError",
+    "GridManifestError",
+    "FAILURE_KINDS",
+    "classify_failure",
 ]
 
 
@@ -108,5 +130,88 @@ class ObservabilityError(ReproError):
     """The observability layer was misconfigured or fed invalid data."""
 
 
+#: The structured failure taxonomy of parallel grid execution.
+FAILURE_KINDS = ("worker-death", "timeout", "cell-exception", "corrupt-result")
+
+
 class ParallelExecutionError(ExperimentError):
-    """The shared-memory parallel execution engine failed."""
+    """The shared-memory parallel execution engine failed.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAILURE_KINDS`, or ``None`` for engine-misuse
+        errors that are not a cell failure (bad worker count, closed
+        engine, ...).
+    cell:
+        The grid-cell key the failure concerns, when known.
+    attempt:
+        The 1-based attempt that failed, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: Optional[str] = None,
+        cell: Any = None,
+        attempt: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.cell = cell
+        self.attempt = attempt
+
+
+class WorkerCrashError(ParallelExecutionError):
+    """A pool worker died (SIGKILL, OOM, segfault) while holding a cell."""
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("kind", "worker-death")
+        super().__init__(message, **kwargs)
+
+
+class CellTimeoutError(ParallelExecutionError, TimeoutError):
+    """A cell attempt exceeded its per-attempt deadline.
+
+    Also a ``TimeoutError`` so pre-taxonomy callers that matched on the
+    builtin keep working.
+    """
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("kind", "timeout")
+        super().__init__(message, **kwargs)
+
+
+class CorruptResultError(ParallelExecutionError):
+    """A completed cell's stored result failed its integrity check."""
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("kind", "corrupt-result")
+        super().__init__(message, **kwargs)
+
+
+class GridManifestError(ExperimentError):
+    """The durable grid manifest was misused (missing dir, bad spec)."""
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map *exc* onto the :data:`FAILURE_KINDS` taxonomy.
+
+    Exceptions that already carry a valid ``kind`` attribute (the
+    :class:`ParallelExecutionError` refinements) keep it; otherwise
+    timeouts map to ``timeout``, executor breakage (a worker killed
+    under the pool) to ``worker-death``, damaged artifacts to
+    ``corrupt-result``, and everything else — an exception raised *by*
+    the cell body — to ``cell-exception``.
+    """
+    kind = getattr(exc, "kind", None)
+    if kind in FAILURE_KINDS:
+        return kind
+    if isinstance(exc, TimeoutError):
+        return "timeout"
+    if isinstance(exc, BrokenExecutor):
+        return "worker-death"
+    if isinstance(exc, CorruptArtifactError):
+        return "corrupt-result"
+    return "cell-exception"

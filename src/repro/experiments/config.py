@@ -111,6 +111,36 @@ class ExperimentConfig:
                 f"generations {self.generations}"
             )
 
+    def to_spec(self) -> dict:
+        """JSON-ready dict of every result-determining knob.
+
+        Used by the grid manifest's fingerprint: any field change —
+        one more generation, a nudged mutation probability, a different
+        optimizer — yields a different spec, hence a different grid
+        fingerprint, hence stale cells that are invalidated instead of
+        silently reused.
+        """
+        return {
+            "population_size": self.population_size,
+            "mutation_probability": self.mutation_probability,
+            "generations": self.generations,
+            "checkpoints": list(self.checkpoints),
+            "base_seed": self.base_seed,
+            "algorithm": self.algorithm,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_spec` output (grid re-drive)."""
+        return cls(
+            population_size=spec["population_size"],
+            mutation_probability=spec["mutation_probability"],
+            generations=spec["generations"],
+            checkpoints=tuple(spec["checkpoints"]),
+            base_seed=spec["base_seed"],
+            algorithm=spec.get("algorithm", "nsga2"),
+        )
+
     def algorithm_config(self):
         """The engine-level config this experiment config implies.
 

@@ -28,9 +28,63 @@ from repro.experiments.figures import FigureResult
 from repro.experiments.runner import PopulationFailure, SeededPopulationResult
 from repro.storage import atomic_write_json, read_json_artifact
 
-__all__ = ["save_figure_result", "load_figure_result"]
+__all__ = [
+    "save_figure_result",
+    "load_figure_result",
+    "history_to_doc",
+    "history_from_doc",
+]
 
 _FORMAT = "repro.figure-result/1"
+
+
+def history_to_doc(history: RunHistory) -> dict:
+    """JSON-ready document of *history*'s objective-space data.
+
+    Chromosome payloads are dropped (large, reproducible from seeds);
+    front points serialize through Python floats, whose shortest-repr
+    JSON encoding round-trips float64 exactly — reloaded fronts are
+    byte-identical to the originals.  Shared by figure archives and the
+    grid result store.
+    """
+    return {
+        "total_generations": history.total_generations,
+        "total_evaluations": history.total_evaluations,
+        "wall_seconds": history.wall_seconds,
+        "snapshots": [
+            {
+                "generation": s.generation,
+                "evaluations": s.evaluations,
+                "front_points": s.front_points.tolist(),
+            }
+            for s in history.snapshots
+        ],
+    }
+
+
+def history_from_doc(label: str, doc: dict) -> RunHistory:
+    """Rebuild a :class:`RunHistory` from :func:`history_to_doc` output.
+
+    Chromosome arrays are absent in reloaded snapshots (``None``); all
+    objective-space analyses work unchanged.
+    """
+    snapshots = tuple(
+        GenerationSnapshot(
+            generation=s["generation"],
+            front_points=np.asarray(s["front_points"], dtype=np.float64),
+            front_assignments=None,
+            front_orders=None,
+            evaluations=s["evaluations"],
+        )
+        for s in doc["snapshots"]
+    )
+    return RunHistory(
+        label=label,
+        snapshots=snapshots,
+        total_generations=doc["total_generations"],
+        total_evaluations=doc["total_evaluations"],
+        wall_seconds=doc["wall_seconds"],
+    )
 
 
 def save_figure_result(result: FigureResult, path: Union[str, Path]) -> None:
@@ -52,19 +106,7 @@ def save_figure_result(result: FigureResult, path: Union[str, Path]) -> None:
             k: list(v) for k, v in result.result.seed_objectives.items()
         },
         "histories": {
-            label: {
-                "total_generations": h.total_generations,
-                "total_evaluations": h.total_evaluations,
-                "wall_seconds": h.wall_seconds,
-                "snapshots": [
-                    {
-                        "generation": s.generation,
-                        "evaluations": s.evaluations,
-                        "front_points": s.front_points.tolist(),
-                    }
-                    for s in h.snapshots
-                ],
-            }
+            label: history_to_doc(h)
             for label, h in result.result.histories.items()
         },
         "failures": [
@@ -102,25 +144,10 @@ def load_figure_result(path: Union[str, Path]) -> FigureResult:
         # algorithm field; they were all NSGA-II runs.
         algorithm=doc["config"].get("algorithm", "nsga2"),
     )
-    histories = {}
-    for label, h in doc["histories"].items():
-        snapshots = tuple(
-            GenerationSnapshot(
-                generation=s["generation"],
-                front_points=np.asarray(s["front_points"], dtype=np.float64),
-                front_assignments=None,
-                front_orders=None,
-                evaluations=s["evaluations"],
-            )
-            for s in h["snapshots"]
-        )
-        histories[label] = RunHistory(
-            label=label,
-            snapshots=snapshots,
-            total_generations=h["total_generations"],
-            total_evaluations=h["total_evaluations"],
-            wall_seconds=h["wall_seconds"],
-        )
+    histories = {
+        label: history_from_doc(label, h)
+        for label, h in doc["histories"].items()
+    }
     result = SeededPopulationResult(
         dataset_name=doc["dataset"],
         config=config,

@@ -69,6 +69,7 @@ def run_portfolio(
     algorithms: Optional[Sequence[str]] = None,
     *,
     exact_epsilon: Optional[float] = 0.05,
+    grid_dir: Optional[str] = None,
     obs: Optional["RunContext"] = None,
 ) -> PortfolioResult:
     """Run every algorithm in *algorithms* over *dataset* and score them.
@@ -90,6 +91,13 @@ def run_portfolio(
         :func:`repro.exact.exact_energy_utility_front`).  ``None``
         skips the exact baseline entirely, dropping the
         distance-to-optimal columns.
+    grid_dir:
+        Optional durable grid directory (see
+        :mod:`repro.parallel.manifest`).  Each algorithm's run becomes
+        a journaled cell whose completed history is persisted; rerunning
+        with the same *grid_dir* skips finished algorithms and re-drives
+        only the rest (``repro-analyze grid resume`` does this after a
+        crash).  ``None`` keeps the zero-overhead in-memory path.
     obs:
         Optional run context; each algorithm's run records its usual
         telemetry under its own label.
@@ -114,14 +122,38 @@ def run_portfolio(
         obs = NULL_CONTEXT
     obs = obs.bind(dataset=dataset.name)
 
+    binding = None
+    todo = list(names)
+    histories: dict[str, RunHistory] = {}
+    if grid_dir is not None:
+        # Function-level import: repro.experiments.io has an import
+        # cycle with the runner result types.
+        from repro.experiments.grid import GridBinding
+        from repro.experiments.io import history_from_doc, history_to_doc
+
+        grid_spec = {
+            "driver": "portfolio",
+            "dataset": {"name": dataset.name, "seed": dataset.seed},
+            "config": config.to_spec(),
+            "algorithms": list(names),
+            "exact_epsilon": exact_epsilon,
+        }
+        binding = GridBinding.open_or_create(
+            grid_dir, spec=grid_spec, dataset=dataset,
+            keys=list(names), obs=obs,
+        )
+        for done_name, payload in binding.preloaded.items():
+            histories[done_name] = history_from_doc(
+                done_name, payload["history"]
+            )
+        todo = binding.pending_keys(names)
+
     seeds = [
         SEEDING_HEURISTICS[name]().build(dataset.system, dataset.trace)
         for name in sorted(SEEDING_HEURISTICS)
     ]
 
-    histories: dict[str, RunHistory] = {}
-    fronts = {}
-    for name in names:
+    for name in todo:
         evaluator = ScheduleEvaluator(
             dataset.system, dataset.trace, check_feasibility=False, obs=obs
         )
@@ -134,13 +166,31 @@ def run_portfolio(
             label=name,
             obs=obs,
         )
-        with obs.span("portfolio.run", algorithm=name):
-            history = engine.run(
-                generations=config.generations,
-                checkpoints=list(config.checkpoints),
-            )
+        if binding is not None:
+            binding.mark_running(name)
+        try:
+            with obs.span("portfolio.run", algorithm=name):
+                history = engine.run(
+                    generations=config.generations,
+                    checkpoints=list(config.checkpoints),
+                )
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            if binding is not None:
+                binding.mark_failed(name, 1, exc)
+            raise
         histories[name] = history
-        fronts[name] = history.final.front_points
+        if binding is not None:
+            binding.record_done(name, {"history": history_to_doc(history)})
+
+    # Preloaded cells land first; restore portfolio order so tables and
+    # comparisons read identically to an uninterrupted run.
+    histories = {name: histories[name] for name in names if name in histories}
+    fronts = {
+        name: history.final.front_points
+        for name, history in histories.items()
+    }
 
     exact = None
     if exact_epsilon is not None:

@@ -96,6 +96,9 @@ def _repetition_cell(restored, extra: dict, r: int, attempt: int, payload) -> Fl
     derivation — so fronts are bit-identical to a sequential run
     regardless of worker count, scheduling order, or transport.
     """
+    fault_hook = extra.get("fault_hook")
+    if fault_hook is not None:
+        fault_hook(r, attempt)
     evaluator = _CELL_EVALUATORS.get(restored.handle.dataset_id)
     if evaluator is None:
         evaluator = restored.make_evaluator(check_feasibility=False)
@@ -128,6 +131,8 @@ def run_repetitions(
     transport: str = "auto",
     retry: Optional["RetryPolicy"] = None,
     algorithm: Union[str, AlgorithmFactory] = "nsga2",
+    grid_dir: Optional[str] = None,
+    fault_hook=None,
     obs: Optional["RunContext"] = None,
 ) -> RepetitionResult:
     """Run R independent optimizer repetitions of one population setup.
@@ -170,6 +175,20 @@ def run_repetitions(
         callable with the :class:`~repro.core.algorithm.Algorithm`
         constructor signature.  Parallel runs require the value to be
         picklable (registry names always are).
+    grid_dir:
+        Directory for the durable grid manifest + result store (see
+        :mod:`repro.experiments.grid`).  Every repetition's lifecycle
+        is journaled and its final front persisted, so an interrupted
+        run — dead worker, dead coordinator — resumes with
+        ``repro-analyze grid resume`` (or by re-calling with the same
+        arguments), skipping verified-complete repetitions.  Requires
+        *algorithm* to be a registry name (re-drive must reconstruct
+        it).  ``None`` (default) keeps the zero-overhead in-memory
+        path: no manifest code runs at all.
+    fault_hook:
+        Test-only ``(repetition, attempt)`` hook invoked at the top of
+        every cell attempt (chaos drills kill workers through it).
+        Must be picklable when ``workers > 1``.
     obs:
         Optional :class:`~repro.obs.context.RunContext` threaded into
         the evaluator and every repetition's engine; adds a
@@ -196,17 +215,59 @@ def run_repetitions(
             seeds = [SEEDING_HEURISTICS[seed_label]().build(dataset.system,
                                                             dataset.trace)]
 
-    if workers and workers > 1 and repetitions > 1:
-        fronts = _run_repetitions_parallel(
-            dataset, repetitions, generations, population_size,
+    binding = None
+    if grid_dir is not None:
+        if not isinstance(algorithm, str):
+            raise ExperimentError(
+                "grid_dir requires a registry algorithm name — re-driving "
+                "the grid must be able to reconstruct the optimizer from "
+                "the journaled spec"
+            )
+        from repro.experiments.grid import GridBinding
+
+        spec = {
+            "driver": "repetitions",
+            "dataset": {"name": dataset.name, "seed": dataset.seed},
+            "repetitions": repetitions,
+            "generations": generations,
+            "population_size": population_size,
+            "mutation_probability": mutation_probability,
+            "seed_label": seed_label,
+            "base_seed": base_seed,
+            "algorithm": algorithm,
+        }
+        binding = GridBinding.open_or_create(
+            grid_dir, spec=spec, dataset=dataset,
+            keys=list(range(repetitions)), obs=obs,
+        )
+
+    all_keys = list(range(repetitions))
+    fronts_by_r: dict[int, FloatArray] = {}
+    if binding is not None:
+        from repro.experiments.grid import front_from_payload
+
+        for r, payload in binding.preloaded.items():
+            fronts_by_r[r] = front_from_payload(payload)
+        todo = binding.pending_keys(all_keys)
+    else:
+        todo = all_keys
+
+    if workers and workers > 1 and len(todo) > 1:
+        _run_repetitions_parallel(
+            dataset, todo, generations, population_size,
             mutation_probability, seed_label, base_seed, workers,
             transport, retry, seeds, obs, algorithm,
+            fronts_by_r=fronts_by_r, binding=binding,
+            fault_hook=fault_hook,
         )
-    else:
+    elif todo:
         evaluator = ScheduleEvaluator(dataset.system, dataset.trace,
                                       check_feasibility=False, obs=obs)
-        fronts = []
-        for r in range(repetitions):
+        for r in todo:
+            if fault_hook is not None:
+                fault_hook(r, 1)
+            if binding is not None:
+                binding.mark_running(r)
             ga = make_algorithm(
                 algorithm,
                 evaluator,
@@ -219,8 +280,29 @@ def run_repetitions(
                 label=f"{seed_label}#{r}",
                 obs=obs,
             )
-            with obs.span("repetition.run", repetition=r):
-                fronts.append(ga.run(generations).final.front_points)
+            try:
+                with obs.span("repetition.run", repetition=r):
+                    front = ga.run(generations).final.front_points
+            except Exception as exc:
+                if binding is not None:
+                    binding.mark_failed(r, 1, exc)
+                raise
+            fronts_by_r[r] = front
+            if binding is not None:
+                from repro.experiments.grid import front_to_payload
+
+                binding.record_done(r, front_to_payload(front))
+
+    if binding is not None:
+        quarantined = binding.quarantined_keys()
+        if quarantined:
+            raise ExperimentError(
+                f"repetitions {quarantined} were quarantined (each crashed "
+                f"its workers repeatedly); the rest of the grid is journaled "
+                f"as done.  Inspect with 'repro-analyze grid status', "
+                f"re-drive with 'repro-analyze grid retry-quarantined'."
+            )
+    fronts = [fronts_by_r[r] for r in all_keys]
 
     all_pts = np.vstack(fronts)
     reference = (float(all_pts[:, 0].max() * 1.01),
@@ -241,7 +323,7 @@ def run_repetitions(
 
 def _run_repetitions_parallel(
     dataset: DatasetBundle,
-    repetitions: int,
+    keys: list,
     generations: int,
     population_size: int,
     mutation_probability: float,
@@ -253,13 +335,20 @@ def _run_repetitions_parallel(
     seeds: list,
     obs: "RunContext",
     algorithm: Union[str, AlgorithmFactory] = "nsga2",
-) -> list[FloatArray]:
-    """Fan the R×1 repetition grid out over the parallel engine.
+    *,
+    fronts_by_r: dict,
+    binding=None,
+    fault_hook=None,
+) -> None:
+    """Fan the repetition cells in *keys* out over the parallel engine.
 
     Publishes the dataset once, ships the heuristic seed allocation
     once per worker via the pool initializer, and submits only the
-    repetition index per cell.  Fronts are returned in repetition
-    order, whatever order the cells completed in.
+    repetition index per cell.  Completed fronts land in *fronts_by_r*
+    keyed by repetition, whatever order the cells completed in.  With
+    a grid *binding*, workers heartbeat through the manifest journal,
+    every lifecycle transition is journaled, and each front is
+    persisted to the result store the moment it completes.
     """
     from repro.experiments.runner import RetryPolicy
     from repro.parallel.descriptors import publish_dataset
@@ -274,16 +363,20 @@ def _run_repetitions_parallel(
         "base_seed": base_seed,
         "seeds": seeds,
         "algorithm": algorithm,
+        "fault_hook": fault_hook,
     }
-    fronts_by_r: dict[int, FloatArray] = {}
     backoff_rngs: dict[int, np.random.Generator] = {}
+    prev_delays: dict[int, float] = {}
 
     def backoff_for(r: int, attempt: int) -> float:
         if r not in backoff_rngs:
             backoff_rngs[r] = ensure_rng(
                 derive_seed(base_seed, "repetition-backoff", seed_label, r)
             )
-        delay = policy.delay(attempt, backoff_rngs[r])
+        delay = policy.delay(
+            attempt, backoff_rngs[r], prev=prev_delays.get(r)
+        )
+        prev_delays[r] = delay
         if obs.enabled:
             obs.counter(
                 "runner_retries_total", help="population attempts retried"
@@ -303,23 +396,30 @@ def _run_repetitions_parallel(
 
     def on_result(reply: CellReply) -> None:
         fronts_by_r[reply.key] = reply.result
+        if binding is not None:
+            from repro.experiments.grid import front_to_payload
+
+            binding.record_done(reply.key, front_to_payload(reply.result))
         if obs.enabled:
             obs.record_span(
                 "repetition.run", reply.elapsed,
                 repetition=reply.key, attempt=reply.attempt,
             )
 
+    run_kwargs = binding.run_kwargs() if binding is not None else {}
+    journal = binding.worker_journal() if binding is not None else None
     with publish_dataset(dataset, transport=transport, obs=obs) as published:
         with ParallelEngine(
             workers, handle=published.handle, extra=extra, obs=obs,
+            journal=journal,
         ) as engine:
             engine.run(
                 _repetition_cell,
-                list(range(repetitions)),
+                keys,
                 payload_for=lambda r, attempt: None,
                 policy=policy,
                 backoff_for=backoff_for,
                 give_up=give_up,
                 on_result=on_result,
+                **run_kwargs,
             )
-    return [fronts_by_r[r] for r in range(repetitions)]

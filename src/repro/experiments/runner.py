@@ -94,14 +94,26 @@ class RetryPolicy:
         cannot be killed mid-task; it occupies a pool slot until it
         finishes or the pool shuts down.
     backoff_base:
-        First retry delay; attempt *k*'s delay is
-        ``min(backoff_max, backoff_base * 2**(k-1))``.
+        First retry delay; under ``"proportional"`` jitter, attempt
+        *k*'s delay is ``min(backoff_max, backoff_base * 2**(k-1))``.
     backoff_max:
         Delay ceiling.
     jitter:
-        Multiplies the delay by ``1 + jitter * u`` with ``u ~ U[0, 1)``
-        drawn from a per-label stream derived from the experiment seed,
-        so backoff spreading is reproducible.
+        (``"proportional"`` mode only.)  Multiplies the delay by
+        ``1 + jitter * u`` with ``u ~ U[0, 1)`` drawn from a per-label
+        stream derived from the experiment seed, so backoff spreading
+        is reproducible.
+    jitter_mode:
+        ``"proportional"`` (default) keeps the classic exponential
+        schedule with a small multiplicative spread — failures that
+        happen together retry nearly together.  ``"decorrelated"``
+        uses the AWS-style decorrelated-jitter schedule: each delay is
+        drawn uniformly from ``[backoff_base, 3 * previous delay]``
+        (capped at ``backoff_max``), so a batch of cells that all
+        failed at the same instant — one dead worker takes out a whole
+        pool generation — fan out instead of hammering the retry path
+        in lockstep.  Both modes draw from the same per-label seeded
+        streams, so schedules stay reproducible.
     """
 
     max_attempts: int = 3
@@ -109,6 +121,7 @@ class RetryPolicy:
     backoff_base: float = 0.5
     backoff_max: float = 30.0
     jitter: float = 0.1
+    jitter_mode: str = "proportional"
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -121,9 +134,31 @@ class RetryPolicy:
             raise ExperimentError(
                 "backoff_base, backoff_max, and jitter must be >= 0"
             )
+        if self.jitter_mode not in ("proportional", "decorrelated"):
+            raise ExperimentError(
+                f"jitter_mode must be 'proportional' or 'decorrelated', "
+                f"got {self.jitter_mode!r}"
+            )
 
-    def delay(self, attempt: int, rng: np.random.Generator) -> float:
-        """Backoff before retrying after the *attempt*-th failure."""
+    def delay(
+        self,
+        attempt: int,
+        rng: np.random.Generator,
+        prev: Optional[float] = None,
+    ) -> float:
+        """Backoff before retrying after the *attempt*-th failure.
+
+        *prev* is the previous delay handed to the same cell (``None``
+        on its first retry); only the ``"decorrelated"`` mode reads it.
+        Deterministic for a given seeded *rng* in both modes.
+        """
+        if self.jitter_mode == "decorrelated":
+            floor = self.backoff_base
+            high = max(3.0 * (prev if prev is not None else floor), floor)
+            return min(
+                self.backoff_max,
+                floor + (high - floor) * float(rng.random()),
+            )
         base = min(self.backoff_max, self.backoff_base * 2 ** (attempt - 1))
         if self.jitter:
             base *= 1.0 + self.jitter * float(rng.random())
@@ -247,6 +282,7 @@ def run_seeded_populations(
     strict: bool = False,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    grid_dir: Optional[str] = None,
     fault_hook: Optional[Callable[[str, int], None]] = None,
     evaluation_fault_hook: Optional[Callable[[], None]] = None,
     sleep: Callable[[float], None] = time.sleep,
@@ -300,6 +336,17 @@ def run_seeded_populations(
         Resume every population from its checkpoint in
         *checkpoint_dir* where one exists (first attempts included) —
         the ``repro-analyze resume`` workflow.
+    grid_dir:
+        Directory for the durable grid manifest + result store (see
+        :mod:`repro.experiments.grid`).  Each population is a journaled
+        grid cell whose completed history is persisted, so an
+        interrupted experiment resumes via ``repro-analyze grid
+        resume`` (or by re-calling with the same arguments), skipping
+        verified-complete populations.  Unless *checkpoint_dir* is
+        given, per-population checkpoints default to
+        ``<grid_dir>/checkpoints`` so re-driven cells also resume
+        mid-run.  ``None`` (default) keeps the zero-overhead in-memory
+        path.
     fault_hook:
         Test-only ``(label, attempt)`` hook invoked at the top of every
         worker attempt (see :mod:`repro.testing.faults`).  Must be
@@ -325,6 +372,33 @@ def run_seeded_populations(
 
         obs = NULL_CONTEXT
     obs = obs.bind(dataset=dataset.name)
+
+    binding = None
+    if grid_dir is not None:
+        if extra_seeds:
+            raise ExperimentError(
+                "grid_dir does not support extra_seeds populations — their "
+                "allocations are runtime objects the manifest cannot "
+                "fingerprint or re-drive"
+            )
+        from pathlib import Path
+
+        from repro.experiments.grid import GridBinding
+
+        grid_spec = {
+            "driver": "seeded-populations",
+            "dataset": {"name": dataset.name, "seed": dataset.seed},
+            "config": config.to_spec(),
+            "labels": list(labels),
+        }
+        binding = GridBinding.open_or_create(
+            grid_dir, spec=grid_spec, dataset=dataset,
+            keys=list(labels), obs=obs,
+        )
+        if checkpoint_dir is None:
+            # Re-driven cells should resume mid-run, not restart.
+            checkpoint_dir = str(Path(grid_dir) / "checkpoints")
+            Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
 
     evaluator = ScheduleEvaluator(dataset.system, dataset.trace,
                                   check_feasibility=False)
@@ -362,13 +436,17 @@ def run_seeded_populations(
         return list(extra_seeds[label])  # type: ignore[index]
 
     backoff_rngs: dict[str, np.random.Generator] = {}
+    prev_delays: dict[str, float] = {}
 
     def backoff_for(label: str, attempt: int) -> float:
         if label not in backoff_rngs:
             backoff_rngs[label] = ensure_rng(
                 derive_seed(config.base_seed, "retry-backoff", label)
             )
-        delay = policy.delay(attempt, backoff_rngs[label])
+        delay = policy.delay(
+            attempt, backoff_rngs[label], prev=prev_delays.get(label)
+        )
+        prev_delays[label] = delay
         # backoff_for is called exactly once per scheduled retry, on
         # both the sequential and the process-pool paths.
         if obs.enabled:
@@ -387,6 +465,18 @@ def run_seeded_populations(
 
     histories: dict[str, RunHistory] = {}
     failures: list[PopulationFailure] = []
+
+    todo: list[str] = list(labels)
+    if binding is not None:
+        # Function-level import: repro.experiments.io imports this
+        # module for its result types.
+        from repro.experiments.io import history_from_doc, history_to_doc
+
+        for done_label, payload in binding.preloaded.items():
+            histories[done_label] = history_from_doc(
+                done_label, payload["history"]
+            )
+        todo = binding.pending_keys(labels)
 
     def give_up(label: str, attempt: int, exc: BaseException) -> None:
         if obs.enabled:
@@ -412,25 +502,21 @@ def run_seeded_populations(
             )
         )
 
-    if workers and workers > 1 and len(labels) > 1:
+    if workers and workers > 1 and len(todo) > 1:
         _run_parallel(
-            dataset, config, labels, seeds_for, workers, policy,
+            dataset, config, todo, seeds_for, workers, policy,
             fault_hook, evaluation_fault_hook, checkpoint_dir,
             resume_attempt, backoff_for, give_up, histories, sleep,
-            obs=obs, transport=transport,
+            obs=obs, transport=transport, binding=binding,
         )
-        # Cells land in completion order; restore label order so every
-        # downstream iteration (reports, dominance tables) is identical
-        # to a serial run.
-        histories = {
-            label: histories[label] for label in labels if label in histories
-        }
     else:
-        for label in labels:
+        for label in todo:
             attempt = 0
             while True:
                 attempt += 1
                 try:
+                    if binding is not None:
+                        binding.mark_running(label, attempt)
                     _, history = _run_one_population(
                         dataset, config, label, seeds_for(label),
                         attempt=attempt,
@@ -441,14 +527,45 @@ def run_seeded_populations(
                         obs=obs,
                     )
                     histories[label] = history
+                    if binding is not None:
+                        binding.record_done(
+                            label, {"history": history_to_doc(history)}
+                        )
                     break
                 except KeyboardInterrupt:
                     raise
                 except Exception as exc:
+                    if binding is not None:
+                        binding.mark_failed(label, attempt, exc)
                     if attempt >= policy.max_attempts:
                         give_up(label, attempt, exc)
                         break
                     sleep(backoff_for(label, attempt))
+
+    # Cells land in completion (or preload) order; restore label order
+    # so every downstream iteration (reports, dominance tables) is
+    # identical to a serial, non-grid run.
+    histories = {
+        label: histories[label] for label in labels if label in histories
+    }
+
+    if binding is not None:
+        for q_label in binding.quarantined_keys():
+            status = binding.manifest.cells[q_label]
+            message = (
+                "quarantined after repeated worker crashes "
+                "(inspect with 'repro-analyze grid status', re-drive with "
+                "'repro-analyze grid retry-quarantined')"
+            )
+            if strict:
+                raise ExperimentError(f"population {q_label!r} {message}")
+            failures.append(
+                PopulationFailure(
+                    label=q_label,
+                    attempts=max(status.attempt, 1),
+                    error=message,
+                )
+            )
 
     if labels and not histories:
         summary = "; ".join(f"{f.label}: {f.error}" for f in failures)
@@ -521,6 +638,7 @@ def _run_parallel(
     sleep: Callable[[float], None],
     obs: Optional["RunContext"] = None,
     transport: str = "auto",
+    binding=None,
 ) -> None:
     """Zero-copy process-pool orchestration via the parallel engine.
 
@@ -546,15 +664,24 @@ def _run_parallel(
     def on_result(reply: CellReply) -> None:
         finished_label, history = reply.result
         histories[finished_label] = history
+        if binding is not None:
+            from repro.experiments.io import history_to_doc
+
+            binding.record_done(
+                finished_label, {"history": history_to_doc(history)}
+            )
         if obs is not None and obs.enabled:
             obs.record_span(
                 "population.run", reply.elapsed,
                 label=finished_label, attempt=reply.attempt,
             )
 
+    journal = binding.worker_journal() if binding is not None else None
+    run_kwargs = binding.run_kwargs() if binding is not None else {}
     with publish_dataset(dataset, transport=transport, obs=obs) as published:
         with ParallelEngine(
             workers, handle=published.handle, extra=extra, obs=obs,
+            journal=journal,
         ) as engine:
             engine.run(
                 _population_cell,
@@ -565,4 +692,5 @@ def _run_parallel(
                 give_up=give_up,
                 on_result=on_result,
                 sleep=sleep,
+                **run_kwargs,
             )

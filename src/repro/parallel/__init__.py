@@ -3,7 +3,8 @@
 Layered bottom-up:
 
 * :mod:`repro.parallel.shm` — packed shared-memory segments, attach
-  registries, leak detection, lifecycle hooks.
+  registries, leak detection with creator-pid liveness, the dead-
+  coordinator janitor sweep, lifecycle hooks.
 * :mod:`repro.parallel.descriptors` — publishing a
   :class:`~repro.experiments.datasets.DatasetBundle` once per
   experiment and reconstructing zero-copy evaluators worker-side from
@@ -11,9 +12,19 @@ Layered bottom-up:
   platforms without shared memory).
 * :mod:`repro.parallel.engine` — the persistent worker pool and the
   retry/collect loop (heap-scheduled backoff, per-attempt timeouts
-  with cell leases, coordinator-side observability).
+  with cell leases, pool-break supervision with victim attribution and
+  poison-cell quarantine, coordinator-side observability).
+* :mod:`repro.parallel.manifest` — the durable grid manifest: an
+  append-only JSONL journal of cell lifecycle transitions with total
+  (torn-tail tolerant) replay, plus the picklable worker heartbeat
+  appender.
+* :mod:`repro.parallel.resultstore` — content-addressed per-cell
+  result artifacts keyed by (config, algorithm, seed, dataset
+  fingerprint), so resumed grids skip verified work and config drift
+  invalidates instead of silently reusing.
 
-See ``docs/performance.md`` for the architecture discussion and
+See ``docs/performance.md`` for the architecture discussion,
+``docs/fault_tolerance.md`` for the grid-level recovery model, and
 ``benchmarks/test_bench_parallel_grid.py`` for the measured speedups.
 """
 
@@ -25,6 +36,18 @@ from repro.parallel.descriptors import (
     publish_dataset,
 )
 from repro.parallel.engine import CellReply, ParallelEngine
+from repro.parallel.manifest import (
+    MANIFEST_FORMAT,
+    CellStatus,
+    GridManifest,
+    WorkerJournal,
+)
+from repro.parallel.resultstore import (
+    RESULT_FORMAT,
+    ResultStore,
+    dataset_fingerprint,
+    grid_fingerprint,
+)
 from repro.parallel.shm import (
     SEGMENT_PREFIX,
     SHARED_MEMORY_AVAILABLE,
@@ -34,6 +57,7 @@ from repro.parallel.shm import (
     SharedMemoryUnavailable,
     attach,
     detach_all,
+    janitor_sweep,
     leaked_segments,
     owned_segments,
     publish,
@@ -52,6 +76,7 @@ __all__ = [
     "detach_all",
     "owned_segments",
     "leaked_segments",
+    "janitor_sweep",
     "unlink_segments",
     "dataset_arrays",
     "publish_dataset",
@@ -60,4 +85,12 @@ __all__ = [
     "RestoredDataset",
     "CellReply",
     "ParallelEngine",
+    "MANIFEST_FORMAT",
+    "CellStatus",
+    "GridManifest",
+    "WorkerJournal",
+    "RESULT_FORMAT",
+    "ResultStore",
+    "dataset_fingerprint",
+    "grid_fingerprint",
 ]

@@ -23,9 +23,25 @@ the seeded-population runner and the repetition-grid driver:
   released, so a timed-out attempt and its retry can never run
   concurrently (they would race on checkpoint files and, previously,
   silently double-consumed pool slots);
+* **pool supervision** — a SIGKILL'd/OOM'd worker breaks the
+  ``ProcessPoolExecutor`` (every unfinished future fails with
+  ``BrokenProcessPool`` at once).  The engine rebuilds the pool — a
+  *generation* counter distinguishes futures of the dead pool from the
+  fresh one — and separates the break's **victim** (the cell a worker
+  was actually executing, attributed via the worker's journaled
+  ``running`` heartbeat) from the innocent submissions that were merely
+  queued behind it.  Innocents are resubmitted on the same attempt;
+  the victim's crash is charged to the cell, and a cell that keeps
+  killing workers is **quarantined** after ``quarantine_after`` crashes
+  on two or more distinct workers (poison input, not bad luck) instead
+  of being retried forever.  Worker-death retries deliberately bypass
+  ``policy.max_attempts`` — crashes are the infrastructure's fault, not
+  the cell's — only the quarantine rule bounds them.  Without a journal
+  there is no attribution, so repeated breaks with no completed cell in
+  between fail fast rather than loop;
 * **coordinator-side observability** — queue-wait histograms, attach
   counters (first reply from each worker pid), cell counters, and
-  timeout/zombie events on the driver's
+  timeout/zombie/pool-break events on the driver's
   :class:`~repro.obs.context.RunContext`.  Contexts are not picklable,
   so workers stay obs-free by design.
 
@@ -33,6 +49,12 @@ The engine is transport-agnostic: it neither publishes nor unlinks
 shared memory.  Drivers publish via
 :func:`repro.parallel.descriptors.publish_dataset` and pass the
 resulting handle in; the pickle-fallback handle works identically.
+Likewise it is manifest-agnostic: it journals nothing itself, but
+accepts a :class:`~repro.parallel.manifest.WorkerJournal` for worker
+heartbeats and ``on_submit``/``on_failure``/``on_quarantine``/
+``poll_running`` hooks through which a driver wires the durable grid
+manifest in.  With none of them set, behaviour and cost are exactly
+the pre-supervision in-memory path.
 """
 
 from __future__ import annotations
@@ -41,16 +63,27 @@ import heapq
 import itertools
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Hashable, Optional, Sequence
 
-from repro.errors import ParallelExecutionError
+from repro.errors import (
+    CellTimeoutError,
+    ParallelExecutionError,
+    WorkerCrashError,
+)
 from repro.parallel import shm as shm_transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.context import RunContext
     from repro.parallel.descriptors import RestoredDataset, SharedDatasetHandle
+    from repro.parallel.manifest import WorkerJournal
 
 __all__ = ["CellReply", "ParallelEngine"]
 
@@ -60,9 +93,14 @@ __all__ = ["CellReply", "ParallelEngine"]
 #: Per-worker state installed by the pool initializer.
 _WORKER_HANDLE: Optional["SharedDatasetHandle"] = None
 _WORKER_EXTRA: object = None
+_WORKER_JOURNAL: Optional["WorkerJournal"] = None
 
 
-def _worker_init(handle: Optional["SharedDatasetHandle"], extra: object) -> None:
+def _worker_init(
+    handle: Optional["SharedDatasetHandle"],
+    extra: object,
+    journal: Optional["WorkerJournal"] = None,
+) -> None:
     """Pool initializer: install the dataset handle + driver payload.
 
     Runs exactly once per worker process.  Under the ``fork`` start
@@ -70,12 +108,15 @@ def _worker_init(handle: Optional["SharedDatasetHandle"], extra: object) -> None
     memory ownership registry; that is dropped first so a worker can
     never unlink the coordinator's segments.  The dataset is restored
     (segment attached, views built) eagerly so the first cell pays no
-    attach latency.
+    attach latency.  When a grid journal is configured the worker keeps
+    its appender so every cell execution starts with a journaled
+    ``running`` heartbeat.
     """
-    global _WORKER_HANDLE, _WORKER_EXTRA
+    global _WORKER_HANDLE, _WORKER_EXTRA, _WORKER_JOURNAL
     shm_transport.forget_owned()
     _WORKER_HANDLE = handle
     _WORKER_EXTRA = extra
+    _WORKER_JOURNAL = journal
     if handle is not None:
         handle.restore()
 
@@ -119,8 +160,18 @@ def _execute_cell(
     payload: object,
     submitted_at: float,
 ) -> CellReply:
-    """Worker-side cell wrapper: restore, run, wrap timing metadata."""
+    """Worker-side cell wrapper: heartbeat, restore, run, wrap timing.
+
+    The ``running`` heartbeat is appended *before* the cell body runs,
+    so if this worker is SIGKILL'd mid-cell the coordinator can read
+    exactly which cell (and which pid) went down with it.
+    """
     started = time.monotonic()
+    if _WORKER_JOURNAL is not None:
+        try:
+            _WORKER_JOURNAL.running(key, attempt)
+        except OSError:
+            pass  # heartbeat is best-effort; never fail the cell for it
     restored: Optional["RestoredDataset"] = (
         _WORKER_HANDLE.restore() if _WORKER_HANDLE is not None else None
     )
@@ -154,6 +205,11 @@ class ParallelEngine:
         Arbitrary picklable payload also shipped once per worker —
         put per-experiment constants here (seed allocations, config,
         hooks), never in per-cell payloads.
+    journal:
+        Optional :class:`~repro.parallel.manifest.WorkerJournal`; when
+        given, every worker appends a ``running`` heartbeat before
+        executing a cell body, enabling victim attribution on pool
+        breaks.
     obs:
         Optional :class:`~repro.obs.context.RunContext` for
         coordinator-side metrics and events.
@@ -169,6 +225,7 @@ class ParallelEngine:
         *,
         handle: Optional["SharedDatasetHandle"] = None,
         extra: object = None,
+        journal: Optional["WorkerJournal"] = None,
         obs: Optional["RunContext"] = None,
         mp_context=None,
     ) -> None:
@@ -177,15 +234,41 @@ class ParallelEngine:
         self.workers = workers
         self.handle = handle
         self._obs = obs
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=mp_context,
-            initializer=_worker_init,
-            initargs=(handle, extra),
-        )
+        self._mp_context = mp_context
+        self._initargs = (handle, extra, journal)
+        self._pool = self._new_pool()
         self._closed = False
+        #: Bumped on every pool rebuild; pending futures are tagged with
+        #: the generation they were submitted under so one break is
+        #: handled exactly once however many futures it shatters.
+        self.pool_generation = 0
         #: Worker pids that have sent at least one reply (attach count).
         self.seen_pids: set[int] = set()
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._mp_context,
+            initializer=_worker_init,
+            initargs=self._initargs,
+        )
+
+    def _rebuild_pool(self) -> None:
+        """Replace a broken pool with a fresh generation of workers."""
+        old = self._pool
+        self.pool_generation += 1
+        self._pool = self._new_pool()
+        old.shutdown(wait=False, cancel_futures=True)
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.counter(
+                "parallel_pool_breaks_total",
+                help="worker-pool breaks survived by rebuilding the pool",
+            ).inc()
+            obs.event(
+                "parallel.pool_rebuilt", level="warning",
+                generation=self.pool_generation,
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -220,6 +303,15 @@ class ParallelEngine:
         give_up: Callable[[Hashable, int, BaseException], None],
         on_result: Callable[[CellReply], None],
         sleep: Callable[[float], None] = time.sleep,
+        on_submit: Optional[Callable[[Hashable, int], None]] = None,
+        on_failure: Optional[
+            Callable[[Hashable, int, BaseException, Optional[int]], None]
+        ] = None,
+        quarantine_after: int = 3,
+        on_quarantine: Optional[
+            Callable[[Hashable, int, frozenset], None]
+        ] = None,
+        poll_running: Optional[Callable[[], list]] = None,
     ) -> None:
         """Run every cell in *keys* under the retry *policy*.
 
@@ -252,12 +344,41 @@ class ParallelEngine:
             completion order.
         sleep:
             Injectable sleep for the idle branch (tests pass stubs).
+        on_submit:
+            Optional ``(key, attempt)`` hook called as each attempt is
+            submitted — the manifest's ``leased`` transition.
+        on_failure:
+            Optional ``(key, attempt, exc, owner_pid)`` hook called on
+            every failed attempt (timeout, cell exception, worker
+            death) before any retry is scheduled — the manifest's
+            ``failed`` transition.  ``owner_pid`` is only known for
+            worker deaths.
+        quarantine_after:
+            Crash budget per cell: a cell whose execution has killed a
+            worker this many times, across at least two distinct
+            workers (or ``quarantine_after + 2`` times on any), is
+            quarantined instead of retried.
+        on_quarantine:
+            Optional ``(key, attempt, owners)`` hook for the
+            quarantined transition.  Without it, quarantine falls back
+            to *give_up* with a :class:`~repro.errors.WorkerCrashError`.
+        poll_running:
+            Optional zero-argument callable returning newly observed
+            worker heartbeats as ``(key, attempt, pid)`` triples —
+            normally :meth:`~repro.parallel.manifest.GridManifest.\
+poll_running`.  Without it, pool breaks cannot be attributed to a
+            victim cell, so every broken submission is resubmitted
+            as-is and repeated breaks with no completed cell in
+            between raise :class:`~repro.errors.WorkerCrashError`
+            instead of looping forever.
         """
         obs = self._obs
         if self._closed:
             raise ParallelExecutionError("engine is closed")
-        #: Future → (key, attempt, deadline | None)
-        pending: dict[Future, tuple[Hashable, int, Optional[float]]] = {}
+        #: Future → (key, attempt, deadline | None, pool generation)
+        pending: dict[
+            Future, tuple[Hashable, int, Optional[float], int]
+        ] = {}
         #: Timed-out futures still running — each holds its cell lease.
         zombies: dict[Future, Hashable] = {}
         leased: set[Hashable] = set()
@@ -267,27 +388,131 @@ class ParallelEngine:
         #: (ready time, seq, key, attempt) min-heap of pending retries.
         heap: list[tuple[float, int, Hashable, int]] = []
         seq = itertools.count()
+        #: (key, attempt) → worker pid, from journaled heartbeats.
+        started: dict[tuple[Hashable, int], int] = {}
+        #: key → [owner pid, ...] crash charges (quarantine evidence).
+        crashes: dict[Hashable, list] = {}
+        #: Pool breaks since the last reply or victim attribution —
+        #: bounds the unattributed-break resubmission loop.
+        blind_breaks = 0
 
         def submit(key: Hashable, attempt: int) -> None:
             submitted_at = time.monotonic()
-            future = self._pool.submit(
-                _execute_cell, fn, key, attempt,
-                payload_for(key, attempt), submitted_at,
-            )
+            payload = payload_for(key, attempt)
+            if on_submit is not None:
+                on_submit(key, attempt)
+            try:
+                future = self._pool.submit(
+                    _execute_cell, fn, key, attempt, payload, submitted_at
+                )
+            except BrokenExecutor:
+                # The pool died between harvests; rebuild once and
+                # resubmit — the broken futures are handled as they
+                # surface from wait().
+                self._rebuild_pool()
+                future = self._pool.submit(
+                    _execute_cell, fn, key, attempt, payload, submitted_at
+                )
             deadline = (
                 None if policy.timeout is None
                 else submitted_at + policy.timeout
             )
-            pending[future] = (key, attempt, deadline)
+            pending[future] = (key, attempt, deadline, self.pool_generation)
 
-        def handle_failure(key: Hashable, attempt: int, exc: BaseException) -> None:
+        def poll_started() -> None:
+            if poll_running is None:
+                return
+            for key, attempt, pid in poll_running():
+                if pid is not None:
+                    started[(key, attempt)] = pid
+
+        def handle_failure(
+            key: Hashable, attempt: int, exc: BaseException
+        ) -> None:
+            if on_failure is not None:
+                on_failure(key, attempt, exc, None)
             if attempt >= policy.max_attempts:
                 give_up(key, attempt, exc)
             else:
                 ready = time.monotonic() + backoff_for(key, attempt)
                 heapq.heappush(heap, (ready, next(seq), key, attempt + 1))
 
+        def handle_broken(
+            key: Hashable, attempt: int, generation: int
+        ) -> None:
+            """One broken future: attribute, charge or resubmit."""
+            nonlocal blind_breaks
+            if generation == self.pool_generation:
+                # First future of this break to surface: learn which
+                # cells had actually started, then turn the pool over.
+                poll_started()
+                blind_breaks += 1
+                self._rebuild_pool()
+            owner = started.get((key, attempt))
+            if owner is None and poll_running is not None:
+                # Journaled grid, no heartbeat for this attempt: the
+                # submission was queued, never started — an innocent
+                # casualty of someone else's crash.  Same attempt again.
+                submit(key, attempt)
+                return
+            if poll_running is None:
+                # No attribution possible.  Resubmit as-is, but a pool
+                # that keeps dying with no completed cell in between
+                # would loop forever — fail fast past the budget.
+                if blind_breaks > quarantine_after:
+                    raise WorkerCrashError(
+                        f"worker pool broke {blind_breaks} times with no "
+                        "completed cell in between and no grid journal to "
+                        "attribute a victim; enable a grid directory for "
+                        "supervised execution",
+                        cell=key, attempt=attempt,
+                    )
+                submit(key, attempt)
+                return
+            # Attributed victim: charge the crash to the cell.
+            blind_breaks = 0
+            owners = crashes.setdefault(key, [])
+            owners.append(owner)
+            crash = WorkerCrashError(
+                f"worker {owner} died executing cell {key!r} "
+                f"(attempt {attempt}, crash {len(owners)} for this cell)",
+                cell=key, attempt=attempt,
+            )
+            if obs is not None and obs.enabled:
+                obs.counter(
+                    "parallel_worker_deaths_total",
+                    help="pool workers that died while executing a cell",
+                ).inc()
+                obs.event(
+                    "parallel.worker_death", level="error",
+                    key=str(key), attempt=attempt, owner=owner,
+                )
+            if on_failure is not None:
+                on_failure(key, attempt, crash, owner)
+            distinct = len(set(owners))
+            if len(owners) >= quarantine_after and (
+                distinct >= 2 or len(owners) >= quarantine_after + 2
+            ):
+                if obs is not None and obs.enabled:
+                    obs.event(
+                        "parallel.quarantine", level="error",
+                        key=str(key), crashes=len(owners),
+                        distinct_workers=distinct,
+                    )
+                if on_quarantine is not None:
+                    on_quarantine(key, attempt, frozenset(owners))
+                else:
+                    give_up(key, attempt, crash)
+                return
+            # Crashes are charged against the quarantine budget, not
+            # the cell's retry budget — the input did not fail, the
+            # infrastructure did.
+            ready = time.monotonic() + backoff_for(key, attempt)
+            heapq.heappush(heap, (ready, next(seq), key, attempt + 1))
+
         def record_reply(reply: CellReply) -> None:
+            nonlocal blind_breaks
+            blind_breaks = 0
             new_pid = reply.pid not in self.seen_pids
             self.seen_pids.add(reply.pid)
             if obs is None or not obs.enabled:
@@ -325,7 +550,9 @@ class ParallelEngine:
                 if heap:
                     waits.append(heap[0][0] - now)
                 waits += [
-                    d - now for (_, _, d) in pending.values() if d is not None
+                    d - now
+                    for (_, _, d, _) in pending.values()
+                    if d is not None
                 ]
                 wait_for = max(0.0, min(waits)) if waits else None
                 done, _ = wait(
@@ -349,16 +576,20 @@ class ParallelEngine:
                                  held.pop(key)),
                             )
                         continue
-                    key, attempt, _ = pending.pop(future)
+                    key, attempt, _, generation = pending.pop(future)
                     try:
                         reply = future.result()
+                    except BrokenExecutor:
+                        handle_broken(key, attempt, generation)
                     except Exception as exc:
                         handle_failure(key, attempt, exc)
                     else:
                         record_reply(reply)
                         on_result(reply)
                 now = time.monotonic()
-                for future, (key, attempt, deadline) in list(pending.items()):
+                for future, (key, attempt, deadline, _gen) in list(
+                    pending.items()
+                ):
                     if deadline is not None and now >= deadline:
                         del pending[future]
                         if not future.cancel():
@@ -376,9 +607,10 @@ class ParallelEngine:
                                 )
                         handle_failure(
                             key, attempt,
-                            TimeoutError(
+                            CellTimeoutError(
                                 f"attempt {attempt} exceeded the per-attempt "
-                                f"timeout of {policy.timeout}s"
+                                f"timeout of {policy.timeout}s",
+                                cell=key, attempt=attempt,
                             ),
                         )
         except BaseException:

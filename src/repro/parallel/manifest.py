@@ -1,0 +1,602 @@
+"""The durable grid manifest: an append-only journal of cell lifecycle.
+
+A large scenario × algorithm grid is only as durable as its weakest
+process: PR 2 made a *single cell* crash-safe (checkpoint/resume) and
+the engine made the grid *fast*, but the grid as a whole lived in
+coordinator memory — kill the coordinator and finished cells were
+orphaned.  This module journals every cell's lifecycle to disk so any
+grid run can be reconstructed, resumed, and re-driven incrementally:
+
+* **Append-only JSONL.**  One record per line; the file is only ever
+  appended to (``O_APPEND`` + fsync), never rewritten, so a crash at
+  any instant loses at most the record being written.  Replay is
+  **total**: a torn/truncated tail record is detected and ignored
+  (:attr:`GridManifest.torn_tail`), damaged interior lines are skipped
+  and counted (:attr:`GridManifest.damaged_records`), duplicate or
+  out-of-order transitions are reconciled, never raised on.
+* **Cell lifecycle.**  ``pending → leased → running → done | failed |
+  quarantined``.  ``leased`` is written by the coordinator at
+  submission (with the lease owner and expiry); ``running`` is written
+  *by the worker itself* just before executing the cell body — a
+  single ``O_APPEND`` write small enough to be atomic — which doubles
+  as the worker's heartbeat and lets the supervisor attribute a pool
+  break to the exact victim cell and pid.  ``done`` records the result
+  checksum so resumed runs can verify stored artifacts before skipping
+  a cell.  ``failed`` records the :data:`~repro.errors.FAILURE_KINDS`
+  taxonomy kind.  ``quarantined`` parks a poison cell (one that keeps
+  killing its workers) after repeated distinct-worker failures;
+  quarantined cells are reported, not retried forever, and can be
+  re-queued with :meth:`GridManifest.requeue` (the
+  ``repro-analyze grid retry-quarantined`` verb).
+* **Fingerprint binding.**  The header records a content fingerprint
+  of (experiment config, algorithm, seed, dataset); a manifest whose
+  fingerprint no longer matches the configuration being driven is
+  *stale* — the driver rotates it aside and starts a fresh journal
+  rather than silently reusing cells computed under different physics.
+
+Nothing here imports the engine; the manifest is a passive ledger that
+drivers and the engine's supervision hooks write through.  With no
+manifest configured, no code in this module runs — the in-memory grid
+path is byte-for-byte the pre-manifest one (the zero-overhead
+contract gated by ``BENCH_parallel_grid.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Hashable, Iterable, Optional, Sequence, Union
+
+from repro.errors import FAILURE_KINDS, GridManifestError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.context import RunContext
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
+    "CELL_STATES",
+    "TERMINAL_STATES",
+    "CellStatus",
+    "WorkerJournal",
+    "GridManifest",
+]
+
+#: Manifest journal format tag; bump on incompatible record changes.
+MANIFEST_FORMAT = "repro.grid/1"
+
+#: Journal file name inside a grid directory.
+MANIFEST_NAME = "manifest.jsonl"
+
+#: The cell lifecycle states, in forward order.
+CELL_STATES = ("pending", "leased", "running", "done", "failed", "quarantined")
+
+#: States a cell never leaves on its own (``requeue`` is the only exit).
+TERMINAL_STATES = ("done", "quarantined")
+
+#: Default lease time-to-live in seconds.  A ``leased``/``running``
+#: record older than this whose owner cannot be confirmed alive is
+#: treated as abandoned by ``repro grid resume`` and re-driven.
+DEFAULT_LEASE_TTL = 900.0
+
+
+def _pid_alive(pid: Optional[int]) -> bool:
+    """Best-effort liveness probe (signal 0); unknown pids count dead."""
+    if not pid or pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other user
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return False
+    return True
+
+
+@dataclass
+class CellStatus:
+    """The replayed state of one grid cell.
+
+    ``failures`` accumulates ``{"kind", "owner", "attempt", "error"}``
+    entries; :attr:`crash_owners` is the set of distinct workers that
+    died holding this cell — the quarantine predicate's evidence.
+    """
+
+    key: Hashable
+    state: str = "pending"
+    attempt: int = 0
+    owner: Optional[int] = None
+    checksum: Optional[str] = None
+    lease_expires_at: Optional[float] = None
+    failures: list = field(default_factory=list)
+    requeues: int = 0
+    anomalies: int = 0
+
+    @property
+    def crash_owners(self) -> frozenset:
+        """Distinct owners recorded on ``worker-death`` failures."""
+        return frozenset(
+            f.get("owner") for f in self.failures
+            if f.get("kind") == "worker-death"
+        )
+
+    def lease_is_stale(self, now: Optional[float] = None) -> bool:
+        """Whether a ``leased``/``running`` cell's holder is gone.
+
+        A lease is stale when its expiry passed, or its owner process
+        can be confirmed dead.  Terminal and pending cells are never
+        stale.
+        """
+        if self.state not in ("leased", "running"):
+            return False
+        if self.owner is not None and not _pid_alive(self.owner):
+            return True
+        if self.lease_expires_at is not None:
+            return (time.time() if now is None else now) >= self.lease_expires_at
+        return self.owner is None
+
+
+@dataclass(frozen=True)
+class WorkerJournal:
+    """The picklable worker-side appender (running records only).
+
+    Shipped once per worker through the pool initializer.  Workers
+    append one ``running`` line just before executing a cell body —
+    the write is a single ``O_APPEND`` ``os.write`` of far less than
+    ``PIPE_BUF`` bytes, which POSIX keeps atomic with respect to the
+    coordinator's own appends.  Workers never read the journal and
+    never write any other state.
+    """
+
+    path: str
+    grid_id: str
+    lease_ttl: float = DEFAULT_LEASE_TTL
+
+    def running(self, key: Hashable, attempt: int) -> None:
+        """Append this worker's ``running`` heartbeat for (*key*, *attempt*)."""
+        now = time.time()
+        record = {
+            "rec": "cell",
+            "cell": key,
+            "state": "running",
+            "attempt": attempt,
+            "owner": os.getpid(),
+            "src": os.getpid(),
+            "t": now,
+            "lease_expires_at": now + self.lease_ttl,
+        }
+        line = (json.dumps(record, allow_nan=False) + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+
+class GridManifest:
+    """One grid directory's journal: create, append, replay, poll.
+
+    Create a fresh journal with :meth:`create` (rotating any stale one
+    aside) or reconstruct state from an existing one with :meth:`load`.
+    Coordinator-side transitions (:meth:`mark_leased`, :meth:`mark_done`,
+    :meth:`mark_failed`, :meth:`mark_quarantined`, :meth:`requeue`) are
+    applied in memory and appended durably in one step.  Worker-side
+    ``running`` records arrive asynchronously in the same file;
+    :meth:`poll_running` folds any new complete lines into the in-memory
+    state and returns them — the supervisor's victim-attribution feed.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / MANIFEST_NAME
+        self.header: dict = {}
+        self.cells: dict = {}
+        self.torn_tail = False
+        self.damaged_records = 0
+        self._read_offset = 0
+        self._obs: Optional["RunContext"] = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: Union[str, Path],
+        *,
+        spec: dict,
+        fingerprint: str,
+        cells: Sequence[Hashable],
+        grid_id: Optional[str] = None,
+        obs: Optional["RunContext"] = None,
+    ) -> "GridManifest":
+        """Start a fresh journal for *cells* under *fingerprint*.
+
+        An existing manifest at the same path is rotated aside to
+        ``manifest.stale-<epoch>.jsonl`` first (drivers call this only
+        after deciding the old journal is unusable — different
+        fingerprint, damaged header).  Cell keys must be JSON scalars
+        (int or str) so they round-trip the journal exactly.
+        """
+        manifest = cls(directory)
+        manifest._obs = obs
+        manifest.directory.mkdir(parents=True, exist_ok=True)
+        if manifest.path.exists():
+            stale = manifest.directory / f"manifest.stale-{int(time.time())}.jsonl"
+            os.replace(manifest.path, stale)
+            if obs is not None and obs.enabled:
+                obs.event(
+                    "grid.invalidated", level="warning",
+                    rotated_to=stale.name,
+                )
+        keys = list(cells)
+        for key in keys:
+            if not isinstance(key, (int, str)):
+                raise GridManifestError(
+                    f"grid cell keys must be JSON scalars (int or str); "
+                    f"got {type(key).__name__} {key!r}"
+                )
+        header = {
+            "rec": "grid",
+            "format": MANIFEST_FORMAT,
+            "grid_id": grid_id or f"grid-{int(time.time())}-{os.getpid()}",
+            "fingerprint": fingerprint,
+            "spec": spec,
+            "cells": keys,
+            "src": os.getpid(),
+            "t": time.time(),
+        }
+        manifest.header = header
+        manifest.cells = {key: CellStatus(key) for key in keys}
+        manifest._append(header)
+        if obs is not None and obs.enabled:
+            obs.event("grid.created", cells=len(keys), grid_id=header["grid_id"])
+            obs.metrics.gauge(
+                "grid_cells_total", help="cells enumerated in the grid manifest"
+            ).set(float(len(keys)))
+        return manifest
+
+    @classmethod
+    def load(
+        cls,
+        directory: Union[str, Path],
+        *,
+        obs: Optional["RunContext"] = None,
+    ) -> "GridManifest":
+        """Replay an existing journal into a manifest (total, no raise).
+
+        Raises :class:`~repro.errors.GridManifestError` only when there
+        is nothing to load (missing file or no readable header record);
+        damaged *content* is tolerated and surfaced via
+        :attr:`torn_tail` / :attr:`damaged_records`.
+        """
+        manifest = cls(directory)
+        manifest._obs = obs
+        if not manifest.path.exists():
+            raise GridManifestError(
+                f"no grid manifest at {manifest.path} — was the grid started "
+                "with a grid directory?"
+            )
+        data = manifest.path.read_bytes()
+        complete, _, tail = data.rpartition(b"\n")
+        if tail:
+            manifest.torn_tail = True
+        consumed = len(complete) + (1 if complete or tail else 0)
+        for raw in complete.split(b"\n") if complete else []:
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                manifest.damaged_records += 1
+                continue
+            manifest._apply(record)
+        manifest._read_offset = consumed if not tail else len(complete) + 1
+        if not manifest.header:
+            raise GridManifestError(
+                f"manifest at {manifest.path} has no readable grid header"
+            )
+        if manifest.torn_tail:
+            # Terminate the torn record so future appends start on a
+            # fresh line; replay will count the half-record as damaged.
+            with open(manifest.path, "ab") as handle:
+                handle.write(b"\n")
+            manifest._read_offset = manifest.path.stat().st_size
+            if obs is not None and obs.enabled:
+                obs.event("grid.torn_tail", level="warning")
+        if obs is not None and obs.enabled:
+            obs.event(
+                "grid.loaded",
+                cells=len(manifest.cells),
+                damaged_records=manifest.damaged_records,
+                torn_tail=manifest.torn_tail,
+            )
+        return manifest
+
+    # -- journal IO ----------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        """Durably append one record (own records are already applied)."""
+        line = (json.dumps(record, allow_nan=False) + "\n").encode("utf-8")
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, line)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def poll_running(self) -> list:
+        """Fold new worker-written records in; return ``(key, attempt, pid)``.
+
+        Reads complete lines appended since the last poll (or load),
+        skipping records this process wrote itself (already applied in
+        memory when they were journaled).
+        """
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:  # pragma: no cover - deleted underfoot
+            return []
+        if size <= self._read_offset:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self._read_offset)
+            data = handle.read(size - self._read_offset)
+        complete, sep, _tail = data.rpartition(b"\n")
+        if not sep:
+            return []
+        self._read_offset += len(complete) + 1
+        started = []
+        own = os.getpid()
+        for raw in complete.split(b"\n"):
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                self.damaged_records += 1
+                continue
+            if record.get("src") == own:
+                continue
+            self._apply(record)
+            if record.get("rec") == "cell" and record.get("state") == "running":
+                started.append(
+                    (record.get("cell"), record.get("attempt"),
+                     record.get("owner"))
+                )
+        return started
+
+    # -- replay (total: reconciles, never raises) ----------------------------
+
+    def _apply(self, record: dict) -> None:
+        kind = record.get("rec")
+        if kind == "grid":
+            if self.header:
+                # A second header is anomalous; keep the first.
+                self.damaged_records += 1
+                return
+            self.header = record
+            for key in record.get("cells", []):
+                self.cells.setdefault(key, CellStatus(key))
+            return
+        if kind == "resume":
+            return
+        if kind != "cell":
+            self.damaged_records += 1
+            return
+        key = record.get("cell")
+        status = self.cells.get(key)
+        if status is None:
+            # A cell the header never named: adopt rather than drop —
+            # replay must account for every journaled observation.
+            status = self.cells.setdefault(key, CellStatus(key))
+        state = record.get("state")
+        attempt = record.get("attempt", status.attempt)
+        if state == "pending":
+            # requeue: re-open a terminal or failed cell for re-driving.
+            status.state = "pending"
+            status.requeues += 1
+            status.checksum = None
+            status.owner = None
+            status.lease_expires_at = None
+            status.failures = []
+            return
+        if status.state in TERMINAL_STATES:
+            # Duplicate/late transition after a terminal state: ignore
+            # idempotently (first terminal record wins).
+            status.anomalies += 1
+            return
+        if state == "leased":
+            status.state = "leased"
+            status.attempt = max(status.attempt, attempt)
+            status.owner = record.get("owner")
+            status.lease_expires_at = record.get("lease_expires_at")
+        elif state == "running":
+            if attempt < status.attempt:
+                status.anomalies += 1  # late heartbeat of an old attempt
+                return
+            status.state = "running"
+            status.attempt = attempt
+            status.owner = record.get("owner")
+            status.lease_expires_at = record.get("lease_expires_at")
+        elif state == "done":
+            status.state = "done"
+            status.attempt = max(status.attempt, attempt)
+            status.checksum = record.get("checksum")
+            status.owner = None
+            status.lease_expires_at = None
+        elif state == "failed":
+            status.state = "failed"
+            status.attempt = max(status.attempt, attempt)
+            status.failures.append(
+                {
+                    "kind": record.get("kind", "cell-exception"),
+                    "owner": record.get("owner"),
+                    "attempt": attempt,
+                    "error": record.get("error", ""),
+                }
+            )
+            status.owner = None
+            status.lease_expires_at = None
+        elif state == "quarantined":
+            status.state = "quarantined"
+            status.attempt = max(status.attempt, attempt)
+            status.owner = None
+            status.lease_expires_at = None
+        else:
+            status.anomalies += 1
+
+    # -- coordinator transitions ---------------------------------------------
+
+    def _transition(self, record: dict, *, level: str = "info") -> None:
+        record.setdefault("rec", "cell")
+        record.setdefault("src", os.getpid())
+        record.setdefault("t", time.time())
+        self._apply(record)
+        self._append(record)
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            state = record.get("state", "?")
+            obs.counter(
+                f"grid_cells_{state}_total",
+                help=f"manifest transitions into the {state!r} state",
+            ).inc()
+            obs.event(
+                f"grid.cell.{state}", level=level,
+                cell=record.get("cell"), attempt=record.get("attempt"),
+                **(
+                    {"kind": record["kind"]} if "kind" in record else {}
+                ),
+            )
+
+    def mark_leased(
+        self,
+        key: Hashable,
+        attempt: int,
+        *,
+        owner: Optional[int] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+    ) -> None:
+        """Journal a submission: *key*'s *attempt* leased to *owner*."""
+        self._transition(
+            {
+                "cell": key,
+                "state": "leased",
+                "attempt": attempt,
+                "owner": os.getpid() if owner is None else owner,
+                "lease_expires_at": time.time() + lease_ttl,
+            }
+        )
+
+    def mark_running(self, key: Hashable, attempt: int) -> None:
+        """Journal an in-process (serial-path) execution start."""
+        self._transition(
+            {
+                "cell": key,
+                "state": "running",
+                "attempt": attempt,
+                "owner": os.getpid(),
+                "lease_expires_at": time.time() + DEFAULT_LEASE_TTL,
+            }
+        )
+
+    def mark_done(self, key: Hashable, attempt: int, checksum: str) -> None:
+        """Journal a completed cell with its result-artifact *checksum*."""
+        self._transition(
+            {"cell": key, "state": "done", "attempt": attempt,
+             "checksum": checksum}
+        )
+
+    def mark_failed(
+        self,
+        key: Hashable,
+        attempt: int,
+        *,
+        kind: str = "cell-exception",
+        error: str = "",
+        owner: Optional[int] = None,
+    ) -> None:
+        """Journal a failed attempt with its taxonomy *kind*."""
+        if kind not in FAILURE_KINDS:
+            kind = "cell-exception"
+        self._transition(
+            {
+                "cell": key,
+                "state": "failed",
+                "attempt": attempt,
+                "kind": kind,
+                "error": error[:500],
+                "owner": owner,
+            },
+            level="warning",
+        )
+
+    def mark_quarantined(
+        self, key: Hashable, attempt: int, owners: Iterable = ()
+    ) -> None:
+        """Park a poison cell: reported by ``grid status``, never retried."""
+        self._transition(
+            {
+                "cell": key,
+                "state": "quarantined",
+                "attempt": attempt,
+                "owners": sorted(str(o) for o in owners),
+            },
+            level="error",
+        )
+
+    def requeue(self, key: Hashable) -> None:
+        """Re-open *key* (``retry-quarantined`` / corrupt-result re-drive)."""
+        self._transition({"cell": key, "state": "pending"})
+
+    def note_resumed(self) -> None:
+        """Journal a new coordinator incarnation taking over this grid."""
+        record = {
+            "rec": "resume", "src": os.getpid(), "t": time.time(),
+        }
+        self._append(record)
+        if self._obs is not None and self._obs.enabled:
+            self._obs.event("grid.resumed", grid_id=self.grid_id)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def grid_id(self) -> str:
+        """The grid's journaled identity."""
+        return str(self.header.get("grid_id", ""))
+
+    @property
+    def fingerprint(self) -> str:
+        """The configuration fingerprint the journal was created under."""
+        return str(self.header.get("fingerprint", ""))
+
+    @property
+    def spec(self) -> dict:
+        """The driver-specific re-drive spec recorded in the header."""
+        spec = self.header.get("spec", {})
+        return spec if isinstance(spec, dict) else {}
+
+    def cells_in(self, *states: str) -> list:
+        """Cell keys currently in any of *states*, in header order."""
+        wanted = set(states)
+        return [k for k, c in self.cells.items() if c.state in wanted]
+
+    def status_counts(self) -> dict:
+        """``state -> cell count`` over every known state."""
+        counts = {state: 0 for state in CELL_STATES}
+        for status in self.cells.values():
+            counts[status.state] = counts.get(status.state, 0) + 1
+        return counts
+
+    def worker_journal(
+        self, lease_ttl: float = DEFAULT_LEASE_TTL
+    ) -> WorkerJournal:
+        """The picklable appender pool workers heartbeat through."""
+        return WorkerJournal(
+            path=str(self.path), grid_id=self.grid_id, lease_ttl=lease_ttl
+        )

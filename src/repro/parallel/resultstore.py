@@ -1,0 +1,177 @@
+"""Content-addressed per-cell result artifacts for durable grids.
+
+The grid manifest (:mod:`repro.parallel.manifest`) records *that* a
+cell finished; this store holds *what* it produced.  Results are keyed
+by a content hash over ``(ExperimentConfig, algorithm, seed, dataset
+fingerprint)`` — the complete set of inputs that determine a cell's
+output — so:
+
+* a resumed run recomputes the same keys, finds verified artifacts,
+  and skips those cells;
+* **config drift is structural, not advisory**: change any knob (one
+  more generation, a different mutation probability, a regenerated
+  dataset) and every cell key changes, so stale artifacts simply stop
+  matching — they are invalidated by construction, never silently
+  reused;
+* the manifest's ``done`` records carry the artifact checksum, so a
+  resumed run detects an artifact that was scribbled over *after* it
+  was journaled (checksum mismatch ⇒ cell re-driven, a
+  ``corrupt-result`` in the failure taxonomy).
+
+Artifacts ride the :mod:`repro.storage` envelope (atomic same-dir
+rename, SHA-256 payload checksum), and because the payload is JSON
+float64 round-tripped through shortest-repr serialization, fronts read
+back from the store are bit-identical to the ones that were written —
+the property the chaos drill's byte-identity assertion rests on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Hashable, Optional, Union
+
+from repro.errors import CorruptArtifactError
+from repro.storage import (
+    atomic_write_json,
+    payload_checksum,
+    read_json_artifact,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.datasets import DatasetBundle
+
+__all__ = [
+    "RESULT_FORMAT",
+    "dataset_fingerprint",
+    "grid_fingerprint",
+    "cell_key_hash",
+    "ResultStore",
+]
+
+#: Result-document format tag; bump on incompatible payload changes.
+RESULT_FORMAT = "repro.grid-result/1"
+
+
+def dataset_fingerprint(bundle: "DatasetBundle") -> str:
+    """BLAKE2b digest of *bundle*'s array payload and identity.
+
+    Hashes the same arrays :func:`~repro.parallel.descriptors
+    .dataset_arrays` would publish — the complete read-only input of a
+    cell — plus the bundle's name and generation seed, so regenerating
+    a dataset under a different seed (or editing the generator)
+    produces a different fingerprint even if shapes agree.
+    """
+    from repro.parallel.descriptors import dataset_arrays
+
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"{bundle.name}|{bundle.seed}|".encode("utf-8"))
+    for name in sorted(dataset_arrays(bundle)):
+        array = dataset_arrays(bundle)[name]
+        digest.update(
+            f"{name}|{array.dtype.str}|{array.shape}|".encode("utf-8")
+        )
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def grid_fingerprint(spec: dict, dataset_fp: str) -> str:
+    """Digest binding a grid's driver spec to its dataset content.
+
+    *spec* is the driver's JSON re-drive spec (config knobs, algorithm,
+    seed policy); combined with the dataset fingerprint it identifies
+    everything that determines every cell's output.
+    """
+    text = json.dumps(spec, sort_keys=True, allow_nan=False)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(text.encode("utf-8"))
+    digest.update(b"|")
+    digest.update(dataset_fp.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def cell_key_hash(fingerprint: str, key: Hashable) -> str:
+    """Stable artifact basename for cell *key* under *fingerprint*."""
+    digest = hashlib.blake2b(digest_size=12)
+    digest.update(fingerprint.encode("utf-8"))
+    digest.update(b"|")
+    digest.update(repr(key).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ResultStore:
+    """Per-cell artifacts under ``<grid dir>/results/``, content-keyed.
+
+    ``put`` returns the checksum the manifest journals on ``done``;
+    ``get`` verifies fingerprint and (optionally) that journaled
+    checksum and returns ``None`` — *never a stale payload* — on any
+    mismatch, missing file, or corruption, which callers treat as
+    "re-drive this cell".
+    """
+
+    def __init__(self, directory: Union[str, Path], fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+
+    def path_for(self, key: Hashable) -> Path:
+        """The artifact path for cell *key* under this fingerprint."""
+        return self.directory / f"{cell_key_hash(self.fingerprint, key)}.json"
+
+    def put(self, key: Hashable, payload: Any) -> str:
+        """Persist *payload* for cell *key*; return its checksum.
+
+        The checksum covers the full result document (fingerprint +
+        cell identity + payload), so it changes if any of them do.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "format": RESULT_FORMAT,
+            "fingerprint": self.fingerprint,
+            "cell": key,
+            "payload": payload,
+        }
+        atomic_write_json(self.path_for(key), doc)
+        return payload_checksum(json.dumps(doc, allow_nan=False))
+
+    def checksum_of(self, key: Hashable) -> Optional[str]:
+        """The stored document's checksum, or ``None`` if unusable."""
+        doc = self._load(key)
+        if doc is None:
+            return None
+        return payload_checksum(json.dumps(doc, allow_nan=False))
+
+    def get(
+        self, key: Hashable, expected_checksum: Optional[str] = None
+    ) -> Optional[Any]:
+        """Load cell *key*'s payload, or ``None`` when it must be re-driven.
+
+        ``None`` — not an exception — on: missing artifact, undecodable
+        or envelope-checksum-failing artifact, fingerprint mismatch
+        (config drift), wrong cell identity, or a document checksum
+        differing from *expected_checksum* (the value the manifest
+        journaled at ``done``).
+        """
+        doc = self._load(key)
+        if doc is None:
+            return None
+        if expected_checksum is not None:
+            actual = payload_checksum(json.dumps(doc, allow_nan=False))
+            if actual != expected_checksum:
+                return None
+        return doc["payload"]
+
+    def _load(self, key: Hashable) -> Optional[dict]:
+        try:
+            doc = read_json_artifact(self.path_for(key))
+        except (FileNotFoundError, CorruptArtifactError):
+            return None
+        if not isinstance(doc, dict) or doc.get("format") != RESULT_FORMAT:
+            return None
+        if doc.get("fingerprint") != self.fingerprint:
+            return None
+        if doc.get("cell") != key:
+            return None
+        if "payload" not in doc:
+            return None
+        return doc

@@ -54,6 +54,7 @@ __all__ = [
     "forget_owned",
     "owned_segments",
     "leaked_segments",
+    "janitor_sweep",
     "unlink_segments",
 ]
 
@@ -293,25 +294,89 @@ def owned_segments() -> tuple[str, ...]:
     return tuple(sorted(_OWNED))
 
 
+def _creator_pid(name: str, prefix: str = SEGMENT_PREFIX) -> Optional[int]:
+    """The pid baked into a segment name, or ``None`` if unparseable.
+
+    Segment names are ``<prefix><creator pid>-<random hex>`` (see
+    :func:`publish`), which makes ownership auditable system-wide: any
+    process can ask whether a segment's creator is still alive.
+    """
+    rest = name[len(prefix):] if name.startswith(prefix) else name
+    pid_part, _, _ = rest.partition("-")
+    try:
+        return int(pid_part)
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe via signal 0."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other user
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return False
+    return True
+
+
 def leaked_segments(prefix: str = SEGMENT_PREFIX) -> tuple[str, ...]:
     """Repro-owned segment files present system-wide (Linux: /dev/shm).
 
-    A segment is *leaked* when it exists on disk but is not owned by
-    this process — e.g. a coordinator SIGKILLed between publish and
-    unlink.  On platforms without a ``/dev/shm`` view this returns the
-    empty tuple (detection unavailable, not an error).
+    A segment is *leaked* when it exists on disk, is not owned by this
+    process, and its creating process is gone — e.g. a coordinator
+    SIGKILLed between publish and unlink.  A segment whose (foreign)
+    creator is still alive is **not** leaked: it is live infrastructure
+    of another coordinator, and counting it would let an audit-and-
+    cleanup pass unlink a segment that a worker — possibly one that
+    will outlive a SIGKILL'd sibling — is still reading.  Unowned
+    segments created by *this* process do count as leaked (the owner
+    dropped its handle without closing: a genuine bug, and the one this
+    detector exists to catch in tests).  On platforms without a
+    ``/dev/shm`` view this returns the empty tuple (detection
+    unavailable, not an error).
     """
     shm_dir = "/dev/shm"
     if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
         return ()
-    names = tuple(
-        sorted(
-            entry
-            for entry in os.listdir(shm_dir)
-            if entry.startswith(prefix) and entry not in _OWNED
-        )
-    )
-    return names
+    own_pid = os.getpid()
+    names = []
+    for entry in sorted(os.listdir(shm_dir)):
+        if not entry.startswith(prefix) or entry in _OWNED:
+            continue
+        creator = _creator_pid(entry, prefix)
+        if creator is not None and creator != own_pid and _pid_alive(creator):
+            continue  # live foreign coordinator: in use, not leaked
+        names.append(entry)
+    return tuple(names)
+
+
+def janitor_sweep(prefix: str = SEGMENT_PREFIX) -> tuple[str, ...]:
+    """Unlink segments stranded by dead creators; return their names.
+
+    The recovery-path janitor (``repro-analyze grid resume`` calls this
+    before republishing): a coordinator SIGKILLed mid-sweep leaves its
+    segment behind, and the resuming process reclaims it here.  Only
+    segments whose creator pid is parseable **and confirmed dead** are
+    touched — live foreign coordinators, this process's own segments,
+    and unattributable names are all left alone, so a sweep can never
+    unlink a segment still mapped by someone's workers.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return ()
+    doomed = []
+    for entry in sorted(os.listdir(shm_dir)):
+        if not entry.startswith(prefix) or entry in _OWNED:
+            continue
+        creator = _creator_pid(entry, prefix)
+        if creator is None or creator == os.getpid() or _pid_alive(creator):
+            continue
+        doomed.append(entry)
+    unlink_segments(doomed)
+    return tuple(doomed)
 
 
 def unlink_segments(names: Iterable[str]) -> int:

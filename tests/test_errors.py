@@ -5,10 +5,23 @@ import pytest
 from repro import errors
 
 
+#: Non-class exports: the parallel failure taxonomy helpers.
+HELPERS = {"FAILURE_KINDS", "classify_failure"}
+
+
+def _error_classes():
+    return [getattr(errors, n) for n in errors.__all__ if n not in HELPERS]
+
+
 def test_all_errors_derive_from_repro_error():
-    for name in errors.__all__:
-        cls = getattr(errors, name)
+    for cls in _error_classes():
         assert issubclass(cls, errors.ReproError)
+
+
+def test_only_known_helpers_are_not_classes():
+    for name in errors.__all__:
+        obj = getattr(errors, name)
+        assert isinstance(obj, type) == (name not in HELPERS)
 
 
 def test_repro_error_is_exception():
@@ -24,11 +37,18 @@ NESTED = {
     "CorruptArtifactError",
     "ParallelExecutionError",
     "AlgorithmLookupError",
+    "WorkerCrashError",
+    "CellTimeoutError",
+    "CorruptResultError",
+    "GridManifestError",
 }
 
 
 def test_subsystem_errors_are_distinct():
-    names = [n for n in errors.__all__ if n != "ReproError" and n not in NESTED]
+    names = [
+        n for n in errors.__all__
+        if n != "ReproError" and n not in NESTED and n not in HELPERS
+    ]
     classes = [getattr(errors, n) for n in names]
     assert len(set(classes)) == len(classes)
     # No subsystem error subclasses another (flat partition).
@@ -46,3 +66,19 @@ def test_io_errors_refine_experiment_error():
 
 def test_algorithm_lookup_refines_optimization_error():
     assert issubclass(errors.AlgorithmLookupError, errors.OptimizationError)
+
+
+def test_failure_taxonomy_contract():
+    assert issubclass(errors.WorkerCrashError, errors.ParallelExecutionError)
+    assert issubclass(errors.CorruptResultError, errors.ParallelExecutionError)
+    assert issubclass(errors.CellTimeoutError, errors.ParallelExecutionError)
+    # Pre-taxonomy callers matched the builtin; keep that working.
+    assert issubclass(errors.CellTimeoutError, TimeoutError)
+    assert issubclass(errors.GridManifestError, errors.ExperimentError)
+    assert errors.WorkerCrashError("x").kind == "worker-death"
+    assert errors.classify_failure(TimeoutError()) == "timeout"
+    assert errors.classify_failure(ValueError("cell blew up")) == "cell-exception"
+    assert (
+        errors.classify_failure(errors.CorruptArtifactError("bits"))
+        == "corrupt-result"
+    )

@@ -228,3 +228,50 @@ class TestRetryPolicyValidation:
         for k in range(1, 5):
             delay = policy.delay(1, rng)
             assert 1.0 <= delay <= 1.5
+
+    def test_jitter_mode_validated(self):
+        with pytest.raises(ExperimentError, match="jitter_mode"):
+            RetryPolicy(jitter_mode="thundering-herd")
+
+
+class TestDecorrelatedJitter:
+    POLICY = RetryPolicy(
+        backoff_base=0.5, backoff_max=8.0, jitter_mode="decorrelated"
+    )
+
+    def _chain(self, seed, n=6):
+        """The prev-chained delay sequence a retrying cell would see."""
+        rng = np.random.default_rng(seed)
+        delays, prev = [], None
+        for attempt in range(1, n + 1):
+            prev = self.POLICY.delay(attempt, rng, prev=prev)
+            delays.append(prev)
+        return delays
+
+    def test_deterministic_under_seeded_rng(self):
+        assert self._chain(seed=42) == self._chain(seed=42)
+
+    def test_bounded_by_floor_and_cap(self):
+        for seed in range(20):
+            for delay in self._chain(seed, n=10):
+                assert (
+                    self.POLICY.backoff_base
+                    <= delay
+                    <= self.POLICY.backoff_max
+                )
+
+    def test_distinct_streams_decorrelate(self):
+        # Two cells that failed at the same instant (same attempt
+        # number) draw different schedules from their per-label
+        # streams — the herd fans out.
+        assert self._chain(seed=1) != self._chain(seed=2)
+
+    def test_delays_spread_within_one_stream(self):
+        delays = self._chain(seed=3, n=10)
+        assert len(set(delays)) > 1
+
+    def test_first_retry_ignores_missing_prev(self):
+        rng = np.random.default_rng(0)
+        delay = self.POLICY.delay(1, rng, prev=None)
+        # With no history the draw is over [floor, 3 * floor].
+        assert 0.5 <= delay <= 1.5

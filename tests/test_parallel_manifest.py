@@ -1,0 +1,221 @@
+"""The grid manifest journal: lifecycle, total replay, corruption.
+
+Replay must be *total*: a journal damaged in any way — torn tail,
+garbage interior lines, duplicate terminal transitions — reconstructs
+a usable state and surfaces the damage through counters instead of
+raising or silently reusing questionable results.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import GridManifestError
+from repro.parallel.manifest import (
+    DEFAULT_LEASE_TTL,
+    MANIFEST_NAME,
+    GridManifest,
+)
+
+
+def _fresh(tmp_path, cells=(0, 1, 2)):
+    return GridManifest.create(
+        tmp_path, spec={"driver": "test"}, fingerprint="fp-1",
+        cells=list(cells),
+    )
+
+
+class TestLifecycle:
+    def test_create_then_load_round_trips(self, tmp_path):
+        manifest = _fresh(tmp_path)
+        manifest.mark_leased(0, 1)
+        manifest.mark_running(0, 1)
+        manifest.mark_done(0, 1, "abc123")
+        manifest.mark_failed(1, 1, kind="timeout", error="too slow")
+
+        loaded = GridManifest.load(tmp_path)
+        assert loaded.fingerprint == "fp-1"
+        assert loaded.spec == {"driver": "test"}
+        assert loaded.cells[0].state == "done"
+        assert loaded.cells[0].checksum == "abc123"
+        assert loaded.cells[1].state == "failed"
+        assert loaded.cells[1].failures[0]["kind"] == "timeout"
+        assert loaded.cells[2].state == "pending"
+        assert not loaded.torn_tail
+        assert loaded.damaged_records == 0
+
+    def test_status_counts(self, tmp_path):
+        manifest = _fresh(tmp_path)
+        manifest.mark_done(0, 1, "x")
+        counts = manifest.status_counts()
+        assert counts["done"] == 1
+        assert counts["pending"] == 2
+
+    def test_requeue_reopens_terminal_cell(self, tmp_path):
+        manifest = _fresh(tmp_path)
+        manifest.mark_quarantined(0, 3, owners=(111, 222))
+        manifest.requeue(0)
+        loaded = GridManifest.load(tmp_path)
+        assert loaded.cells[0].state == "pending"
+        assert loaded.cells[0].requeues == 1
+        assert loaded.cells[0].failures == []
+
+    def test_non_scalar_keys_rejected(self, tmp_path):
+        with pytest.raises(GridManifestError, match="JSON scalars"):
+            GridManifest.create(
+                tmp_path, spec={}, fingerprint="fp", cells=[(0, 1)],
+            )
+
+    def test_create_rotates_existing_manifest(self, tmp_path):
+        _fresh(tmp_path)
+        GridManifest.create(
+            tmp_path, spec={"driver": "other"}, fingerprint="fp-2",
+            cells=[0],
+        )
+        stale = list(tmp_path.glob("manifest.stale-*.jsonl"))
+        assert len(stale) == 1
+        loaded = GridManifest.load(tmp_path)
+        assert loaded.fingerprint == "fp-2"
+        assert list(loaded.cells) == [0]
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(GridManifestError, match="no grid manifest"):
+            GridManifest.load(tmp_path / "nowhere")
+
+    def test_worker_journal_heartbeat_replays(self, tmp_path):
+        manifest = _fresh(tmp_path)
+        manifest.mark_leased(1, 2)
+        journal = manifest.worker_journal()
+        assert journal.lease_ttl == DEFAULT_LEASE_TTL
+        journal.running(1, 2)
+        loaded = GridManifest.load(tmp_path)
+        assert loaded.cells[1].state == "running"
+        assert loaded.cells[1].owner == os.getpid()
+
+
+class TestPollRunning:
+    def test_foreign_running_records_are_folded_in(self, tmp_path):
+        manifest = _fresh(tmp_path)
+        # A worker (different src pid) appends its heartbeat directly.
+        record = {
+            "rec": "cell", "cell": 2, "state": "running", "attempt": 1,
+            "owner": 99999999, "src": 99999999, "t": 0.0,
+            "lease_expires_at": 1e18,
+        }
+        with open(tmp_path / MANIFEST_NAME, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        started = manifest.poll_running()
+        assert started == [(2, 1, 99999999)]
+        assert manifest.cells[2].state == "running"
+        assert manifest.cells[2].owner == 99999999
+
+    def test_own_records_are_not_double_applied(self, tmp_path):
+        manifest = _fresh(tmp_path)
+        manifest.mark_running(0, 1)
+        assert manifest.poll_running() == []
+
+    def test_incomplete_tail_line_is_deferred(self, tmp_path):
+        manifest = _fresh(tmp_path)
+        with open(tmp_path / MANIFEST_NAME, "a") as handle:
+            handle.write('{"rec": "cell", "cell": 1, "sta')  # no newline
+        assert manifest.poll_running() == []
+        with open(tmp_path / MANIFEST_NAME, "a") as handle:
+            handle.write('te": "running", "attempt": 1, '
+                         '"owner": 7, "src": 7}\n')
+        assert manifest.poll_running() == [(1, 1, 7)]
+
+
+class TestCorruptionRecovery:
+    def test_torn_tail_is_repaired_and_counted(self, tmp_path):
+        manifest = _fresh(tmp_path)
+        manifest.mark_done(0, 1, "sum-0")
+        manifest.mark_leased(1, 1)
+        # Simulate a crash mid-append: chop the last record in half.
+        path = tmp_path / MANIFEST_NAME
+        data = path.read_bytes()
+        path.write_bytes(data[:-17])
+
+        loaded = GridManifest.load(tmp_path)
+        assert loaded.torn_tail
+        # The completed record before the torn one survives intact.
+        assert loaded.cells[0].state == "done"
+        assert loaded.cells[1].state == "pending"
+        # The repair terminates the torn line, so future appends land
+        # clean: a reload sees the torn fragment as one damaged record.
+        loaded.mark_done(1, 1, "sum-1")
+        reloaded = GridManifest.load(tmp_path)
+        assert reloaded.cells[1].state == "done"
+        assert reloaded.damaged_records == 1
+
+    def test_damaged_interior_lines_are_skipped(self, tmp_path):
+        manifest = _fresh(tmp_path)
+        manifest.mark_done(0, 1, "ok")
+        path = tmp_path / MANIFEST_NAME
+        with open(path, "a") as handle:
+            handle.write("{not json at all\n")
+            handle.write("\x00\x01\x02 binary junk\n")
+        manifest.mark_done(1, 1, "also-ok")
+
+        loaded = GridManifest.load(tmp_path)
+        assert loaded.damaged_records == 2
+        assert loaded.cells[0].state == "done"
+        assert loaded.cells[1].state == "done"
+        assert loaded.cells[2].state == "pending"
+
+    def test_duplicate_terminal_transitions_are_idempotent(self, tmp_path):
+        manifest = _fresh(tmp_path)
+        manifest.mark_done(0, 1, "first")
+        path = tmp_path / MANIFEST_NAME
+        dupes = [
+            {"rec": "cell", "cell": 0, "state": "done", "attempt": 2,
+             "checksum": "second", "src": 1, "t": 0.0},
+            {"rec": "cell", "cell": 0, "state": "failed", "attempt": 2,
+             "kind": "cell-exception", "src": 1, "t": 0.0},
+            {"rec": "cell", "cell": 0, "state": "running", "attempt": 3,
+             "owner": 4, "src": 4, "t": 0.0},
+        ]
+        with open(path, "a") as handle:
+            for record in dupes:
+                handle.write(json.dumps(record) + "\n")
+
+        loaded = GridManifest.load(tmp_path)
+        # First terminal record wins; the stragglers count as anomalies.
+        assert loaded.cells[0].state == "done"
+        assert loaded.cells[0].checksum == "first"
+        assert loaded.cells[0].anomalies == len(dupes)
+
+    def test_second_header_is_ignored(self, tmp_path):
+        manifest = _fresh(tmp_path)
+        with open(tmp_path / MANIFEST_NAME, "a") as handle:
+            handle.write(json.dumps(
+                {"rec": "grid", "format": "repro.grid/1",
+                 "grid_id": "impostor", "fingerprint": "fp-9",
+                 "spec": {}, "cells": [9], "src": 1, "t": 0.0}
+            ) + "\n")
+        loaded = GridManifest.load(tmp_path)
+        assert loaded.fingerprint == "fp-1"
+        assert 9 not in loaded.cells
+        assert loaded.damaged_records == 1
+
+    def test_header_only_corruption_raises(self, tmp_path):
+        manifest = _fresh(tmp_path)
+        path = tmp_path / MANIFEST_NAME
+        # Destroy the header line specifically.
+        lines = path.read_bytes().split(b"\n")
+        lines[0] = b"garbage"
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(GridManifestError, match="no readable grid header"):
+            GridManifest.load(tmp_path)
+
+    def test_late_heartbeat_of_old_attempt_ignored(self, tmp_path):
+        manifest = _fresh(tmp_path)
+        manifest.mark_running(0, 3)
+        with open(tmp_path / MANIFEST_NAME, "a") as handle:
+            handle.write(json.dumps(
+                {"rec": "cell", "cell": 0, "state": "running",
+                 "attempt": 1, "owner": 42, "src": 42, "t": 0.0}
+            ) + "\n")
+        loaded = GridManifest.load(tmp_path)
+        assert loaded.cells[0].attempt == 3
+        assert loaded.cells[0].anomalies == 1

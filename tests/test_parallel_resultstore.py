@@ -1,0 +1,124 @@
+"""The content-addressed result store: keying, verification, drift."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.datasets import DatasetBundle
+from repro.model.system import SystemModel
+from repro.parallel.resultstore import (
+    ResultStore,
+    cell_key_hash,
+    dataset_fingerprint,
+    grid_fingerprint,
+)
+from repro.utility.presets import assign_presets
+from repro.workload.generator import WorkloadGenerator
+
+
+def _bundle(name="store-test", seed=0, gen_seed=21) -> DatasetBundle:
+    rng = np.random.default_rng(gen_seed)
+    etc = rng.uniform(5.0, 120.0, size=(4, 5))
+    epc = rng.uniform(40.0, 250.0, size=(4, 5))
+    system = SystemModel.from_matrices(
+        etc, epc, machines_per_type=[1, 1, 2, 1, 1]
+    ).with_utility_functions(assign_presets(4, 500.0, seed=22))
+    trace = WorkloadGenerator.uniform_for(4).generate(25, 500.0, seed=23)
+    return DatasetBundle(
+        name=name, system=system, trace=trace,
+        horizon_seconds=500.0, seed=seed,
+    )
+
+
+class TestFingerprints:
+    def test_dataset_fingerprint_is_stable(self):
+        assert dataset_fingerprint(_bundle()) == dataset_fingerprint(_bundle())
+
+    def test_dataset_fingerprint_tracks_content(self):
+        base = dataset_fingerprint(_bundle())
+        assert dataset_fingerprint(_bundle(gen_seed=99)) != base
+        assert dataset_fingerprint(_bundle(name="other")) != base
+        assert dataset_fingerprint(_bundle(seed=7)) != base
+
+    def test_grid_fingerprint_tracks_spec_and_dataset(self):
+        fp = dataset_fingerprint(_bundle())
+        base = grid_fingerprint({"generations": 10}, fp)
+        assert grid_fingerprint({"generations": 10}, fp) == base
+        assert grid_fingerprint({"generations": 11}, fp) != base
+        assert grid_fingerprint({"generations": 10}, "other-fp") != base
+
+    def test_grid_fingerprint_key_order_invariant(self):
+        fp = dataset_fingerprint(_bundle())
+        assert grid_fingerprint({"a": 1, "b": 2}, fp) == grid_fingerprint(
+            {"b": 2, "a": 1}, fp
+        )
+
+    def test_cell_key_hash_separates_cells_and_grids(self):
+        assert cell_key_hash("fp", 0) != cell_key_hash("fp", 1)
+        assert cell_key_hash("fp", 0) != cell_key_hash("fp2", 0)
+
+
+class TestStore:
+    def test_round_trip_is_exact(self, tmp_path):
+        store = ResultStore(tmp_path, "fp")
+        payload = {"front": [[0.1 + 0.2, 1e-308], [3.0, np.pi]]}
+        checksum = store.put(7, payload)
+        got = store.get(7, expected_checksum=checksum)
+        assert got == payload
+        # Float64 survives JSON shortest-repr byte-for-byte.
+        assert np.asarray(got["front"]).tobytes() == np.asarray(
+            payload["front"]
+        ).tobytes()
+
+    def test_missing_cell_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path, "fp")
+        assert store.get(0) is None
+        assert store.checksum_of(0) is None
+
+    def test_checksum_mismatch_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path, "fp")
+        store.put(0, {"x": 1})
+        assert store.get(0, expected_checksum="not-the-checksum") is None
+        # Without an expectation the (self-consistent) artifact loads.
+        assert store.get(0) == {"x": 1}
+
+    def test_corrupt_artifact_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path, "fp")
+        checksum = store.put(0, {"x": 1})
+        path = store.path_for(0)
+        path.write_bytes(path.read_bytes()[:-20] + b"}" * 20)
+        assert store.get(0, expected_checksum=checksum) is None
+
+    def test_fingerprint_drift_returns_none(self, tmp_path):
+        old = ResultStore(tmp_path, "fp-old")
+        old.put(0, {"x": 1})
+        new = ResultStore(tmp_path, "fp-new")
+        # Drifted artifacts do not even share a path; even a forced
+        # collision would fail the embedded-fingerprint check.
+        assert new.get(0) is None
+        assert old.get(0) == {"x": 1}
+
+    def test_wrong_cell_identity_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path, "fp")
+        store.put(0, {"x": 1})
+        # Copy cell 0's artifact over cell 1's path: identity mismatch.
+        store.path_for(1).write_bytes(store.path_for(0).read_bytes())
+        assert store.get(1) is None
+
+    def test_checksum_of_matches_put(self, tmp_path):
+        store = ResultStore(tmp_path, "fp")
+        checksum = store.put(3, {"y": [1, 2, 3]})
+        assert store.checksum_of(3) == checksum
+
+    def test_rejects_nan_payloads(self, tmp_path):
+        store = ResultStore(tmp_path, "fp")
+        with pytest.raises(ValueError):
+            store.put(0, {"x": float("nan")})
+
+    def test_keys_may_be_ints_or_strings(self, tmp_path):
+        store = ResultStore(tmp_path, "fp")
+        store.put(0, {"v": "int-key"})
+        store.put("0", {"v": "str-key"})
+        assert store.get(0) == {"v": "int-key"}
+        assert store.get("0") == {"v": "str-key"}

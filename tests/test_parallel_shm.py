@@ -6,7 +6,13 @@ atexit safety nets, leak detection), the pickle fallback, and the
 bit-identity of evaluators built over shared views.
 """
 
+import multiprocessing
+import os
 import pickle
+import signal
+import subprocess
+import sys
+import textwrap
 
 import numpy as np
 import pytest
@@ -116,6 +122,65 @@ class TestPack:
             spec = pickle.loads(blob)
             assert spec.segment == pack.spec.segment
             assert spec.arrays[0].shape == (1000, 30)
+
+
+def _attach_then_die(spec):
+    """Pool-worker stand-in: attach a pack, then SIGKILL yourself.
+
+    Mirrors the worker initializer (``forget_owned``) so the attach is
+    a genuine second mapping, not the owner's in-process shortcut.
+    """
+    shm.forget_owned()
+    views = shm.attach(spec)
+    assert float(views["x"][0]) == 0.0
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestJanitorSafety:
+    def test_mid_attach_sigkill_leaves_live_segment_alone(self):
+        """A worker SIGKILL'd while attached must not let any audit —
+        this process's or a foreign janitor's — unlink the segment
+        while its creator is still alive."""
+        with shm.publish({"x": np.arange(64, dtype=np.float64)}) as pack:
+            name = pack.spec.segment
+            ctx = multiprocessing.get_context("fork")
+            proc = ctx.Process(target=_attach_then_die, args=(pack.spec,))
+            proc.start()
+            proc.join(timeout=30)
+            assert proc.exitcode == -signal.SIGKILL
+            # Local audit: the segment is owned here, so it is neither
+            # leaked nor sweepable.
+            assert name not in shm.leaked_segments()
+            assert name not in shm.janitor_sweep()
+            # Foreign audit: a separate process sees a live creator pid
+            # and must leave the segment untouched.
+            script = textwrap.dedent(
+                """
+                import sys
+                from repro.parallel import shm
+                name = sys.argv[1]
+                leaked = name in shm.leaked_segments()
+                swept = name in shm.janitor_sweep()
+                print(int(leaked), int(swept))
+                """
+            )
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, ["src", env.get("PYTHONPATH")])
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", script, name],
+                cwd="/root/repo", env=env,
+                capture_output=True, text=True, timeout=60,
+            )
+            assert out.returncode == 0, out.stderr
+            assert out.stdout.split() == ["0", "0"]
+            # The segment survived every audit and is still readable.
+            assert os.path.exists(f"/dev/shm/{name}")
+            views = shm.attach(pack.spec)
+            np.testing.assert_array_equal(
+                views["x"], np.arange(64, dtype=np.float64)
+            )
 
 
 class TestTraceAdoption:

@@ -1,0 +1,222 @@
+"""Engine supervision: pool breaks, victim attribution, quarantine.
+
+A SIGKILL'd worker breaks the whole ``ProcessPoolExecutor``; the
+engine must rebuild the pool, attribute the break to the victim cell
+via the journaled worker heartbeat, re-drive everything, and park a
+poison cell (one that keeps killing workers) instead of retrying it
+forever.  Cell bodies live at module level so pool workers can
+unpickle them.
+"""
+
+import os
+import signal
+from pathlib import Path
+
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.experiments.runner import RetryPolicy
+from repro.parallel.engine import ParallelEngine
+from repro.parallel.manifest import GridManifest
+
+FAST = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+
+
+def _kill_marked_cell(restored, extra, key, attempt, payload):
+    """SIGKILL the worker the first time each marked key runs."""
+    marker = Path(extra["dir"]) / f"{key}.killed"
+    if key in extra["kill_keys"] and not marker.exists():
+        marker.write_text(str(os.getpid()))
+        os.kill(os.getpid(), signal.SIGKILL)
+    return f"{key}-survived-{attempt}"
+
+
+def _poison_cell(restored, extra, key, attempt, payload):
+    """SIGKILL the worker every time the poison key runs."""
+    if key == extra["poison"]:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return f"{key}-ok"
+
+
+def _manifest(tmp_path, cells):
+    return GridManifest.create(
+        tmp_path, spec={"driver": "test"}, fingerprint="fp",
+        cells=list(cells),
+    )
+
+
+class TestVictimAttribution:
+    def test_worker_death_requeues_victim_not_pool(self, tmp_path):
+        """One worker death re-drives the victim cell; the grid still
+        completes — the break does not poison the whole run."""
+        manifest = _manifest(tmp_path, ["a", "b", "c", "d"])
+        results = {}
+        failures = []
+        with ParallelEngine(
+            2, extra={"dir": str(tmp_path), "kill_keys": ["b"]},
+            journal=manifest.worker_journal(),
+        ) as engine:
+            engine.run(
+                _kill_marked_cell, ["a", "b", "c", "d"],
+                payload_for=lambda k, a: None,
+                policy=FAST,
+                backoff_for=lambda k, a: 0.0,
+                give_up=lambda k, a, e: pytest.fail(f"gave up on {k}: {e}"),
+                on_result=lambda r: results.__setitem__(r.key, r),
+                on_failure=lambda k, a, e, o: failures.append((k, e, o)),
+                poll_running=manifest.poll_running,
+            )
+        assert set(results) == {"a", "b", "c", "d"}
+        # The victim was re-driven on a later attempt.
+        assert results["b"].attempt >= 2
+        # Its crash was attributed to the exact worker pid that died.
+        killer_pid = int((tmp_path / "b.killed").read_text())
+        crashes = [
+            (k, o) for k, e, o in failures
+            if isinstance(e, WorkerCrashError) and k == "b"
+        ]
+        assert (("b", killer_pid)) in crashes
+        assert engine.pool_generation >= 1
+
+    def test_worker_death_retries_bypass_max_attempts(self, tmp_path):
+        """Crashes are the infrastructure's fault: a cell whose worker
+        died still completes even under ``max_attempts=1``."""
+        manifest = _manifest(tmp_path, ["v"])
+        results = {}
+        with ParallelEngine(
+            1, extra={"dir": str(tmp_path), "kill_keys": ["v"]},
+            journal=manifest.worker_journal(),
+        ) as engine:
+            engine.run(
+                _kill_marked_cell, ["v"],
+                payload_for=lambda k, a: None,
+                policy=RetryPolicy(max_attempts=1),
+                backoff_for=lambda k, a: 0.0,
+                give_up=lambda k, a, e: pytest.fail(f"gave up: {e}"),
+                on_result=lambda r: results.__setitem__(r.key, r),
+                poll_running=manifest.poll_running,
+            )
+        assert results["v"].result == "v-survived-2"
+
+
+class TestQuarantine:
+    def test_poison_cell_quarantined_on_distinct_workers(self, tmp_path):
+        """A cell that kills every worker that touches it is parked
+        after the crash budget, with the distinct dead pids as
+        evidence."""
+        manifest = _manifest(tmp_path, ["p"])
+        quarantined = []
+        deaths = []
+        with ParallelEngine(
+            2, extra={"poison": "p"},
+            journal=manifest.worker_journal(),
+        ) as engine:
+            engine.run(
+                _poison_cell, ["p"],
+                payload_for=lambda k, a: None,
+                policy=FAST,
+                backoff_for=lambda k, a: 0.0,
+                give_up=lambda k, a, e: pytest.fail(f"gave up: {e}"),
+                on_result=lambda r: pytest.fail("poison cell succeeded?"),
+                on_failure=lambda k, a, e, o: deaths.append(o),
+                quarantine_after=2,
+                on_quarantine=lambda k, a, owners: quarantined.append(
+                    (k, a, owners)
+                ),
+                poll_running=manifest.poll_running,
+            )
+        assert len(quarantined) == 1
+        key, _attempt, owners = quarantined[0]
+        assert key == "p"
+        assert len(owners) >= 2  # distinct workers died
+        assert owners == frozenset(deaths)
+
+    def test_quarantine_without_hook_falls_back_to_give_up(self, tmp_path):
+        manifest = _manifest(tmp_path, ["p"])
+        given_up = []
+        with ParallelEngine(
+            1, extra={"poison": "p"},
+            journal=manifest.worker_journal(),
+        ) as engine:
+            engine.run(
+                _poison_cell, ["p"],
+                payload_for=lambda k, a: None,
+                policy=FAST,
+                backoff_for=lambda k, a: 0.0,
+                give_up=lambda k, a, e: given_up.append((k, e)),
+                on_result=lambda r: pytest.fail("poison cell succeeded?"),
+                quarantine_after=2,
+                poll_running=manifest.poll_running,
+            )
+        # quarantine_after=2 with one worker: 2 crashes on the same pid
+        # do not satisfy the distinct-workers rule, so the budget
+        # extends to quarantine_after + 2 crashes before giving up.
+        assert len(given_up) == 1
+        assert given_up[0][0] == "p"
+        assert isinstance(given_up[0][1], WorkerCrashError)
+
+
+class TestUnattributedBreaks:
+    def test_repeated_breaks_without_journal_fail_fast(self):
+        """Without a grid journal there is no victim attribution; a
+        pool that keeps dying must raise, not resubmit forever."""
+        with ParallelEngine(1, extra={"poison": "p"}) as engine:
+            with pytest.raises(WorkerCrashError, match="no grid journal"):
+                engine.run(
+                    _poison_cell, ["p"],
+                    payload_for=lambda k, a: None,
+                    policy=FAST,
+                    backoff_for=lambda k, a: 0.0,
+                    give_up=lambda k, a, e: pytest.fail("gave up instead"),
+                    on_result=lambda r: pytest.fail("succeeded?"),
+                    quarantine_after=1,
+                )
+
+    def test_single_break_without_journal_recovers(self, tmp_path):
+        """One unattributed break resubmits as-is and the run finishes
+        (pre-manifest behaviour preserved)."""
+        results = {}
+        with ParallelEngine(
+            1, extra={"dir": str(tmp_path), "kill_keys": ["k"]},
+        ) as engine:
+            engine.run(
+                _kill_marked_cell, ["k"],
+                payload_for=lambda k, a: None,
+                policy=FAST,
+                backoff_for=lambda k, a: 0.0,
+                give_up=lambda k, a, e: pytest.fail(f"gave up: {e}"),
+                on_result=lambda r: results.__setitem__(r.key, r.result),
+            )
+        # Resubmitted on the same attempt (no attribution, no charge).
+        assert results["k"] == "k-survived-1"
+
+
+class TestManifestIntegration:
+    def test_crash_evidence_lands_in_the_journal(self, tmp_path):
+        """The manifest replayed after a supervised run records the
+        worker-death failure and the final done state."""
+        manifest = _manifest(tmp_path, ["a", "b"])
+        with ParallelEngine(
+            2, extra={"dir": str(tmp_path), "kill_keys": ["b"]},
+            journal=manifest.worker_journal(),
+        ) as engine:
+            engine.run(
+                _kill_marked_cell, ["a", "b"],
+                payload_for=lambda k, a: None,
+                policy=FAST,
+                backoff_for=lambda k, a: 0.0,
+                give_up=lambda k, a, e: pytest.fail(f"gave up: {e}"),
+                on_result=lambda r: manifest.mark_done(
+                    r.key, r.attempt, f"sum-{r.key}"
+                ),
+                on_submit=manifest.mark_leased,
+                on_failure=lambda k, a, e, o: manifest.mark_failed(
+                    k, a, kind="worker-death", error=str(e), owner=o,
+                ),
+                poll_running=manifest.poll_running,
+            )
+        loaded = GridManifest.load(tmp_path)
+        assert loaded.cells["a"].state == "done"
+        assert loaded.cells["b"].state == "done"
+        killer_pid = int((tmp_path / "b.killed").read_text())
+        assert killer_pid in loaded.cells["b"].crash_owners
