@@ -164,6 +164,7 @@ def _cmd_report(args: argparse.Namespace, resume: bool = False) -> int:
         population_size=args.population,
         base_seed=args.seed,
         algorithm=args.algorithm,
+        kernel_method=args.kernel_method,
     )
     obs = _obs_from_args(args, command="resume" if resume else "report",
                          seed=args.seed)
@@ -210,6 +211,7 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
             workers=args.workers,
             transport=args.transport,
             algorithm=args.algorithm,
+            kernel_method=args.kernel_method,
             obs=obs,
         )
     finally:
@@ -233,6 +235,7 @@ def _cmd_repetitions(args: argparse.Namespace) -> int:
             workers=args.workers,
             transport=args.transport,
             algorithm=args.algorithm,
+            kernel_method=args.kernel_method,
             grid_dir=getattr(args, "grid_dir", None),
             obs=obs,
         )
@@ -277,6 +280,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         generations=args.generations,
         checkpoints=(args.generations,),
         base_seed=args.seed,
+        kernel_method=args.kernel_method,
     )
     obs = _obs_from_args(args, command="portfolio", seed=args.seed)
     try:
@@ -462,6 +466,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="optimizer from the portfolio registry "
                        "(default: nsga2)")
 
+    def _add_kernel_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--kernel-method",
+                       choices=["fast", "reference", "batch",
+                                "batch-reference"],
+                       default="fast",
+                       help="evaluation kernel: 'fast' (default) and its "
+                       "scalar oracle 'reference', or the "
+                       "population-at-once 'batch' kernel with queue-state "
+                       "reuse and its oracle 'batch-reference' "
+                       "(see docs/performance.md)")
+
     def _add_workers_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=int, default=0,
                        help="process-pool size (0 = sequential); parallel "
@@ -497,6 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail fast on the first exhausted population "
                        "instead of degrading gracefully")
         _add_algorithm_arg(p)
+        _add_kernel_arg(p)
         _add_obs_args(p)
 
     p_report = sub.add_parser(
@@ -521,6 +537,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--population", type=int, default=100)
     _add_workers_args(p_all)
     _add_algorithm_arg(p_all)
+    _add_kernel_arg(p_all)
     _add_obs_args(p_all)
 
     p_rep = sub.add_parser(
@@ -538,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--seed", type=int, default=2013)
     _add_workers_args(p_rep)
     _add_algorithm_arg(p_rep)
+    _add_kernel_arg(p_rep)
     _add_grid_dir_arg(p_rep)
     _add_obs_args(p_rep)
 
@@ -560,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_port.add_argument("--no-exact", action="store_true",
                         help="skip the exact baseline and its "
                         "distance-to-optimal columns")
+    _add_kernel_arg(p_port)
     _add_grid_dir_arg(p_port)
     _add_obs_args(p_port)
 

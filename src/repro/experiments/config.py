@@ -85,6 +85,13 @@ class ExperimentConfig:
         ``"nsga2-ss"``, ``"spea2"``, ``"moead"``, ``"eps-archive"``).
         A plain string so the choice travels to parallel pool workers
         inside pickled cell extras.
+    kernel_method:
+        Evaluation kernel for the schedule evaluator (``"fast"``,
+        ``"reference"``, ``"batch"``, ``"batch-reference"``; see
+        :class:`repro.sim.evaluator.ScheduleEvaluator`).  Part of the
+        spec because batch modes differ from ``fast`` in the last
+        float bits (different summation association), which can steer
+        selection differently over many generations.
     """
 
     population_size: int = 100
@@ -93,8 +100,16 @@ class ExperimentConfig:
     checkpoints: tuple[int, ...] = (1, 2, 20, 200)
     base_seed: int = 2013
     algorithm: str = "nsga2"
+    kernel_method: str = "fast"
 
     def __post_init__(self) -> None:
+        if self.kernel_method not in (
+            "fast", "reference", "batch", "batch-reference"
+        ):
+            raise ExperimentError(
+                "kernel_method must be one of 'fast', 'reference', "
+                f"'batch', 'batch-reference'; got {self.kernel_method!r}"
+            )
         if self.population_size < 2:
             raise ExperimentError(
                 f"population_size must be >= 2, got {self.population_size}"
@@ -127,6 +142,7 @@ class ExperimentConfig:
             "checkpoints": list(self.checkpoints),
             "base_seed": self.base_seed,
             "algorithm": self.algorithm,
+            "kernel_method": self.kernel_method,
         }
 
     @classmethod
@@ -139,6 +155,7 @@ class ExperimentConfig:
             checkpoints=tuple(spec["checkpoints"]),
             base_seed=spec["base_seed"],
             algorithm=spec.get("algorithm", "nsga2"),
+            kernel_method=spec.get("kernel_method", "fast"),
         )
 
     def algorithm_config(self):
@@ -164,6 +181,7 @@ class ExperimentConfig:
         mutation_probability: float = 0.25,
         base_seed: int = 2013,
         algorithm: str = "nsga2",
+        kernel_method: str = "fast",
     ) -> "ExperimentConfig":
         """Config with scaled versions of the paper's checkpoints."""
         cps = scaled_checkpoints(paper_checkpoints, scale)
@@ -174,4 +192,5 @@ class ExperimentConfig:
             checkpoints=tuple(cps),
             base_seed=base_seed,
             algorithm=algorithm,
+            kernel_method=kernel_method,
         )

@@ -123,6 +123,7 @@ def _run_figure(
     workers: int = 0,
     transport: str = "auto",
     algorithm: str = "nsga2",
+    kernel_method: str = "fast",
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     paper = PAPER_CHECKPOINTS[name]
@@ -134,6 +135,7 @@ def _run_figure(
             mutation_probability=mutation_probability,
             base_seed=base_seed,
             algorithm=algorithm,
+            kernel_method=kernel_method,
         )
     else:
         cps = tuple(checkpoints)
@@ -144,6 +146,7 @@ def _run_figure(
             checkpoints=cps,
             base_seed=base_seed,
             algorithm=algorithm,
+            kernel_method=kernel_method,
         )
     if obs is not None and obs.enabled:
         obs = obs.bind(figure=name)
@@ -168,6 +171,7 @@ def figure3(
     workers: int = 0,
     transport: str = "auto",
     algorithm: str = "nsga2",
+    kernel_method: str = "fast",
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 3: the real historical data set (data set 1)."""
@@ -175,7 +179,8 @@ def figure3(
     return _run_figure(
         "figure3", ds, checkpoints, population_size,
         mutation_probability, base_seed, scale,
-        workers=workers, transport=transport, algorithm=algorithm, obs=obs,
+        workers=workers, transport=transport, algorithm=algorithm,
+        kernel_method=kernel_method, obs=obs,
     )
 
 
@@ -189,6 +194,7 @@ def figure4(
     workers: int = 0,
     transport: str = "auto",
     algorithm: str = "nsga2",
+    kernel_method: str = "fast",
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 4: the 1000-task synthetic data set (data set 2)."""
@@ -196,7 +202,8 @@ def figure4(
     return _run_figure(
         "figure4", ds, checkpoints, population_size,
         mutation_probability, base_seed, scale,
-        workers=workers, transport=transport, algorithm=algorithm, obs=obs,
+        workers=workers, transport=transport, algorithm=algorithm,
+        kernel_method=kernel_method, obs=obs,
     )
 
 
@@ -210,6 +217,7 @@ def figure6(
     workers: int = 0,
     transport: str = "auto",
     algorithm: str = "nsga2",
+    kernel_method: str = "fast",
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 6: the 4000-task synthetic data set (data set 3)."""
@@ -217,7 +225,8 @@ def figure6(
     return _run_figure(
         "figure6", ds, checkpoints, population_size,
         mutation_probability, base_seed, scale,
-        workers=workers, transport=transport, algorithm=algorithm, obs=obs,
+        workers=workers, transport=transport, algorithm=algorithm,
+        kernel_method=kernel_method, obs=obs,
     )
 
 

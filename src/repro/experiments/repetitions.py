@@ -79,10 +79,10 @@ class RepetitionResult:
         return len(self.fronts)
 
 
-#: Per-worker memo of evaluators by dataset id — one NSGA-II evaluation
-#: cache per (worker, dataset), shared by every repetition cell the
-#: worker executes.  Cache hits are bit-identical to fresh evaluations,
-#: so sharing never perturbs results.
+#: Per-worker memo of evaluators keyed by (dataset id, kernel method) —
+#: one evaluation cache per (worker, dataset, kernel), shared by every
+#: repetition cell the worker executes.  Cache hits are bit-identical
+#: to fresh evaluations, so sharing never perturbs results.
 _CELL_EVALUATORS: dict[str, ScheduleEvaluator] = {}
 
 
@@ -99,10 +99,13 @@ def _repetition_cell(restored, extra: dict, r: int, attempt: int, payload) -> Fl
     fault_hook = extra.get("fault_hook")
     if fault_hook is not None:
         fault_hook(r, attempt)
-    evaluator = _CELL_EVALUATORS.get(restored.handle.dataset_id)
+    kernel_method = extra.get("kernel_method", "fast")
+    memo_key = f"{restored.handle.dataset_id}:{kernel_method}"
+    evaluator = _CELL_EVALUATORS.get(memo_key)
     if evaluator is None:
-        evaluator = restored.make_evaluator(check_feasibility=False)
-        _CELL_EVALUATORS[restored.handle.dataset_id] = evaluator
+        evaluator = restored.make_evaluator(check_feasibility=False,
+                                            kernel_method=kernel_method)
+        _CELL_EVALUATORS[memo_key] = evaluator
     dataset = restored.bundle
     seed_label = extra["seed_label"]
     ga = make_algorithm(
@@ -131,6 +134,7 @@ def run_repetitions(
     transport: str = "auto",
     retry: Optional["RetryPolicy"] = None,
     algorithm: Union[str, AlgorithmFactory] = "nsga2",
+    kernel_method: str = "fast",
     grid_dir: Optional[str] = None,
     fault_hook=None,
     obs: Optional["RunContext"] = None,
@@ -175,6 +179,12 @@ def run_repetitions(
         callable with the :class:`~repro.core.algorithm.Algorithm`
         constructor signature.  Parallel runs require the value to be
         picklable (registry names always are).
+    kernel_method:
+        Evaluation kernel threaded into every repetition's evaluator
+        (``"fast"``, ``"reference"``, ``"batch"``,
+        ``"batch-reference"``; see
+        :class:`~repro.sim.evaluator.ScheduleEvaluator`).  Part of the
+        grid spec: changing it invalidates cached cells.
     grid_dir:
         Directory for the durable grid manifest + result store (see
         :mod:`repro.experiments.grid`).  Every repetition's lifecycle
@@ -235,6 +245,7 @@ def run_repetitions(
             "seed_label": seed_label,
             "base_seed": base_seed,
             "algorithm": algorithm,
+            "kernel_method": kernel_method,
         }
         binding = GridBinding.open_or_create(
             grid_dir, spec=spec, dataset=dataset,
@@ -257,12 +268,14 @@ def run_repetitions(
             dataset, todo, generations, population_size,
             mutation_probability, seed_label, base_seed, workers,
             transport, retry, seeds, obs, algorithm,
+            kernel_method=kernel_method,
             fronts_by_r=fronts_by_r, binding=binding,
             fault_hook=fault_hook,
         )
     elif todo:
         evaluator = ScheduleEvaluator(dataset.system, dataset.trace,
-                                      check_feasibility=False, obs=obs)
+                                      check_feasibility=False,
+                                      kernel_method=kernel_method, obs=obs)
         for r in todo:
             if fault_hook is not None:
                 fault_hook(r, 1)
@@ -336,6 +349,7 @@ def _run_repetitions_parallel(
     obs: "RunContext",
     algorithm: Union[str, AlgorithmFactory] = "nsga2",
     *,
+    kernel_method: str = "fast",
     fronts_by_r: dict,
     binding=None,
     fault_hook=None,
@@ -363,6 +377,7 @@ def _run_repetitions_parallel(
         "base_seed": base_seed,
         "seeds": seeds,
         "algorithm": algorithm,
+        "kernel_method": kernel_method,
         "fault_hook": fault_hook,
     }
     backoff_rngs: dict[int, np.random.Generator] = {}

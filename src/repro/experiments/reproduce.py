@@ -74,6 +74,7 @@ def reproduce_all(
     workers: int = 0,
     transport: str = "auto",
     algorithm: str = "nsga2",
+    kernel_method: str = "fast",
     progress: Optional[Callable[[str], None]] = print,
     obs: Optional["RunContext"] = None,
 ) -> Path:
@@ -100,6 +101,10 @@ def reproduce_all(
     algorithm:
         Registered optimizer name driving every figure run (default
         ``"nsga2"``; see :func:`repro.core.registry.available_algorithms`).
+    kernel_method:
+        Evaluation kernel for every figure run (``"fast"`` default;
+        ``"batch"`` enables the population-at-once kernel with
+        queue-state reuse — see ``docs/performance.md``).
     progress:
         Callable receiving status lines (``None`` silences).
     obs:
@@ -126,6 +131,7 @@ def reproduce_all(
         f"base seed: {base_seed}",
         f"population size: {population_size}",
         f"algorithm: {algorithm}",
+        f"kernel method: {kernel_method}",
         "",
     ]
 
@@ -157,6 +163,7 @@ def reproduce_all(
             workers=workers,
             transport=transport,
             algorithm=algorithm,
+            kernel_method=kernel_method,
             obs=obs,
         )
         if name == "figure4":

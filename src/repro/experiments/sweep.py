@@ -81,6 +81,7 @@ def oversubscription_sweep(
     generations: int = 60,
     population_size: int = 40,
     base_seed: int = 2013,
+    kernel_method: str = "fast",
 ) -> list[LoadPoint]:
     """Sweep trace sizes over one system (see module docstring).
 
@@ -99,7 +100,8 @@ def oversubscription_sweep(
         trace = generator.generate(
             count, window, seed=derive_seed(base_seed, "sweep", count)
         )
-        evaluator = ScheduleEvaluator(system, trace, check_feasibility=False)
+        evaluator = ScheduleEvaluator(system, trace, check_feasibility=False,
+                                      kernel_method=kernel_method)
         seed_alloc = MinMinCompletionTime().build(system, trace)
         ga = NSGA2(
             evaluator,

@@ -152,6 +152,7 @@ def make_dvfs_evaluator(
     trace: Trace,
     pstates: Sequence[PState] = DVFS_PRESETS,
     check_feasibility: bool = False,
+    kernel_method: str = "fast",
 ) -> ScheduleEvaluator:
     """A schedule evaluator over the DVFS-expanded virtual machine space.
 
@@ -165,4 +166,5 @@ def make_dvfs_evaluator(
         virtual, trace,
         check_feasibility=check_feasibility,
         queue_groups=queue_groups,
+        kernel_method=kernel_method,
     )

@@ -63,9 +63,13 @@ __all__ = [
     "ScheduleEvaluator",
 ]
 
-#: Default bound on cached chromosome evaluations (~15 MB at the
-#: default entry footprint; the cache clears itself when full).
-DEFAULT_CACHE_SIZE = 100_000
+#: Default bound on cached evaluations.  Sized from measured working
+#: sets at the benchmark scales: a 125-generation Figure-3 run inserts
+#: ~62k distinct queue states, so 2¹⁷ entries leave ~2× headroom before
+#: a capacity clear while costing ~20 MB for the chromosome cache and
+#: ~10 MB for the batch kernel's queue/prefix tables.  Power of two so
+#: the batch kernel's open-addressing tables use it directly.
+DEFAULT_CACHE_SIZE = 131_072
 
 
 @dataclass(frozen=True)
@@ -419,9 +423,19 @@ class EvaluationCache:
     evaluations.  When *max_entries* is reached the store is cleared
     (O(1) bookkeeping beats LRU at GA access patterns, where the live
     working set is the current population).
+
+    Counters come in two flavours: ``hits``/``misses``/``evictions``
+    are lifetime totals (monotonic — observability deltas depend on
+    that), while :attr:`stats` reports the current *window* — counts
+    since the store was last emptied — so a long run's reported
+    ``hit_rate`` reflects the live store instead of averaging over
+    every pre-clear epoch (which silently inflated it before).
     """
 
-    __slots__ = ("max_entries", "hits", "misses", "evictions", "_store")
+    __slots__ = (
+        "max_entries", "hits", "misses", "evictions",
+        "window_hits", "window_misses", "_store",
+    )
 
     def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
         if max_entries < 1:
@@ -432,6 +446,8 @@ class EvaluationCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.window_hits = 0
+        self.window_misses = 0
         self._store: dict[bytes, tuple[float, float]] = {}
 
     def __len__(self) -> int:
@@ -450,8 +466,10 @@ class EvaluationCache:
         value = self._store.get(key)
         if value is None:
             self.misses += 1
+            self.window_misses += 1
         else:
             self.hits += 1
+            self.window_hits += 1
         return value
 
     def put(self, key: bytes, energy: float, utility: float) -> None:
@@ -459,22 +477,36 @@ class EvaluationCache:
         if len(self._store) >= self.max_entries:
             self.evictions += len(self._store)
             self._store.clear()
+            self.window_hits = 0
+            self.window_misses = 0
         self._store[key] = (energy, utility)
 
     def clear(self) -> None:
-        """Drop all entries (hit/miss/eviction counters are kept)."""
+        """Drop all entries.  Window counters restart with the empty
+        store; lifetime ``hits``/``misses``/``evictions`` are kept."""
         self._store.clear()
+        self.window_hits = 0
+        self.window_misses = 0
 
     @property
     def stats(self) -> dict:
-        """``{"hits", "misses", "entries", "evictions", "hit_rate"}``."""
-        total = self.hits + self.misses
+        """Current-window counters plus lifetime totals.
+
+        ``hits``/``misses``/``hit_rate`` describe the window since the
+        store last became empty (capacity clears included), so the
+        reported rate always refers to entries that can actually hit;
+        ``lifetime_hits``/``lifetime_misses`` carry the monotonic
+        totals.
+        """
+        total = self.window_hits + self.window_misses
         return {
-            "hits": self.hits,
-            "misses": self.misses,
+            "hits": self.window_hits,
+            "misses": self.window_misses,
             "entries": len(self._store),
             "evictions": self.evictions,
-            "hit_rate": (self.hits / total) if total else 0.0,
+            "hit_rate": (self.window_hits / total) if total else 0.0,
+            "lifetime_hits": self.hits,
+            "lifetime_misses": self.misses,
         }
 
 
@@ -557,7 +589,21 @@ class ScheduleEvaluator:
         ``"fast"`` (default) — composite-key radix sort + validated
         exact segmented maximum; ``"reference"`` — the pre-optimization
         lexsort/offset kernel, kept for benchmarking and precision
-        regression tests.
+        regression tests; ``"batch"`` — the population-at-once kernel
+        with queue-state reuse caching (see
+        :mod:`repro.sim.batchkernel`); ``"batch-reference"`` — the
+        batch kernel's scalar exactness oracle, run row by row.  The
+        two batch modes are bit-identical to each other but differ in
+        the last float bits from ``fast``/``reference`` (different,
+        equally valid summation associations).
+    prefix_stride:
+        Batch-mode only: anchor spacing of the prefix-resume cache
+        tier; ``0`` (default) disables it.  On the bundled datasets the
+        tier's anchor-table traffic costs more wall-clock than the fold
+        work it skips, so it is off by default — enabling it raises the
+        measured ``reuse_rate`` but not throughput (see
+        ``docs/performance.md``).  Results are bit-identical either
+        way.
     obs:
         Optional :class:`~repro.obs.context.RunContext`.  When enabled,
         each batch evaluation records an ``evaluator.batch`` span and
@@ -586,12 +632,15 @@ class ScheduleEvaluator:
         kernel_method: str = "fast",
         obs: Optional["RunContext"] = None,
         precomputed: Optional[EvaluatorArrays] = None,
+        prefix_stride: int = 0,
     ) -> None:
         trace.validate_against(system.num_task_types)
-        if kernel_method not in ("fast", "reference"):
+        if kernel_method not in (
+            "fast", "reference", "batch", "batch-reference"
+        ):
             raise ScheduleError(
-                f"kernel_method must be 'fast' or 'reference'; got "
-                f"{kernel_method!r}"
+                "kernel_method must be one of 'fast', 'reference', "
+                f"'batch', 'batch-reference'; got {kernel_method!r}"
             )
         if cache_size < 0:
             raise ScheduleError(f"cache_size must be >= 0, got {cache_size}")
@@ -605,7 +654,14 @@ class ScheduleEvaluator:
 
             obs = NULL_CONTEXT
         self.obs = obs
-        self.cache = EvaluationCache(cache_size) if cache_size else None
+        # Batch modes replace the chromosome cache with the kernel's
+        # queue-state tables (finer-grained reuse; hashing whole rows
+        # on top would cost more than the duplicate rows it saves).
+        use_chromosome_cache = cache_size > 0 and kernel_method in (
+            "fast", "reference"
+        )
+        self.cache = EvaluationCache(cache_size) if use_chromosome_cache \
+            else None
         self._workspace = _BatchWorkspace()
         self._scratch = _KernelScratch()
         self._packed32: Optional[np.ndarray] = None
@@ -651,6 +707,24 @@ class ScheduleEvaluator:
                 raise ScheduleError("queue ids must be >= 0")
             self._queue_groups = qg.copy()
             self._num_queues = int(qg.max()) + 1
+        self._batch_kernel = None
+        if kernel_method == "batch":
+            from repro.sim.batchkernel import BatchQueueKernel
+
+            # cache_size is the entry budget; tables hold up to half
+            # their slots, so the slot count doubles it (cache_size=0
+            # is the validated caching-off configuration).
+            slots_log2 = (
+                max(8, (2 * cache_size - 1).bit_length())
+                if cache_size else 8
+            )
+            self._batch_kernel = BatchQueueKernel(
+                self,
+                use_cache=cache_size > 0,
+                queue_slots_log2=min(28, slots_log2),
+                prefix_slots_log2=min(28, slots_log2 + 1),
+                prefix_stride=prefix_stride,
+            )
 
     @property
     def tuf_table(self) -> TUFTable:
@@ -683,6 +757,27 @@ class ScheduleEvaluator:
                     "which cannot execute its task type"
                 )
         exec_times = self._etc_rows[self._row_index, assignment]
+        if self.kernel_method in ("batch", "batch-reference"):
+            # Batch fold semantics: totals are per-queue left folds
+            # combined over ascending queue id, so evaluate() agrees
+            # bit-for-bit with evaluate_batch() in these modes.
+            from repro.sim.batchkernel import batch_reference_row
+
+            energy, utility, finish = batch_reference_row(
+                self, assignment, allocation.scheduling_order
+            )
+            start = finish - exec_times
+            elapsed = finish - self._arrivals
+            utilities = self._tuf_table.evaluate(self._task_types, elapsed)
+            energies = self._eec_rows[self._row_index, assignment]
+            return EvaluationResult(
+                energy=energy,
+                utility=utility,
+                start_times=start,
+                completion_times=finish,
+                task_utilities=utilities,
+                task_energies=energies,
+            )
         finish = self._finish_times(
             self._queue_groups[assignment],
             allocation.scheduling_order,
@@ -726,7 +821,14 @@ class ScheduleEvaluator:
 
     @property
     def cache_stats(self) -> dict:
-        """Evaluation-cache counters (all zero when caching is off)."""
+        """Evaluation-cache counters (all zero when caching is off).
+
+        In ``kernel_method="batch"`` the counters come from the batch
+        kernel's queue/prefix state tables instead of the per-chromosome
+        cache, and include element-level ``reuse_rate``.
+        """
+        if self._batch_kernel is not None:
+            return self._batch_kernel.stats
         if self.cache is None:
             return {"hits": 0, "misses": 0, "entries": 0, "evictions": 0,
                     "hit_rate": 0.0}
@@ -736,6 +838,8 @@ class ScheduleEvaluator:
         """Drop all cached evaluations (no-op when caching is off)."""
         if self.cache is not None:
             self.cache.clear()
+        if self._batch_kernel is not None:
+            self._batch_kernel.clear()
 
     # -- population batch ----------------------------------------------------
 
@@ -764,6 +868,7 @@ class ScheduleEvaluator:
         obs = self.obs
         if not obs.enabled:
             return self._evaluate_batch_impl(assignments, orders)
+        kernel = self._batch_kernel
         cache = self.cache
         hits0, misses0 = (cache.hits, cache.misses) if cache else (0, 0)
         evict0 = cache.evictions if cache else 0
@@ -771,13 +876,36 @@ class ScheduleEvaluator:
         result = self._evaluate_batch_impl(assignments, orders)
         seconds = time.perf_counter() - t0
         rows = int(result[0].shape[0])
-        hits = (cache.hits - hits0) if cache else 0
-        misses = (cache.misses - misses0) if cache else rows
-        obs.record_span(
-            "evaluator.batch", seconds, rows=rows, cache_hits=hits,
-            cache_misses=misses,
-        )
         metrics = obs.metrics
+        if kernel is not None:
+            # Batch kernel: reuse is counted per machine queue, not per
+            # chromosome row, so report the kernel's own counters.
+            batch = kernel.last_batch
+            hits = int(batch.get("queue_hits", 0))
+            misses = int(batch.get("queue_misses", 0))
+            reuse_rate = float(batch.get("reuse_rate", 0.0))
+            obs.record_span(
+                "evaluator.batch", seconds, rows=rows, cache_hits=hits,
+                cache_misses=misses, reuse_rate=reuse_rate,
+                kernel=self.kernel_method,
+            )
+            metrics.gauge(
+                "evaluator_reuse_rate",
+                help="fraction of queue elements answered from cached "
+                "queue/prefix state in the latest batch",
+            ).set(reuse_rate)
+            metrics.counter(
+                "evaluator_queue_states_reused_total",
+                help="queue elements covered by cached full-queue or "
+                "prefix state",
+            ).inc(int(batch.get("elements_reused", 0)))
+        else:
+            hits = (cache.hits - hits0) if cache else 0
+            misses = (cache.misses - misses0) if cache else rows
+            obs.record_span(
+                "evaluator.batch", seconds, rows=rows, cache_hits=hits,
+                cache_misses=misses,
+            )
         metrics.counter(
             "evaluator_chromosomes_total",
             help="chromosome rows evaluated (cache hits included)",
@@ -834,6 +962,18 @@ class ScheduleEvaluator:
                     f"chromosome {int(row)}: task {int(col)} assigned to an "
                     "infeasible machine"
                 )
+        if self.kernel_method == "batch":
+            return self._batch_kernel.evaluate_population(assignments, orders)
+        if self.kernel_method == "batch-reference":
+            from repro.sim.batchkernel import batch_reference_row
+
+            energies = np.empty(N, dtype=np.float64)
+            utilities = np.empty(N, dtype=np.float64)
+            for i in range(N):
+                energies[i], utilities[i], _ = batch_reference_row(
+                    self, assignments[i], orders[i]
+                )
+            return energies, utilities
         cache = self.cache
         if cache is None:
             return self._evaluate_batch_kernel(assignments, orders)

@@ -170,12 +170,39 @@ class TestCacheMechanics:
             "evictions": 0,
             "entries": 5,
             "hit_rate": 0.5,
+            "lifetime_hits": 5,
+            "lifetime_misses": 5,
         }
         ev.clear_cache()
         assert ev.cache_stats["entries"] == 0
-        # Counters survive a clear; a third pass misses again.
+        # Window counters restart with the empty store (no stale
+        # hit_rate across clears); lifetime totals stay monotonic.
+        assert ev.cache_stats["hits"] == 0
+        assert ev.cache_stats["misses"] == 0
         ev.evaluate_batch(assignments, orders)
-        assert ev.cache_stats["misses"] == 10
+        stats = ev.cache_stats
+        assert stats["misses"] == 5
+        assert stats["hit_rate"] == 0.0
+        assert stats["lifetime_misses"] == 10
+        assert stats["lifetime_hits"] == 5
+
+    def test_window_stats_reset_on_capacity_clear(self):
+        cache = EvaluationCache(max_entries=2)
+        keys = [EvaluationCache.key(np.array([i], dtype=np.int64),
+                                    np.array([i], dtype=np.int64))
+                for i in range(3)]
+        for i in range(2):
+            cache.get(keys[i])
+            cache.put(keys[i], float(i), float(i))
+        cache.get(keys[0])  # window: 1 hit, 2 misses
+        assert cache.stats["hit_rate"] == pytest.approx(1 / 3)
+        cache.get(keys[2])
+        cache.put(keys[2], 2.0, 2.0)  # at capacity: clears the window
+        stats = cache.stats
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["hit_rate"] == 0.0
+        assert stats["lifetime_hits"] == 1
+        assert stats["lifetime_misses"] == 3
 
     def test_disabled_cache_stats(self, small_system, small_trace):
         ev = make_evaluator(small_system, small_trace, cache_size=0)
