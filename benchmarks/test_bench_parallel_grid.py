@@ -49,6 +49,7 @@ from repro.parallel import descriptors, shm
 
 REPO_ROOT = Path(__file__).parent.parent
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+OBS_BENCH = os.environ.get("REPRO_BENCH_OBS", "") not in ("", "0")
 
 REPETITIONS = 4 if SMOKE else 8
 GENERATIONS = 6 if SMOKE else 40
@@ -68,6 +69,14 @@ MIN_SPEEDUP = 2.0
 #: expanded 30-machine system serializes to ~17 KB of metadata while
 #: its 4000-task arrays occupy megabytes of segment.
 MAX_HANDLE_BYTES = 32_768
+
+#: Worker-telemetry overhead budget on the parallel path: turning the
+#: per-worker sinks on may cost at most 3% of the dark grid's wall
+#: clock, plus a flat allowance for run-to-run pool-startup noise
+#: (both runs fork a fresh pool; on loaded CI machines that alone
+#: jitters by hundreds of milliseconds).
+OBS_OVERHEAD_BUDGET = 0.03
+OBS_OVERHEAD_FLOOR_S = 0.75
 
 
 def _grid(ds, *, workers):
@@ -186,3 +195,54 @@ def test_report_written(grid_report):
     on_disk = json.loads(REPORT.read_text())
     assert on_disk["wallclock"] == report["wallclock"]
     assert set(on_disk["payload"]) == {"dataset1", "dataset3"}
+
+
+@pytest.mark.skipif(not OBS_BENCH, reason="set REPRO_BENCH_OBS=1 to gate "
+                    "worker-telemetry overhead")
+def test_worker_telemetry_overhead_within_budget(grid_report, ds1, tmp_path):
+    """Worker-side telemetry must cost <= 3% of the dark parallel grid
+    (plus a flat noise floor) — and must not change the fronts.
+
+    The dark baseline is the ``grid_report`` fixture's parallel run
+    (same R / generations / workers, telemetry off); this run adds an
+    enabled RunContext with an ``obs_dir``, so every worker opens a
+    sink, records a ``cell.run`` span + metrics per cell, and
+    checkpoints its files after each cell.
+    """
+    from repro.obs import RunContext, validate_run_dir
+
+    report, _, parallel = grid_report
+    dark_s = report["wallclock"]["parallel_s"]
+
+    obs = RunContext.create(obs_dir=tmp_path / "obs", run_id="bench-obs")
+    t0 = time.perf_counter()
+    lit = run_repetitions(
+        ds1, repetitions=REPETITIONS, generations=GENERATIONS,
+        population_size=POPULATION, base_seed=BENCH_SEED, workers=WORKERS,
+        obs=obs,
+    )
+    lit_s = time.perf_counter() - t0
+    obs.flush()
+
+    # The telemetry must be real: per-worker sinks exist and the merged
+    # trace is schema-valid with one cell span per repetition.
+    merged = tmp_path / "obs" / "merged"
+    assert merged.is_dir(), "flush did not merge the worker sinks"
+    assert validate_run_dir(merged) == []
+    spans = [
+        json.loads(line)
+        for line in (merged / "trace.jsonl").read_text().splitlines()
+    ]
+    assert sum(s["name"] == "cell.run" for s in spans) == REPETITIONS
+
+    # Bit-identity: telemetry on vs off.
+    for dark_front, lit_front in zip(parallel.fronts, lit.fronts):
+        np.testing.assert_array_equal(dark_front, lit_front)
+
+    allowed = dark_s * (1.0 + OBS_OVERHEAD_BUDGET) + OBS_OVERHEAD_FLOOR_S
+    assert lit_s <= allowed, (
+        f"worker telemetry pushed the parallel grid over budget: "
+        f"{lit_s:.3f} s vs {dark_s:.3f} s dark "
+        f"(allowed {allowed:.3f} s = dark * {1 + OBS_OVERHEAD_BUDGET} "
+        f"+ {OBS_OVERHEAD_FLOOR_S} s noise floor)"
+    )

@@ -308,6 +308,22 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         if args.grid_command == "status":
             print(render_status(grid_status(args.grid_dir)))
             return 0
+        if args.grid_command == "watch":
+            from repro.obs.watch import watch_grid
+
+            try:
+                snapshot = watch_grid(
+                    args.grid_dir,
+                    obs_dir=args.obs_dir,
+                    once=args.once,
+                    interval=args.interval,
+                    prom_path=args.prom,
+                )
+            except KeyboardInterrupt:
+                return 130
+            counts = snapshot.get("counts", {})
+            done = counts.get("done", 0)
+            return 0 if done == snapshot.get("total") else 1
         from repro.experiments.runner import RetryPolicy
 
         obs = _obs_from_args(args, command=f"grid-{args.grid_command}")
@@ -375,14 +391,19 @@ def _cmd_datagen(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.errors import ObservabilityError
     from repro.obs import trace_report, validate_run_dir
+    from repro.obs.report import resolve_run_dir
 
     if args.validate:
-        problems = validate_run_dir(args.run_dir)
+        # Parallel runs: validate the collector's merged multi-process
+        # view when one exists (strictly more complete than the
+        # coordinator-only artifacts).
+        run_dir = resolve_run_dir(args.run_dir)
+        problems = validate_run_dir(run_dir)
         if problems:
             for problem in problems:
                 print(problem, file=sys.stderr)
             return 1
-        print(f"{args.run_dir}: valid observability directory")
+        print(f"{run_dir}: valid observability directory")
         return 0
     try:
         print(trace_report(args.run_dir, top=args.top))
@@ -592,6 +613,21 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="cell lifecycle counts and quarantined cells"
     )
     g_status.add_argument("grid_dir", help="directory holding manifest.jsonl")
+    g_watch = grid_sub.add_parser(
+        "watch",
+        help="live dashboard over the grid journal and worker telemetry",
+    )
+    g_watch.add_argument("grid_dir", help="directory holding manifest.jsonl")
+    g_watch.add_argument("--obs-dir", default=None,
+                         help="the run's observability directory "
+                         "(default: <grid_dir>/obs when present)")
+    g_watch.add_argument("--once", action="store_true",
+                         help="render one frame and exit")
+    g_watch.add_argument("--interval", type=float, default=2.0,
+                         help="refresh period in seconds (live mode)")
+    g_watch.add_argument("--prom", default=None,
+                         help="also write aggregated grid metrics to this "
+                         "Prometheus textfile on every refresh")
     for verb, verb_help in (
         ("resume", "re-drive every unfinished cell of an interrupted grid"),
         ("retry-quarantined", "requeue quarantined cells, then resume"),

@@ -96,6 +96,8 @@ def _repetition_cell(restored, extra: dict, r: int, attempt: int, payload) -> Fl
     derivation — so fronts are bit-identical to a sequential run
     regardless of worker count, scheduling order, or transport.
     """
+    from repro.parallel.engine import worker_obs
+
     fault_hook = extra.get("fault_hook")
     if fault_hook is not None:
         fault_hook(r, attempt)
@@ -118,6 +120,9 @@ def _repetition_cell(restored, extra: dict, r: int, attempt: int, payload) -> Fl
         seeds=extra["seeds"],
         rng=derive_seed(extra["base_seed"], dataset.name, seed_label, r),
         label=f"{seed_label}#{r}",
+        # The worker's own telemetry sink (NULL_CONTEXT when dark): GA
+        # stage spans nest under this cell's ``cell.run`` span.
+        obs=worker_obs(),
     )
     return ga.run(extra["generations"]).final.front_points
 
@@ -365,6 +370,7 @@ def _run_repetitions_parallel(
     persisted to the result store the moment it completes.
     """
     from repro.experiments.runner import RetryPolicy
+    from repro.obs.distributed import GRID_SPAN_NAME, WorkerTelemetryConfig
     from repro.parallel.descriptors import publish_dataset
     from repro.parallel.engine import CellReply, ParallelEngine
 
@@ -423,18 +429,24 @@ def _run_repetitions_parallel(
 
     run_kwargs = binding.run_kwargs() if binding is not None else {}
     journal = binding.worker_journal() if binding is not None else None
+    grid_id = binding.manifest.grid_id if binding is not None else ""
+    telemetry = WorkerTelemetryConfig.from_context(obs, grid_id=grid_id)
     with publish_dataset(dataset, transport=transport, obs=obs) as published:
         with ParallelEngine(
             workers, handle=published.handle, extra=extra, obs=obs,
-            journal=journal,
+            journal=journal, telemetry=telemetry,
         ) as engine:
-            engine.run(
-                _repetition_cell,
-                keys,
-                payload_for=lambda r, attempt: None,
-                policy=policy,
-                backoff_for=backoff_for,
-                give_up=give_up,
-                on_result=on_result,
-                **run_kwargs,
-            )
+            with obs.span(
+                GRID_SPAN_NAME, grid_id=grid_id, cells=len(keys),
+                driver="repetitions",
+            ):
+                engine.run(
+                    _repetition_cell,
+                    keys,
+                    payload_for=lambda r, attempt: None,
+                    policy=policy,
+                    backoff_for=backoff_for,
+                    give_up=give_up,
+                    on_result=on_result,
+                    **run_kwargs,
+                )

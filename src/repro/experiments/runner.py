@@ -597,6 +597,8 @@ def _population_cell(
     derived exactly as on the sequential path, so results are
     bit-identical regardless of execution order or transport.
     """
+    from repro.parallel.engine import worker_obs
+
     fault_hook = extra["fault_hook"]
     if fault_hook is not None:
         fault_hook(label, attempt)
@@ -614,6 +616,9 @@ def _population_cell(
         seeds=extra["seeds"][label],
         rng=derive_seed(config.base_seed, dataset.name, label),
         label=label,
+        # The worker's own telemetry sink (NULL_CONTEXT when dark): GA
+        # stage spans nest under this cell's ``cell.run`` span.
+        obs=worker_obs(),
     )
     history = ga.run(
         generations=config.generations,
@@ -653,6 +658,8 @@ def _run_parallel(
     leases (a timed-out attempt and its retry never run concurrently),
     and clean ``KeyboardInterrupt`` shutdown.
     """
+    from repro.obs.context import NULL_CONTEXT
+    from repro.obs.distributed import GRID_SPAN_NAME, WorkerTelemetryConfig
     from repro.parallel.descriptors import publish_dataset
     from repro.parallel.engine import CellReply, ParallelEngine
 
@@ -681,19 +688,26 @@ def _run_parallel(
 
     journal = binding.worker_journal() if binding is not None else None
     run_kwargs = binding.run_kwargs() if binding is not None else {}
+    grid_id = binding.manifest.grid_id if binding is not None else ""
+    telemetry = WorkerTelemetryConfig.from_context(obs, grid_id=grid_id)
+    grid_obs = obs if obs is not None else NULL_CONTEXT
     with publish_dataset(dataset, transport=transport, obs=obs) as published:
         with ParallelEngine(
             workers, handle=published.handle, extra=extra, obs=obs,
-            journal=journal,
+            journal=journal, telemetry=telemetry,
         ) as engine:
-            engine.run(
-                _population_cell,
-                labels,
-                payload_for=lambda label, attempt: resume_attempt(attempt),
-                policy=policy,
-                backoff_for=backoff_for,
-                give_up=give_up,
-                on_result=on_result,
-                sleep=sleep,
-                **run_kwargs,
-            )
+            with grid_obs.span(
+                GRID_SPAN_NAME, grid_id=grid_id, cells=len(labels),
+                driver="seeded-populations",
+            ):
+                engine.run(
+                    _population_cell,
+                    labels,
+                    payload_for=lambda label, attempt: resume_attempt(attempt),
+                    policy=policy,
+                    backoff_for=backoff_for,
+                    give_up=give_up,
+                    on_result=on_result,
+                    sleep=sleep,
+                    **run_kwargs,
+                )

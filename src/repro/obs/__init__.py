@@ -18,13 +18,26 @@ Layout:
 * :mod:`repro.obs.events` — leveled structured :class:`EventLog`;
 * :mod:`repro.obs.schema` — validators for the on-disk artifacts;
 * :mod:`repro.obs.report` — the ``repro-analyze trace`` summary
-  renderer.
+  renderer;
+* :mod:`repro.obs.distributed` — picklable :class:`TraceContext` /
+  :class:`WorkerTelemetryConfig` propagation plus the crash-safe
+  per-worker :class:`WorkerTelemetry` sink;
+* :mod:`repro.obs.collect` — :func:`merge_obs_dir`, folding worker
+  sinks and the coordinator trace into one causally-linked trace;
+* :mod:`repro.obs.watch` — the live ``repro-analyze grid watch``
+  dashboard over a durable grid's journal + telemetry.
 
 See ``docs/observability.md`` for the span taxonomy, metric names, and
 event schema.
 """
 
+from repro.obs.collect import merge_obs_dir, worker_dirs
 from repro.obs.context import NULL_CONTEXT, RunContext
+from repro.obs.distributed import (
+    TraceContext,
+    WorkerTelemetry,
+    WorkerTelemetryConfig,
+)
 from repro.obs.events import EventLog
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import trace_report
@@ -41,6 +54,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "EventLog",
+    "TraceContext",
+    "WorkerTelemetry",
+    "WorkerTelemetryConfig",
+    "merge_obs_dir",
+    "worker_dirs",
     "trace_report",
     "validate_run_dir",
     "check_run_dir",

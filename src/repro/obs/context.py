@@ -231,12 +231,27 @@ class RunContext:
                     "fields": self.fields,
                     "spans": len(self.tracer),
                     "events": len(self.events),
+                    # Per-process clock anchors: the monotonic reading
+                    # all span/event timestamps are relative to, and
+                    # the wall-clock instant it corresponds to — what
+                    # the collector uses to align worker timelines.
+                    "clock": {
+                        "monotonic_s": self.tracer.epoch_s,
+                        "unix_s": self.tracer.anchor_unix_s,
+                    },
                 },
                 indent=2,
                 allow_nan=False,
             )
             + "\n"
         )
+        # A parallel run with worker telemetry leaves per-worker
+        # sub-directories under ``workers/``; fold them and this
+        # coordinator trace into one causally-linked ``merged/`` view.
+        if (out / "workers").is_dir():
+            from repro.obs.collect import merge_obs_dir
+
+            merge_obs_dir(out)
         return out
 
 

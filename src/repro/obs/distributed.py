@@ -1,0 +1,300 @@
+"""Cross-process telemetry: context propagation + the worker-side sink.
+
+The coordinator's :class:`~repro.obs.context.RunContext` cannot cross a
+process boundary (it holds live buffers and file handles by design), so
+parallel workers were a telemetry black hole.  This module closes it
+with two picklable carriers and one worker-side sink:
+
+* :class:`TraceContext` — the causal identity of a unit of work
+  (run / grid / cell / attempt / worker ids).  Frozen, tiny, and
+  picklable; the coordinator creates one per run, the engine derives a
+  child per cell attempt, and every worker-recorded span carries its
+  scalar fields in ``attrs`` so the collector can re-parent cell spans
+  under the coordinator's grid span.
+* :class:`WorkerTelemetryConfig` — what ships through the pool
+  initializer: the destination root, run identity, and level.  It is
+  derived from the driver's enabled ``RunContext``
+  (:meth:`WorkerTelemetryConfig.from_context`) and is ``None`` when
+  observability is off — workers then pay exactly one ``is None``
+  branch per cell (the zero-overhead contract).
+* :class:`WorkerTelemetry` — the per-worker sink a pool worker opens
+  once from its config.  It wraps a normal ``RunContext`` writing to
+  ``<obs_dir>/workers/<worker-id>/`` in the standard ``repro.obs/1``
+  layout, but persists **incrementally and crash-safely**: finished
+  spans/events are appended (``O_APPEND``, whole lines only) after
+  every cell, and the small ``metrics.json`` / ``meta.json`` rewrites
+  go through a same-directory temp file + ``os.replace``.  A worker
+  SIGKILL'd mid-cell therefore leaves a schema-valid directory holding
+  everything up to its last completed cell.
+
+Determinism contract: nothing here consumes from any seeded NumPy
+stream.  Worker ids derive from pid + ``os.urandom`` (pids are recycled
+across pool generations; the token keeps a rebuilt worker from
+appending into its predecessor's trace), and all timestamps stay
+monotonic-clock relative with wall-clock *anchors* recorded only in
+``meta.json`` for the collector's skew alignment.
+"""
+
+from __future__ import annotations
+
+import binascii
+import json
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.context import OBS_FORMAT, RunContext
+
+__all__ = [
+    "WORKERS_DIR_NAME",
+    "GRID_SPAN_NAME",
+    "CELL_SPAN_NAME",
+    "TraceContext",
+    "WorkerTelemetryConfig",
+    "WorkerTelemetry",
+]
+
+#: Sub-directory of an observability directory holding per-worker sinks.
+WORKERS_DIR_NAME = "workers"
+
+#: Coordinator span wrapping one whole parallel grid execution; the
+#: collector re-parents every worker cell span under it.
+GRID_SPAN_NAME = "grid.run"
+
+#: Worker span wrapping one cell-body execution.
+CELL_SPAN_NAME = "cell.run"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The picklable causal identity of one unit of distributed work.
+
+    Attributes
+    ----------
+    run_id:
+        The coordinator run this work belongs to.
+    grid_id:
+        The durable grid's journaled identity ("" for in-memory grids).
+    cell:
+        The grid-cell key (JSON scalar) this context is scoped to, or
+        ``None`` for run-scoped contexts.
+    attempt:
+        Which attempt of the cell (0 = not cell-scoped).
+    worker:
+        The executing worker's pid (``None`` until a worker adopts it).
+    """
+
+    run_id: str
+    grid_id: str = ""
+    cell: object = None
+    attempt: int = 0
+    worker: Optional[int] = None
+
+    def child(self, **overrides) -> "TraceContext":
+        """A derived context with *overrides* applied (frozen-safe)."""
+        return replace(self, **overrides)
+
+    def as_attrs(self) -> dict:
+        """The non-empty scalar fields, as span/event attributes.
+
+        ``run_id`` is deliberately excluded — it is run-level identity
+        already recorded in ``meta.json``, not per-span payload.
+        """
+        attrs: dict = {}
+        if self.grid_id:
+            attrs["grid_id"] = self.grid_id
+        if self.cell is not None:
+            attrs["cell"] = (
+                self.cell if isinstance(self.cell, (int, str))
+                else str(self.cell)
+            )
+        if self.attempt:
+            attrs["attempt"] = self.attempt
+        if self.worker is not None:
+            attrs["worker"] = self.worker
+        return attrs
+
+
+@dataclass(frozen=True)
+class WorkerTelemetryConfig:
+    """What the pool initializer ships to enable worker-side telemetry.
+
+    Frozen and picklable; :meth:`open` is called worker-side, once per
+    worker process.
+    """
+
+    root: str
+    run_id: str
+    level: str = "info"
+    grid_id: str = ""
+
+    @classmethod
+    def from_context(
+        cls, obs: Optional[RunContext], grid_id: str = ""
+    ) -> Optional["WorkerTelemetryConfig"]:
+        """The config for *obs*, or ``None`` when telemetry is off.
+
+        Worker telemetry needs a destination directory: an enabled but
+        in-memory context (no ``obs_dir``) stays coordinator-only.
+        """
+        if obs is None or not obs.enabled or obs.obs_dir is None:
+            return None
+        return cls(
+            root=str(Path(obs.obs_dir) / WORKERS_DIR_NAME),
+            run_id=obs.run_id,
+            level=obs.level,
+            grid_id=grid_id,
+        )
+
+    def open(self) -> "WorkerTelemetry":
+        """Open this worker's sink (call in the worker process)."""
+        return WorkerTelemetry(self)
+
+
+class WorkerTelemetry:
+    """One pool worker's crash-safe observability sink.
+
+    ``obs`` is a real :class:`~repro.obs.context.RunContext`, so the
+    cell body's evaluator/algorithm instrumentation works unchanged in
+    a worker; :meth:`checkpoint` persists whatever finished since the
+    last call.
+    """
+
+    def __init__(self, config: WorkerTelemetryConfig) -> None:
+        pid = os.getpid()
+        # pid + random token: pids are recycled across pool rebuilds,
+        # and two tracer incarnations appending into one file would
+        # collide on span ids.  os.urandom never touches seeded RNG.
+        token = binascii.hexlify(os.urandom(4)).decode("ascii")
+        self.worker_id = f"worker-{pid}-{token}"
+        self.pid = pid
+        self.dir = Path(config.root) / self.worker_id
+        self.context = TraceContext(
+            run_id=config.run_id, grid_id=config.grid_id, worker=pid
+        )
+        fields = {"worker": pid, "worker_id": self.worker_id}
+        if config.grid_id:
+            fields["grid_id"] = config.grid_id
+        self.obs = RunContext(
+            enabled=True,
+            run_id=f"{config.run_id}/{self.worker_id}",
+            level=config.level,
+            obs_dir=self.dir,
+            fields=fields,
+        )
+        # Spans and events each stamp times against their own epoch
+        # sampled at construction (microseconds apart).  Pin the event
+        # log to the tracer's epoch so the worker's two channels share
+        # exactly one timeline — the collector then needs only the
+        # tracer anchor to align both.
+        self.obs.events._epoch = self.obs.tracer.epoch_s
+        self._flushed_spans = 0
+        self._flushed_events = 0
+        self._heartbeat_warned = False
+        self.dir.mkdir(parents=True, exist_ok=True)
+        # Eager creation: a worker killed before its first checkpoint
+        # still leaves a complete, schema-valid (if empty) directory.
+        (self.dir / "trace.jsonl").touch()
+        (self.dir / "events.jsonl").touch()
+        self._write_small_files()
+
+    # -- recording helpers ---------------------------------------------------
+
+    def cell_context(self, key, attempt: int) -> TraceContext:
+        """The per-cell child context for (*key*, *attempt*)."""
+        return self.context.child(cell=key, attempt=attempt)
+
+    def heartbeat_dropped(self, key, attempt: int, exc: OSError) -> None:
+        """Record one dropped manifest heartbeat (never silently).
+
+        Every drop increments ``worker_heartbeat_dropped_total``; the
+        first drop per worker additionally emits a ``worker.
+        heartbeat_dropped`` warning event carrying the errno detail —
+        once, not per cell, so a dead filesystem cannot flood the log.
+        """
+        self.obs.metrics.counter(
+            "worker_heartbeat_dropped_total",
+            help="manifest running-heartbeat appends that failed in a worker",
+        ).inc()
+        if not self._heartbeat_warned:
+            self._heartbeat_warned = True
+            self.obs.event(
+                "worker.heartbeat_dropped", level="warning",
+                cell=key if isinstance(key, (int, str)) else str(key),
+                attempt=attempt, error=f"{type(exc).__name__}: {exc}",
+            )
+
+    # -- crash-safe persistence ----------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Persist everything recorded since the last checkpoint.
+
+        New spans/events are appended as complete JSONL lines in one
+        ``O_APPEND`` write per file; the small ``metrics.json`` /
+        ``metrics.prom`` / ``meta.json`` snapshots are rewritten
+        atomically (temp + ``os.replace``) so no reader — collector or
+        live dashboard — can observe a torn file.
+        """
+        spans = self.obs.tracer.spans
+        if len(spans) > self._flushed_spans:
+            self._append_lines(
+                self.dir / "trace.jsonl",
+                [s.to_doc() for s in spans[self._flushed_spans:]],
+            )
+            self._flushed_spans = len(spans)
+        events = self.obs.events.events
+        if len(events) > self._flushed_events:
+            self._append_lines(
+                self.dir / "events.jsonl", events[self._flushed_events:]
+            )
+            self._flushed_events = len(events)
+        self._write_small_files()
+
+    @staticmethod
+    def _append_lines(path: Path, docs: list) -> None:
+        data = "".join(
+            json.dumps(doc, allow_nan=False) + "\n" for doc in docs
+        ).encode("utf-8")
+        fd = os.open(str(path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    @staticmethod
+    def _replace(path: Path, text: str) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
+    def _write_small_files(self) -> None:
+        obs = self.obs
+        self._replace(
+            self.dir / "metrics.json",
+            json.dumps(obs.metrics.as_dict(), indent=2, allow_nan=False)
+            + "\n",
+        )
+        self._replace(
+            self.dir / "metrics.prom", obs.metrics.to_prometheus_text()
+        )
+        self._replace(
+            self.dir / "meta.json",
+            json.dumps(
+                {
+                    "format": OBS_FORMAT,
+                    "run_id": obs.run_id,
+                    "level": obs.level,
+                    "fields": obs.fields,
+                    "spans": self._flushed_spans,
+                    "events": self._flushed_events,
+                    "clock": {
+                        "monotonic_s": obs.tracer.epoch_s,
+                        "unix_s": obs.tracer.anchor_unix_s,
+                    },
+                },
+                indent=2,
+                allow_nan=False,
+            )
+            + "\n",
+        )

@@ -13,6 +13,13 @@ renders
 * evaluator cache effectiveness and other headline metrics;
 * the retry/fault timeline (``retry.scheduled`` / ``population.failed``
   / ``fault.injected`` / ``checkpoint.committed`` events).
+
+Merged multi-process traces (the ``merged/`` directory the collector
+writes for parallel runs) are first-class: pointing the CLI at the
+parent observability directory auto-descends into ``merged/`` when it
+exists, spans are stable-sorted by ``(start, worker, span id)`` before
+any ranking, and a per-worker attribution block breaks the ``--top``
+budget down by executing worker.
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ from typing import Optional, Union
 from repro.errors import ObservabilityError
 from repro.obs.trace import render_flame
 
-__all__ = ["load_run_dir", "trace_report"]
+__all__ = ["load_run_dir", "resolve_run_dir", "trace_report"]
 
 #: Aggregate-stage span prefix (engine-emitted, one per stage per run).
 STAGE_TOTAL_PREFIX = "ga.stage_total."
@@ -39,6 +46,31 @@ _TIMELINE_EVENTS = (
     "fault.injected",
     "checkpoint.committed",
 )
+
+
+def resolve_run_dir(run_dir: Union[str, Path]) -> Path:
+    """*run_dir*, descended into its ``merged/`` view when one exists.
+
+    A parallel run's observability directory holds the coordinator-only
+    trace plus the collector's ``merged/`` (coordinator + every worker,
+    causally linked); the merged view is strictly more complete, so
+    report/validate consumers prefer it automatically.  Pass the
+    ``merged/`` or coordinator path explicitly to pin either view.
+    """
+    run_dir = Path(run_dir)
+    merged = run_dir / "merged"
+    if run_dir.name != "merged" and (merged / "trace.jsonl").exists():
+        return merged
+    return run_dir
+
+
+def _span_sort_key(span: dict) -> tuple:
+    """Stable multi-process ordering: (start, worker, span id)."""
+    return (
+        float(span.get("start_s", 0.0)),
+        str(span.get("attrs", {}).get("worker", "")),
+        int(span.get("span_id", 0)),
+    )
 
 
 def load_run_dir(run_dir: Union[str, Path]) -> dict:
@@ -94,14 +126,45 @@ def _metric_value(metrics: dict, name: str) -> Optional[float]:
     return None
 
 
+def _worker_attribution(spans: list[dict], top: int) -> list[str]:
+    """Per-worker ``--top`` breakdown for merged multi-process traces."""
+    by_worker: dict[str, list[dict]] = {}
+    for span in spans:
+        worker = span.get("attrs", {}).get("worker")
+        if worker is not None:
+            by_worker.setdefault(str(worker), []).append(span)
+    if not by_worker:
+        return []
+    lines = ["", "-- per-worker attribution --"]
+    for worker in sorted(by_worker):
+        worker_spans = by_worker[worker]
+        cells = [s for s in worker_spans if s.get("name") == "cell.run"]
+        busy = sum(float(s.get("duration_s", 0.0)) for s in cells)
+        lines.append(
+            f"worker {worker}: {len(cells)} cells, "
+            f"{busy:.3f} s cell time, {len(worker_spans)} spans"
+        )
+        slowest = sorted(
+            worker_spans, key=lambda s: -float(s.get("duration_s", 0.0))
+        )[:max(1, top // max(1, len(by_worker)))]
+        for span in slowest:
+            lines.append(
+                f"  {float(span.get('duration_s', 0.0)) * 1000.0:10.3f} ms"
+                f"  {span.get('name', '?')}"
+            )
+    return lines
+
+
 def trace_report(
     run_dir: Union[str, Path], top: int = 10, width: int = 48
 ) -> str:
     """The full text summary of one recorded run."""
-    data = load_run_dir(run_dir)
+    resolved = resolve_run_dir(run_dir)
+    data = load_run_dir(resolved)
     meta, spans, events, metrics = (
         data["meta"], data["spans"], data["events"], data["metrics"],
     )
+    spans = sorted(spans, key=_span_sort_key)
     blocks: list[str] = []
 
     fields = ", ".join(
@@ -112,6 +175,8 @@ def trace_report(
         f"(level {meta.get('level', '?')}"
         + (f"; {fields}" if fields else "") + ") ==="
     )
+    if resolved != Path(run_dir):
+        blocks.append(f"(merged multi-process view: {resolved})")
     blocks.append(
         f"{len(spans)} spans, {len(events)} events, "
         f"{len(metrics)} metrics"
@@ -149,6 +214,7 @@ def trace_report(
         blocks.append("")
         blocks.append("-- flame summary (total time per span name) --")
         blocks.append(render_flame(spans, width=width))
+        blocks.extend(_worker_attribution(spans, top))
 
     hits = _metric_value(metrics, "evaluator_cache_hits_total")
     misses = _metric_value(metrics, "evaluator_cache_misses_total")

@@ -101,9 +101,19 @@ class Tracer:
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
         self._epoch = clock()
+        #: Wall-clock instant paired with ``_epoch``.  Never used for
+        #: span timestamps (those stay epoch-relative and monotonic);
+        #: it exists so traces from different processes can be aligned
+        #: onto one timeline by the distributed-trace collector.
+        self.anchor_unix_s = time.time()
         self.spans: list[Span] = []
         self._stack: list[int] = []
         self._next_id = 1
+
+    @property
+    def epoch_s(self) -> float:
+        """The clock reading all span timestamps are relative to."""
+        return self._epoch
 
     def __len__(self) -> int:
         return len(self.spans)

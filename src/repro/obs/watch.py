@@ -1,0 +1,453 @@
+"""The live grid dashboard behind ``repro-analyze grid watch``.
+
+One frame of the dashboard is a pure join of three durable sources —
+no running coordinator is consulted, so watching works from any shell
+(and after a coordinator crash):
+
+* the **grid manifest journal** (``manifest.jsonl``) — per-state cell
+  counts, retry/quarantine feeds, per-cell ``done`` timestamps for
+  throughput and ETA, and worker ``running`` heartbeats;
+* the **worker telemetry sinks** (``<obs_dir>/workers/*/metrics.json``)
+  — per-worker cell counters and the queue-wait / run-time histograms,
+  each file atomically replaced by the worker at every checkpoint so a
+  live read never sees a torn snapshot;
+* the **coordinator/merged metrics** when present (best effort).
+
+The module is layered for testing: :func:`grid_snapshot` builds a plain
+data dict, :func:`render_watch` formats it for a terminal,
+:func:`snapshot_to_prometheus` re-expresses it as a Prometheus textfile
+(node-exporter textfile-collector convention: written via temp +
+``os.replace``), and :func:`watch_grid` is the refresh loop the CLI
+drives (``--once`` renders a single frame).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.obs.collect import _fold_snapshot, worker_dirs
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.manifest import (
+    CELL_STATES,
+    DEFAULT_LEASE_TTL,
+    GridManifest,
+    _pid_alive,
+)
+
+__all__ = [
+    "grid_snapshot",
+    "render_watch",
+    "snapshot_to_prometheus",
+    "write_prometheus_textfile",
+    "watch_grid",
+]
+
+#: Histogram metric names surfaced as dashboard distributions.
+_WATCH_HISTOGRAMS = (
+    ("worker_queue_wait_seconds", "queue wait"),
+    ("worker_cell_seconds", "cell run time"),
+)
+
+
+def _read_json(path: Path) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except (FileNotFoundError, ValueError, OSError):
+        return {}
+    return doc if isinstance(doc, dict) else {}
+
+
+def _worker_rows(obs_dir: Optional[Path], heartbeats: dict, now: float) -> list:
+    """Per-worker rows joining manifest heartbeats with telemetry sinks.
+
+    A worker appears if either source knows it; rows are keyed by pid
+    (telemetry dirs embed the pid in ``fields.worker``).
+    """
+    rows: dict[int, dict] = {}
+    for pid, beat in heartbeats.items():
+        try:
+            pid = int(pid)
+        except (TypeError, ValueError):
+            continue
+        rows[pid] = {
+            "pid": pid,
+            "alive": _pid_alive(pid),
+            "last_beat_age_s": (
+                max(0.0, now - float(beat["t"]))
+                if isinstance(beat.get("t"), (int, float)) else None
+            ),
+            "cell": beat.get("cell"),
+            "attempt": beat.get("attempt"),
+            "cells_done": 0.0,
+            "errors": 0.0,
+            "heartbeat_drops": 0.0,
+            "mean_cell_s": None,
+        }
+    if obs_dir is not None:
+        for worker_dir in worker_dirs(obs_dir):
+            meta = _read_json(worker_dir / "meta.json")
+            pid = meta.get("fields", {}).get("worker")
+            if not isinstance(pid, int):
+                continue
+            row = rows.setdefault(
+                pid,
+                {
+                    "pid": pid, "alive": _pid_alive(pid),
+                    "last_beat_age_s": None, "cell": None, "attempt": None,
+                    "cells_done": 0.0, "errors": 0.0,
+                    "heartbeat_drops": 0.0, "mean_cell_s": None,
+                },
+            )
+            metrics = _read_json(worker_dir / "metrics.json")
+            # Pool rebuilds leave several sink dirs per pid; sum them.
+            row["cells_done"] += float(
+                metrics.get("worker_cells_total", {}).get("value", 0.0)
+            )
+            row["errors"] += float(
+                metrics.get("worker_cell_errors_total", {}).get("value", 0.0)
+            )
+            row["heartbeat_drops"] += float(
+                metrics.get("worker_heartbeat_dropped_total", {})
+                .get("value", 0.0)
+            )
+            hist = metrics.get("worker_cell_seconds", {})
+            if hist.get("count"):
+                total_s = float(hist.get("sum", 0.0))
+                count = int(hist["count"])
+                prior = row["mean_cell_s"]
+                if prior is None:
+                    row["mean_cell_s"] = total_s / count
+                else:
+                    row["mean_cell_s"] = (
+                        (prior * row["_mean_n"] + total_s)
+                        / (row["_mean_n"] + count)
+                    )
+                row["_mean_n"] = row.get("_mean_n", 0) + count
+    for row in rows.values():
+        row.pop("_mean_n", None)
+    return [rows[pid] for pid in sorted(rows)]
+
+
+def _aggregate_worker_metrics(obs_dir: Optional[Path]) -> dict:
+    """Sum every ``worker_*`` series across the live worker sinks."""
+    if obs_dir is None:
+        return {}
+    registry = MetricsRegistry()
+    for worker_dir in worker_dirs(obs_dir):
+        metrics = _read_json(worker_dir / "metrics.json")
+        _fold_snapshot(
+            registry,
+            {
+                key: snap for key, snap in metrics.items()
+                if key.split("{", 1)[0].startswith("worker_")
+            },
+        )
+    return registry.as_dict()
+
+
+def _throughput(manifest: GridManifest, now: float) -> dict:
+    """Done-cell rate and ETA from the journal's ``done`` timestamps."""
+    done_at = sorted(
+        c.done_at for c in manifest.cells.values()
+        if c.state == "done" and isinstance(c.done_at, (int, float))
+    )
+    counts = manifest.status_counts()
+    remaining = sum(
+        counts.get(s, 0) for s in ("pending", "leased", "running", "failed")
+    )
+    out = {
+        "done": counts.get("done", 0),
+        "remaining": remaining,
+        "cells_per_s": None,
+        "eta_s": None,
+    }
+    if len(done_at) >= 2:
+        window = max(now - done_at[0], done_at[-1] - done_at[0], 1e-9)
+        rate = (len(done_at) - 1) / window if window > 0 else None
+        out["cells_per_s"] = rate
+        if rate and remaining:
+            out["eta_s"] = remaining / rate
+    return out
+
+
+def grid_snapshot(
+    grid_dir: Union[str, Path],
+    obs_dir: Optional[Union[str, Path]] = None,
+    now: Optional[float] = None,
+) -> dict:
+    """One dashboard frame as plain data (render/export separately).
+
+    *obs_dir* defaults to ``<grid_dir>/obs`` when that exists; pass it
+    explicitly when the run wrote telemetry elsewhere.
+    """
+    grid_dir = Path(grid_dir)
+    now = time.time() if now is None else now
+    manifest = GridManifest.load(grid_dir)
+    if obs_dir is None and (grid_dir / "obs").is_dir():
+        obs_dir = grid_dir / "obs"
+    obs_dir = None if obs_dir is None else Path(obs_dir)
+
+    counts = manifest.status_counts()
+    failures: dict[str, int] = {}
+    retried = 0
+    for cell in manifest.cells.values():
+        if cell.failures:
+            retried += 1
+        for failure in cell.failures:
+            kind = str(failure.get("kind", "cell-exception"))
+            failures[kind] = failures.get(kind, 0) + 1
+    quarantined = [
+        c.key for c in manifest.cells.values() if c.state == "quarantined"
+    ]
+    workers = _worker_rows(obs_dir, manifest.worker_heartbeats, now)
+    stale = [
+        w["pid"] for w in workers
+        if w["last_beat_age_s"] is not None
+        and w["last_beat_age_s"] > DEFAULT_LEASE_TTL
+    ]
+    return {
+        "at": now,
+        "grid_id": manifest.grid_id,
+        "grid_dir": str(grid_dir),
+        "obs_dir": None if obs_dir is None else str(obs_dir),
+        "counts": counts,
+        "total": len(manifest.cells),
+        "failure_kinds": dict(sorted(failures.items())),
+        "cells_retried": retried,
+        "quarantined": quarantined,
+        "workers": workers,
+        "stale_workers": stale,
+        "throughput": _throughput(manifest, now),
+        "worker_metrics": _aggregate_worker_metrics(obs_dir),
+        "damaged_records": manifest.damaged_records,
+        "torn_tail": manifest.torn_tail,
+    }
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _bar(fraction: float, width: int) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--"
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+    return f"{int(seconds // 3600)}h{int(seconds % 3600 // 60):02d}m"
+
+
+def _render_histogram(snap: dict, title: str, width: int = 30) -> list:
+    """Text bars for one cumulative-bucket histogram snapshot."""
+    buckets = snap.get("buckets") or []
+    count = int(snap.get("count", 0))
+    if not count:
+        return []
+    lines = [
+        f"  {title}: n={count} mean="
+        f"{float(snap.get('sum', 0.0)) / count:.3f}s"
+    ]
+    previous = 0
+    rows = []
+    for bucket in buckets:
+        cumulative = int(bucket.get("count", 0))
+        rows.append((float(bucket.get("le", 0.0)), cumulative - previous))
+        previous = cumulative
+    overflow = count - previous
+    peak = max([n for _, n in rows] + [overflow, 1])
+    # Show only the populated band (first..last non-empty bucket).
+    populated = [i for i, (_, n) in enumerate(rows) if n]
+    if populated:
+        for bound, n in rows[populated[0]:populated[-1] + 1]:
+            lines.append(
+                f"    <= {bound:>8.3f}s {_bar(n / peak, width)} {n}"
+            )
+    if overflow:
+        lines.append(f"    >  last     {_bar(overflow / peak, width)} {overflow}")
+    return lines
+
+
+def render_watch(snapshot: dict, width: int = 40) -> str:
+    """Format one :func:`grid_snapshot` frame for a terminal."""
+    counts = snapshot["counts"]
+    total = snapshot["total"] or 1
+    through = snapshot["throughput"]
+    lines = [
+        f"grid {snapshot['grid_id']}  ({snapshot['grid_dir']})",
+        f"cells: {counts.get('done', 0)}/{snapshot['total']} done  "
+        f"[{_bar(counts.get('done', 0) / total, width)}]",
+    ]
+    state_bits = [
+        f"{state}={counts[state]}"
+        for state in CELL_STATES if counts.get(state)
+    ]
+    lines.append("  " + ("  ".join(state_bits) if state_bits else "(empty grid)"))
+    rate = through["cells_per_s"]
+    lines.append(
+        "  throughput: "
+        + (f"{rate * 60:.1f} cells/min" if rate else "--")
+        + f"  eta: {_fmt_duration(through['eta_s'])}"
+    )
+    if snapshot["cells_retried"] or snapshot["failure_kinds"]:
+        kinds = ", ".join(
+            f"{kind}={n}" for kind, n in snapshot["failure_kinds"].items()
+        )
+        lines.append(
+            f"  retries: {snapshot['cells_retried']} cells ({kinds})"
+        )
+    if snapshot["quarantined"]:
+        keys = ", ".join(str(k) for k in snapshot["quarantined"][:8])
+        more = len(snapshot["quarantined"]) - 8
+        lines.append(
+            "  quarantined: " + keys + (f" (+{more} more)" if more > 0 else "")
+        )
+    if snapshot["torn_tail"] or snapshot["damaged_records"]:
+        lines.append(
+            f"  journal damage: torn_tail={snapshot['torn_tail']} "
+            f"damaged_records={snapshot['damaged_records']}"
+        )
+
+    workers = snapshot["workers"]
+    lines.append(f"workers: {len(workers)}"
+                 + (f"  ({len(snapshot['stale_workers'])} stale)"
+                    if snapshot["stale_workers"] else ""))
+    for row in workers:
+        status = "alive" if row["alive"] else "dead"
+        if row["pid"] in snapshot["stale_workers"]:
+            status = "stale"
+        beat = (
+            f"beat {_fmt_duration(row['last_beat_age_s'])} ago"
+            if row["last_beat_age_s"] is not None else "no heartbeat"
+        )
+        mean = (
+            f"mean {row['mean_cell_s']:.2f}s"
+            if row["mean_cell_s"] is not None else "mean --"
+        )
+        extra = ""
+        if row["errors"]:
+            extra += f"  errors={row['errors']:.0f}"
+        if row["heartbeat_drops"]:
+            extra += f"  hb-drops={row['heartbeat_drops']:.0f}"
+        lines.append(
+            f"  pid {row['pid']:>7d} [{status:^5s}]  "
+            f"cells={row['cells_done']:.0f}  {mean}  {beat}{extra}"
+        )
+
+    metrics = snapshot["worker_metrics"]
+    for name, title in _WATCH_HISTOGRAMS:
+        snap = metrics.get(name)
+        if isinstance(snap, dict):
+            lines.extend(_render_histogram(snap, title))
+    return "\n".join(lines) + "\n"
+
+
+# -- Prometheus textfile export ----------------------------------------------
+
+
+def snapshot_to_prometheus(snapshot: dict) -> str:
+    """The frame as Prometheus text (gauges; textfile-collector ready)."""
+    registry = MetricsRegistry()
+    for state in CELL_STATES:
+        registry.gauge(
+            "grid_cells",
+            help="grid cells per manifest state",
+            labels={"state": state},
+        ).set(float(snapshot["counts"].get(state, 0)))
+    registry.gauge(
+        "grid_cells_enumerated", help="cells enumerated in the manifest"
+    ).set(float(snapshot["total"]))
+    registry.gauge(
+        "grid_workers", help="workers known to the grid (heartbeat or sink)"
+    ).set(float(len(snapshot["workers"])))
+    registry.gauge(
+        "grid_workers_stale",
+        help="workers whose last heartbeat exceeded the lease TTL",
+    ).set(float(len(snapshot["stale_workers"])))
+    rate = snapshot["throughput"]["cells_per_s"]
+    if rate is not None:
+        registry.gauge(
+            "grid_cells_per_second", help="observed done-cell completion rate"
+        ).set(rate)
+    eta = snapshot["throughput"]["eta_s"]
+    if eta is not None:
+        registry.gauge(
+            "grid_eta_seconds", help="estimated seconds to grid completion",
+            unit="seconds",
+        ).set(eta)
+    for kind, n in snapshot["failure_kinds"].items():
+        registry.gauge(
+            "grid_cell_failures",
+            help="journaled failed attempts by taxonomy kind",
+            labels={"kind": kind},
+        ).set(float(n))
+    _fold_snapshot(registry, snapshot["worker_metrics"])
+    return registry.to_prometheus_text()
+
+
+def write_prometheus_textfile(snapshot: dict, path: Union[str, Path]) -> Path:
+    """Atomically write the frame's Prometheus text to *path*."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(snapshot_to_prometheus(snapshot))
+    os.replace(tmp, path)
+    return path
+
+
+# -- the refresh loop ---------------------------------------------------------
+
+
+def watch_grid(
+    grid_dir: Union[str, Path],
+    *,
+    obs_dir: Optional[Union[str, Path]] = None,
+    once: bool = False,
+    interval: float = 2.0,
+    prom_path: Optional[Union[str, Path]] = None,
+    frames: Optional[int] = None,
+    stream=None,
+    clock: Callable[[], float] = time.time,
+    sleep: Callable[[float], None] = time.sleep,
+) -> dict:
+    """Render the dashboard until done/interrupt; returns the last frame.
+
+    ``once=True`` (or ``frames=1``) renders exactly one frame without
+    clearing the screen.  In live mode each refresh clears the terminal
+    (ANSI home+clear), re-renders, optionally rewrites the Prometheus
+    textfile, and stops on its own when the grid has no non-terminal
+    cells left.  *frames* bounds the number of refreshes (testing).
+    """
+    stream = sys.stdout if stream is None else stream
+    rendered = 0
+    snapshot: dict = {}
+    while True:
+        snapshot = grid_snapshot(grid_dir, obs_dir=obs_dir, now=clock())
+        text = render_watch(snapshot)
+        if not once and rendered:
+            stream.write("\x1b[H\x1b[2J")
+        stream.write(text)
+        stream.flush()
+        if prom_path is not None:
+            write_prometheus_textfile(snapshot, prom_path)
+        rendered += 1
+        counts = snapshot["counts"]
+        active = sum(
+            counts.get(s, 0) for s in ("pending", "leased", "running")
+        )
+        if once or (frames is not None and rendered >= frames):
+            break
+        if active == 0:
+            break
+        sleep(interval)
+    return snapshot

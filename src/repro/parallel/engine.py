@@ -43,7 +43,19 @@ the seeded-population runner and the repetition-grid driver:
   counters (first reply from each worker pid), cell counters, and
   timeout/zombie/pool-break events on the driver's
   :class:`~repro.obs.context.RunContext`.  Contexts are not picklable,
-  so workers stay obs-free by design.
+  so they never cross the process boundary — instead a picklable
+  :class:`~repro.obs.distributed.WorkerTelemetryConfig` ships through
+  the initializer and each worker opens its own crash-safe
+  :class:`~repro.obs.distributed.WorkerTelemetry` sink: one ``cell.run``
+  span per executed cell (checkpointed to disk after every cell, so a
+  SIGKILL loses at most the in-flight cell), per-worker cell/queue-wait
+  metrics, and a ``worker_heartbeat_dropped_total`` counter with a
+  once-per-worker warning event when a manifest heartbeat append fails
+  (previously swallowed silently).  The cell body can reach the
+  worker's context via :func:`worker_obs` to nest its own spans under
+  the cell span.  With no telemetry config, workers pay one ``is
+  None`` branch per cell — the zero-overhead contract, gated by the
+  ``REPRO_BENCH_OBS`` parallel benchmark.
 
 The engine is transport-agnostic: it neither publishes nor unlinks
 shared memory.  Drivers publish via
@@ -78,14 +90,27 @@ from repro.errors import (
     ParallelExecutionError,
     WorkerCrashError,
 )
+from repro.obs.distributed import CELL_SPAN_NAME
 from repro.parallel import shm as shm_transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.context import RunContext
+    from repro.obs.distributed import WorkerTelemetry, WorkerTelemetryConfig
     from repro.parallel.descriptors import RestoredDataset, SharedDatasetHandle
     from repro.parallel.manifest import WorkerJournal
 
-__all__ = ["CellReply", "ParallelEngine"]
+__all__ = ["CellReply", "ParallelEngine", "worker_obs"]
+
+#: Cell wall-time buckets: sub-second unit tests through multi-minute
+#: paper-scale GA cells.
+_CELL_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+)
+
+#: Queue-wait buckets: from effectively-idle pools to badly oversubscribed.
+_QUEUE_WAIT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 60.0,
+)
 
 
 # -- worker side -------------------------------------------------------------
@@ -94,12 +119,18 @@ __all__ = ["CellReply", "ParallelEngine"]
 _WORKER_HANDLE: Optional["SharedDatasetHandle"] = None
 _WORKER_EXTRA: object = None
 _WORKER_JOURNAL: Optional["WorkerJournal"] = None
+_WORKER_TELEMETRY: Optional["WorkerTelemetry"] = None
+
+#: Heartbeat appends that failed in this worker (kept even without
+#: telemetry, so the loss is at least countable in tests/debuggers).
+_HEARTBEAT_DROPS = 0
 
 
 def _worker_init(
     handle: Optional["SharedDatasetHandle"],
     extra: object,
     journal: Optional["WorkerJournal"] = None,
+    telemetry: Optional["WorkerTelemetryConfig"] = None,
 ) -> None:
     """Pool initializer: install the dataset handle + driver payload.
 
@@ -110,15 +141,34 @@ def _worker_init(
     (segment attached, views built) eagerly so the first cell pays no
     attach latency.  When a grid journal is configured the worker keeps
     its appender so every cell execution starts with a journaled
-    ``running`` heartbeat.
+    ``running`` heartbeat; when a telemetry config is configured the
+    worker opens its own observability sink under the run's
+    ``workers/`` directory.
     """
-    global _WORKER_HANDLE, _WORKER_EXTRA, _WORKER_JOURNAL
+    global _WORKER_HANDLE, _WORKER_EXTRA, _WORKER_JOURNAL, _WORKER_TELEMETRY
     shm_transport.forget_owned()
     _WORKER_HANDLE = handle
     _WORKER_EXTRA = extra
     _WORKER_JOURNAL = journal
+    _WORKER_TELEMETRY = telemetry.open() if telemetry is not None else None
     if handle is not None:
         handle.restore()
+
+
+def worker_obs() -> "RunContext":
+    """The executing worker's observability context (for cell bodies).
+
+    Inside a pool worker with telemetry enabled this is the worker's
+    own enabled :class:`~repro.obs.context.RunContext` — spans recorded
+    through it nest under the current ``cell.run`` span.  Everywhere
+    else it is :data:`~repro.obs.context.NULL_CONTEXT`, so cell bodies
+    can pass it unconditionally.
+    """
+    if _WORKER_TELEMETRY is not None:
+        return _WORKER_TELEMETRY.obs
+    from repro.obs.context import NULL_CONTEXT
+
+    return NULL_CONTEXT
 
 
 @dataclass(frozen=True)
@@ -160,27 +210,79 @@ def _execute_cell(
     payload: object,
     submitted_at: float,
 ) -> CellReply:
-    """Worker-side cell wrapper: heartbeat, restore, run, wrap timing.
+    """Worker-side cell wrapper: heartbeat, telemetry, restore, run.
 
     The ``running`` heartbeat is appended *before* the cell body runs,
     so if this worker is SIGKILL'd mid-cell the coordinator can read
-    exactly which cell (and which pid) went down with it.
+    exactly which cell (and which pid) went down with it.  With
+    telemetry enabled the body runs inside a ``cell.run`` span and the
+    worker sink is checkpointed after the cell (success *and* error
+    paths) — a later SIGKILL loses at most the in-flight cell.
     """
+    global _HEARTBEAT_DROPS
     started = time.monotonic()
+    telem = _WORKER_TELEMETRY
     if _WORKER_JOURNAL is not None:
         try:
             _WORKER_JOURNAL.running(key, attempt)
-        except OSError:
-            pass  # heartbeat is best-effort; never fail the cell for it
+        except OSError as exc:
+            # Best-effort: never fail the cell for a heartbeat — but
+            # never lose the loss either (satellite of the observability
+            # PR: this used to be a bare ``pass``).
+            _HEARTBEAT_DROPS += 1
+            if telem is not None:
+                telem.heartbeat_dropped(key, attempt, exc)
     restored: Optional["RestoredDataset"] = (
         _WORKER_HANDLE.restore() if _WORKER_HANDLE is not None else None
     )
-    result = fn(restored, _WORKER_EXTRA, key, attempt, payload)
+    queue_wait = max(0.0, started - submitted_at)
+    if telem is None:
+        result = fn(restored, _WORKER_EXTRA, key, attempt, payload)
+    else:
+        ctx = telem.cell_context(key, attempt)
+        try:
+            with telem.obs.span(
+                CELL_SPAN_NAME, queue_wait_s=queue_wait, **ctx.as_attrs()
+            ):
+                result = fn(restored, _WORKER_EXTRA, key, attempt, payload)
+        except BaseException:
+            telem.obs.metrics.counter(
+                "worker_cell_errors_total",
+                help="cell attempts that raised in this worker",
+            ).inc()
+            telem.checkpoint()
+            raise
+        elapsed = time.monotonic() - started
+        metrics = telem.obs.metrics
+        metrics.counter(
+            "worker_cells_total", help="cell attempts completed by this worker"
+        ).inc()
+        metrics.histogram(
+            "worker_cell_seconds",
+            buckets=_CELL_SECONDS_BUCKETS,
+            help="wall seconds per completed cell (heartbeat+restore+body)",
+            unit="seconds",
+        ).observe(elapsed)
+        metrics.histogram(
+            "worker_queue_wait_seconds",
+            buckets=_QUEUE_WAIT_BUCKETS,
+            help="seconds a cell sat in the pool queue before pickup",
+            unit="seconds",
+        ).observe(queue_wait)
+        telem.checkpoint()
+        return CellReply(
+            key=key,
+            attempt=attempt,
+            pid=os.getpid(),
+            queue_wait=queue_wait,
+            elapsed=elapsed,
+            result=result,
+        )
     return CellReply(
         key=key,
         attempt=attempt,
         pid=os.getpid(),
-        queue_wait=max(0.0, started - submitted_at),
+        queue_wait=queue_wait,
         elapsed=time.monotonic() - started,
         result=result,
     )
@@ -210,6 +312,11 @@ class ParallelEngine:
         given, every worker appends a ``running`` heartbeat before
         executing a cell body, enabling victim attribution on pool
         breaks.
+    telemetry:
+        Optional :class:`~repro.obs.distributed.WorkerTelemetryConfig`;
+        when given, every worker opens its own crash-safe telemetry
+        sink under the run's ``workers/`` directory (spans, metrics,
+        events per cell).  Rebuilt pool generations open fresh sinks.
     obs:
         Optional :class:`~repro.obs.context.RunContext` for
         coordinator-side metrics and events.
@@ -226,6 +333,7 @@ class ParallelEngine:
         handle: Optional["SharedDatasetHandle"] = None,
         extra: object = None,
         journal: Optional["WorkerJournal"] = None,
+        telemetry: Optional["WorkerTelemetryConfig"] = None,
         obs: Optional["RunContext"] = None,
         mp_context=None,
     ) -> None:
@@ -235,7 +343,7 @@ class ParallelEngine:
         self.handle = handle
         self._obs = obs
         self._mp_context = mp_context
-        self._initargs = (handle, extra, journal)
+        self._initargs = (handle, extra, journal, telemetry)
         self._pool = self._new_pool()
         self._closed = False
         #: Bumped on every pool rebuild; pending futures are tagged with

@@ -116,6 +116,10 @@ class CellStatus:
     failures: list = field(default_factory=list)
     requeues: int = 0
     anomalies: int = 0
+    #: Wall-clock of the newest record touching this cell, and of its
+    #: terminal ``done`` record — the dashboard's throughput/ETA inputs.
+    updated_at: Optional[float] = None
+    done_at: Optional[float] = None
 
     @property
     def crash_owners(self) -> frozenset:
@@ -200,6 +204,9 @@ class GridManifest:
         self.damaged_records = 0
         self._read_offset = 0
         self._obs: Optional["RunContext"] = None
+        #: ``pid -> {"t", "cell", "attempt"}`` from worker ``running``
+        #: heartbeats — the dashboard's per-worker liveness feed.
+        self.worker_heartbeats: dict = {}
 
     # -- construction --------------------------------------------------------
 
@@ -397,6 +404,19 @@ class GridManifest:
             status = self.cells.setdefault(key, CellStatus(key))
         state = record.get("state")
         attempt = record.get("attempt", status.attempt)
+        t = record.get("t")
+        if isinstance(t, (int, float)):
+            status.updated_at = float(t)
+        if state == "running":
+            owner = record.get("owner")
+            if owner is not None:
+                # A heartbeat is a liveness signal even when the cell
+                # transition itself is late/duplicate — fold it first.
+                self.worker_heartbeats[owner] = {
+                    "t": status.updated_at,
+                    "cell": key,
+                    "attempt": attempt,
+                }
         if state == "pending":
             # requeue: re-open a terminal or failed cell for re-driving.
             status.state = "pending"
@@ -430,6 +450,7 @@ class GridManifest:
             status.checksum = record.get("checksum")
             status.owner = None
             status.lease_expires_at = None
+            status.done_at = status.updated_at
         elif state == "failed":
             status.state = "failed"
             status.attempt = max(status.attempt, attempt)

@@ -7,6 +7,7 @@ fronts byte-identical to an uninterrupted run — and leave no
 shared-memory segments behind.
 """
 
+import json
 import os
 import signal
 import subprocess
@@ -55,6 +56,52 @@ class TestWorkerChaos:
         assert grid_status(grid_dir).complete
         # No shared-memory segments were stranded.
         assert set(shm.leaked_segments()) <= leaked_before
+
+
+class TestChaosTelemetry:
+    def test_done_cells_keep_worker_lineage_through_worker_kill(
+        self, tmp_path, clean_fronts
+    ):
+        """Every ``done`` cell of a SIGKILL-drilled grid is attributable:
+        the merged trace holds a worker-stamped ``cell.run`` span for it,
+        parented under the coordinator's ``grid.run`` span — and the
+        telemetry changes nothing about the recovered fronts."""
+        from repro.obs import RunContext, validate_run_dir
+        from repro.obs.distributed import CELL_SPAN_NAME, GRID_SPAN_NAME
+
+        grid_dir = tmp_path / "grid"
+        obs = RunContext.create(obs_dir=grid_dir / "obs", run_id="chaos")
+        result = run_repetitions(
+            dataset1(), **REPS, workers=2, grid_dir=str(grid_dir),
+            fault_hook=_kill_r1_first_attempt, obs=obs,
+        )
+        obs.flush()
+        assert [f.tobytes() for f in result.fronts] == clean_fronts
+
+        merged = grid_dir / "obs" / "merged"
+        assert validate_run_dir(merged) == []
+        spans = [
+            json.loads(line)
+            for line in (merged / "trace.jsonl").read_text().splitlines()
+            if line.strip()
+        ]
+        grid_spans = [s for s in spans if s["name"] == GRID_SPAN_NAME]
+        assert len(grid_spans) == 1
+        cell_spans = [
+            s for s in spans
+            if s["name"] == CELL_SPAN_NAME
+            and s["parent_id"] == grid_spans[0]["span_id"]
+        ]
+        for span in cell_spans:
+            assert span["attrs"].get("worker")  # worker attribution
+        covered = {s["attrs"]["cell"] for s in cell_spans}
+        for key in GridManifest.load(grid_dir).cells_in("done"):
+            assert key in covered
+        # The SIGKILL'd attempt can leave no closed span; the cell's
+        # lineage comes from the retry on a fresh worker.
+        retried = [s for s in cell_spans if s["attrs"]["cell"] == 1]
+        assert retried
+        assert any(s["attrs"]["attempt"] >= 2 for s in retried)
 
 
 class TestCoordinatorChaos:

@@ -151,6 +151,103 @@ class TestMetrics:
         assert list(registry.as_dict()) == ["aa", "zz"]
 
 
+class TestPrometheusExport:
+    """The text exposition format under labels, escaping, and validation."""
+
+    def test_metric_name_validated(self):
+        registry = MetricsRegistry()
+        for bad in ("1starts_with_digit", "has-dash", "has space", ""):
+            with pytest.raises(ObservabilityError):
+                registry.counter(bad)
+        # Colons are legal in metric names (recording rules use them).
+        registry.counter("ns:sub:total").inc()
+        assert "ns:sub:total 1" in registry.to_prometheus_text()
+
+    def test_label_name_validated(self):
+        registry = MetricsRegistry()
+        for bad in ("has-dash", "1digit", "with:colon", ""):
+            with pytest.raises(ObservabilityError):
+                registry.counter("ok_total", labels={bad: "v"})
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "odd_total", labels={"path": 'a\\b"c\nd'}
+        ).inc(2)
+        text = registry.to_prometheus_text()
+        assert 'odd_total{path="a\\\\b\\"c\\nd"} 2' in text
+        # The raw characters never leak unescaped into the exposition.
+        assert '\n"c' not in text
+
+    def test_labeled_series_are_distinct_one_header(self):
+        registry = MetricsRegistry()
+        registry.counter("cells_total", help="cells",
+                         labels={"worker": "1"}).inc(3)
+        registry.counter("cells_total", labels={"worker": "2"}).inc(4)
+        registry.counter("cells_total").inc(7)
+        text = registry.to_prometheus_text()
+        assert text.count("# TYPE cells_total counter") == 1
+        assert text.count("# HELP cells_total cells") == 1
+        assert "cells_total 7" in text
+        assert 'cells_total{worker="1"} 3' in text
+        assert 'cells_total{worker="2"} 4' in text
+
+    def test_type_drift_rejected_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels={"worker": "1"})
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x_total", labels={"worker": "2"})
+
+    def test_label_order_canonicalized(self):
+        registry = MetricsRegistry()
+        a = registry.counter("y_total", labels={"b": "2", "a": "1"})
+        b = registry.counter("y_total", labels={"a": "1", "b": "2"})
+        assert a is b
+        assert 'y_total{a="1",b="2"}' in registry.to_prometheus_text()
+
+    def test_histogram_bucket_ordering_and_labels(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lat_seconds", buckets=(0.1, 1.0, 10.0),
+            labels={"worker": "9"},
+        )
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        text = registry.to_prometheus_text()
+        lines = [l for l in text.splitlines() if l.startswith("lat_seconds")]
+        # Buckets in bound order, cumulative, le first then the series
+        # labels, +Inf equal to the total count, then sum and count.
+        assert lines == [
+            'lat_seconds_bucket{le="0.1",worker="9"} 1',
+            'lat_seconds_bucket{le="1",worker="9"} 2',
+            'lat_seconds_bucket{le="10",worker="9"} 3',
+            'lat_seconds_bucket{le="+Inf",worker="9"} 4',
+            'lat_seconds_sum{worker="9"} 55.55',
+            'lat_seconds_count{worker="9"} 4',
+        ]
+
+    def test_prefix_names_do_not_interleave(self):
+        """A metric whose name prefixes another must keep its samples
+        contiguous under its own headers ("foo" vs "foo_bar")."""
+        registry = MetricsRegistry()
+        registry.counter("foo", labels={"z": "1"}).inc()
+        registry.counter("foo_bar").inc()
+        registry.counter("foo").inc()
+        text = registry.to_prometheus_text()
+        foo_lines = [
+            i for i, l in enumerate(text.splitlines())
+            if l == "foo 1" or l.startswith("foo{")
+        ]
+        assert foo_lines == list(range(foo_lines[0], foo_lines[0] + 2))
+
+    def test_snapshot_keys_match_prom_series(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", labels={"k": "v"}).set(1)
+        snapshot = registry.as_dict()
+        assert 'g{k="v"}' in snapshot
+        assert snapshot['g{k="v"}']["labels"] == {"k": "v"}
+
+
 class TestEventLog:
     def test_threshold_filters_at_emit(self):
         log = EventLog(level="warning", clock=FakeClock())

@@ -1,0 +1,191 @@
+"""The ``grid watch`` dashboard: snapshot join, rendering, export."""
+
+import io
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.datasets import dataset1
+from repro.experiments.repetitions import run_repetitions
+from repro.obs import RunContext
+from repro.obs.watch import (
+    grid_snapshot,
+    render_watch,
+    snapshot_to_prometheus,
+    watch_grid,
+    write_prometheus_textfile,
+)
+from repro.parallel.manifest import GridManifest
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return dataset1(seed=321)
+
+
+@pytest.fixture(scope="module")
+def finished_grid(bundle, tmp_path_factory):
+    """A completed 4-cell parallel grid with worker telemetry."""
+    grid_dir = tmp_path_factory.mktemp("grid")
+    obs = RunContext.create(obs_dir=grid_dir / "obs", run_id="watched")
+    run_repetitions(
+        bundle, repetitions=4, generations=3, population_size=12,
+        base_seed=55, workers=2, grid_dir=str(grid_dir), obs=obs,
+    )
+    obs.flush()
+    return grid_dir
+
+
+def _synthetic_grid(tmp_path, *, done=2, total=5):
+    """A hand-journaled grid mid-flight (no processes involved)."""
+    manifest = GridManifest.create(
+        tmp_path, spec={"driver": "test"}, fingerprint="fp",
+        cells=list(range(total)), grid_id="grid-test",
+    )
+    for key in range(done):
+        manifest.mark_leased(key, 1)
+        manifest.mark_done(key, 1, checksum="x")
+    return manifest
+
+
+class TestSnapshot:
+    def test_counts_workers_and_throughput(self, finished_grid):
+        snap = grid_snapshot(finished_grid)
+        assert snap["grid_id"]
+        assert snap["total"] == 4
+        assert snap["counts"]["done"] == 4
+        assert snap["throughput"]["remaining"] == 0
+        # Two pool workers, each with telemetry-confirmed cells.
+        assert len(snap["workers"]) == 2
+        assert sum(w["cells_done"] for w in snap["workers"]) == 4
+        assert snap["worker_metrics"]["worker_cells_total"]["value"] == 4.0
+
+    def test_obs_dir_defaults_to_grid_obs(self, finished_grid):
+        snap = grid_snapshot(finished_grid)
+        assert snap["obs_dir"] == str(finished_grid / "obs")
+
+    def test_eta_from_done_timestamps(self, tmp_path):
+        manifest = _synthetic_grid(tmp_path, done=0, total=6)
+        # Journal done records 10 s apart; the snapshot replays them.
+        for key, t in zip(range(3), (100.0, 110.0, 120.0)):
+            manifest._append({
+                "rec": "cell", "cell": key, "state": "done", "attempt": 1,
+                "checksum": "x", "src": os.getpid(), "t": t,
+            })
+        snap = grid_snapshot(tmp_path, now=130.0)
+        through = snap["throughput"]
+        assert through["done"] == 3
+        assert through["remaining"] == 3
+        # 2 completion intervals over the 30 s since the first done.
+        assert through["cells_per_s"] == pytest.approx(2 / 30)
+        assert through["eta_s"] == pytest.approx(3 / (2 / 30))
+
+    def test_retry_and_quarantine_feeds(self, tmp_path):
+        manifest = _synthetic_grid(tmp_path, done=1, total=4)
+        manifest.mark_failed(1, 1, kind="timeout", error="slow")
+        manifest.mark_failed(1, 2, kind="worker-death", error="sigkill",
+                             owner=4242)
+        manifest.mark_quarantined(2, 3, owners=(1, 2))
+        snap = grid_snapshot(tmp_path)
+        assert snap["cells_retried"] == 1
+        assert snap["failure_kinds"] == {
+            "timeout": 1, "worker-death": 1,
+        }
+        assert snap["quarantined"] == [2]
+
+    def test_heartbeats_surface_worker_rows(self, tmp_path):
+        manifest = _synthetic_grid(tmp_path, done=0, total=2)
+        manifest.worker_journal().running(0, 1)
+        snap = grid_snapshot(tmp_path)
+        assert [w["pid"] for w in snap["workers"]] == [os.getpid()]
+        row = snap["workers"][0]
+        assert row["alive"] is True
+        assert row["cell"] == 0
+        assert row["last_beat_age_s"] is not None
+
+
+class TestRender:
+    def test_render_mentions_the_essentials(self, finished_grid):
+        snap = grid_snapshot(finished_grid)
+        text = render_watch(snap)
+        assert "4/4 done" in text
+        assert "workers: 2" in text
+        assert "queue wait" in text
+        assert "cell run time" in text
+
+    def test_render_incomplete_grid(self, tmp_path):
+        _synthetic_grid(tmp_path, done=2, total=5)
+        text = render_watch(grid_snapshot(tmp_path))
+        assert "2/5 done" in text
+        assert "pending=3" in text
+
+
+class TestPrometheusExport:
+    def test_gauges_and_worker_series(self, finished_grid):
+        snap = grid_snapshot(finished_grid)
+        text = snapshot_to_prometheus(snap)
+        assert 'grid_cells{state="done"} 4' in text
+        assert "grid_cells_enumerated 4" in text
+        assert "grid_workers 2" in text
+        assert "worker_cells_total 4" in text
+
+    def test_textfile_written_atomically(self, finished_grid, tmp_path):
+        out = tmp_path / "metrics" / "grid.prom"
+        write_prometheus_textfile(grid_snapshot(finished_grid), out)
+        assert out.read_text().endswith("\n")
+        assert not out.with_name(out.name + ".tmp").exists()
+
+
+class TestWatchLoop:
+    def test_once_renders_single_frame(self, finished_grid):
+        stream = io.StringIO()
+        snap = watch_grid(finished_grid, once=True, stream=stream)
+        assert "4/4 done" in stream.getvalue()
+        assert snap["counts"]["done"] == 4
+
+    def test_live_mode_stops_when_grid_completes(self, finished_grid):
+        stream = io.StringIO()
+        sleeps = []
+        watch_grid(
+            finished_grid, interval=0.5, stream=stream,
+            sleep=sleeps.append,
+        )
+        # Grid is already terminal: one frame, no sleeping.
+        assert sleeps == []
+
+    def test_frames_bound_live_refreshes(self, tmp_path):
+        _synthetic_grid(tmp_path, done=1, total=3)
+        stream = io.StringIO()
+        sleeps = []
+        watch_grid(
+            tmp_path, interval=0.25, frames=3, stream=stream,
+            sleep=sleeps.append,
+        )
+        assert sleeps == [0.25, 0.25]
+        # Live refreshes clear the screen between frames.
+        assert stream.getvalue().count("\x1b[2J") == 2
+
+
+class TestCli:
+    def test_grid_watch_once_exit_codes(self, finished_grid, tmp_path, capsys):
+        prom = tmp_path / "grid.prom"
+        code = main([
+            "grid", "watch", str(finished_grid), "--once",
+            "--prom", str(prom),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4/4 done" in out
+        assert 'grid_cells{state="done"} 4' in prom.read_text()
+
+    def test_grid_watch_once_incomplete_is_nonzero(self, tmp_path, capsys):
+        _synthetic_grid(tmp_path, done=1, total=3)
+        code = main(["grid", "watch", str(tmp_path), "--once"])
+        assert code == 1
+        assert "1/3 done" in capsys.readouterr().out
+
+    def test_grid_watch_missing_manifest_errors(self, tmp_path, capsys):
+        code = main(["grid", "watch", str(tmp_path / "nope"), "--once"])
+        assert code == 2
+        assert "no grid manifest" in capsys.readouterr().err
