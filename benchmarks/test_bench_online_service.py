@@ -1,0 +1,340 @@
+"""Online dispatch service benchmark with a regression-tracked report.
+
+Runs the warm-started windowed re-optimization service
+(:mod:`repro.service`) over a synthetic Poisson stream on the data set
+1 system and measures what ISSUE/PR 10 promises:
+
+* **Warm vs cold window cost at matched front quality.**  Alongside
+  the warm service run, every busy window is *probed* by a
+  cold-restart GA on the identical committed-ledger state: a fresh
+  random population with 3x the generations and no adopted kernel
+  state — the "just rerun the GA each window" strawman an online
+  deployment would otherwise use.  Because both optimizers see the
+  exact same horizon, their fronts are directly comparable; the gates
+  require the warm front's hypervolume to stay within 1% of the cold
+  probe's while the warm window costs at least 2x less wall clock.
+  Gates apply to *steady-state* windows (after ``WARMUP_WINDOWS``):
+  the first windows necessarily run without mature carryover and are
+  reported, not gated.
+* **Sustained throughput and dispatch latency.**  Tasks/second over
+  the whole run, p50/p99 per-window dispatch wall seconds, and the
+  real-time bound: p99 must stay under the window length, else the
+  service cannot keep up with its own stream.
+* **Greedy online baselines.**  The same arrivals replayed through
+  :class:`~repro.extensions.online.OnlineDispatcher` (max-utility and
+  utility-per-energy policies) anchor the quality axis: near-zero
+  dispatch cost, no Pareto choice.  The report records their
+  objectives next to the service's.
+* **Cross-window evaluator reuse.**  The mean kernel reuse rate over
+  warm windows must be nonzero — the content-fingerprint caches are
+  the mechanism behind the cost gate, so losing them silently would
+  show up here first.
+
+Results are written to ``BENCH_online_service.json`` at the repo root
+(``.smoke.json`` under ``REPRO_BENCH_SMOKE=1``, which the CI
+online-service job uploads); smoke runs keep every correctness
+assertion but skip the absolute cost/latency gates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_SEED
+from repro.analysis.indicators import hypervolume
+from repro.core.algorithm import AlgorithmConfig
+from repro.core.registry import make_algorithm
+from repro.experiments.datasets import dataset1
+from repro.extensions.online import (
+    MaxUtilityPolicy,
+    OnlineDispatcher,
+    UtilityPerEnergyPolicy,
+)
+from repro.rng import derive_seed
+from repro.service import ArrivalStream, DispatchService, ServiceConfig
+from repro.service.window import WindowEvaluator
+from repro.workload.generator import TaskTypeMix
+from repro.workload.trace import Trace
+
+REPO_ROOT = Path(__file__).parent.parent
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+REPORT = REPO_ROOT / (
+    "BENCH_online_service.smoke.json" if SMOKE else "BENCH_online_service.json"
+)
+
+WINDOW_SECONDS = 60.0
+ARRIVAL_RATE = 0.35
+NUM_WINDOWS = 4 if SMOKE else 10
+POPULATION = 16 if SMOKE else 32
+WARM_GENERATIONS = 3 if SMOKE else 6
+#: The cold probe gets 3x the warm generations: the point of the
+#: comparison is cost at *matched* quality, so the strawman is allowed
+#: to spend until it is at least as good.
+COLD_GENERATIONS = 3 * WARM_GENERATIONS
+#: The first windows run without mature carryover (window 0 is fully
+#: cold); quality/cost gates apply from this window index on.
+WARMUP_WINDOWS = 1 if SMOKE else 3
+
+#: Full-scale gates (see module docstring).
+MIN_HV_RATIO = 0.99
+MAX_WARM_COST_RATIO = 0.5
+MAX_P99_SECONDS = WINDOW_SECONDS
+
+
+def service_config() -> ServiceConfig:
+    return ServiceConfig(
+        population_size=POPULATION,
+        generations=WARM_GENERATIONS,
+        carryover=POPULATION // 2,
+        compact_every=0,  # identical horizons for clean probe comparison
+        seed=BENCH_SEED,
+    )
+
+
+def cold_probe(system, ledger, batch):
+    """Cold-restart GA on the window's exact ledger state.
+
+    Timed with the same scope as the service's ``dispatch_seconds``:
+    evaluator construction, optimization, and full evaluation of the
+    chosen point.  No carryover seeds, no adopted kernel state.
+    """
+    t0 = time.perf_counter()
+    evaluator = WindowEvaluator(system, ledger, batch)
+    algorithm = make_algorithm(
+        "nsga2",
+        evaluator,
+        AlgorithmConfig(population_size=POPULATION),
+        rng=derive_seed(BENCH_SEED, "cold-probe", batch.index),
+    )
+    algorithm.run(COLD_GENERATIONS)
+    points, rows = algorithm.current_front()
+    chosen = int(rows[int(np.argmax(points[:, 1]))])
+    evaluator.evaluate_full(
+        algorithm.population.assignments[chosen],
+        algorithm.population.orders[chosen],
+    )
+    return points, time.perf_counter() - t0
+
+
+def window_hv_ratio(warm_points, cold_points):
+    """Hypervolume ratio with a span-relative reference.
+
+    Both fronts are service-cumulative over the identical horizon, so
+    the shared committed-prefix offset is large; a reference placed
+    just past the union's worst corner keeps the ratio sensitive to
+    the actual spread between the fronts.
+    """
+    union = np.vstack([warm_points, cold_points])
+    span_e = union[:, 0].max() - union[:, 0].min() + 1.0
+    span_u = union[:, 1].max() - union[:, 1].min() + 1.0
+    reference = (
+        union[:, 0].max() + 0.05 * span_e,
+        union[:, 1].min() - 0.05 * span_u,
+    )
+    return hypervolume(warm_points, reference) / hypervolume(
+        cold_points, reference
+    )
+
+
+@pytest.fixture(scope="module")
+def ds_system():
+    return dataset1(seed=BENCH_SEED).system
+
+
+@pytest.fixture(scope="module")
+def bench(ds_system):
+    """One warm service run with per-window cold probes, plus greedy."""
+    stream = ArrivalStream(
+        mix=TaskTypeMix.uniform(ds_system.num_task_types),
+        window=WINDOW_SECONDS,
+        rate=ARRIVAL_RATE,
+        seed=BENCH_SEED,
+    )
+    batches = list(stream.windows(NUM_WINDOWS))
+
+    service = DispatchService(ds_system, service_config())
+    probes = []
+    t0 = time.perf_counter()
+    for batch in batches:
+        if batch.count == 0:
+            service.process_window(batch)
+            continue
+        # Probe BEFORE the service commits this window, so both
+        # optimizers see the identical ledger state.
+        cold_points, cold_seconds = cold_probe(
+            ds_system, service.ledger, batch
+        )
+        report = service.process_window(batch)
+        probes.append({
+            "window": batch.index,
+            "hv_ratio": window_hv_ratio(report.front_points, cold_points),
+            "warm_seconds": report.dispatch_seconds,
+            "cold_seconds": cold_seconds,
+            "cost_ratio": report.dispatch_seconds / cold_seconds,
+        })
+    wall = time.perf_counter() - t0
+    result = service.result()
+
+    # Greedy baselines replay the identical arrivals as one trace.
+    trace = Trace(
+        task_types=np.concatenate([b.task_types for b in batches]),
+        arrival_times=np.concatenate([b.arrival_times for b in batches]),
+        window=NUM_WINDOWS * WINDOW_SECONDS,
+    )
+    dispatcher = OnlineDispatcher(ds_system, trace)
+    greedy = {}
+    for name, policy in (
+        ("greedy_max_utility", MaxUtilityPolicy()),
+        ("greedy_utility_per_energy", UtilityPerEnergyPolicy()),
+    ):
+        t0 = time.perf_counter()
+        outcome = dispatcher.run(policy)
+        greedy[name] = {"outcome": outcome, "wall": time.perf_counter() - t0}
+
+    return {
+        "batches": batches,
+        "result": result,
+        "wall": wall,
+        "probes": probes,
+        "greedy": greedy,
+    }
+
+
+@pytest.fixture(scope="module")
+def report(bench):
+    result = bench["result"]
+    probes = bench["probes"]
+    steady = [p for p in probes if p["window"] >= WARMUP_WINDOWS]
+    busy = [r for r in result.reports if not r.idle]
+
+    payload = {
+        "description": "Warm-started online dispatch service vs "
+        "per-window cold-restart probes and greedy online policies",
+        "protocol": {
+            "system": "dataset1",
+            "window_seconds": WINDOW_SECONDS,
+            "arrival_rate_per_second": ARRIVAL_RATE,
+            "num_windows": NUM_WINDOWS,
+            "population": POPULATION,
+            "warm_generations": WARM_GENERATIONS,
+            "cold_generations": COLD_GENERATIONS,
+            "warmup_windows": WARMUP_WINDOWS,
+            "seed": BENCH_SEED,
+            "smoke": SMOKE,
+        },
+        "environment": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "service": {
+            "tasks_dispatched": result.tasks_dispatched,
+            "total_energy": result.total_energy,
+            "total_utility": result.total_utility,
+            "mean_flow_time_s": result.mean_flow_time,
+            "wall_seconds": bench["wall"],
+            "tasks_per_second": result.tasks_per_second,
+            "dispatch_latency_p50_s": result.dispatch_latency(50),
+            "dispatch_latency_p99_s": result.dispatch_latency(99),
+            "mean_window_cost_s": float(
+                np.mean([r.dispatch_seconds for r in busy])
+            ),
+            "evaluations_per_window": int(
+                np.mean([r.evaluations for r in busy])
+            ),
+            "archive_size": int(result.archive_points.shape[0]),
+            "archive_min_energy": float(result.archive_points[:, 0].min()),
+        },
+        "greedy": {
+            name: {
+                "energy": entry["outcome"].energy,
+                "utility": entry["outcome"].utility,
+                "wall_seconds": entry["wall"],
+            }
+            for name, entry in bench["greedy"].items()
+        },
+        "per_window": probes,
+        "comparison": {
+            "steady_state_windows": len(steady),
+            "steady_state_hypervolume_ratio": float(
+                np.mean([p["hv_ratio"] for p in steady])
+            ),
+            "steady_state_cost_ratio": float(
+                np.mean([p["cost_ratio"] for p in steady])
+            ),
+            "warmup_hypervolume_ratios": [
+                p["hv_ratio"] for p in probes if p["window"] < WARMUP_WINDOWS
+            ],
+            "mean_warm_reuse_rate": float(
+                np.mean([r.reuse_rate for r in busy])
+            ),
+            "warm_windows_adopting_kernel": int(
+                sum(r.kernel_adopted for r in busy)
+            ),
+        },
+        "gates": {
+            "min_hypervolume_ratio": MIN_HV_RATIO,
+            "max_warm_cost_ratio": MAX_WARM_COST_RATIO,
+            "max_p99_dispatch_seconds": MAX_P99_SECONDS,
+            "status": "smoke-assertions-only" if SMOKE else "enforced",
+        },
+    }
+    REPORT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_probes_cover_busy_windows(bench):
+    """Every non-idle window got a matched cold-restart probe."""
+    busy = [r.index for r in bench["result"].reports if not r.idle]
+    assert [p["window"] for p in bench["probes"]] == busy
+    assert len(busy) >= WARMUP_WINDOWS + 1
+
+
+def test_warm_service_reuses_evaluator_state(report):
+    """The cross-window caches actually fire (mechanism gate)."""
+    comparison = report["comparison"]
+    assert comparison["mean_warm_reuse_rate"] > 0.0
+    assert comparison["warm_windows_adopting_kernel"] >= NUM_WINDOWS - 2
+
+
+def test_front_quality_matched(report):
+    """Steady-state warm fronts match the 3x-generation cold probes."""
+    ratio = report["comparison"]["steady_state_hypervolume_ratio"]
+    assert ratio >= MIN_HV_RATIO
+
+
+def test_warm_window_cost(report):
+    """Steady-state warm windows cost at least 2x less than cold."""
+    if SMOKE:
+        pytest.skip("smoke run: absolute cost gate skipped")
+    assert report["comparison"]["steady_state_cost_ratio"] <= MAX_WARM_COST_RATIO
+
+
+def test_dispatch_latency_bounded(report):
+    """p99 window dispatch time stays within the window (keeps up)."""
+    if SMOKE:
+        pytest.skip("smoke run: absolute latency gate skipped")
+    assert report["service"]["dispatch_latency_p99_s"] <= MAX_P99_SECONDS
+    assert report["service"]["tasks_per_second"] > 0
+
+
+def test_service_offers_cheaper_points_than_greedy(report):
+    """The value of keeping a Pareto archive: it always offers a lower
+    energy operating point than the energy-blind greedy policy, so a
+    budget can actually bind."""
+    greedy_energy = report["greedy"]["greedy_max_utility"]["energy"]
+    assert report["service"]["archive_min_energy"] < greedy_energy
+    assert report["comparison"]["steady_state_hypervolume_ratio"] > 0
+
+
+def test_report_written(report):
+    assert REPORT.exists()
+    on_disk = json.loads(REPORT.read_text())
+    assert on_disk["protocol"]["num_windows"] == NUM_WINDOWS

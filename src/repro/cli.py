@@ -66,7 +66,7 @@ from repro.experiments.io import save_figure_result
 from repro.experiments.tables import render_table1, render_table2, render_table3
 from repro.heuristics import SEEDING_HEURISTICS
 from repro.model.serialization import save_system
-from repro.sim.evaluator import ScheduleEvaluator
+from repro.sim.evaluator import DEFAULT_KERNEL_METHOD, ScheduleEvaluator
 
 __all__ = ["main"]
 
@@ -491,11 +491,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--kernel-method",
                        choices=["fast", "reference", "batch",
                                 "batch-reference"],
-                       default="fast",
-                       help="evaluation kernel: 'fast' (default) and its "
-                       "scalar oracle 'reference', or the "
-                       "population-at-once 'batch' kernel with queue-state "
-                       "reuse and its oracle 'batch-reference' "
+                       default=DEFAULT_KERNEL_METHOD,
+                       help="evaluation kernel: the population-at-once "
+                       "'batch' kernel with queue-state reuse (default) "
+                       "and its scalar oracle 'batch-reference', or the "
+                       "per-row 'fast' kernel and its oracle 'reference' "
                        "(see docs/performance.md)")
 
     def _add_workers_args(p: argparse.ArgumentParser) -> None:

@@ -15,14 +15,16 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
 
 from repro.core.operators import FeasibleMachines
 from repro.core.population import Population
 from repro.errors import OptimizationError
 from repro.rng import SeedLike, ensure_rng
 from repro.sim.schedule import ResourceAllocation
+from repro.types import IntArray
 
-__all__ = ["seeded_initial_population"]
+__all__ = ["seeded_initial_population", "repair_mapped_seeds"]
 
 
 def seeded_initial_population(
@@ -63,3 +65,89 @@ def seeded_initial_population(
         population.assignments[row] = seed.machine_assignment
         population.orders[row] = seed.scheduling_order
     return population
+
+
+def repair_mapped_seeds(
+    donor_task_types: IntArray,
+    donor_assignments: IntArray,
+    task_types: IntArray,
+    feasible: FeasibleMachines,
+    rng_seed: SeedLike = None,
+    max_seeds: int | None = None,
+    arrival_order_first: bool = False,
+) -> list[ResourceAllocation]:
+    """Warm-start seeds for a *new* task set from a previous window's
+    survivors (online service carryover).
+
+    Machine feasibility is a pure function of the task *type*
+    (``system.feasible_task_machine[task_types]``), so a machine chosen
+    for one task transfers feasibly to any other task of the same type.
+    Each donor chromosome becomes one seed: every new task copies the
+    machine of a uniformly drawn donor task of its own type (a "repair
+    map"); types the donor window never saw fall back to a random
+    feasible machine.  Scheduling orders are fresh random permutations
+    — the previous window's order keys rank *its* tasks and carry no
+    meaning for the new ones.
+
+    Parameters
+    ----------
+    donor_task_types:
+        ``(D,)`` task types of the previous window's trace.
+    donor_assignments:
+        ``(S, D)`` machine assignments — one donor chromosome per row
+        (e.g. the previous window's final front rows).
+    task_types:
+        ``(T,)`` task types of the new window.
+    feasible:
+        The new window's :class:`FeasibleMachines` (random fallback and
+        seed-size validation).
+    rng_seed:
+        Randomness for donor draws, fallbacks, and orders.
+    max_seeds:
+        Keep at most this many donor rows (first rows win — callers
+        should order donors best-first).
+    arrival_order_first:
+        Give the *first* seed the identity scheduling order (tasks in
+        arrival order — the FIFO heuristic) instead of a random
+        permutation.  Subsequent seeds keep random orders for
+        diversity.
+    """
+    donor_types = np.asarray(donor_task_types, dtype=np.int64)
+    donors = np.atleast_2d(np.asarray(donor_assignments, dtype=np.int64))
+    types = np.asarray(task_types, dtype=np.int64)
+    if donors.shape[1] != donor_types.shape[0]:
+        raise OptimizationError(
+            f"donor chromosomes cover {donors.shape[1]} tasks; donor trace "
+            f"has {donor_types.shape[0]}"
+        )
+    if types.shape[0] != feasible.num_tasks:
+        raise OptimizationError(
+            f"task_types covers {types.shape[0]} tasks; feasible table has "
+            f"{feasible.num_tasks}"
+        )
+    if max_seeds is not None:
+        donors = donors[:max_seeds]
+    rng = ensure_rng(rng_seed)
+    S, T = donors.shape[0], types.shape[0]
+    assignments = np.empty((S, T), dtype=np.int64)
+    rows = np.arange(S)[:, None]
+    for t in np.unique(types):
+        at = np.flatnonzero(types == t)
+        pool = np.flatnonzero(donor_types == t)
+        if pool.size:
+            # One draw matrix covers every seed row at once.
+            picks = rng.integers(0, pool.size, size=(S, at.size))
+            assignments[:, at] = donors[rows, pool[picks]]
+        else:
+            for s in range(S):
+                assignments[s, at] = feasible.sample(at, rng)
+    seeds: list[ResourceAllocation] = []
+    for s in range(S):
+        if s == 0 and arrival_order_first:
+            order = np.arange(T, dtype=np.int64)
+        else:
+            order = rng.permutation(T).astype(np.int64)
+        seeds.append(ResourceAllocation(
+            machine_assignment=assignments[s], scheduling_order=order,
+        ))
+    return seeds

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.errors import ExperimentError
+from repro.sim.evaluator import DEFAULT_KERNEL_METHOD
 
 __all__ = ["ExperimentConfig", "scaled_checkpoints", "default_scale"]
 
@@ -100,7 +101,7 @@ class ExperimentConfig:
     checkpoints: tuple[int, ...] = (1, 2, 20, 200)
     base_seed: int = 2013
     algorithm: str = "nsga2"
-    kernel_method: str = "fast"
+    kernel_method: str = DEFAULT_KERNEL_METHOD
 
     def __post_init__(self) -> None:
         if self.kernel_method not in (
@@ -181,7 +182,7 @@ class ExperimentConfig:
         mutation_probability: float = 0.25,
         base_seed: int = 2013,
         algorithm: str = "nsga2",
-        kernel_method: str = "fast",
+        kernel_method: str = DEFAULT_KERNEL_METHOD,
     ) -> "ExperimentConfig":
         """Config with scaled versions of the paper's checkpoints."""
         cps = scaled_checkpoints(paper_checkpoints, scale)

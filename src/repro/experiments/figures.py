@@ -28,6 +28,7 @@ from repro.experiments.runner import (
     SeededPopulationResult,
     run_seeded_populations,
 )
+from repro.sim.evaluator import DEFAULT_KERNEL_METHOD
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.context import RunContext
@@ -123,7 +124,7 @@ def _run_figure(
     workers: int = 0,
     transport: str = "auto",
     algorithm: str = "nsga2",
-    kernel_method: str = "fast",
+    kernel_method: str = DEFAULT_KERNEL_METHOD,
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     paper = PAPER_CHECKPOINTS[name]
@@ -171,7 +172,7 @@ def figure3(
     workers: int = 0,
     transport: str = "auto",
     algorithm: str = "nsga2",
-    kernel_method: str = "fast",
+    kernel_method: str = DEFAULT_KERNEL_METHOD,
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 3: the real historical data set (data set 1)."""
@@ -194,7 +195,7 @@ def figure4(
     workers: int = 0,
     transport: str = "auto",
     algorithm: str = "nsga2",
-    kernel_method: str = "fast",
+    kernel_method: str = DEFAULT_KERNEL_METHOD,
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 4: the 1000-task synthetic data set (data set 2)."""
@@ -217,7 +218,7 @@ def figure6(
     workers: int = 0,
     transport: str = "auto",
     algorithm: str = "nsga2",
-    kernel_method: str = "fast",
+    kernel_method: str = DEFAULT_KERNEL_METHOD,
     obs: Optional["RunContext"] = None,
 ) -> FigureResult:
     """Figure 6: the 4000-task synthetic data set (data set 3)."""

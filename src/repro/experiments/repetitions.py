@@ -29,7 +29,7 @@ from repro.errors import ExperimentError
 from repro.experiments.datasets import DatasetBundle
 from repro.heuristics import SEEDING_HEURISTICS
 from repro.rng import derive_seed, ensure_rng
-from repro.sim.evaluator import ScheduleEvaluator
+from repro.sim.evaluator import DEFAULT_KERNEL_METHOD, ScheduleEvaluator
 from repro.types import FloatArray
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -139,7 +139,7 @@ def run_repetitions(
     transport: str = "auto",
     retry: Optional["RetryPolicy"] = None,
     algorithm: Union[str, AlgorithmFactory] = "nsga2",
-    kernel_method: str = "fast",
+    kernel_method: str = DEFAULT_KERNEL_METHOD,
     grid_dir: Optional[str] = None,
     fault_hook=None,
     obs: Optional["RunContext"] = None,
@@ -354,7 +354,7 @@ def _run_repetitions_parallel(
     obs: "RunContext",
     algorithm: Union[str, AlgorithmFactory] = "nsga2",
     *,
-    kernel_method: str = "fast",
+    kernel_method: str = DEFAULT_KERNEL_METHOD,
     fronts_by_r: dict,
     binding=None,
     fault_hook=None,

@@ -32,6 +32,7 @@ from repro.experiments.figures import figure3, figure4, figure5, figure6
 from repro.experiments.io import save_figure_result
 from repro.experiments.tables import render_table1, render_table2, render_table3
 from repro.utility.tuf import TimeUtilityFunction
+from repro.sim.evaluator import DEFAULT_KERNEL_METHOD
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.context import RunContext
@@ -74,7 +75,7 @@ def reproduce_all(
     workers: int = 0,
     transport: str = "auto",
     algorithm: str = "nsga2",
-    kernel_method: str = "fast",
+    kernel_method: str = DEFAULT_KERNEL_METHOD,
     progress: Optional[Callable[[str], None]] = print,
     obs: Optional["RunContext"] = None,
 ) -> Path:

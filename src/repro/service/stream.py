@@ -1,0 +1,170 @@
+"""Continuous arrival streams chopped into dispatch windows.
+
+The service consumes :class:`WindowBatch` objects — the tasks that
+arrived during one dispatch window, with *absolute* arrival times on
+the service clock.  Two sources are provided:
+
+* :class:`ArrivalStream` — synthetic traffic: per-window task counts
+  drawn Poisson(rate × window) and arrival times from any
+  :class:`~repro.workload.arrivals.ArrivalProcess`, with task types
+  from a :class:`~repro.workload.generator.TaskTypeMix`.  Windows are
+  seeded independently (``derive_seed(seed, "window", k)``), so the
+  stream is deterministic per seed, across processes, and regardless
+  of how many windows a consumer takes.
+* :func:`windows_from_trace` — replay of a recorded
+  :class:`~repro.workload.trace.Trace` (e.g. an SWF import) in
+  fixed-width windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.rng import derive_seed
+from repro.types import FloatArray, IntArray
+from repro.workload.arrivals import ArrivalProcess, PoissonArrivals
+from repro.workload.generator import TaskTypeMix
+from repro.workload.trace import Trace
+
+__all__ = ["WindowBatch", "ArrivalStream", "windows_from_trace"]
+
+
+@dataclass(frozen=True)
+class WindowBatch:
+    """Tasks that arrived during one dispatch window.
+
+    Attributes
+    ----------
+    index:
+        Zero-based window number.
+    start, end:
+        Window bounds on the service clock; arrivals lie in
+        ``[start, end)``.
+    task_types:
+        ``(B,)`` task-type indices (``B`` may be 0: an idle window).
+    arrival_times:
+        ``(B,)`` sorted absolute arrival times.
+    """
+
+    index: int
+    start: float
+    end: float
+    task_types: IntArray
+    arrival_times: FloatArray
+
+    def __post_init__(self) -> None:
+        types = np.asarray(self.task_types, dtype=np.int64)
+        arrivals = np.asarray(self.arrival_times, dtype=np.float64)
+        if types.shape != arrivals.shape or types.ndim != 1:
+            raise WorkloadError(
+                f"window batch arrays must be equal-length 1-D; got "
+                f"{types.shape} and {arrivals.shape}"
+            )
+        if arrivals.size:
+            if np.any(np.diff(arrivals) < 0):
+                raise WorkloadError("window arrivals must be sorted")
+            if arrivals[0] < self.start or arrivals[-1] >= self.end:
+                raise WorkloadError(
+                    f"window {self.index} arrivals outside "
+                    f"[{self.start}, {self.end})"
+                )
+        object.__setattr__(self, "task_types", types)
+        object.__setattr__(self, "arrival_times", arrivals)
+
+    @property
+    def count(self) -> int:
+        """Number of tasks in the window."""
+        return int(self.task_types.shape[0])
+
+
+@dataclass(frozen=True)
+class ArrivalStream:
+    """Deterministic synthetic task stream, one window at a time.
+
+    Attributes
+    ----------
+    mix:
+        Task-type distribution.
+    window:
+        Dispatch window length (seconds).
+    rate:
+        Mean arrival rate (tasks/second); each window's count is
+        Poisson(rate × window), so idle (zero-task) windows occur
+        naturally at low rates.
+    arrivals:
+        Within-window arrival-time process (default Poisson, i.e.
+        uniform order statistics).
+    seed:
+        Base seed; window *k* derives its count, types, and times from
+        ``derive_seed(seed, "window", k)`` alone.
+    """
+
+    mix: TaskTypeMix
+    window: float
+    rate: float
+    arrivals: ArrivalProcess = field(default_factory=PoissonArrivals)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise WorkloadError(f"window must be positive, got {self.window}")
+        if self.rate < 0:
+            raise WorkloadError(f"rate must be >= 0, got {self.rate}")
+
+    def batch(self, index: int) -> WindowBatch:
+        """The *index*-th window's tasks (random access, O(window))."""
+        if index < 0:
+            raise WorkloadError(f"window index must be >= 0, got {index}")
+        window_seed = derive_seed(self.seed, "service-window", index)
+        rng = np.random.default_rng(window_seed)
+        count = int(rng.poisson(self.rate * self.window))
+        start = index * self.window
+        if count == 0:
+            return WindowBatch(
+                index=index, start=start, end=start + self.window,
+                task_types=np.empty(0, dtype=np.int64),
+                arrival_times=np.empty(0, dtype=np.float64),
+            )
+        types = self.mix.sample(count, derive_seed(window_seed, "types"))
+        offsets = self.arrivals.generate(
+            count, self.window, derive_seed(window_seed, "arrivals")
+        )
+        return WindowBatch(
+            index=index, start=start, end=start + self.window,
+            task_types=types.astype(np.int64),
+            arrival_times=start + offsets,
+        )
+
+    def windows(self, num_windows: int) -> Iterator[WindowBatch]:
+        """Iterate the first *num_windows* windows."""
+        for k in range(num_windows):
+            yield self.batch(k)
+
+
+def windows_from_trace(
+    trace: Trace, window: float, num_windows: Optional[int] = None
+) -> Iterator[WindowBatch]:
+    """Replay a recorded trace as fixed-width dispatch windows.
+
+    Arrivals exactly on a window boundary belong to the *later* window
+    (half-open ``[start, end)`` buckets).  *num_windows* defaults to
+    just enough windows to cover every arrival.
+    """
+    if window <= 0:
+        raise WorkloadError(f"window must be positive, got {window}")
+    arrivals = trace.arrival_times
+    if num_windows is None:
+        num_windows = int(np.floor(arrivals[-1] / window)) + 1
+    bounds = np.arange(num_windows + 1, dtype=np.float64) * window
+    starts = np.searchsorted(arrivals, bounds, side="left")
+    for k in range(num_windows):
+        lo, hi = int(starts[k]), int(starts[k + 1])
+        yield WindowBatch(
+            index=k, start=float(bounds[k]), end=float(bounds[k + 1]),
+            task_types=trace.task_types[lo:hi].copy(),
+            arrival_times=trace.arrival_times[lo:hi].copy(),
+        )

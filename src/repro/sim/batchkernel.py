@@ -153,10 +153,16 @@ class _OpenAddressTable:
         self.n_slots = n
         self.mask = np.int64(n - 1)
         self.shift = U64(64 - n_slots_log2)
-        self.keys = np.zeros(n, dtype=U64)
-        self.checks = np.zeros(n, dtype=U64)
+        # Only the occupancy bitmap needs zero-init: every read of
+        # keys/checks/values is masked through ``used``, so those
+        # arrays can stay uninitialized (np.empty maps lazily — this
+        # keeps table construction O(slots/page) instead of paying a
+        # ~36MB memset per kernel, which dominated evaluator
+        # construction cost in the online service's per-window loop).
+        self.keys = np.empty(n, dtype=U64)
+        self.checks = np.empty(n, dtype=U64)
         self.used = np.zeros(n, dtype=bool)
-        self.values = [np.zeros(n, dtype=np.float64) for _ in range(n_values)]
+        self.values = [np.empty(n, dtype=np.float64) for _ in range(n_values)]
         self.capacity = n // 2
         self.entries = 0
         self.hits = 0
@@ -413,6 +419,76 @@ class BatchQueueKernel:
         """Drop all cached queue and prefix states."""
         self.queue_table.clear()
         self.prefix_table.clear()
+
+    def adopt_state(self, other: "BatchQueueKernel") -> None:
+        """Take over *other*'s cached queue/prefix state and counters.
+
+        Supports the online service's cross-window evaluator reuse: a
+        window's evaluator is rebuilt over a longer (append-only) trace,
+        but every cached state of the previous kernel remains valid for
+        the new one — so the tables transfer wholesale instead of
+        starting cold.  Validity rests on content fingerprints being a
+        pure function of ``(task_index, machine, order_key)`` elements,
+        which the per-symbol hash streams guarantee as long as they are
+        prefix-stable under trace growth:
+
+        * ``_r_sym``/``_r_ord`` are fixed-seed PCG64 draws over a
+          power-of-two range (one 64-bit word per value, no rejection),
+          so a longer stream extends the shorter one; asserted below.
+        * ``_pow_b`` is a running product of a constant base.
+        * The check word ``(queue_len << 20) | queue_id`` and the
+          Fibonacci slot hash do not depend on the trace length.
+
+        Raises :class:`~repro.errors.ScheduleError` when the kernels
+        are not compatible (different machines, queue grouping, cache
+        configuration, or a *shrunk* trace).
+        """
+        from repro.errors import ScheduleError
+
+        if other is self:
+            return
+        if (
+            other.M != self.M
+            or other.Mq != self.Mq
+            or not np.array_equal(other.qg, self.qg)
+        ):
+            raise ScheduleError(
+                "cannot adopt kernel state across different machine/queue "
+                "configurations"
+            )
+        if other.T > self.T:
+            raise ScheduleError(
+                f"cannot adopt state from a larger trace ({other.T} tasks) "
+                f"into a smaller one ({self.T}); carryover is append-only"
+            )
+        if (
+            other.use_cache != self.use_cache
+            or other.prefix_stride != self.prefix_stride
+        ):
+            raise ScheduleError(
+                "cannot adopt kernel state across different cache "
+                "configurations (use_cache/prefix_stride must match)"
+            )
+        # Prefix stability of the hash streams — cheap (a vectorized
+        # compare over at most T*M words) and load-bearing: a numpy
+        # that re-derived bounded draws differently would silently
+        # corrupt every adopted fingerprint.
+        n_sym = other.T * other.M
+        if not np.array_equal(self._r_sym[:n_sym], other._r_sym[:n_sym]):
+            raise ScheduleError(
+                "per-symbol hash stream is not prefix-stable; refusing to "
+                "adopt cached queue states"
+            )
+        n_ord = min(self._ord_cap, other._ord_cap)
+        if not np.array_equal(self._r_ord[:n_ord], other._r_ord[:n_ord]):
+            raise ScheduleError(
+                "order-key hash stream is not prefix-stable; refusing to "
+                "adopt cached queue states"
+            )
+        self.queue_table = other.queue_table
+        self.prefix_table = other.prefix_table
+        self.elements_total = other.elements_total
+        self.elements_reused = other.elements_reused
 
     # -- core --------------------------------------------------------------
 

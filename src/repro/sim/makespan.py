@@ -26,7 +26,11 @@ import numpy as np
 
 from repro.errors import ScheduleError
 from repro.model.system import SystemModel
-from repro.sim.evaluator import DEFAULT_CACHE_SIZE, _segmented_finish_times
+from repro.sim.evaluator import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_KERNEL_METHOD,
+    _segmented_finish_times,
+)
 from repro.sim.schedule import ResourceAllocation
 from repro.types import FloatArray, IntArray
 from repro.workload.trace import Trace
@@ -63,7 +67,7 @@ class MakespanEnergyEvaluator:
         trace: Trace,
         bag_of_tasks: bool = True,
         check_feasibility: bool = False,
-        kernel_method: str = "fast",
+        kernel_method: str = DEFAULT_KERNEL_METHOD,
         cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         trace.validate_against(system.num_task_types)

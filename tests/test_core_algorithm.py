@@ -43,8 +43,10 @@ class TestGoldenFigure3:
         from repro.experiments.figures import figure3
 
         golden = json.loads((DATA / "golden_figure3_fronts.json").read_text())
+        # The golden capture predates the batch-kernel default; its
+        # fronts are bit-exact under the "fast" kernel only.
         res = figure3(checkpoints=(1, 2, 5), population_size=16,
-                      base_seed=2013)
+                      base_seed=2013, kernel_method="fast")
         for label, by_gen in golden["fronts"].items():
             for gen, points in by_gen.items():
                 got = res.result.front(label, int(gen)).points
@@ -65,8 +67,11 @@ class TestGoldenCheckpointResume:
         shutil.copy(DATA / "golden_nsga2.checkpoint.json",
                     tmp_path / "golden.checkpoint.json")
         bundle = dataset1(2013)
+        # Pinned to the kernel the golden checkpoint was captured
+        # under (pre-batch-default); batch differs in last float bits.
         evaluator = ScheduleEvaluator(bundle.system, bundle.trace,
-                                      check_feasibility=False)
+                                      check_feasibility=False,
+                                      kernel_method="fast")
         ga = NSGA2(
             evaluator,
             AlgorithmConfig(population_size=12, mutation_probability=0.25),

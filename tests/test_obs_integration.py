@@ -235,7 +235,8 @@ class TestEvaluatorCacheMetrics:
         obs = RunContext.create()
         evaluator = ScheduleEvaluator(bundle.system, bundle.trace,
                                       check_feasibility=False,
-                                      cache_size=8, obs=obs)
+                                      cache_size=8, obs=obs,
+                                      kernel_method="fast")
         ga = NSGA2(evaluator, NSGA2Config(population_size=12), rng=7,
                    obs=obs)
         ga.run(3)

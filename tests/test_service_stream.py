@@ -1,0 +1,170 @@
+"""Arrival streams and window batching (repro.service.stream)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.service.stream import ArrivalStream, WindowBatch, windows_from_trace
+from repro.workload.generator import TaskTypeMix
+from repro.workload.trace import Trace
+
+
+def make_stream(rate: float = 0.1, seed: int = 7) -> ArrivalStream:
+    return ArrivalStream(
+        mix=TaskTypeMix.uniform(4), window=50.0, rate=rate, seed=seed
+    )
+
+
+class TestWindowBatch:
+    def test_validates_shapes(self):
+        with pytest.raises(WorkloadError):
+            WindowBatch(
+                index=0, start=0.0, end=10.0,
+                task_types=np.array([0, 1]),
+                arrival_times=np.array([1.0]),
+            )
+
+    def test_validates_sorted(self):
+        with pytest.raises(WorkloadError):
+            WindowBatch(
+                index=0, start=0.0, end=10.0,
+                task_types=np.array([0, 1]),
+                arrival_times=np.array([5.0, 1.0]),
+            )
+
+    def test_validates_bounds(self):
+        with pytest.raises(WorkloadError):
+            WindowBatch(
+                index=0, start=0.0, end=10.0,
+                task_types=np.array([0]),
+                arrival_times=np.array([10.0]),  # end is exclusive
+            )
+
+    def test_empty_window_allowed(self):
+        batch = WindowBatch(
+            index=3, start=30.0, end=40.0,
+            task_types=np.empty(0, dtype=np.int64),
+            arrival_times=np.empty(0, dtype=np.float64),
+        )
+        assert batch.count == 0
+
+
+class TestArrivalStream:
+    def test_deterministic_per_seed(self):
+        a = list(make_stream().windows(6))
+        b = list(make_stream().windows(6))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.task_types, y.task_types)
+            np.testing.assert_array_equal(x.arrival_times, y.arrival_times)
+
+    def test_random_access_matches_iteration(self):
+        stream = make_stream()
+        for k, batch in enumerate(stream.windows(5)):
+            direct = stream.batch(k)
+            np.testing.assert_array_equal(batch.task_types, direct.task_types)
+            np.testing.assert_array_equal(
+                batch.arrival_times, direct.arrival_times
+            )
+
+    def test_seeds_differ(self):
+        counts_a = [b.count for b in make_stream(seed=1).windows(8)]
+        counts_b = [b.count for b in make_stream(seed=2).windows(8)]
+        assert counts_a != counts_b
+
+    def test_zero_rate_is_all_idle(self):
+        for batch in make_stream(rate=0.0).windows(4):
+            assert batch.count == 0
+
+    def test_arrivals_within_window(self):
+        for batch in make_stream(rate=0.5).windows(6):
+            if batch.count:
+                assert batch.arrival_times[0] >= batch.start
+                assert batch.arrival_times[-1] < batch.end
+                assert batch.end - batch.start == pytest.approx(50.0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_stream().batch(-1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(WorkloadError):
+            ArrivalStream(mix=TaskTypeMix.uniform(2), window=0.0, rate=1.0)
+        with pytest.raises(WorkloadError):
+            ArrivalStream(mix=TaskTypeMix.uniform(2), window=10.0, rate=-1.0)
+
+    def test_deterministic_across_processes(self, tmp_path):
+        """The same (seed, window index) yields bit-identical batches in
+        a fresh interpreter — the property multi-process grid drivers
+        and crash recovery rely on."""
+        script = (
+            "import json, sys\n"
+            "import numpy as np\n"
+            "from repro.service.stream import ArrivalStream\n"
+            "from repro.workload.generator import TaskTypeMix\n"
+            "s = ArrivalStream(mix=TaskTypeMix.uniform(4), window=50.0,"
+            " rate=0.1, seed=7)\n"
+            "out = [[b.task_types.tolist(), b.arrival_times.tolist()]"
+            " for b in s.windows(5)]\n"
+            "print(json.dumps(out))\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        remote = json.loads(proc.stdout)
+        local = [
+            [b.task_types.tolist(), b.arrival_times.tolist()]
+            for b in make_stream().windows(5)
+        ]
+        assert remote == local
+
+
+class TestWindowsFromTrace:
+    def trace(self) -> Trace:
+        return Trace(
+            task_types=np.array([0, 1, 2, 0, 1]),
+            arrival_times=np.array([0.0, 5.0, 10.0, 14.0, 21.0]),
+            window=30.0,
+        )
+
+    def test_partition_covers_trace(self):
+        batches = list(windows_from_trace(self.trace(), window=10.0))
+        types = np.concatenate([b.task_types for b in batches])
+        arrivals = np.concatenate([b.arrival_times for b in batches])
+        np.testing.assert_array_equal(types, self.trace().task_types)
+        np.testing.assert_array_equal(arrivals, self.trace().arrival_times)
+
+    def test_boundary_arrival_goes_to_later_window(self):
+        batches = list(windows_from_trace(self.trace(), window=10.0))
+        # t=10.0 sits exactly on the w0/w1 boundary: half-open buckets
+        # place it in window 1.
+        assert 10.0 not in batches[0].arrival_times
+        assert 10.0 in batches[1].arrival_times
+
+    def test_default_window_count_covers_last_arrival(self):
+        batches = list(windows_from_trace(self.trace(), window=10.0))
+        assert len(batches) == 3
+        assert batches[-1].end > 21.0
+
+    def test_explicit_num_windows_truncates(self):
+        batches = list(
+            windows_from_trace(self.trace(), window=10.0, num_windows=2)
+        )
+        assert len(batches) == 2
+        assert sum(b.count for b in batches) == 4
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(WorkloadError):
+            list(windows_from_trace(self.trace(), window=0.0))

@@ -308,7 +308,8 @@ class TestEvaluatorIntegration:
         assert ev.cache is None  # queue-state tables replace it
         assert ev._batch_kernel is not None
         fast = ScheduleEvaluator(small_system, small_trace,
-                                 check_feasibility=False)
+                                 check_feasibility=False,
+                                 kernel_method="fast")
         assert fast.cache is not None
         assert fast._batch_kernel is None
 

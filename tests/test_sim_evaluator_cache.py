@@ -41,6 +41,10 @@ def make_batch(system, trace, n_rows, seed):
 
 def make_evaluator(system, trace, **kwargs):
     kwargs.setdefault("check_feasibility", False)
+    # This suite exercises the *chromosome* cache, which only exists on
+    # the per-row kernels (batch mode replaces it with the kernel's
+    # queue-state tables — see tests/test_sim_batchkernel.py).
+    kwargs.setdefault("kernel_method", "fast")
     return ScheduleEvaluator(system, trace, **kwargs)
 
 

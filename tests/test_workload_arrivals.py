@@ -1,14 +1,28 @@
 """Tests for arrival processes."""
 
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import WorkloadError
-from repro.workload.arrivals import BurstyArrivals, PoissonArrivals, UniformArrivals
+from repro.workload.arrivals import (
+    BurstyArrivals,
+    PoissonArrivals,
+    ProfileArrivals,
+    UniformArrivals,
+)
 
 
-ALL_PROCESSES = [PoissonArrivals(), UniformArrivals(), BurstyArrivals()]
+ALL_PROCESSES = [
+    PoissonArrivals(),
+    UniformArrivals(),
+    BurstyArrivals(),
+    ProfileArrivals(weights=(1.0, 3.0, 1.0)),
+]
 
 
 @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: type(p).__name__)
@@ -70,6 +84,78 @@ class TestBursty:
             BurstyArrivals(num_bursts=0)
         with pytest.raises(WorkloadError):
             BurstyArrivals(spread_fraction=0.0)
+
+
+class TestSingleBurst:
+    def test_single_burst_clusters_at_center(self):
+        """num_bursts=1 degenerates to one Gaussian cluster at W/2."""
+        b = BurstyArrivals(num_bursts=1, spread_fraction=0.02)
+        times = b.generate(5_000, 100.0, seed=11)
+        assert times.shape == (5_000,)
+        assert times.mean() == pytest.approx(50.0, abs=0.5)
+        # Essentially everything within 4 sigma of the single center.
+        assert np.sum(np.abs(times - 50.0) < 8.0) / times.size > 0.999
+
+    def test_single_burst_stays_half_open(self):
+        """Extreme jitter clamps to [0, window) — the right boundary is
+        excluded even when the Gaussian tail lands far past it."""
+        b = BurstyArrivals(num_bursts=1, spread_fraction=50.0)
+        times = b.generate(2_000, 10.0, seed=12)
+        assert np.all((times >= 0.0) & (times < 10.0))
+        # With sigma = 500 on a 10s window, both clamp rails are hit:
+        # the max sits exactly one ulp below the window edge.
+        assert times.min() == 0.0
+        assert times.max() == np.nextafter(10.0, 0.0)
+
+
+class TestBoundaryArrivals:
+    def test_profile_never_emits_window_edge(self):
+        """The last bucket's samples stay strictly below the window."""
+        p = ProfileArrivals(weights=(0.0, 0.0, 1.0))  # all mass at the end
+        times = p.generate(10_000, 30.0, seed=13)
+        assert np.all(times >= 20.0)
+        assert np.all(times < 30.0)
+
+    def test_uniform_first_arrival_is_zero(self):
+        """UniformArrivals includes the left boundary (arrival at 0.0),
+        matching the half-open [0, window) contract."""
+        times = UniformArrivals().generate(5, 10.0)
+        assert times[0] == 0.0
+        assert times[-1] < 10.0
+
+
+class TestCrossProcessDeterminism:
+    """A fixed seed regenerates bit-identical arrivals in a fresh
+    interpreter — the property SWF replay, the online service stream,
+    and multi-process grid drivers all rely on."""
+
+    SCRIPT = (
+        "import json\n"
+        "from repro.workload.arrivals import (BurstyArrivals,\n"
+        "    PoissonArrivals, ProfileArrivals, UniformArrivals)\n"
+        "procs = [PoissonArrivals(), UniformArrivals(), BurstyArrivals(),\n"
+        "    ProfileArrivals(weights=(1.0, 3.0, 1.0))]\n"
+        "print(json.dumps([p.generate(40, 120.0, seed=99).tolist()\n"
+        "    for p in procs]))\n"
+    )
+
+    def test_fixed_seed_identical_across_interpreters(self):
+        import json
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        remote = json.loads(proc.stdout)
+        local = [
+            p.generate(40, 120.0, seed=99).tolist() for p in ALL_PROCESSES
+        ]
+        assert remote == local
 
 
 @settings(max_examples=30, deadline=None)
